@@ -1,0 +1,59 @@
+"""Benchmark fixtures.
+
+Benchmarks reproduce the paper's tables and figures and print them; set
+``REPRO_BENCH_PROFILE=fast`` for a quick smoke pass (the default ``default``
+profile trains the full per-segment model zoo and takes a few minutes on a
+laptop-class CPU).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, HarnessConfig, fast_config
+from repro.video.datasets import make_bdd, make_detrac, make_tokyo
+
+
+def bench_config() -> HarnessConfig:
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "default")
+    if profile == "fast":
+        return fast_config()
+    return HarnessConfig()
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()
+
+
+def _context(maker, config):
+    return ExperimentContext(
+        maker(scale=config.scale, frame_size=config.frame_size), config)
+
+
+@pytest.fixture(scope="session")
+def bdd(config):
+    return _context(make_bdd, config)
+
+
+@pytest.fixture(scope="session")
+def detrac(config):
+    return _context(make_detrac, config)
+
+
+@pytest.fixture(scope="session")
+def tokyo(config):
+    return _context(make_tokyo, config)
+
+
+@pytest.fixture(scope="session")
+def all_contexts(bdd, detrac, tokyo):
+    return {"BDD": bdd, "Detrac": detrac, "Tokyo": tokyo}
+
+
+def emit(result) -> None:
+    """Print a reproduced table below the benchmark timings."""
+    print()
+    print(result.format_table())

@@ -1,0 +1,45 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def test_ablation_betting(benchmark, bdd):
+    result = benchmark.pedantic(lambda: ablations.betting_ablation(bdd),
+                                rounds=1, iterations=1)
+    emit(result)
+    rows = {r["variant"]: r for r in result.rows}
+    # the r = 0.5 test carries a false-alarm budget: allow one borderline
+    # episode out of three for the default configuration
+    default = rows["power eps=0.1 (default)"]
+    assert default["missed"] + default["false_alarms"] <= 1
+
+
+def test_ablation_sensitivity(benchmark, bdd):
+    result = benchmark.pedantic(lambda: ablations.sensitivity_ablation(bdd),
+                                rounds=1, iterations=1)
+    emit(result)
+    # the paper's claim: nominal dependency on W and K -- every variant
+    # detects the drifts (tolerating one borderline episode)
+    for row in result.rows:
+        if row["parameter"] in ("W", "K"):
+            assert row["missed"] + row["false_alarms"] <= 1, row
+
+
+def test_ablation_embedding(benchmark, bdd):
+    result = benchmark.pedantic(lambda: ablations.embedding_ablation(bdd),
+                                rounds=1, iterations=1)
+    emit(result)
+    rows = {r["variant"]: r for r in result.rows}
+    full = rows["full (default)"]
+    assert full["missed"] + full["false_alarms"] <= 1
+
+
+def test_ablation_ensemble_size(benchmark, bdd):
+    result = benchmark.pedantic(
+        lambda: ablations.ensemble_size_ablation(bdd), rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        assert (row["correct_selections"] + row["novel_flags"]
+                <= row["drifts"])

@@ -1,0 +1,29 @@
+"""Bench: Figure 3 (drift-detection delay, DI vs ODIN-Detect)."""
+
+from conftest import emit
+
+from repro.experiments import fig3_detection
+
+
+def test_fig3_detection(benchmark, all_contexts):
+    def run_all():
+        return [fig3_detection.run(ctx, warmup=25, limit=150)
+                for ctx in all_contexts.values()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    di_delays, odin_delays, false_positives = [], [], 0
+    for result in results:
+        emit(result)
+        for row in result.rows:
+            false_positives += int(row["di_false_positive"])
+            if row["di_delay"] is not None and row["di_delay"] >= 0:
+                di_delays.append(row["di_delay"])
+            if row["odin_delay"] is not None and row["odin_delay"] >= 0:
+                odin_delays.append(row["odin_delay"])
+    # the r = 0.5 test tolerates a small false-alarm budget; at most one of
+    # the nine drift episodes may pre-fire
+    assert false_positives <= 1
+    # paper shape: DI detects drifts, and in fewer frames than ODIN-Detect
+    assert di_delays
+    assert sum(di_delays) / len(di_delays) < (
+        sum(odin_delays) / max(len(odin_delays), 1) if odin_delays else 1e9)

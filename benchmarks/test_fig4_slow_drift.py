@@ -1,0 +1,17 @@
+"""Bench: Figure 4 (slow-drift detection)."""
+
+from conftest import emit
+
+from repro.experiments import fig4_slow_drift
+
+
+def test_fig4_slow_drift(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: fig4_slow_drift.run(config=config), rounds=1, iterations=1)
+    emit(result)
+    row = result.rows[0]
+    assert row["di_delay"] is not None
+    assert not row["di_false_positive"]
+    if row["odin_delay"] is not None:
+        # paper shape: DI needs fewer frames on the gradual transition
+        assert row["di_delay"] <= row["odin_delay"]

@@ -1,0 +1,16 @@
+"""Bench: Figure 5 (Brier score vs accuracy on BDD)."""
+
+from conftest import emit
+
+from repro.experiments import fig5_brier
+
+
+def test_fig5_brier(benchmark, bdd):
+    result = benchmark.pedantic(
+        lambda: fig5_brier.run(bdd, eval_frames=60), rounds=1, iterations=1)
+    emit(result)
+    # paper shape: the matched model has the lowest Brier score on its own
+    # sequence for (at least) 3 of the 4 BDD sequences
+    matched = sum(1 for row in result.rows
+                  if row["best_by_brier"] == row["sequence"])
+    assert matched >= 3

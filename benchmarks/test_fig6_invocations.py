@@ -1,0 +1,22 @@
+"""Bench: Figure 6 (model invocations per frame)."""
+
+from conftest import emit
+
+from repro.experiments import fig6_invocations
+
+
+def test_fig6_invocations(benchmark, all_contexts):
+    def run_all():
+        return [fig6_invocations.run(ctx) for ctx in all_contexts.values()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    saw_ensemble = False
+    for result in results:
+        emit(result)
+        for row in result.rows:
+            assert row["msbo_invocations_per_frame"] == 1.0
+            assert row["msbi_invocations_per_frame"] == 1.0
+            assert row["odin_invocations_per_frame"] >= 1.0
+            saw_ensemble |= row["odin_ensemble_fraction"] > 0
+    # paper shape: ODIN-Select forms ensembles on at least some sequences
+    assert saw_ensemble

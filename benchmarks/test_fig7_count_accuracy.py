@@ -1,0 +1,21 @@
+"""Bench: Figure 7 (count-query accuracy A_q)."""
+
+from conftest import emit
+
+from repro.experiments import fig7_count_accuracy
+
+
+def test_fig7_count_accuracy(benchmark, all_contexts):
+    def run_all():
+        return [fig7_count_accuracy.run(ctx)
+                for ctx in all_contexts.values()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for result in results:
+        emit(result)
+        overall = next(r for r in result.rows if r["sequence"] == "OVERALL")
+        # paper shape: drift-aware pipelines beat the oblivious fast
+        # detector; Mask R-CNN (the annotation source) is perfect
+        assert overall["A_q[MaskRCNN]"] == 1.0
+        assert overall["A_q[(DI, MSBO)]"] > overall["A_q[YOLO]"]
+        assert overall["A_q[(DI, MSBI)]"] > overall["A_q[YOLO]"]

@@ -1,0 +1,14 @@
+"""Bench: Figure 8 (spatial-constrained query accuracy on BDD)."""
+
+from conftest import emit
+
+from repro.experiments import fig8_spatial_accuracy
+
+
+def test_fig8_spatial_accuracy(benchmark, bdd):
+    result = benchmark.pedantic(
+        lambda: fig8_spatial_accuracy.run(bdd), rounds=1, iterations=1)
+    emit(result)
+    overall = next(r for r in result.rows if r["sequence"] == "OVERALL")
+    assert overall["A_q[MaskRCNN]"] == 1.0
+    assert overall["A_q[(DI, MSBO)]"] >= overall["A_q[YOLO]"] - 0.05

@@ -1,0 +1,22 @@
+"""Bench: DI vs classical change detectors (extension experiment)."""
+
+from conftest import emit
+
+from repro.experiments import statistical_baselines
+
+
+def test_statistical_baselines(benchmark, bdd):
+    result = benchmark.pedantic(
+        lambda: statistical_baselines.run(bdd), rounds=1, iterations=1)
+    emit(result)
+    rows = {r["detector"]: r for r in result.rows}
+    di = rows["DriftInspector"]
+    # DI detects the drifts promptly; a small false-alarm budget is part of
+    # the r = 0.5 design (episodes + null segments give 7 chances here)
+    assert di["detected"] >= 2
+    assert di["mean_delay"] < 25
+    assert di["missed"] + di["false_alarms"] <= 3
+    # at least one classical detector does no better on combined errors
+    di_errors = di["missed"] + di["false_alarms"]
+    assert any(rows[name]["missed"] + rows[name]["false_alarms"] >= di_errors
+               for name in ("KS", "CUSUM", "Moment"))

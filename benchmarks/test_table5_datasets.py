@@ -1,0 +1,14 @@
+"""Bench: Table 5 (dataset characteristics)."""
+
+from conftest import emit
+
+from repro.experiments import table5_datasets
+
+
+def test_table5_datasets(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: table5_datasets.run(config, sample=150),
+        rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        assert abs(row["obj_per_frame"] - row["paper_obj_per_frame"]) < 2.5

@@ -1,0 +1,17 @@
+"""Bench: Table 6 (drift-detection time performance)."""
+
+from conftest import emit
+
+from repro.experiments import table6_detect_time
+
+
+def test_table6_detect_time(benchmark, all_contexts):
+    def run_all():
+        return [table6_detect_time.run(ctx) for ctx in all_contexts.values()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for result in results:
+        emit(result)
+        row = result.rows[0]
+        # paper shape: DI needs at least ~40% less time than ODIN-Detect
+        assert row["di_paper_scale_s"] < 0.8 * row["odin_paper_scale_s"]

@@ -1,0 +1,20 @@
+"""Bench: Table 8 (model-selection time performance)."""
+
+from conftest import emit
+
+from repro.experiments import table8_selection_time
+
+
+def test_table8_selection_time(benchmark, all_contexts):
+    def run_all():
+        return [table8_selection_time.run(ctx)
+                for ctx in all_contexts.values()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for result in results:
+        emit(result)
+        row = result.rows[0]
+        # paper shape: per-drift MSBO/MSBI selection is orders of magnitude
+        # cheaper than ODIN's per-frame selection over the stream
+        assert row["msbo_s_per_drift"] < row["odin_s_paper_scale"] / 10
+        assert row["msbi_s_per_drift"] < row["odin_s_paper_scale"] / 10

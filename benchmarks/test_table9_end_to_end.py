@@ -1,0 +1,20 @@
+"""Bench: Table 9 (end-to-end time performance, 5 systems)."""
+
+from conftest import emit
+
+from repro.experiments import table9_end_to_end
+
+
+def test_table9_end_to_end(benchmark, all_contexts):
+    def run_all():
+        return [table9_end_to_end.run(ctx) for ctx in all_contexts.values()]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for result in results:
+        emit(result)
+        seconds = {r["system"]: r["paper_scale_s"] for r in result.rows}
+        # paper shape: (DI, MSBO) beats ODIN by a large factor; Mask R-CNN is
+        # an order of magnitude slower than everything drift-aware
+        assert seconds["(DI, MSBO)"] < seconds["ODIN"] / 2
+        assert seconds["(DI, MSBI)"] < seconds["ODIN"] / 2
+        assert seconds["MaskRCNN"] > 5 * seconds["(DI, MSBO)"]

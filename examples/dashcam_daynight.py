@@ -1,0 +1,84 @@
+"""Slow drift at dusk: conformal martingales vs classical detectors.
+
+A live camera transitions gradually from day to night (the paper's
+Section 6.1.3 setting).  The example compares the Drift Inspector's
+conformal martingale against classical change detectors (two-sample KS,
+CUSUM, moment test) on detection delay over the same gradual transition,
+and shows the martingale trajectory around the change point.
+
+Run:  python examples/dashcam_daynight.py
+"""
+
+import numpy as np
+
+from repro.baselines.statistical import CusumDetector, KSDetector, MomentDetector
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.experiments.common import ExperimentContext, fast_config
+from repro.video.datasets import make_slow_drift
+
+
+def main() -> None:
+    config = fast_config()
+    dataset = make_slow_drift(scale=config.scale,
+                              frame_size=config.frame_size)
+    context = ExperimentContext(dataset, config)
+    drift_start = dataset.drift_frames[0]
+    transition = dataset.metadata["transition_frames"]
+    print(f"stream: {len(context.stream)} frames; dusk begins at frame "
+          f"{drift_start} and lasts {transition} frames")
+
+    print("training the day model's VAE ...")
+    registry = context.registry(with_ensembles=False)
+    day = registry.get("day")
+
+    # All detectors monitor the same stream against the day distribution.
+    detectors = {
+        "Drift Inspector": DriftInspector(
+            day.sigma, DriftInspectorConfig(seed=0), embedder=day.vae),
+        "KS test": KSDetector(day.sigma, window=25, significance=1e-4,
+                              embedder=day.vae),
+        "CUSUM": CusumDetector(day.sigma, threshold=8.0, embedder=day.vae),
+        "Moment test": MomentDetector(day.sigma, window=20, z_threshold=4.0,
+                                      embedder=day.vae),
+    }
+
+    print(f"\n{'detector':<18}{'detected at':>12}{'delay':>8}"
+          "   (negative delay = false alarm before the drift)")
+    for name, detector in detectors.items():
+        detected = None
+        if isinstance(detector, DriftInspector):
+            for frame in context.stream:
+                if detector.observe(frame.pixels).drift:
+                    detected = frame.index
+                    break
+        else:
+            for frame in context.stream:
+                if detector.observe(frame.pixels):
+                    detected = frame.index
+                    break
+        delay = "-" if detected is None else str(detected - drift_start)
+        shown = "-" if detected is None else str(detected)
+        print(f"{name:<18}{shown:>12}{delay:>8}")
+    print("\nnote: the windowed KS test assumes i.i.d. samples; consecutive "
+          "video frames are\ncorrelated, so its p-values are anticonservative "
+          "and it tends to fire on null\nsegments -- the problem the paper's "
+          "VAE-based i.i.d. sampling exists to solve.")
+
+    # Martingale trajectory around the change point (text sparkline).
+    inspector = DriftInspector(day.sigma, DriftInspectorConfig(seed=1),
+                               embedder=day.vae)
+    values = []
+    for frame in context.stream[: drift_start + 20]:
+        values.append(inspector.observe(frame.pixels).martingale)
+    print("\nmartingale score around the change point "
+          f"(frames {drift_start - 10}..{drift_start + 19}):")
+    window = values[drift_start - 10:]
+    peak = max(max(window), 1e-9)
+    for offset, value in enumerate(window, start=drift_start - 10):
+        bar = "#" * int(40 * value / peak)
+        marker = " <- dusk begins" if offset == drift_start else ""
+        print(f"  frame {offset:4d} {value:8.2f} {bar}{marker}")
+
+
+if __name__ == "__main__":
+    main()

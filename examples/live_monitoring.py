@@ -1,0 +1,62 @@
+"""Push-based (live) processing with the streaming API.
+
+Production video analytics receives frames one at a time; this example
+drives the pipeline through ``start() / step(frame) / flush()`` instead of
+a batch ``process(stream)`` call, printing events as they happen: normal
+frames flow through, a drift pauses emission while the selection window
+buffers, and the swap releases the buffered frames under the new model.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.experiments.common import ExperimentContext, fast_config
+from repro.video.datasets import make_bdd
+
+
+def main() -> None:
+    config = fast_config()
+    dataset = make_bdd(scale=config.scale, frame_size=config.frame_size)
+    context = ExperimentContext(dataset, config)
+    print("training per-condition bundles ...")
+    registry = context.registry(with_ensembles=False)
+
+    selector = MSBI(registry, MSBIConfig(window_size=10, seed=0))
+    pipeline = DriftAwareAnalytics(
+        registry, "day", selector, annotator=context.annotator,
+        config=PipelineConfig(selection_window=10,
+                              drift_inspector=DriftInspectorConfig(seed=0)))
+
+    pipeline.start()
+    buffering_since = None
+    seen_detections = 0
+    for frame in context.stream:
+        emitted = pipeline.step(frame)
+        partial = pipeline.result()
+        if not emitted and buffering_since is None:
+            buffering_since = frame.index
+            print(f"frame {frame.index:4d}: drift declared -- buffering the "
+                  "selection window ...")
+        elif emitted and buffering_since is not None:
+            event = partial.detections[-1]
+            print(f"frame {frame.index:4d}: deployed "
+                  f"{event.selected_model!r} after buffering "
+                  f"{event.selection_frames} frames; released "
+                  f"{len(emitted)} predictions")
+            buffering_since = None
+            seen_detections += 1
+        elif emitted and frame.index % 50 == 0:
+            print(f"frame {frame.index:4d}: model "
+                  f"{pipeline.deployed_model!r}, prediction "
+                  f"{emitted[0].prediction}")
+    pipeline.flush()
+    result = pipeline.result()
+    print(f"\nstream complete: {len(result.records)} frames, "
+          f"{len(result.detections)} drifts handled, "
+          f"simulated {result.simulated_ms / 1000:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Traffic monitoring across switching camera angles (Detrac-style).
+
+A traffic authority provisions count models for five fixed cameras; the
+feed switches between them (the Detrac setting).  The example runs the
+full (DI, MSBO) pipeline, reports per-angle query accuracy and the
+simulated processing cost, and contrasts it with ODIN's per-frame
+cluster-driven selection.
+
+Run:  python examples/traffic_monitoring.py
+"""
+
+from repro.baselines.odin.detect import OdinConfig
+from repro.baselines.odin.system import OdinAnalytics
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbo import MSBO, MSBOConfig
+from repro.experiments.common import ExperimentContext, fast_config
+from repro.queries.count import CountQuery
+from repro.sim.clock import SimulatedClock
+from repro.video.datasets import make_detrac
+
+
+def main() -> None:
+    config = fast_config()
+    dataset = make_detrac(scale=config.scale, frame_size=config.frame_size)
+    context = ExperimentContext(dataset, config)
+    query = CountQuery(dataset.num_count_classes, dataset.count_bucket_width)
+
+    print("training per-angle bundles (VAE + classifier + ensemble) ...")
+    registry = context.registry(with_ensembles=True)
+
+    # --- (DI, MSBO): detect once per drift, select the single best model
+    clock = SimulatedClock()
+    selector = MSBO(registry, MSBOConfig(window_size=10, seed=0),
+                    clock=clock)
+    pipeline = DriftAwareAnalytics(
+        registry, dataset.segment_names[0], selector,
+        annotator=context.annotator,
+        config=PipelineConfig(selection_window=10,
+                              drift_inspector=DriftInspectorConfig(seed=0)),
+        clock=clock)
+    ours = pipeline.process(context.stream)
+
+    # --- ODIN: per-frame cluster assignment with ensembles
+    odin_clock = SimulatedClock()
+    odin = OdinAnalytics({b.name: b.model for b in registry},
+                         embedder=context.shared_embedder,
+                         config=OdinConfig(), clock=odin_clock)
+    for segment in dataset.segment_names:
+        odin.seed_cluster(segment, context.segment_embeddings(segment))
+    theirs = odin.process(context.stream)
+
+    print(f"\n{'angle':<10}{'A_q (DI,MSBO)':>15}{'A_q ODIN':>12}")
+    ours_by_seq = query.per_sequence_accuracy(context.stream,
+                                              ours.predictions)
+    theirs_by_seq = query.per_sequence_accuracy(context.stream,
+                                                theirs.predictions)
+    for angle in dataset.segment_names:
+        print(f"{angle:<10}{ours_by_seq[angle]:>15.2f}"
+              f"{theirs_by_seq[angle]:>12.2f}")
+    print(f"{'OVERALL':<10}"
+          f"{query.accuracy(context.stream, ours.predictions):>15.2f}"
+          f"{query.accuracy(context.stream, theirs.predictions):>12.2f}")
+
+    print(f"\nmodel invocations/frame: "
+          f"(DI, MSBO) {ours.invocations.invocations_per_frame:.2f} "
+          f"vs ODIN {theirs.invocations.invocations_per_frame:.2f}")
+    print(f"simulated processing time: "
+          f"(DI, MSBO) {ours.simulated_ms / 1000:.1f} s "
+          f"vs ODIN {theirs.simulated_ms / 1000:.1f} s "
+          f"(per-frame ODIN cost scales with the number of clusters)")
+    print(f"drifts handled by (DI, MSBO): "
+          f"{[d.selected_model for d in ours.detections]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Reproduction of "Coping With Data Drift in Online Video Analytics" (EDBT 2025).
+
+The package provides:
+
+- :mod:`repro.core` -- the paper's primary contribution: the Drift Inspector
+  (DI) conformal-martingale drift detector and the MSBI / MSBO model-selection
+  algorithms, plus the end-to-end drift-aware analytics pipeline (Figure 1).
+- :mod:`repro.nn` -- a from-scratch numpy deep-learning substrate (dense and
+  convolutional layers, VAE, softmax classifiers, deep ensembles).
+- :mod:`repro.video` -- a synthetic video substrate standing in for the
+  BDD / Detrac / Tokyo datasets used in the paper.
+- :mod:`repro.detectors` -- drift-oblivious object-detector substitutes
+  (Mask R-CNN / YOLOv7 equivalents) and per-distribution query models.
+- :mod:`repro.baselines` -- the ODIN baseline (Detect / Select / Specialize)
+  and classical statistical change detectors.
+- :mod:`repro.queries` -- count and spatial-constrained video queries.
+- :mod:`repro.sim` -- the simulated clock and paper-calibrated cost profiles.
+- :mod:`repro.experiments` -- one module per paper table / figure.
+"""
+
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.monitor import FleetConfig, FleetMonitor
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.msbo import MSBO, MSBOConfig
+from repro.core.selection.registry import ModelBundle, ModelRegistry, NovelDistribution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DriftInspector",
+    "DriftInspectorConfig",
+    "DriftAwareAnalytics",
+    "PipelineConfig",
+    "FleetMonitor",
+    "FleetConfig",
+    "MSBI",
+    "MSBIConfig",
+    "MSBO",
+    "MSBOConfig",
+    "ModelBundle",
+    "ModelRegistry",
+    "NovelDistribution",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baselines evaluated against the paper's proposals.
+
+- :mod:`repro.baselines.odin` -- reimplementation of ODIN (VLDB 2020) from
+  the paper's Section 6 description: clustering-based drift detection with
+  density bands, per-frame model selection with ensembles, and cluster
+  specialization.
+- :mod:`repro.baselines.statistical` -- classical change detectors
+  (two-sample KS, CUSUM / Page, moment drift) for ablations.
+"""
+
+from repro.baselines.odin import OdinAnalytics, OdinConfig, OdinDetect, OdinSelect
+from repro.baselines.statistical import (
+    CusumDetector,
+    KSDetector,
+    MomentDetector,
+)
+
+__all__ = [
+    "OdinAnalytics",
+    "OdinConfig",
+    "OdinDetect",
+    "OdinSelect",
+    "KSDetector",
+    "CusumDetector",
+    "MomentDetector",
+]

@@ -1,0 +1,31 @@
+"""ODIN baseline (Suprem et al., VLDB 2020), reimplemented from the paper's
+Section 6 description and published constants (density band Delta = 0.5,
+KL promotion threshold 0.007).
+
+- :mod:`repro.baselines.odin.clusters` -- clusters with density bands and
+  diagonal-Gaussian KL tracking.
+- :mod:`repro.baselines.odin.detect` -- ODIN-Detect: temporary-cluster
+  promotion declares drift.
+- :mod:`repro.baselines.odin.select` -- ODIN-Select: per-frame cluster
+  assignment; ensembles when a frame falls in several bands.
+- :mod:`repro.baselines.odin.specialize` -- ODIN-Specialize: trains a model
+  for a newly promoted cluster.
+- :mod:`repro.baselines.odin.system` -- the end-to-end ODIN loop used in the
+  Table 9 / Figure 7-8 comparisons.
+"""
+
+from repro.baselines.odin.clusters import OdinCluster
+from repro.baselines.odin.detect import OdinConfig, OdinDetect
+from repro.baselines.odin.select import OdinSelect, SelectionOutcome
+from repro.baselines.odin.specialize import OdinSpecialize
+from repro.baselines.odin.system import OdinAnalytics
+
+__all__ = [
+    "OdinCluster",
+    "OdinConfig",
+    "OdinDetect",
+    "OdinSelect",
+    "SelectionOutcome",
+    "OdinSpecialize",
+    "OdinAnalytics",
+]

@@ -1,0 +1,128 @@
+"""ODIN clusters: centroids, density bands and diagonal-Gaussian KL.
+
+Each cluster keeps:
+
+- a running centroid of member embeddings,
+- the member distances from the centroid, from which the *density band*
+  (the distance interval enclosing a fraction ``Delta = 0.5`` of members,
+  i.e. the inter-quartile range) is derived,
+- running diagonal-Gaussian statistics used for the KL-divergence
+  promotion test of temporary clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EmptyReferenceError
+
+_MAX_DISTANCES = 2048  # bound per-cluster memory on long streams
+
+
+def diagonal_gaussian_kl(mean_p: np.ndarray, var_p: np.ndarray,
+                         mean_q: np.ndarray, var_q: np.ndarray) -> float:
+    """KL( N(mean_p, var_p) || N(mean_q, var_q) ), diagonal covariances.
+
+    Averaged over dimensions so thresholds are dimension-independent.
+    """
+    var_p = np.maximum(np.asarray(var_p, dtype=np.float64), 1e-9)
+    var_q = np.maximum(np.asarray(var_q, dtype=np.float64), 1e-9)
+    mean_p = np.asarray(mean_p, dtype=np.float64)
+    mean_q = np.asarray(mean_q, dtype=np.float64)
+    per_dim = 0.5 * (np.log(var_q / var_p) + (var_p + (mean_p - mean_q) ** 2)
+                     / var_q - 1.0)
+    return float(per_dim.mean())
+
+
+class OdinCluster:
+    """One ODIN cluster over embedding space."""
+
+    def __init__(self, name: str, delta: float = 0.5,
+                 model_name: Optional[str] = None) -> None:
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        self.name = name
+        self.delta = delta
+        self.model_name = model_name or name
+        self.count = 0
+        self._mean: Optional[np.ndarray] = None
+        self._m2: Optional[np.ndarray] = None  # Welford sum of squares
+        self._distances: List[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def centroid(self) -> np.ndarray:
+        if self._mean is None:
+            raise EmptyReferenceError(f"cluster {self.name!r} is empty")
+        return self._mean
+
+    @property
+    def variance(self) -> np.ndarray:
+        if self._m2 is None or self.count < 2:
+            raise EmptyReferenceError(
+                f"cluster {self.name!r} has fewer than 2 members")
+        return self._m2 / (self.count - 1)
+
+    def gaussian_state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(mean, variance) snapshot for KL comparisons."""
+        return self.centroid.copy(), self.variance.copy()
+
+    # ------------------------------------------------------------------
+    def distance(self, embedding: np.ndarray) -> float:
+        """Euclidean distance of an embedding from the centroid."""
+        e = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        return float(np.sqrt(((e - self.centroid) ** 2).sum()))
+
+    def band(self) -> Tuple[float, float]:
+        """The density band: the distance interval enclosing ``delta`` of
+        members (centred quantiles)."""
+        if not self._distances:
+            raise EmptyReferenceError(f"cluster {self.name!r} is empty")
+        arr = np.asarray(self._distances)
+        lo_q = (1.0 - self.delta) / 2.0
+        hi_q = 1.0 - lo_q
+        return float(np.quantile(arr, lo_q)), float(np.quantile(arr, hi_q))
+
+    def in_band(self, distance: float, tolerance: float = 0.0) -> bool:
+        """Whether ``distance`` falls inside the (tolerance-expanded) band."""
+        lo, hi = self.band()
+        margin = tolerance * max(hi, 1e-9)
+        return (lo - margin) <= distance <= (hi + margin)
+
+    def accepts(self, embedding: np.ndarray, tolerance: float = 0.5) -> bool:
+        """Frame-to-cluster assignment test: within the expanded upper band."""
+        if self.count == 0:
+            return False
+        _, hi = self.band()
+        return self.distance(embedding) <= hi * (1.0 + tolerance)
+
+    # ------------------------------------------------------------------
+    def add(self, embedding: np.ndarray) -> None:
+        """Add a member, updating centroid, band and Gaussian stats."""
+        e = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        if self._mean is None:
+            self._mean = e.copy()
+            self._m2 = np.zeros_like(e)
+            self.count = 1
+            self._distances.append(0.0)
+            return
+        # distance is measured against the pre-update centroid, matching
+        # ODIN's assign-then-update order
+        self._distances.append(self.distance(e))
+        if len(self._distances) > _MAX_DISTANCES:
+            self._distances = self._distances[-_MAX_DISTANCES:]
+        self.count += 1
+        delta = e - self._mean
+        self._mean = self._mean + delta / self.count
+        self._m2 = self._m2 + delta * (e - self._mean)
+
+    def bulk_add(self, embeddings: np.ndarray) -> None:
+        """Seed a cluster from a batch of embeddings."""
+        arr = np.asarray(embeddings, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[0] == 0:
+            raise ConfigurationError(
+                f"embeddings must be non-empty (N, D), got {arr.shape}")
+        for row in arr:
+            self.add(row)

@@ -1,0 +1,174 @@
+"""Classical statistical change detectors (Related Work, Section 2).
+
+Provided for ablations against DI:
+
+- :class:`KSDetector` -- two-sample Kolmogorov-Smirnov test of a sliding
+  window against the reference sample, applied per latent dimension with a
+  Bonferroni correction (the paper notes multidimensional KS is impractical;
+  per-dimension testing is the standard workaround).
+- :class:`CusumDetector` -- Page's CUSUM control chart on a univariate
+  drift statistic (distance from the reference centroid).  Control charts
+  need distributional knowledge; here the reference mean/std are estimated
+  from the sample.
+- :class:`MomentDetector` -- z-test on the window mean of the drift
+  statistic (the simplest moment-based monitor).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError, EmptyReferenceError
+
+
+class _ReferenceDetector:
+    """Shared plumbing: a latent reference sample and an optional embedder."""
+
+    def __init__(self, reference: np.ndarray,
+                 embedder: Optional[object] = None) -> None:
+        self.reference = np.asarray(reference, dtype=np.float64)
+        if self.reference.ndim != 2 or self.reference.shape[0] < 5:
+            raise EmptyReferenceError(
+                f"reference must be (N>=5, D), got {self.reference.shape}")
+        self.embedder = embedder
+        self._frame_index = 0
+        self._drift_frame: Optional[int] = None
+
+    @property
+    def drift_detected(self) -> bool:
+        return self._drift_frame is not None
+
+    @property
+    def drift_frame(self) -> Optional[int]:
+        return self._drift_frame
+
+    def _embed(self, frame: np.ndarray) -> np.ndarray:
+        if self.embedder is not None:
+            # prefer the posterior-sampling embedding so frames live in the
+            # same space as a VAE-generated reference sample (Sigma_T)
+            embed = getattr(self.embedder, "sample_embed", None)
+            if embed is None:
+                embed = self.embedder.embed
+            latent = embed(np.asarray(frame)[None, ...])
+            return np.asarray(latent, dtype=np.float64).reshape(-1)
+        return np.asarray(frame, dtype=np.float64).reshape(-1)
+
+    def frames_to_detect(self, frames, limit: Optional[int] = None) -> Optional[int]:
+        for i, frame in enumerate(frames):
+            if limit is not None and i >= limit:
+                return None
+            if self.observe(frame):
+                return i + 1
+        return None
+
+    def observe(self, frame: np.ndarray) -> bool:
+        raise NotImplementedError
+
+
+class KSDetector(_ReferenceDetector):
+    """Sliding-window two-sample KS test per dimension (Bonferroni)."""
+
+    def __init__(self, reference: np.ndarray, window: int = 30,
+                 significance: float = 0.01,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if window < 5:
+            raise ConfigurationError(f"window must be >= 5, got {window}")
+        if not 0.0 < significance < 1.0:
+            raise ConfigurationError(
+                f"significance must be in (0, 1), got {significance}")
+        self.window = window
+        self.significance = significance
+        self._buffer: Deque[np.ndarray] = deque(maxlen=window)
+
+    def observe(self, frame: np.ndarray) -> bool:
+        latent = self._embed(frame)
+        self._buffer.append(latent)
+        if len(self._buffer) < self.window:
+            self._frame_index += 1
+            return self.drift_detected
+        window = np.stack(self._buffer)
+        dims = window.shape[1]
+        corrected = self.significance / dims
+        drift = False
+        for d in range(dims):
+            result = stats.ks_2samp(window[:, d], self.reference[:, d])
+            if result.pvalue < corrected:
+                drift = True
+                break
+        if drift and self._drift_frame is None:
+            self._drift_frame = self._frame_index
+        self._frame_index += 1
+        return drift or self.drift_detected
+
+
+class CusumDetector(_ReferenceDetector):
+    """Page's CUSUM on the distance-from-centroid statistic."""
+
+    def __init__(self, reference: np.ndarray, threshold: float = 8.0,
+                 slack: float = 0.5,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive: {threshold}")
+        if slack < 0:
+            raise ConfigurationError(f"slack must be non-negative: {slack}")
+        self.threshold = threshold
+        self.slack = slack
+        self._centroid = self.reference.mean(axis=0)
+        dists = np.sqrt(((self.reference - self._centroid) ** 2).sum(axis=1))
+        self._mu = float(dists.mean())
+        self._sigma = float(max(dists.std(), 1e-9))
+        self._cusum = 0.0
+
+    def _statistic(self, latent: np.ndarray) -> float:
+        dist = float(np.sqrt(((latent - self._centroid) ** 2).sum()))
+        return (dist - self._mu) / self._sigma
+
+    def observe(self, frame: np.ndarray) -> bool:
+        z = self._statistic(self._embed(frame))
+        self._cusum = max(0.0, self._cusum + z - self.slack)
+        drift = self._cusum > self.threshold
+        if drift and self._drift_frame is None:
+            self._drift_frame = self._frame_index
+        self._frame_index += 1
+        return drift or self.drift_detected
+
+
+class MomentDetector(_ReferenceDetector):
+    """z-test on the sliding-window mean of the drift statistic."""
+
+    def __init__(self, reference: np.ndarray, window: int = 20,
+                 z_threshold: float = 4.0,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if z_threshold <= 0:
+            raise ConfigurationError(
+                f"z_threshold must be positive: {z_threshold}")
+        self.window = window
+        self.z_threshold = z_threshold
+        self._centroid = self.reference.mean(axis=0)
+        dists = np.sqrt(((self.reference - self._centroid) ** 2).sum(axis=1))
+        self._mu = float(dists.mean())
+        self._sigma = float(max(dists.std(), 1e-9))
+        self._buffer: Deque[float] = deque(maxlen=window)
+
+    def observe(self, frame: np.ndarray) -> bool:
+        latent = self._embed(frame)
+        dist = float(np.sqrt(((latent - self._centroid) ** 2).sum()))
+        self._buffer.append(dist)
+        drift = False
+        if len(self._buffer) == self.window:
+            window_mean = float(np.mean(self._buffer))
+            z = (window_mean - self._mu) / (self._sigma / np.sqrt(self.window))
+            drift = abs(z) > self.z_threshold
+        if drift and self._drift_frame is None:
+            self._drift_frame = self._frame_index
+        self._frame_index += 1
+        return drift or self.drift_detected

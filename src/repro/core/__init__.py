@@ -1,0 +1,32 @@
+"""The paper's primary contribution.
+
+- :mod:`repro.core.nonconformity` -- nonconformity measures (Section 4).
+- :mod:`repro.core.pvalues` -- conformal p-values (Eq. 1-2).
+- :mod:`repro.core.betting` -- betting functions (Sections 4.1, 4.2.4).
+- :mod:`repro.core.martingale` -- exchangeability martingales and the
+  windowed Hoeffding-Azuma drift test (Eq. 14-15).
+- :mod:`repro.core.drift_inspector` -- the Drift Inspector (Algorithm 1).
+- :mod:`repro.core.selection` -- MSBI / MSBO model selection (Section 5).
+- :mod:`repro.core.pipeline` -- the Figure 1 end-to-end architecture.
+"""
+
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.martingale import (
+    AdditiveMartingale,
+    MultiplicativeMartingale,
+    hoeffding_threshold,
+)
+from repro.core.nonconformity import KNNDistance, MahalanobisDistance, MeanDistance
+from repro.core.pvalues import conformal_pvalue
+
+__all__ = [
+    "DriftInspector",
+    "DriftInspectorConfig",
+    "AdditiveMartingale",
+    "MultiplicativeMartingale",
+    "hoeffding_threshold",
+    "KNNDistance",
+    "MeanDistance",
+    "MahalanobisDistance",
+    "conformal_pvalue",
+]

@@ -1,0 +1,204 @@
+"""Betting functions (paper Sections 4.1 and 4.2.4).
+
+Two families are supported:
+
+- **Multiplicative** betting functions ``g`` with ``integral_0^1 g(p) dp = 1``
+  feed the product martingale of Eq. 5.  They return large values for small
+  p-values (strange observations) and small values for p-values near 1.
+- **Additive** betting functions with ``integral_0^1 g(p) dp = 0`` feed the
+  additive martingale of Eq. 10.  The paper constructs them from shifted odd
+  functions: any odd ``f`` on [-1/2, 1/2] yields a valid ``g(p) = f(p - 1/2)``.
+
+Algorithm 1 applies ``log(g(p))`` inside a CUSUM-style update.  For a
+multiplicative ``g`` the log-scores have negative expectation under the null
+(Jensen) and large positive values under drift, which is exactly the CUSUM
+behaviour the algorithm's ``max(0, S + log g(p))`` update exploits.
+:class:`LogScore` packages that, including the p-value floor that keeps the
+log finite when ties push ``p`` to exactly 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class BettingFunction:
+    """Base class.  ``kind`` is ``"multiplicative"`` or ``"additive"``."""
+
+    kind: str = "multiplicative"
+
+    def __call__(self, p: float) -> float:
+        raise NotImplementedError
+
+    def _check_p(self, p: float) -> float:
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p-value must be in [0, 1], got {p}")
+        return float(p)
+
+
+class ConstantBetting(BettingFunction):
+    """``g(p) = 1``: the do-nothing bet.  The product martingale stays at 1,
+    so no drift is ever declared -- useful as a null control."""
+
+    kind = "multiplicative"
+
+    def __call__(self, p: float) -> float:
+        self._check_p(p)
+        return 1.0
+
+
+class PowerBetting(BettingFunction):
+    """``g(p) = epsilon * p^(epsilon - 1)`` for ``epsilon`` in (0, 1).
+
+    Integrates to 1; diverges as ``p -> 0`` so small p-values (strange
+    frames) grow the martingale fast.  Smaller ``epsilon`` bets more
+    aggressively on strangeness.
+    """
+
+    kind = "multiplicative"
+
+    def __init__(self, epsilon: float = 0.3) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+
+    def __call__(self, p: float) -> float:
+        p = self._check_p(p)
+        if p == 0.0:
+            return float("inf")
+        return self.epsilon * p ** (self.epsilon - 1.0)
+
+
+class MixtureBetting(BettingFunction):
+    """Mixture of power bets over ``epsilon ~ Uniform(0, 1)``.
+
+    ``g(p) = integral_0^1 eps p^(eps-1) d eps = (ln p - 1 + 1/p) / ln^2 p``.
+    Parameter-free and valid for any drift magnitude, at the cost of slower
+    growth than a well-tuned :class:`PowerBetting`.
+    """
+
+    kind = "multiplicative"
+
+    def __call__(self, p: float) -> float:
+        p = self._check_p(p)
+        if p == 0.0:
+            return float("inf")
+        if p == 1.0 or abs(p - 1.0) < 1e-8:
+            # limit of the closed form as p -> 1 is 1/2
+            return 0.5
+        u = np.log(p)
+        return float((u - 1.0 + 1.0 / p) / (u * u))
+
+
+class ShiftedOddBetting(BettingFunction):
+    """Additive betting function ``g(p) = f(p - 1/2)`` for odd ``f``
+    (paper Section 4.2.4; default ``f(x) = -x`` giving ``g(p) = 1/2 - p``).
+
+    Integrates to 0, is bounded by ``scale / 2`` in absolute value, and is
+    positive for small p-values so drifting streams push the additive
+    martingale up.  ``power`` sharpens the response: ``f(x) =
+    -sign(x) * |2x|^power / 2``.
+    """
+
+    kind = "additive"
+
+    def __init__(self, scale: float = 1.0, power: float = 1.0) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        if power <= 0:
+            raise ConfigurationError(f"power must be positive, got {power}")
+        self.scale = scale
+        self.power = power
+
+    def __call__(self, p: float) -> float:
+        p = self._check_p(p)
+        x = p - 0.5
+        magnitude = 0.5 * abs(2.0 * x) ** self.power
+        return float(-np.sign(x) * magnitude * self.scale)
+
+    @property
+    def bound(self) -> float:
+        """``max |g(p)|`` -- feeds the Hoeffding-Azuma threshold."""
+        return 0.5 * self.scale
+
+
+class HistogramBetting(BettingFunction):
+    """Adaptive plug-in betting: bet the estimated density of past p-values.
+
+    The optimal betting function is the true density of the incoming
+    p-values (Volkhonskiy et al.); this estimator maintains a regularised
+    histogram of the p-values seen so far and bets the current density
+    estimate.  Under the null the estimate converges to the uniform density
+    (g = 1, no growth); under drift it concentrates where the drifted
+    p-values fall and the martingale grows without hand-tuning ``epsilon``.
+    The paper lists betting-function exploration as future work; this is the
+    standard adaptive choice from the conformal martingale literature.
+
+    Caveat: paired with an *unwindowed* product martingale, adaptive betting
+    is consistent against any deviation from uniformity -- including the
+    tiny granularity effects of finite calibration sets -- so over long null
+    streams it will eventually fire.  Use it with the windowed additive
+    machine (Algorithm 1), whose rate test only examines the last ``W``
+    increments, or keep the parametric bets for unwindowed use.
+    """
+
+    kind = "multiplicative"
+
+    def __init__(self, bins: int = 10, prior_count: float = 2.0) -> None:
+        if bins < 2:
+            raise ConfigurationError(f"bins must be >= 2, got {bins}")
+        if prior_count <= 0:
+            raise ConfigurationError(
+                f"prior_count must be positive, got {prior_count}")
+        self.bins = bins
+        self.prior_count = prior_count
+        self._counts = np.full(bins, prior_count, dtype=np.float64)
+
+    def _bin(self, p: float) -> int:
+        return min(int(p * self.bins), self.bins - 1)
+
+    def __call__(self, p: float) -> float:
+        p = self._check_p(p)
+        index = self._bin(p)
+        total = self._counts.sum()
+        # bet on the *current* estimate, then update with the observation
+        # (betting after updating would peek at the outcome and break the
+        # martingale property)
+        density = self._counts[index] * self.bins / total
+        self._counts[index] += 1.0
+        return float(density)
+
+    def reset(self) -> None:
+        """Forget all observed p-values."""
+        self._counts = np.full(self.bins, self.prior_count, dtype=np.float64)
+
+
+class LogScore:
+    """``log g(max(p, p_floor))`` for a multiplicative betting function.
+
+    This is the increment used in Algorithm 1 line 10.  ``p_floor`` bounds
+    the score from above (keeping the Hoeffding-Azuma test applicable with a
+    finite range) and avoids ``log(inf)`` when tie-smoothing yields ``p = 0``.
+    """
+
+    def __init__(self, betting: BettingFunction, p_floor: float = 1e-3) -> None:
+        if betting.kind != "multiplicative":
+            raise ConfigurationError(
+                "LogScore requires a multiplicative betting function")
+        if not 0.0 < p_floor < 1.0:
+            raise ConfigurationError(
+                f"p_floor must be in (0, 1), got {p_floor}")
+        self.betting = betting
+        self.p_floor = p_floor
+
+    def __call__(self, p: float) -> float:
+        p = max(min(float(p), 1.0), self.p_floor)
+        return float(np.log(self.betting(p)))
+
+    @property
+    def max_score(self) -> float:
+        """Largest possible increment (score at the p-value floor)."""
+        return float(np.log(self.betting(self.p_floor)))

@@ -1,0 +1,137 @@
+"""Multi-camera fleet monitoring.
+
+The paper's architecture is single-stream; a deployment typically watches a
+*fleet* of cameras that share the provisioned model zoo (traffic authority,
+campus security, ...).  :class:`FleetMonitor` runs one
+:class:`~repro.core.pipeline.DriftAwareAnalytics` per camera over a shared
+:class:`~repro.core.selection.registry.ModelRegistry`: drifts are handled
+per camera, while a novel distribution trained on *one* camera becomes
+immediately available to every other camera (the registry is shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.pipeline import (
+    DriftAwareAnalytics,
+    FrameRecord,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.msbo import MSBO, MSBOConfig
+from repro.core.selection.registry import ModelRegistry
+from repro.core.selection.trainer import ModelTrainer
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulatedClock
+
+
+@dataclass
+class FleetConfig:
+    """Fleet-level knobs.
+
+    ``selector`` picks the selection algorithm built per camera
+    (``"msbi"`` or ``"msbo"``); ``selection_window`` and the pipeline knobs
+    are shared by every camera.
+    """
+
+    selector: str = "msbi"
+    selection_window: int = 10
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.selector not in ("msbi", "msbo"):
+            raise ConfigurationError(
+                f"selector must be 'msbi' or 'msbo', got {self.selector!r}")
+
+
+class FleetMonitor:
+    """Drift-aware processing for a fleet of cameras sharing one registry."""
+
+    def __init__(self, registry: ModelRegistry,
+                 annotator: Optional[Callable] = None,
+                 trainer: Optional[ModelTrainer] = None,
+                 config: Optional[FleetConfig] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        if len(registry) == 0:
+            raise ConfigurationError("FleetMonitor needs a non-empty registry")
+        self.registry = registry
+        self.annotator = annotator
+        self.trainer = trainer
+        self.config = config or FleetConfig()
+        self.clock = clock or SimulatedClock()
+        self._pipelines: Dict[str, DriftAwareAnalytics] = {}
+
+    # ------------------------------------------------------------------
+    def _build_selector(self):
+        if self.config.selector == "msbo":
+            return MSBO(self.registry,
+                        MSBOConfig(window_size=self.config.selection_window,
+                                   seed=self.config.seed),
+                        clock=self.clock)
+        return MSBI(self.registry,
+                    MSBIConfig(window_size=self.config.selection_window,
+                               seed=self.config.seed),
+                    clock=self.clock)
+
+    def add_camera(self, camera_id: str, initial_model: str) -> None:
+        """Register a camera with its initially deployed model."""
+        if camera_id in self._pipelines:
+            raise ConfigurationError(f"camera {camera_id!r} already added")
+        pipeline = DriftAwareAnalytics(
+            self.registry, initial_model, self._build_selector(),
+            annotator=self.annotator, trainer=self.trainer,
+            config=self.config.pipeline, clock=self.clock)
+        pipeline.start()
+        self._pipelines[camera_id] = pipeline
+
+    @property
+    def cameras(self) -> List[str]:
+        return list(self._pipelines)
+
+    def _pipeline(self, camera_id: str) -> DriftAwareAnalytics:
+        try:
+            return self._pipelines[camera_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown camera {camera_id!r}; known: {self.cameras}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def step(self, camera_id: str, frame: object) -> List[FrameRecord]:
+        """Push one frame from one camera."""
+        return self._pipeline(camera_id).step(frame)
+
+    def flush(self, camera_id: Optional[str] = None) -> None:
+        """Resolve buffered frames for one camera (or all)."""
+        targets = [camera_id] if camera_id is not None else self.cameras
+        for name in targets:
+            self._pipeline(name).flush()
+
+    def deployed_model(self, camera_id: str) -> str:
+        return self._pipeline(camera_id).deployed_model
+
+    def result(self, camera_id: str) -> PipelineResult:
+        return self._pipeline(camera_id).result()
+
+    def results(self) -> Dict[str, PipelineResult]:
+        """Per-camera aggregated results."""
+        return {name: pipeline.result()
+                for name, pipeline in self._pipelines.items()}
+
+    def fleet_summary(self) -> Dict[str, object]:
+        """Fleet-level rollup: frames, detections, novel trainings, time."""
+        results = self.results()
+        return {
+            "cameras": len(results),
+            "frames": sum(len(r.records) for r in results.values()),
+            "detections": sum(len(r.detections) for r in results.values()),
+            "novel_models": sum(
+                sum(1 for d in r.detections if d.novel)
+                for r in results.values()),
+            "registry_models": self.registry.names(),
+            "simulated_ms": self.clock.elapsed_ms,
+        }

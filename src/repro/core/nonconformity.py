@@ -1,0 +1,162 @@
+"""Nonconformity measures (paper Section 4).
+
+A nonconformity measure maps ``(f, S)`` to a real score: the larger the
+score, the stranger frame ``f`` is relative to the reference sample ``S``.
+The paper adopts the average Euclidean distance of ``f`` to its ``K``
+nearest neighbours in ``Sigma_T`` (:class:`KNNDistance`); alternatives are
+provided for ablation.
+
+Every measure exposes:
+
+- ``score(point, reference)`` -- the score of one new point against a
+  reference set.
+- ``reference_scores(reference)`` -- the leave-one-out precomputed ``A_i``
+  scores of the reference points themselves (Algorithm 1's ``A_i`` input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError, EmptyReferenceError
+
+
+def _check_reference(reference: np.ndarray) -> np.ndarray:
+    ref = np.asarray(reference, dtype=np.float64)
+    if ref.ndim != 2:
+        raise DimensionMismatchError(
+            f"reference must be (N, D), got shape {ref.shape}")
+    if ref.shape[0] == 0:
+        raise EmptyReferenceError("reference set Sigma_T is empty")
+    return ref
+
+
+def _check_point(point: np.ndarray, dim: int) -> np.ndarray:
+    p = np.asarray(point, dtype=np.float64).reshape(-1)
+    if p.shape[0] != dim:
+        raise DimensionMismatchError(
+            f"point has dim {p.shape[0]}, reference has dim {dim}")
+    return p
+
+
+class NonconformityMeasure:
+    """Base class: ``score`` one point, or precompute ``reference_scores``."""
+
+    def score(self, point: np.ndarray, reference: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def reference_scores(self, reference: np.ndarray) -> np.ndarray:
+        """Leave-one-out scores of each reference point vs the rest."""
+        ref = _check_reference(reference)
+        n = ref.shape[0]
+        if n < 2:
+            raise EmptyReferenceError(
+                "need at least 2 reference points for leave-one-out scores")
+        scores = np.empty(n)
+        for i in range(n):
+            rest = np.delete(ref, i, axis=0)
+            scores[i] = self.score(ref[i], rest)
+        return scores
+
+
+class KNNDistance(NonconformityMeasure):
+    """Average Euclidean distance to the ``K`` nearest reference points.
+
+    The paper's default measure (``K = 5`` in the evaluation).  If the
+    reference has fewer than ``K`` points, all of them are used.
+    """
+
+    def __init__(self, k: int = 5) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self.k = k
+
+    def score(self, point: np.ndarray, reference: np.ndarray) -> float:
+        ref = _check_reference(reference)
+        p = _check_point(point, ref.shape[1])
+        dists = np.sqrt(((ref - p) ** 2).sum(axis=1))
+        k = min(self.k, dists.shape[0])
+        nearest = np.partition(dists, k - 1)[:k]
+        return float(nearest.mean())
+
+    def reference_scores(self, reference: np.ndarray) -> np.ndarray:
+        """Vectorised leave-one-out KNN scores over the reference set."""
+        ref = _check_reference(reference)
+        n = ref.shape[0]
+        if n < 2:
+            raise EmptyReferenceError(
+                "need at least 2 reference points for leave-one-out scores")
+        sq = (ref ** 2).sum(axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (ref @ ref.T)
+        np.fill_diagonal(d2, np.inf)
+        d = np.sqrt(np.maximum(d2, 0.0))
+        k = min(self.k, n - 1)
+        nearest = np.partition(d, k - 1, axis=1)[:, :k]
+        return nearest.mean(axis=1)
+
+
+class MeanDistance(NonconformityMeasure):
+    """Average Euclidean distance to *all* reference points (Section 4's
+    introductory example measure)."""
+
+    def score(self, point: np.ndarray, reference: np.ndarray) -> float:
+        ref = _check_reference(reference)
+        p = _check_point(point, ref.shape[1])
+        return float(np.sqrt(((ref - p) ** 2).sum(axis=1)).mean())
+
+    def reference_scores(self, reference: np.ndarray) -> np.ndarray:
+        ref = _check_reference(reference)
+        n = ref.shape[0]
+        if n < 2:
+            raise EmptyReferenceError(
+                "need at least 2 reference points for leave-one-out scores")
+        sq = (ref ** 2).sum(axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (ref @ ref.T)
+        np.fill_diagonal(d2, 0.0)
+        d = np.sqrt(np.maximum(d2, 0.0))
+        return d.sum(axis=1) / (n - 1)
+
+
+class MahalanobisDistance(NonconformityMeasure):
+    """Mahalanobis distance to the reference mean (covariance regularised).
+
+    A parametric alternative for ablation: cheap (O(D^2) per point after a
+    one-off fit) but assumes an elliptical reference distribution.
+    """
+
+    def __init__(self, regularization: float = 1e-6) -> None:
+        if regularization <= 0:
+            raise ConfigurationError(
+                f"regularization must be positive, got {regularization}")
+        self.regularization = regularization
+        self._cached_ref_id: int | None = None
+        self._mean: np.ndarray | None = None
+        self._inv_cov: np.ndarray | None = None
+
+    def _fit(self, ref: np.ndarray) -> None:
+        self._mean = ref.mean(axis=0)
+        cov = np.cov(ref, rowvar=False)
+        cov = np.atleast_2d(cov) + self.regularization * np.eye(ref.shape[1])
+        self._inv_cov = np.linalg.inv(cov)
+        self._cached_ref_id = id(ref)
+
+    def score(self, point: np.ndarray, reference: np.ndarray) -> float:
+        ref = _check_reference(reference)
+        if ref.shape[0] < 2:
+            raise EmptyReferenceError(
+                "Mahalanobis needs at least 2 reference points")
+        p = _check_point(point, ref.shape[1])
+        if self._cached_ref_id != id(reference) or self._mean is None:
+            self._fit(ref)
+        diff = p - self._mean
+        return float(np.sqrt(max(diff @ self._inv_cov @ diff, 0.0)))
+
+    def reference_scores(self, reference: np.ndarray) -> np.ndarray:
+        ref = _check_reference(reference)
+        if ref.shape[0] < 2:
+            raise EmptyReferenceError(
+                "Mahalanobis needs at least 2 reference points")
+        self._fit(ref)
+        diff = ref - self._mean
+        d2 = np.einsum("nd,de,ne->n", diff, self._inv_cov, diff)
+        return np.sqrt(np.maximum(d2, 0.0))

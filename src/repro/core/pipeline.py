@@ -1,0 +1,331 @@
+"""End-to-end drift-aware video analytics (paper Figure 1).
+
+``DriftAwareAnalytics`` wires the pieces together: frames are routed to the
+Drift Inspector and processed by the currently deployed model; once a drift
+is declared, a window of post-drift frames feeds the model selector (MSBI or
+MSBO); the selected -- or freshly trained -- model is deployed, the
+inspector's reference sample is swapped, and processing continues.
+
+The pipeline is substrate-agnostic: it consumes any iterable of frame pixel
+arrays (or objects with a ``pixels`` attribute) and reports per-frame
+predictions, invocation counts, detection events and simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.selection.msbi import MSBI
+from repro.core.selection.msbo import MSBO
+from repro.core.selection.registry import ModelRegistry, NovelDistribution
+from repro.core.selection.trainer import ModelTrainer
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import InvocationCounter
+
+
+@dataclass
+class PipelineConfig:
+    """Pipeline-level knobs.
+
+    ``selection_window`` is the number of post-drift frames buffered for the
+    selector (W_N for MSBI, W_T for MSBO); ``training_budget`` overrides the
+    trainer's frame collection budget when a novel distribution appears.
+    """
+
+    selection_window: int = 10
+    training_budget: Optional[int] = None
+    cooldown_frames: int = 25
+    drift_inspector: DriftInspectorConfig = field(
+        default_factory=DriftInspectorConfig)
+
+    def __post_init__(self) -> None:
+        if self.selection_window <= 0:
+            raise ConfigurationError(
+                f"selection_window must be positive: {self.selection_window}")
+        if self.cooldown_frames < 0:
+            raise ConfigurationError(
+                f"cooldown_frames must be non-negative: {self.cooldown_frames}")
+
+
+@dataclass
+class DetectionEvent:
+    """One drift detection + recovery episode."""
+
+    frame_index: int
+    previous_model: str
+    selected_model: str
+    novel: bool
+    selection_frames: int
+
+
+@dataclass
+class FrameRecord:
+    """Per-frame processing outcome."""
+
+    frame_index: int
+    prediction: int
+    model: str
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated output of one :meth:`DriftAwareAnalytics.process` run."""
+
+    records: List[FrameRecord]
+    detections: List[DetectionEvent]
+    invocations: InvocationCounter
+    simulated_ms: float
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return np.asarray([r.prediction for r in self.records], dtype=np.int64)
+
+    @property
+    def models_used(self) -> List[str]:
+        return [r.model for r in self.records]
+
+
+def _pixels_of(item: object) -> np.ndarray:
+    pixels = getattr(item, "pixels", item)
+    return np.asarray(pixels, dtype=np.float64)
+
+
+class DriftAwareAnalytics:
+    """The Figure 1 architecture.
+
+    Parameters
+    ----------
+    registry:
+        Provisioned model bundles.
+    initial_model:
+        Name of the bundle deployed at stream start.
+    selector:
+        An :class:`MSBI` or :class:`MSBO` instance bound to ``registry``.
+    annotator:
+        ``frames -> labels`` callable.  Required when the selector is MSBO
+        (window labels) or when a trainer may be invoked.
+    trainer:
+        Optional :class:`ModelTrainer` handling novel distributions.  Without
+        one, a :class:`NovelDistribution` from the selector falls back to the
+        closest provisioned model (and the event is flagged ``novel=True``).
+    clock:
+        Optional simulated clock shared with the components.
+    """
+
+    def __init__(self, registry: ModelRegistry, initial_model: str,
+                 selector: object,
+                 annotator: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                 trainer: Optional[ModelTrainer] = None,
+                 config: Optional[PipelineConfig] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        self.registry = registry
+        self.config = config or PipelineConfig()
+        if not isinstance(selector, (MSBI, MSBO)):
+            raise ConfigurationError(
+                f"selector must be MSBI or MSBO, got {type(selector).__name__}")
+        if isinstance(selector, MSBO) and annotator is None:
+            raise ConfigurationError("MSBO selection requires an annotator")
+        self.selector = selector
+        self.annotator = annotator
+        self.trainer = trainer
+        self.clock = clock or SimulatedClock()
+        self._deploy(initial_model)
+
+    # ------------------------------------------------------------------
+    @property
+    def deployed_model(self) -> str:
+        return self._deployed.name
+
+    def _deploy(self, name: str) -> None:
+        self._deployed = self.registry.get(name)
+        self.inspector = DriftInspector(
+            self._deployed.sigma,
+            config=self.config.drift_inspector,
+            embedder=self._deployed.vae,
+            clock=self.clock)
+
+    # ------------------------------------------------------------------
+    def _predict(self, pixels: np.ndarray) -> int:
+        self.clock.charge("classifier_infer")
+        return int(self._deployed.model.predict(pixels[None, ...])[0])
+
+    def _try_select(self, items: List[object], window: np.ndarray) -> str:
+        """Run the selector on the buffered window.
+
+        ``items`` are the original stream items (carrying ground truth for
+        the annotator); ``window`` their stacked pixel arrays.  Raises
+        :class:`NovelDistribution` when no provisioned model fits.
+        """
+        if isinstance(self.selector, MSBO):
+            labels = np.asarray(self.annotator(items), dtype=np.int64)
+            return self.selector.select(window, labels)
+        return self.selector.select(window)
+
+    def _train_new(self, items: List[object]) -> str:
+        """Build and register a bundle from collected post-drift items."""
+        pixels = np.stack([_pixels_of(item) for item in items])
+        labels = None
+        if self.annotator is not None:
+            labels = np.asarray(self.annotator(items), dtype=np.int64)
+        name = f"novel_{len(self.registry)}"
+        bundle = self.trainer.train_new_model(name, pixels, labels=labels)
+        self.registry.replace(bundle)
+        return name
+
+    def _fallback_model(self, window: np.ndarray) -> str:
+        best_name, best = None, float("inf")
+        for bundle in self.registry:
+            latents = bundle.embed(window)
+            centroid = bundle.sigma.mean(axis=0)
+            dist = float(np.sqrt(((latents - centroid) ** 2).sum(axis=1)).mean())
+            if dist < best:
+                best, best_name = dist, bundle.name
+        return best_name
+
+    # ------------------------------------------------------------------
+    # streaming API
+    # ------------------------------------------------------------------
+    _MODE_MONITOR = "monitor"
+    _MODE_SELECT = "select-buffer"
+    _MODE_TRAIN = "train-buffer"
+
+    def start(self) -> None:
+        """Begin a streaming session (push-based processing via
+        :meth:`step` / :meth:`flush`)."""
+        self._records: List[FrameRecord] = []
+        self._detections: List[DetectionEvent] = []
+        self._invocations = InvocationCounter()
+        self._start_ms = self.clock.elapsed_ms
+        self._buffer: List[object] = []
+        self._mode = self._MODE_MONITOR
+        self._index = 0
+        self._frames_since_swap = self.config.cooldown_frames  # armed
+
+    def _training_budget(self) -> int:
+        if self.config.training_budget is not None:
+            return self.config.training_budget
+        return self.trainer.config.frames_to_collect
+
+    def _emit(self, pixels: np.ndarray) -> FrameRecord:
+        prediction = self._predict(pixels)
+        record = FrameRecord(self._index, prediction, self._deployed.name)
+        self._records.append(record)
+        self._invocations.record([self._deployed.name])
+        self._index += 1
+        return record
+
+    def _resolve_buffer(self, selected: Optional[str] = None,
+                        novel_hint: bool = False) -> List[FrameRecord]:
+        """Deploy ``selected`` (running selection/training if not already
+        decided) and emit the buffered frames under the new model."""
+        items = self._buffer
+        self._buffer = []
+        window = np.stack([_pixels_of(entry) for entry in items])
+        previous = self._deployed.name
+        novel = novel_hint
+        if selected is None and novel_hint:
+            selected = self._train_new(items)
+        elif selected is None:
+            try:
+                selected = self._try_select(
+                    items[: self.config.selection_window],
+                    window[: self.config.selection_window])
+            except NovelDistribution:
+                novel = True
+                if self.trainer is None:
+                    selected = self._fallback_model(window)
+                else:
+                    selected = self._train_new(items)
+        self._detections.append(DetectionEvent(
+            frame_index=self._index, previous_model=previous,
+            selected_model=selected, novel=novel,
+            selection_frames=len(items)))
+        self._deploy(selected)
+        self._mode = self._MODE_MONITOR
+        self._frames_since_swap = 0
+        return [self._emit(pixels) for pixels in window]
+
+    def step(self, item: object) -> List[FrameRecord]:
+        """Push one frame; returns the records it emitted (possibly none
+        while post-drift frames are being buffered for selection or
+        training)."""
+        if not hasattr(self, "_mode"):
+            self.start()
+        pixels = _pixels_of(item)
+        if self._mode == self._MODE_SELECT:
+            self._buffer.append(item)
+            if len(self._buffer) < self.config.selection_window:
+                return []
+            # window full: try selection; a novel distribution with a
+            # trainer keeps buffering up to the training budget
+            window = np.stack([_pixels_of(e) for e in self._buffer])
+            try:
+                selected = self._try_select(self._buffer, window)
+            except NovelDistribution:
+                if self.trainer is not None:
+                    self._mode = self._MODE_TRAIN
+                    return []
+                return self._resolve_buffer()  # fallback path
+            return self._resolve_buffer(selected=selected)
+        if self._mode == self._MODE_TRAIN:
+            self._buffer.append(item)
+            if len(self._buffer) < self._training_budget():
+                return []
+            return self._resolve_buffer(novel_hint=True)
+        # monitoring
+        decision = self.inspector.observe(pixels)
+        if decision.drift and (self._frames_since_swap
+                               < self.config.cooldown_frames):
+            # residual transient right after a model swap: the fresh
+            # reference needs a few frames to settle -- restart the
+            # martingale rather than re-triggering selection
+            self.inspector.reset()
+            decision = None
+        self._frames_since_swap += 1
+        if decision is not None and decision.drift:
+            self._mode = self._MODE_SELECT
+            self._buffer = [item]
+            return []
+        return [self._emit(pixels)]
+
+    def flush(self) -> List[FrameRecord]:
+        """End the stream: resolve any frames still buffered.
+
+        A partial selection window is evaluated as-is; a partial training
+        buffer trains on whatever was collected (falling back to the nearest
+        provisioned model when fewer than two frames are available).
+        """
+        if not hasattr(self, "_mode"):
+            self.start()
+        if not self._buffer:
+            return []
+        if self._mode == self._MODE_TRAIN and len(self._buffer) >= 2:
+            return self._resolve_buffer(novel_hint=True)
+        return self._resolve_buffer()
+
+    def result(self) -> PipelineResult:
+        """The session's aggregated outcome so far."""
+        if not hasattr(self, "_mode"):
+            self.start()
+        return PipelineResult(
+            records=self._records, detections=self._detections,
+            invocations=self._invocations,
+            simulated_ms=self.clock.elapsed_ms - self._start_ms)
+
+    # ------------------------------------------------------------------
+    def process(self, stream: Iterable[object]) -> PipelineResult:
+        """Run the full loop over ``stream``; returns aggregated results.
+
+        Equivalent to :meth:`start` + :meth:`step` per item + :meth:`flush`;
+        use those directly for push-based (live) processing.
+        """
+        self.start()
+        for item in stream:
+            self.step(item)
+        self.flush()
+        return self.result()

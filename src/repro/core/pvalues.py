@@ -1,0 +1,79 @@
+"""Conformal p-values (paper Eq. 1-2).
+
+Given precomputed reference nonconformity scores ``A_i`` and the score
+``a_f`` of a new observation, the (smoothed) conformal p-value is
+
+    p = ( |{i : A_i > a_f}| + U * |{i : A_i == a_f}| ) / n
+
+with ``U ~ Uniform[0, 1]`` breaking ties.  Under exchangeability the
+p-values are i.i.d. uniform on [0, 1] (Theorem 4.1), which is the property
+the martingale tests exploit.
+
+Note the orientation: the paper counts reference scores *greater* than the
+new score, so a very strange frame (large ``a_f``) gets a p-value near 0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import EmptyReferenceError
+from repro.rng import SeedLike, ensure_rng
+
+
+def conformal_pvalue(reference_scores: np.ndarray, score: float,
+                     rng: Optional[np.random.Generator] = None,
+                     tie_tolerance: float = 0.0,
+                     include_self: bool = True) -> float:
+    """Smoothed conformal p-value of ``score`` against ``reference_scores``.
+
+    Eq. 1's index ``i`` runs over all ``n`` observations *including* the new
+    one, so with ``include_self=True`` (the default and the theoretically
+    exact form) the new observation contributes ``U`` to the numerator and
+    one to the denominator.  This keeps p strictly inside ``(0, 1)`` --
+    without it, a score exceeding every reference score yields exactly 0 with
+    probability ``1/(n+1)``, a point mass that breaks uniformity and inflates
+    the martingale's false-positive rate.
+
+    ``tie_tolerance`` treats scores within that absolute distance as equal,
+    which matters when scores come from floating-point distance pipelines.
+    """
+    ref = np.asarray(reference_scores, dtype=np.float64).reshape(-1)
+    if ref.shape[0] == 0:
+        raise EmptyReferenceError("reference score list A_i is empty")
+    if tie_tolerance > 0:
+        greater = int((ref > score + tie_tolerance).sum())
+        equal = int((np.abs(ref - score) <= tie_tolerance).sum())
+    else:
+        greater = int((ref > score).sum())
+        equal = int((ref == score).sum())
+    u = float(ensure_rng(rng).uniform()) if rng is not None else float(
+        np.random.default_rng().uniform())
+    if include_self:
+        return (greater + u * (equal + 1)) / (ref.shape[0] + 1)
+    return (greater + u * equal) / ref.shape[0]
+
+
+class PValueCalculator:
+    """Stateful p-value calculator bound to one reference score list.
+
+    Owns its RNG so repeated calls produce a reproducible stream of
+    tie-breaking uniforms.
+    """
+
+    def __init__(self, reference_scores: np.ndarray, seed: SeedLike = None,
+                 tie_tolerance: float = 0.0, include_self: bool = True) -> None:
+        self.reference_scores = np.asarray(
+            reference_scores, dtype=np.float64).reshape(-1)
+        if self.reference_scores.shape[0] == 0:
+            raise EmptyReferenceError("reference score list A_i is empty")
+        self._rng = ensure_rng(seed)
+        self.tie_tolerance = tie_tolerance
+        self.include_self = include_self
+
+    def __call__(self, score: float) -> float:
+        return conformal_pvalue(self.reference_scores, score, rng=self._rng,
+                                tie_tolerance=self.tie_tolerance,
+                                include_self=self.include_self)

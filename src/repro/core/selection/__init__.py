@@ -1,0 +1,44 @@
+"""Model selection after drift (paper Section 5).
+
+- :mod:`repro.core.selection.registry` -- per-distribution model bundles.
+- :mod:`repro.core.selection.scoring` -- proper scoring rules (Brier, NLL).
+- :mod:`repro.core.selection.msbi` -- Model Selection Based on Input.
+- :mod:`repro.core.selection.msbo` -- Model Selection Based on Output.
+- :mod:`repro.core.selection.trainer` -- trainNewModel (Section 5.4).
+- :mod:`repro.core.selection.persistence` -- saving / loading bundles.
+"""
+
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.persistence import (
+    load_bundle,
+    load_registry,
+    save_bundle,
+    save_registry,
+)
+from repro.core.selection.msbo import MSBO, MSBOCalibration, MSBOConfig
+from repro.core.selection.registry import (
+    ModelBundle,
+    ModelRegistry,
+    NovelDistribution,
+)
+from repro.core.selection.scoring import brier_score, negative_log_likelihood
+from repro.core.selection.trainer import ModelTrainer, TrainerConfig
+
+__all__ = [
+    "MSBI",
+    "MSBIConfig",
+    "MSBO",
+    "MSBOConfig",
+    "MSBOCalibration",
+    "ModelBundle",
+    "ModelRegistry",
+    "NovelDistribution",
+    "ModelTrainer",
+    "TrainerConfig",
+    "brier_score",
+    "negative_log_likelihood",
+    "save_bundle",
+    "load_bundle",
+    "save_registry",
+    "load_registry",
+]

@@ -1,0 +1,182 @@
+"""Model Selection Based on Output (paper Section 5.2, Algorithm 3).
+
+MSBO scores every provisioned model's deep ensemble on a small window
+``W_T`` of annotated post-drift frames using the Brier score (a proper
+scoring rule), and deploys the model with the lowest predictive uncertainty
+-- provided it clears a calibrated threshold.  The threshold comes from a
+pre-processing step (:class:`MSBOCalibration`): for each model ``k`` we
+measure the ensemble's average uncertainty ``pc_avg[k]`` when predicting
+samples of the *other* models' training data, and accept model ``k`` after a
+drift only when its window Brier score is at most ``pc_avg[k] - sigma[k]``
+(one standard deviation below its cross-distribution baseline).  If the best
+model fails its threshold the input is novel -> :class:`NovelDistribution`.
+
+MSBO requires labels for the window frames (in the paper, Mask R-CNN
+annotations); the pipeline supplies them via its annotator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.selection.registry import ModelBundle, ModelRegistry, NovelDistribution
+from repro.core.selection.scoring import brier_score
+from repro.errors import ConfigurationError, NotFittedError
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.clock import SimulatedClock
+
+
+@dataclass
+class MSBOConfig:
+    """Parameters of Algorithm 3 (paper defaults from Section 6.2)."""
+
+    window_size: int = 10        # W_T: annotated frames evaluated
+    calibration_sample: int = 50  # |S_Ti| per model during calibration
+    sigma_margin: float = 1.0    # threshold = pc_avg - margin * sigma
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ConfigurationError(
+                f"window_size must be positive: {self.window_size}")
+        if self.calibration_sample <= 1:
+            raise ConfigurationError(
+                f"calibration_sample must be > 1: {self.calibration_sample}")
+        if self.sigma_margin < 0:
+            raise ConfigurationError(
+                f"sigma_margin must be non-negative: {self.sigma_margin}")
+
+
+@dataclass
+class MSBOCalibration:
+    """Cross-distribution uncertainty baseline (Section 5.2.2).
+
+    ``pc_avg[k]`` -- average Brier score of model ``k``'s ensemble when
+    predicting random samples ``S_Ti`` of every other model's training data.
+    ``sigma[k]`` -- the standard deviation of those per-distribution scores.
+    """
+
+    pc_avg: Dict[str, float] = field(default_factory=dict)
+    sigma: Dict[str, float] = field(default_factory=dict)
+
+    def threshold(self, name: str, margin: float = 1.0) -> float:
+        if name not in self.pc_avg:
+            raise NotFittedError(f"no calibration entry for model {name!r}")
+        return self.pc_avg[name] - margin * self.sigma[name]
+
+
+@dataclass
+class MSBOReport:
+    """Diagnostics from one selection."""
+
+    selected: str
+    brier: Dict[str, float]
+    threshold: float
+
+
+class MSBO:
+    """Model Selection Based on Output."""
+
+    def __init__(self, registry: ModelRegistry,
+                 config: Optional[MSBOConfig] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        if len(registry) == 0:
+            raise ConfigurationError("MSBO needs a non-empty model registry")
+        self.registry = registry
+        self.config = config or MSBOConfig()
+        self.clock = clock
+        self.calibration: Optional[MSBOCalibration] = None
+        self.last_report: Optional[MSBOReport] = None
+        self._rng = ensure_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # calibration (pre-processing; Section 5.2.2)
+    # ------------------------------------------------------------------
+    def calibrate(self) -> MSBOCalibration:
+        """Build the cross-distribution uncertainty baseline.
+
+        Requires every bundle to retain ``training_frames`` /
+        ``training_labels`` and an ``ensemble``.
+        """
+        names = self.registry.names()
+        if len(names) < 2:
+            raise ConfigurationError(
+                "MSBO calibration needs at least two provisioned models")
+        samples: Dict[str, tuple] = {}
+        for name in names:
+            bundle = self.registry.get(name)
+            self._require_msbo_assets(bundle)
+            frames = bundle.training_frames
+            labels = bundle.training_labels
+            n = min(self.config.calibration_sample, frames.shape[0])
+            idx = self._rng.choice(frames.shape[0], size=n, replace=False)
+            samples[name] = (frames[idx], labels[idx])
+        calibration = MSBOCalibration()
+        for k in names:
+            ensemble = self.registry.get(k).ensemble
+            scores = []
+            for i in names:
+                if i == k:
+                    continue
+                frames_i, labels_i = samples[i]
+                probs = ensemble.predict_proba(frames_i)
+                scores.append(brier_score(probs, labels_i))
+            scores_arr = np.asarray(scores, dtype=np.float64)
+            calibration.pc_avg[k] = float(scores_arr.mean())
+            calibration.sigma[k] = float(scores_arr.std())
+        self.calibration = calibration
+        return calibration
+
+    @staticmethod
+    def _require_msbo_assets(bundle: ModelBundle) -> None:
+        if bundle.ensemble is None:
+            raise NotFittedError(
+                f"bundle {bundle.name!r} has no ensemble; MSBO requires one")
+        if bundle.training_frames is None or bundle.training_labels is None:
+            raise NotFittedError(
+                f"bundle {bundle.name!r} retains no training data; MSBO "
+                "calibration requires it")
+
+    # ------------------------------------------------------------------
+    # selection (Algorithm 3)
+    # ------------------------------------------------------------------
+    def select(self, frames: np.ndarray, labels: np.ndarray) -> str:
+        """Select the model for the post-drift stream.
+
+        ``frames`` / ``labels`` form the annotated window ``W_T``.  Returns
+        the chosen bundle name or raises :class:`NovelDistribution` when the
+        best model's uncertainty exceeds its calibrated threshold.
+        """
+        if self.calibration is None:
+            self.calibrate()
+        frames = np.asarray(frames, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if frames.shape[0] == 0:
+            raise ConfigurationError("MSBO needs at least one post-drift frame")
+        if labels.shape[0] != frames.shape[0]:
+            raise ConfigurationError(
+                f"labels length {labels.shape[0]} != frames {frames.shape[0]}")
+        window = frames[: self.config.window_size]
+        window_labels = labels[: self.config.window_size]
+        brier: Dict[str, float] = {}
+        for name in self.registry.names():
+            bundle = self.registry.get(name)
+            self._require_msbo_assets(bundle)
+            if self.clock is not None:
+                self.clock.charge(
+                    "ensemble_member_infer",
+                    times=bundle.ensemble.size * window.shape[0])
+            probs = bundle.ensemble.predict_proba(window)
+            brier[name] = brier_score(probs, window_labels)
+        best = min(brier, key=brier.get)
+        threshold = self.calibration.threshold(best, self.config.sigma_margin)
+        self.last_report = MSBOReport(selected=best, brier=brier,
+                                      threshold=threshold)
+        if brier[best] <= threshold:
+            return best
+        raise NovelDistribution(
+            "MSBO: best model's uncertainty exceeds its calibrated threshold",
+            diagnostics={"brier": brier, "best": best, "threshold": threshold})

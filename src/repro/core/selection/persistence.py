@@ -1,0 +1,203 @@
+"""Persisting model bundles and registries to disk.
+
+A production deployment provisions bundles ahead of time (the paper trains
+them for hours on GPUs); this module stores everything a bundle carries --
+``Sigma_T``, precomputed scores, the VAE's weights and calibration
+statistics, the query model, the MSBO ensemble and the retained training
+data -- in a directory of ``.npz`` archives plus a JSON manifest, and
+rebuilds live objects from it.
+
+Layout::
+
+    <registry_dir>/
+      registry.json            # bundle order
+      <bundle_name>/
+        bundle.json            # manifest: configs, model kind, metadata
+        arrays.npz             # sigma, reference_scores, training data
+        vae.npz                # VAE weights + fitted statistics
+        model.npz              # query-model weights
+        ensemble_<l>.npz       # one archive per ensemble member
+
+``SpatialFilter`` models carry a Python predicate that cannot be
+serialised; pass it back in via ``load_bundle(..., spatial_predicate=...)``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.selection.registry import ModelBundle, ModelRegistry
+from repro.detectors.classifier_filters import CountClassifier, SpatialFilter
+from repro.errors import ConfigurationError
+from repro.nn.classifier import ClassifierConfig, SoftmaxClassifier
+from repro.nn.ensemble import DeepEnsemble
+from repro.nn.serialization import load_state, save_state
+from repro.nn.vae import VAE, VAEConfig
+
+_MANIFEST = "bundle.json"
+_ARRAYS = "arrays.npz"
+_VAE = "vae.npz"
+_MODEL = "model.npz"
+
+
+def _jsonable_config(config) -> dict:
+    data = asdict(config)
+    data.pop("seed", None)  # generators are not serialisable; irrelevant
+    for key, value in list(data.items()):
+        if isinstance(value, tuple):
+            data[key] = list(value)
+    return data
+
+
+def _vae_config_from(data: dict) -> VAEConfig:
+    data = dict(data)
+    data["input_shape"] = tuple(data["input_shape"])
+    data["conv_channels"] = tuple(data["conv_channels"])
+    return VAEConfig(**data)
+
+
+def _classifier_config_from(data: dict) -> ClassifierConfig:
+    data = dict(data)
+    data["input_shape"] = tuple(data["input_shape"])
+    return ClassifierConfig(**data)
+
+
+def _model_kind(model) -> str:
+    if isinstance(model, CountClassifier):
+        return "count"
+    if isinstance(model, SpatialFilter):
+        return "spatial"
+    if isinstance(model, SoftmaxClassifier):
+        return "softmax"
+    raise ConfigurationError(
+        f"cannot persist query model of type {type(model).__name__}")
+
+
+def _inner_classifier(model) -> SoftmaxClassifier:
+    return model if isinstance(model, SoftmaxClassifier) else model.classifier
+
+
+def save_bundle(directory: str, bundle: ModelBundle) -> None:
+    """Persist a bundle into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    manifest: dict = {"name": bundle.name, "metadata": bundle.metadata}
+
+    arrays = {"sigma": bundle.sigma,
+              "reference_scores": bundle.reference_scores}
+    if bundle.training_frames is not None:
+        arrays["training_frames"] = bundle.training_frames
+        arrays["training_labels"] = bundle.training_labels
+    save_state(os.path.join(directory, _ARRAYS), arrays)
+
+    if bundle.vae is not None:
+        if not isinstance(bundle.vae, VAE):
+            raise ConfigurationError(
+                f"cannot persist VAE of type {type(bundle.vae).__name__}")
+        manifest["vae_config"] = _jsonable_config(bundle.vae.config)
+        save_state(os.path.join(directory, _VAE), bundle.vae.state_dict())
+
+    if bundle.model is not None:
+        kind = _model_kind(bundle.model)
+        inner = _inner_classifier(bundle.model)
+        manifest["model_kind"] = kind
+        manifest["model_config"] = _jsonable_config(inner.config)
+        save_state(os.path.join(directory, _MODEL), inner.state_dict())
+
+    if bundle.ensemble is not None:
+        if not isinstance(bundle.ensemble, DeepEnsemble):
+            raise ConfigurationError(
+                f"cannot persist ensemble of type "
+                f"{type(bundle.ensemble).__name__}")
+        manifest["ensemble_size"] = bundle.ensemble.size
+        manifest["ensemble_config"] = _jsonable_config(
+            bundle.ensemble.members[0].config)
+        for index, member in enumerate(bundle.ensemble.members):
+            save_state(os.path.join(directory, f"ensemble_{index}.npz"),
+                       member.state_dict())
+
+    with open(os.path.join(directory, _MANIFEST), "w") as handle:
+        json.dump(manifest, handle, indent=2, default=str)
+
+
+def load_bundle(directory: str,
+                spatial_predicate: Optional[Callable] = None) -> ModelBundle:
+    """Rebuild a bundle saved by :func:`save_bundle`."""
+    manifest_path = os.path.join(directory, _MANIFEST)
+    if not os.path.exists(manifest_path):
+        raise ConfigurationError(f"no bundle manifest at {manifest_path}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+
+    arrays = load_state(os.path.join(directory, _ARRAYS))
+    vae = None
+    if "vae_config" in manifest:
+        vae = VAE(_vae_config_from(manifest["vae_config"]))
+        vae.load_state_dict(load_state(os.path.join(directory, _VAE)))
+
+    model = None
+    if "model_kind" in manifest:
+        config = _classifier_config_from(manifest["model_config"])
+        kind = manifest["model_kind"]
+        if kind == "count":
+            model = CountClassifier(config)
+            inner = model.classifier
+        elif kind == "spatial":
+            if spatial_predicate is None:
+                raise ConfigurationError(
+                    "bundle holds a SpatialFilter: pass spatial_predicate=")
+            model = SpatialFilter(spatial_predicate, config=config)
+            inner = model.classifier
+        else:
+            model = SoftmaxClassifier(config)
+            inner = model
+        inner.load_state_dict(load_state(os.path.join(directory, _MODEL)))
+
+    ensemble = None
+    if "ensemble_size" in manifest:
+        config = _classifier_config_from(manifest["ensemble_config"])
+        ensemble = DeepEnsemble(config, size=manifest["ensemble_size"],
+                                seed=0)
+        for index, member in enumerate(ensemble.members):
+            member.load_state_dict(load_state(
+                os.path.join(directory, f"ensemble_{index}.npz")))
+        ensemble._fitted = True
+
+    return ModelBundle(
+        name=manifest["name"],
+        sigma=arrays["sigma"],
+        reference_scores=arrays["reference_scores"],
+        vae=vae, model=model, ensemble=ensemble,
+        training_frames=arrays.get("training_frames"),
+        training_labels=arrays.get("training_labels"),
+        metadata=manifest.get("metadata", {}))
+
+
+def save_registry(directory: str, registry: ModelRegistry) -> None:
+    """Persist every bundle of a registry under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    names: List[str] = registry.names()
+    for name in names:
+        save_bundle(os.path.join(directory, name), registry.get(name))
+    with open(os.path.join(directory, "registry.json"), "w") as handle:
+        json.dump({"bundles": names}, handle, indent=2)
+
+
+def load_registry(directory: str,
+                  spatial_predicate: Optional[Callable] = None
+                  ) -> ModelRegistry:
+    """Rebuild a registry saved by :func:`save_registry`."""
+    index_path = os.path.join(directory, "registry.json")
+    if not os.path.exists(index_path):
+        raise ConfigurationError(f"no registry index at {index_path}")
+    with open(index_path) as handle:
+        names = json.load(handle)["bundles"]
+    registry = ModelRegistry()
+    for name in names:
+        registry.add(load_bundle(os.path.join(directory, name),
+                                 spatial_predicate=spatial_predicate))
+    return registry

@@ -1,0 +1,100 @@
+"""Proper scoring rules (paper Section 5.2.1).
+
+Both rules are *proper*: they are optimised in expectation exactly when the
+predictive distribution equals the true conditional distribution.  MSBO uses
+the Brier score because the models are trained by minimising cross-entropy
+(== NLL), so scoring with NLL would be biased toward the training objective.
+
+Conventions: ``probs`` is ``(N, K)`` predictive probabilities, ``labels`` is
+``(N,)`` integer class ids.  Lower Brier / NLL is better (more certain and
+correct); a Brier score of 0 means total, correct certainty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+_EPS = 1e-12
+
+
+def _validate(probs: np.ndarray, labels: np.ndarray) -> tuple:
+    p = np.asarray(probs, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if p.ndim != 2:
+        raise DimensionMismatchError(f"probs must be (N, K), got {p.shape}")
+    if y.shape[0] != p.shape[0]:
+        raise DimensionMismatchError(
+            f"labels length {y.shape[0]} != batch {p.shape[0]}")
+    if p.shape[0] == 0:
+        raise ConfigurationError("cannot score an empty batch")
+    if y.min() < 0 or y.max() >= p.shape[1]:
+        raise ConfigurationError(
+            f"labels must be in [0, {p.shape[1]}), got "
+            f"[{y.min()}, {y.max()}]")
+    return p, y
+
+
+def brier_score(probs: np.ndarray, labels: np.ndarray,
+                normalize: bool = True) -> float:
+    """Multi-class Brier score, averaged over the batch.
+
+    Per the paper: ``(1/K) * sum_k (delta_{k=y} - p_k)^2`` for each frame
+    (``normalize=True``); ``normalize=False`` drops the ``1/K`` factor
+    (the classic Brier definition).
+    """
+    p, y = _validate(probs, labels)
+    n, k = p.shape
+    onehot = np.zeros_like(p)
+    onehot[np.arange(n), y] = 1.0
+    per_frame = ((p - onehot) ** 2).sum(axis=1)
+    if normalize:
+        per_frame = per_frame / k
+    return float(per_frame.mean())
+
+
+def negative_log_likelihood(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Mean NLL of the true labels under the predictive distribution."""
+    p, y = _validate(probs, labels)
+    picked = p[np.arange(p.shape[0]), y]
+    return float(-np.log(picked + _EPS).mean())
+
+
+def brier_decomposition(probs: np.ndarray, labels: np.ndarray,
+                        bins: int = 10) -> dict:
+    """Reliability / resolution / uncertainty decomposition (diagnostic).
+
+    Computed on the predicted-class confidence (one-vs-rest reduction),
+    binned into ``bins`` equal-width confidence buckets.  Useful for the
+    Figure 5 style analysis of why Brier separates models better than raw
+    accuracy.
+    """
+    if bins <= 0:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    p, y = _validate(probs, labels)
+    confidence = p.max(axis=1)
+    correct = (p.argmax(axis=1) == y).astype(np.float64)
+    base_rate = correct.mean()
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    reliability = 0.0
+    resolution = 0.0
+    n = p.shape[0]
+    for b in range(bins):
+        lo, hi = edges[b], edges[b + 1]
+        mask = ((confidence >= lo) & (confidence < hi)) if b < bins - 1 else (
+            (confidence >= lo) & (confidence <= hi))
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        mean_conf = confidence[mask].mean()
+        mean_correct = correct[mask].mean()
+        reliability += count / n * (mean_conf - mean_correct) ** 2
+        resolution += count / n * (mean_correct - base_rate) ** 2
+    uncertainty = base_rate * (1.0 - base_rate)
+    return {
+        "reliability": float(reliability),
+        "resolution": float(resolution),
+        "uncertainty": float(uncertainty),
+        "brier_top1": float(reliability - resolution + uncertainty),
+    }

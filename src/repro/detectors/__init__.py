@@ -1,0 +1,26 @@
+"""Object detectors and per-distribution query models.
+
+- :mod:`repro.detectors.base` -- detector protocol and result types.
+- :mod:`repro.detectors.oracle` -- ``ReferenceDetector``, the Mask R-CNN
+  substitute: near-perfect accuracy, one order of magnitude higher cost.
+- :mod:`repro.detectors.fast` -- ``FastDetector``, the YOLOv7 substitute:
+  fixed cost, drift-oblivious, accuracy degrades under hard conditions.
+- :mod:`repro.detectors.classifier_filters` -- ``CountClassifier`` and
+  ``SpatialFilter``, the VGG-19 / OD-CLF query-model substitutes trained per
+  distribution.
+"""
+
+from repro.detectors.base import Detection, DetectionResult, Detector
+from repro.detectors.classifier_filters import CountClassifier, SpatialFilter
+from repro.detectors.fast import FastDetector
+from repro.detectors.oracle import ReferenceDetector
+
+__all__ = [
+    "Detection",
+    "DetectionResult",
+    "Detector",
+    "ReferenceDetector",
+    "FastDetector",
+    "CountClassifier",
+    "SpatialFilter",
+]

@@ -1,0 +1,55 @@
+"""Detector protocol and result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.video.stream import Frame
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object."""
+
+    kind: str
+    x: float
+    y: float
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ConfigurationError(
+                f"confidence must be in [0, 1], got {self.confidence}")
+
+
+@dataclass
+class DetectionResult:
+    """Per-frame detector output."""
+
+    detections: List[Detection] = field(default_factory=list)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.detections)
+        return sum(1 for d in self.detections if d.kind == kind)
+
+    def positions(self, kind: str) -> List[Tuple[float, float]]:
+        return [(d.x, d.y) for d in self.detections if d.kind == kind]
+
+
+class Detector:
+    """Base detector: maps a :class:`Frame` to a :class:`DetectionResult`.
+
+    Subclasses implement :meth:`detect`; ``cost_operation`` names the
+    simulated-clock entry charged per frame.
+    """
+
+    cost_operation: str = ""
+
+    def detect(self, frame: Frame) -> DetectionResult:
+        raise NotImplementedError
+
+    def __call__(self, frame: Frame) -> DetectionResult:
+        return self.detect(frame)

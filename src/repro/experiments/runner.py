@@ -1,0 +1,135 @@
+"""CLI: ``python -m repro.experiments <exp-id> [...]`` or
+``repro-experiments <exp-id>``.
+
+Runs one or more experiments at a chosen profile and prints their tables.
+``all`` runs the full evaluation (Tables 5-9, Figures 3-8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    fig3_detection,
+    fig4_slow_drift,
+    fig5_brier,
+    fig6_invocations,
+    fig7_count_accuracy,
+    fig8_spatial_accuracy,
+    table5_datasets,
+    table6_detect_time,
+    table7_per_frame,
+    statistical_baselines,
+    table8_selection_time,
+    table9_end_to_end,
+)
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    HarnessConfig,
+    fast_config,
+)
+from repro.video.datasets import make_bdd, make_detrac, make_tokyo
+
+DATASET_MAKERS = {"BDD": make_bdd, "Detrac": make_detrac, "Tokyo": make_tokyo}
+
+# experiments that iterate one context per dataset
+PER_DATASET = {
+    "fig3": fig3_detection.run,
+    "stat-baselines": statistical_baselines.run,
+    "table6": table6_detect_time.run,
+    "fig6": fig6_invocations.run,
+    "table7": table7_per_frame.run,
+    "table8": table8_selection_time.run,
+    "fig5": fig5_brier.run,
+    "table9": table9_end_to_end.run,
+    "fig7": fig7_count_accuracy.run,
+}
+# experiments restricted to BDD in the paper
+BDD_ONLY = {"fig5", "fig8", "stat-baselines", "ablations"}
+ALL_EXPERIMENTS = ["table5", "fig3", "table6", "fig4", "fig6", "table7",
+                   "table8", "fig5", "table9", "fig7", "fig8"]
+EXTENSIONS = ["stat-baselines", "ablations"]
+
+
+def build_contexts(config: HarnessConfig,
+                   datasets: Optional[List[str]] = None
+                   ) -> Dict[str, ExperimentContext]:
+    """One shared context per dataset (bundles cached across experiments)."""
+    names = datasets or list(DATASET_MAKERS)
+    return {
+        name: ExperimentContext(
+            DATASET_MAKERS[name](scale=config.scale,
+                                 frame_size=config.frame_size),
+            config)
+        for name in names
+    }
+
+
+def run_experiment(exp_id: str, contexts: Dict[str, ExperimentContext],
+                   config: HarnessConfig) -> List[ExperimentResult]:
+    """Run one experiment id across the datasets it applies to."""
+    if exp_id == "table5":
+        return [table5_datasets.run(config)]
+    if exp_id == "fig4":
+        return [fig4_slow_drift.run(config=config)]
+    if exp_id == "fig8":
+        return [fig8_spatial_accuracy.run(contexts["BDD"])]
+    if exp_id == "ablations":
+        context = contexts["BDD"]
+        return [ablations.betting_ablation(context),
+                ablations.sensitivity_ablation(context),
+                ablations.embedding_ablation(context),
+                ablations.ensemble_size_ablation(context)]
+    if exp_id not in PER_DATASET:
+        known = ["table5", "fig4", "fig8", "ablations"] + list(PER_DATASET)
+        raise SystemExit(f"unknown experiment {exp_id!r}; known: {known}")
+    runner = PER_DATASET[exp_id]
+    names = ["BDD"] if exp_id in BDD_ONLY else list(contexts)
+    return [runner(contexts[name]) for name in names]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (table5 fig3 ...), 'all' for "
+                             "the paper's evaluation, or 'everything' to "
+                             "also include the extension studies")
+    parser.add_argument("--profile", choices=["fast", "default"],
+                        default="default",
+                        help="training/evaluation budget profile")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the stream down-scaling factor")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.profile == "fast":
+        config = fast_config(seed=args.seed)
+    else:
+        config = HarnessConfig(seed=args.seed)
+    if args.scale is not None:
+        from dataclasses import replace
+        config = replace(config, scale=args.scale)
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = ALL_EXPERIMENTS
+    elif requested == ["everything"]:
+        requested = ALL_EXPERIMENTS + EXTENSIONS
+    contexts = build_contexts(config)
+    start = time.time()
+    for exp_id in requested:
+        for result in run_experiment(exp_id, contexts, config):
+            print(result.format_table())
+            print()
+    print(f"[done in {time.time() - start:.0f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Extension experiment: DI vs classical statistical change detectors.
+
+The paper's related-work section dismisses control charts (need parametric
+models), multivariate KS tests (impractical) and argues that video frames
+violate the i.i.d. assumptions classical tests need.  This experiment makes
+that argument quantitative on the same drift episodes Figure 3 uses: the
+Drift Inspector against a sliding-window two-sample KS test, a CUSUM/Page
+control chart and a window-mean moment test, all monitoring the identical
+VAE embedding stream.
+
+Metrics per detector: mean detection delay, missed drifts, and false alarms
+(fires before the change point during the warm-up, or anywhere on a pure
+null segment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines.statistical import CusumDetector, KSDetector, MomentDetector
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.experiments.common import ExperimentContext, ExperimentResult
+
+
+def _make_detectors(bundle, seed: int) -> Dict[str, object]:
+    return {
+        "DriftInspector": DriftInspector(
+            bundle.sigma, DriftInspectorConfig(seed=seed),
+            embedder=bundle.vae),
+        "KS": KSDetector(bundle.sigma, window=25, significance=1e-3,
+                         embedder=bundle.vae),
+        "CUSUM": CusumDetector(bundle.sigma, threshold=8.0,
+                               embedder=bundle.vae),
+        "Moment": MomentDetector(bundle.sigma, window=20, z_threshold=4.0,
+                                 embedder=bundle.vae),
+    }
+
+
+def _observe(detector, frame) -> bool:
+    if isinstance(detector, DriftInspector):
+        return detector.observe(frame.pixels).drift
+    return bool(detector.observe(frame.pixels))
+
+
+def run(context: ExperimentContext, warmup: int = 25,
+        limit: int = 100) -> ExperimentResult:
+    """DI vs KS / CUSUM / moment detectors on every drift episode."""
+    result = ExperimentResult(
+        experiment="statistical-baselines",
+        description=f"DI vs classical detectors on {context.dataset.name}")
+    registry = context.registry()
+    stream = context.stream
+    stats: Dict[str, Dict[str, List]] = {
+        name: {"delays": [], "missed": 0, "false_alarms": 0}
+        for name in ("DriftInspector", "KS", "CUSUM", "Moment")}
+
+    # drift episodes (warm-up on the pre-drift segment, then post-drift)
+    for drift in context.dataset.drift_frames:
+        start = max(0, drift - warmup)
+        bundle = registry.get(stream[drift - 1].segment)
+        detectors = _make_detectors(bundle, context.config.seed)
+        for name, detector in detectors.items():
+            detected = None
+            for i, frame in enumerate(stream[start: drift + limit]):
+                if _observe(detector, frame):
+                    detected = i - (drift - start)
+                    break
+            record = stats[name]
+            if detected is None:
+                record["missed"] += 1
+            elif detected < 0:
+                record["false_alarms"] += 1
+            else:
+                record["delays"].append(detected)
+
+    # pure null segments: any firing is a false alarm
+    for segment in context.dataset.segment_names:
+        bundle = registry.get(segment)
+        detectors = _make_detectors(bundle, context.config.seed)
+        frames = context.segment_stream(segment)
+        for name, detector in detectors.items():
+            for frame in frames:
+                if _observe(detector, frame):
+                    stats[name]["false_alarms"] += 1
+                    break
+
+    for name, record in stats.items():
+        delays = record["delays"]
+        result.add_row(
+            detector=name,
+            mean_delay=float(np.mean(delays)) if delays else float("nan"),
+            detected=len(delays),
+            missed=record["missed"],
+            false_alarms=record["false_alarms"],
+        )
+    result.notes.append(
+        "classical windowed tests assume i.i.d. samples; correlated video "
+        "frames make their p-values anticonservative (false alarms) or "
+        "their statistics sluggish (misses) -- the gap the conformal "
+        "martingale closes")
+    return result

@@ -1,0 +1,61 @@
+"""Table 9: end-to-end time performance (seconds).
+
+Total simulated time for each of the five systems to process the full
+stream: drift monitoring + model selection for the drift-aware systems,
+per-frame selection for ODIN, per-frame detector inference for the
+oblivious baselines.  Paper shape: (DI, MSBO) is ~3x faster than ODIN and
+slightly faster than (DI, MSBI); YOLO sits near ODIN; Mask R-CNN is one
+order of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.endtoend import run_systems
+
+PAPER_SECONDS = {
+    "BDD": {"(DI, MSBO)": 278.4, "(DI, MSBI)": 295.8, "ODIN": 1400.6,
+            "YOLO": 1231.0, "MaskRCNN": 10680.0},
+    "Detrac": {"(DI, MSBO)": 105.6, "(DI, MSBI)": 116.8, "ODIN": 682.6,
+               "YOLO": 462.0, "MaskRCNN": 4005.0},
+    "Tokyo": {"(DI, MSBO)": 169.2, "(DI, MSBI)": 178.0, "ODIN": 950.1,
+              "YOLO": 692.0, "MaskRCNN": 6007.5},
+}
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Table 9 rows for one dataset (one row per system)."""
+    result = ExperimentResult(
+        experiment="table9",
+        description=f"End-to-end time on {context.dataset.name} "
+                    "(seconds, simulated)")
+    runs = run_systems(context, spatial=False)
+    frames = len(context.stream)
+    paper = PAPER_SECONDS.get(context.dataset.name, {})
+    # selection operations happen once per drift, not per frame -- scale
+    # only the per-frame costs to the paper's stream size and carry the
+    # per-drift selection time over unchanged (the paper has the same
+    # number of drifts)
+    selection_ops = ("ensemble_member_infer", "msbi_model_frame",
+                     "annotate_frame")
+    for name, run_ in runs.items():
+        ms_per_frame = run_.simulated_s * 1000.0 / frames
+        ledger = run_.extra.get("ledger", {})
+        selection_ms = sum(ledger.get(op, 0.0) for op in selection_ops)
+        monitor_ms = run_.simulated_s * 1000.0 - selection_ms
+        paper_scale_s = (monitor_ms / frames
+                         * context.dataset.paper_stream_size
+                         + selection_ms) / 1000.0
+        result.add_row(
+            system=name,
+            seconds=run_.simulated_s,
+            ms_per_frame=ms_per_frame,
+            paper_scale_s=paper_scale_s,
+            paper_s=paper.get(name),
+            invocations_per_frame=run_.invocations_per_frame,
+            detections=run_.detections,
+        )
+    result.notes.append(
+        "paper_scale extrapolates the measured per-frame cost to the "
+        "paper's stream size for direct comparison with Table 9")
+    return result

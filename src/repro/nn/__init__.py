@@ -1,0 +1,60 @@
+"""A from-scratch numpy deep-learning substrate.
+
+The paper trains its VAE, VGG-19 count classifiers and deep ensembles with
+PyTorch on GPUs.  This environment has neither, so the substrate implements
+the required building blocks directly on numpy: dense and convolutional
+layers with hand-written backward passes, the standard losses (binary
+cross-entropy, softmax cross-entropy, Gaussian KL), SGD / Adam optimizers,
+and the model classes built on top (``VAE``, ``SoftmaxClassifier``,
+``DeepEnsemble``).
+
+Everything operates on float32/float64 numpy arrays with batch-first layout
+(``(N, C, H, W)`` for images, ``(N, D)`` for vectors).
+"""
+
+from repro.nn.classifier import SoftmaxClassifier, TrainingHistory
+from repro.nn.ensemble import DeepEnsemble
+from repro.nn.layers import (
+    Conv2d,
+    Dense,
+    Flatten,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Upsample2x,
+)
+from repro.nn.losses import (
+    binary_cross_entropy,
+    gaussian_kl,
+    mse,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.vae import VAE, VAEConfig
+
+__all__ = [
+    "Conv2d",
+    "Dense",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Upsample2x",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "binary_cross_entropy",
+    "softmax",
+    "softmax_cross_entropy",
+    "gaussian_kl",
+    "mse",
+    "VAE",
+    "VAEConfig",
+    "SoftmaxClassifier",
+    "TrainingHistory",
+    "DeepEnsemble",
+]

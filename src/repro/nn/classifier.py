@@ -1,0 +1,198 @@
+"""Softmax image classifiers (VGG-19 / OD-CLF substitutes).
+
+The paper trains VGG-19 count classifiers and OD-CLF spatial filters per
+distribution.  On CPU we use small MLP / conv softmax classifiers with the
+same role and the same training loss (softmax cross-entropy == negative
+log-likelihood, a proper scoring rule as required by MSBO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.nn.layers import Conv2d, Dense, Flatten, ReLU
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy from :meth:`SoftmaxClassifier.fit`."""
+
+    loss: List[float] = field(default_factory=list)
+    accuracy: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ClassifierConfig:
+    """Configuration for :class:`SoftmaxClassifier`."""
+
+    input_shape: Tuple[int, int, int] = (1, 32, 32)
+    num_classes: int = 10
+    architecture: str = "mlp"
+    hidden: int = 64
+    lr: float = 1e-3
+    batch_size: int = 16
+    epochs: int = 10
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ConfigurationError(
+                f"num_classes must be >= 2, got {self.num_classes}")
+        if self.architecture not in ("mlp", "conv"):
+            raise ConfigurationError(
+                f"architecture must be 'mlp' or 'conv', got {self.architecture!r}")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ConfigurationError("epochs and batch_size must be positive")
+
+
+class SoftmaxClassifier:
+    """K-way softmax classifier with fit / predict_proba / predict."""
+
+    def __init__(self, config: Optional[ClassifierConfig] = None) -> None:
+        self.config = config or ClassifierConfig()
+        self._rng = ensure_rng(self.config.seed)
+        self._build()
+        self._fitted = False
+        self._input_mean = 0.0
+        self.history = TrainingHistory()
+
+    @property
+    def input_dim(self) -> int:
+        c, h, w = self.config.input_shape
+        return c * h * w
+
+    @property
+    def num_classes(self) -> int:
+        return self.config.num_classes
+
+    def _build(self) -> None:
+        cfg = self.config
+        seeds = self._rng.integers(0, 2**31 - 1, size=4)
+        if cfg.architecture == "mlp":
+            self.net = Sequential([
+                Dense(self.input_dim, cfg.hidden, seed=int(seeds[0])), ReLU(),
+                Dense(cfg.hidden, cfg.hidden, seed=int(seeds[1])), ReLU(),
+                Dense(cfg.hidden, cfg.num_classes, seed=int(seeds[2])),
+            ])
+        else:
+            c, h, w = cfg.input_shape
+            if h % 4 or w % 4:
+                raise ConfigurationError(
+                    f"conv classifier needs H, W divisible by 4, got {(h, w)}")
+            self.net = Sequential([
+                Conv2d(c, 8, 3, stride=2, padding=1, seed=int(seeds[0])), ReLU(),
+                Conv2d(8, 16, 3, stride=2, padding=1, seed=int(seeds[1])), ReLU(),
+                Flatten(),
+                Dense(16 * (h // 4) * (w // 4), cfg.hidden, seed=int(seeds[2])),
+                ReLU(),
+                Dense(cfg.hidden, cfg.num_classes, seed=int(seeds[3])),
+            ])
+
+    def _as_input(self, frames: np.ndarray) -> np.ndarray:
+        x = np.asarray(frames, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if self.config.architecture == "mlp":
+            if x.ndim > 2:
+                x = x.reshape(x.shape[0], -1)
+            if x.shape[1] != self.input_dim:
+                raise ConfigurationError(
+                    f"classifier built for {self.input_dim} features, "
+                    f"got {x.shape[1]}")
+            return x
+        c, h, w = self.config.input_shape
+        if x.ndim == 2:
+            x = x.reshape(x.shape[0], c, h, w)
+        elif x.ndim == 3:
+            x = x[:, None, :, :]
+        return x
+
+    def fit(self, frames: np.ndarray, labels: np.ndarray,
+            epochs: Optional[int] = None) -> TrainingHistory:
+        """Train with softmax cross-entropy over randomized shuffles.
+
+        Per the paper's MSBO setup, ensembles train each member on a
+        randomized shuffle of the *entire* training set rather than bagging.
+        """
+        x_all = self._as_input(frames)
+        y_all = np.asarray(labels, dtype=np.int64)
+        if y_all.ndim != 1 or y_all.shape[0] != x_all.shape[0]:
+            raise ConfigurationError(
+                f"labels shape {y_all.shape} incompatible with "
+                f"{x_all.shape[0]} frames")
+        if y_all.size and (y_all.min() < 0 or y_all.max() >= self.num_classes):
+            raise ConfigurationError(
+                f"labels must be in [0, {self.num_classes}), "
+                f"got range [{y_all.min()}, {y_all.max()}]")
+        cfg = self.config
+        # centre inputs on the training mean: raw [0, 1] pixels carry a
+        # large DC component that slows MLP optimisation considerably
+        self._input_mean = float(x_all.mean())
+        x_all = x_all - self._input_mean
+        optimizer = Adam(lr=cfg.lr)
+        n = x_all.shape[0]
+        n_epochs = cfg.epochs if epochs is None else epochs
+        for _ in range(n_epochs):
+            order = self._rng.permutation(n)
+            total_loss = 0.0
+            correct = 0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start:start + cfg.batch_size]
+                xb, yb = x_all[idx], y_all[idx]
+                logits = self.net.forward(xb, training=True)
+                loss, grad = softmax_cross_entropy(logits, yb)
+                self.net.backward(grad)
+                optimizer.step(self.net.param_grads())
+                total_loss += loss * len(idx)
+                correct += int((logits.argmax(axis=1) == yb).sum())
+            self.history.loss.append(total_loss / n)
+            self.history.accuracy.append(correct / n)
+        self._fitted = True
+        return self.history
+
+    def predict_proba(self, frames: np.ndarray) -> np.ndarray:
+        """Class probabilities ``(N, K)``."""
+        if not self._fitted:
+            raise NotFittedError("classifier used before fit()")
+        x = self._as_input(frames) - self._input_mean
+        return softmax(self.net.forward(x, training=False))
+
+    def predict(self, frames: np.ndarray) -> np.ndarray:
+        """Hard class predictions ``(N,)``."""
+        return self.predict_proba(frames).argmax(axis=1)
+
+    def accuracy(self, frames: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of frames classified correctly."""
+        preds = self.predict(frames)
+        y = np.asarray(labels, dtype=np.int64)
+        if y.shape != preds.shape:
+            raise ConfigurationError(
+                f"labels shape {y.shape} != predictions shape {preds.shape}")
+        if preds.size == 0:
+            return 0.0
+        return float((preds == y).mean())
+
+    def state_dict(self) -> dict:
+        """Weights plus the fitted input mean."""
+        state = dict(self.net.state_dict())
+        state["_input_mean"] = np.array([self._input_mean])
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore weights saved by :meth:`state_dict`."""
+        self._input_mean = float(np.asarray(state["_input_mean"])[0])
+        self.net.load_state_dict(
+            {k: v for k, v in state.items() if k != "_input_mean"})
+        self._fitted = True
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted

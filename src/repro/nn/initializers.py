@@ -1,0 +1,33 @@
+"""Weight initializers for the numpy NN substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def glorot_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to sigmoid/tanh nets."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ConfigurationError(
+            f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU nets."""
+    if fan_in <= 0:
+        raise ConfigurationError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float64)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,94 @@
+"""Loss functions returning ``(scalar_loss, gradient_wrt_input)``.
+
+All losses average over the batch dimension, so gradients already include the
+``1/N`` factor and can be fed straight into ``Sequential.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+_EPS = 1e-12
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax for ``(N, K)`` logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Softmax cross-entropy (== NLL, the paper's proper scoring rule).
+
+    ``labels`` may be integer class ids ``(N,)`` or one-hot ``(N, K)``.
+    Returns the mean loss and the gradient with respect to the logits.
+    """
+    probs = softmax(logits)
+    n, k = probs.shape
+    if labels.ndim == 1:
+        if labels.shape[0] != n:
+            raise DimensionMismatchError(
+                f"labels length {labels.shape[0]} != batch {n}")
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(n), labels.astype(int)] = 1.0
+    else:
+        if labels.shape != probs.shape:
+            raise DimensionMismatchError(
+                f"one-hot labels shape {labels.shape} != logits {probs.shape}")
+        onehot = labels
+    loss = float(-(onehot * np.log(probs + _EPS)).sum() / n)
+    grad = (probs - onehot) / n
+    return loss, grad
+
+
+def binary_cross_entropy(pred: np.ndarray,
+                         target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Pixel-wise BCE used by the VAE reconstruction term.
+
+    ``pred`` must be in ``(0, 1)`` (sigmoid output); ``target`` in ``[0, 1]``.
+    Loss is summed over features and averaged over the batch, matching the
+    usual VAE convention so the KL term is on the same scale.
+    """
+    if pred.shape != target.shape:
+        raise DimensionMismatchError(
+            f"pred shape {pred.shape} != target shape {target.shape}")
+    n = pred.shape[0]
+    p = np.clip(pred, _EPS, 1.0 - _EPS)
+    loss = float(-(target * np.log(p) + (1 - target) * np.log(1 - p)).sum() / n)
+    grad = (-(target / p) + (1 - target) / (1 - p)) / n
+    return loss, grad
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error, summed over features, averaged over batch."""
+    if pred.shape != target.shape:
+        raise DimensionMismatchError(
+            f"pred shape {pred.shape} != target shape {target.shape}")
+    n = pred.shape[0]
+    diff = pred - target
+    loss = float((diff ** 2).sum() / n)
+    grad = 2.0 * diff / n
+    return loss, grad
+
+
+def gaussian_kl(mean: np.ndarray,
+                logvar: np.ndarray) -> Tuple[float, np.ndarray, np.ndarray]:
+    """KL( N(mean, exp(logvar)) || N(0, I) ), averaged over batch.
+
+    Returns ``(loss, dmean, dlogvar)``.
+    """
+    if mean.shape != logvar.shape:
+        raise DimensionMismatchError(
+            f"mean shape {mean.shape} != logvar shape {logvar.shape}")
+    n = mean.shape[0]
+    var = np.exp(logvar)
+    loss = float(0.5 * (var + mean ** 2 - 1.0 - logvar).sum() / n)
+    dmean = mean / n
+    dlogvar = 0.5 * (var - 1.0) / n
+    return loss, dmean, dlogvar

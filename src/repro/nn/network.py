@@ -1,0 +1,79 @@
+"""Sequential layer container with backprop and (de)serialization hooks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Layer
+from repro.nn.optim import ParamGrad
+
+
+class Sequential:
+    """A linear stack of layers.
+
+    ``forward`` threads the input through every layer; ``backward`` threads
+    the loss gradient back, filling each layer's parameter gradients.
+    """
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ConfigurationError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def param_grads(self) -> List[ParamGrad]:
+        """(param, grad) pairs across all layers, for an optimizer step."""
+        pairs: List[ParamGrad] = []
+        for layer in self.layers:
+            params = layer.params()
+            grads = layer.grads()
+            for name in params:
+                pairs.append((params[name], grads[name]))
+        return pairs
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping ``"<layer_idx>.<param>" -> array`` for serialization."""
+        state: Dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for name, param in layer.params().items():
+                state[f"{i}.{name}"] = param.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters saved by :meth:`state_dict` (shapes must match)."""
+        for i, layer in enumerate(self.layers):
+            for name, param in layer.params().items():
+                key = f"{i}.{name}"
+                if key not in state:
+                    raise ConfigurationError(f"missing parameter {key} in state")
+                value = state[key]
+                if value.shape != param.shape:
+                    raise ConfigurationError(
+                        f"shape mismatch for {key}: saved {value.shape}, "
+                        f"model {param.shape}")
+                param[...] = value
+
+    def num_parameters(self) -> int:
+        """Total count of trainable scalars."""
+        return sum(p.size for layer in self.layers
+                   for p in layer.params().values())
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)

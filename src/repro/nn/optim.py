@@ -1,0 +1,96 @@
+"""Optimizers over (parameter, gradient) dictionaries.
+
+Optimizers hold per-parameter state keyed by ``id(param)``; parameters are
+updated in place so layers keep their references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ParamGrad = Tuple[np.ndarray, np.ndarray]
+
+
+class Optimizer:
+    """Base optimizer. Subclasses implement :meth:`_update`."""
+
+    def step(self, param_grads: Iterable[ParamGrad]) -> None:
+        """Apply one update to every ``(param, grad)`` pair, in place."""
+        for param, grad in param_grads:
+            if param.shape != grad.shape:
+                raise ConfigurationError(
+                    f"param/grad shape mismatch: {param.shape} vs {grad.shape}")
+            self._update(param, grad)
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum > 0:
+            v = self._velocity.setdefault(id(param), np.zeros_like(param))
+            v *= self.momentum
+            v -= self.lr * grad
+            param += v
+        else:
+            param -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (the paper's training optimizer)."""
+
+    def __init__(self, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(
+                f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        key = id(param)
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad ** 2
+        m_hat = m / (1 - self.beta1 ** t)
+        v_hat = v / (1 - self.beta2 ** t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def collect_param_grads(layers: Iterable) -> List[ParamGrad]:
+    """Gather ``(param, grad)`` pairs from layers exposing params()/grads()."""
+    pairs: List[ParamGrad] = []
+    for layer in layers:
+        params = layer.params()
+        grads = layer.grads()
+        for name, param in params.items():
+            pairs.append((param, grads[name]))
+    return pairs

@@ -1,0 +1,42 @@
+"""Save / load model weights to ``.npz`` archives.
+
+Serialization stores only parameter arrays keyed by ``Sequential.state_dict``
+names; the caller reconstructs the architecture (from its config) and then
+loads weights, mirroring the PyTorch ``state_dict`` pattern.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+
+
+def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Write a flat ``name -> array`` mapping to ``path`` (npz)."""
+    if not state:
+        raise ConfigurationError("refusing to save an empty state dict")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a mapping written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_network(path: str, net: Sequential) -> None:
+    """Persist a :class:`Sequential`'s parameters."""
+    save_state(path, net.state_dict())
+
+
+def load_network(path: str, net: Sequential) -> Sequential:
+    """Load parameters into an architecture-matched :class:`Sequential`."""
+    net.load_state_dict(load_state(path))
+    return net

@@ -1,0 +1,40 @@
+"""Video queries (paper Section 6.3).
+
+- :mod:`repro.queries.count` -- the count query ("number of cars per frame").
+- :mod:`repro.queries.spatial` -- the spatial-constrained query
+  ("a bus is on the left side of a car").
+- :mod:`repro.queries.accuracy` -- the query-accuracy metric A_q.
+- :mod:`repro.queries.predicates` -- composable frame predicates (activity
+  querying, the paper's future-work direction).
+"""
+
+from repro.queries.accuracy import query_accuracy
+from repro.queries.count import CountQuery
+from repro.queries.predicates import (
+    Above,
+    And,
+    InRegion,
+    LeftOf,
+    MinCount,
+    Near,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.queries.spatial import SpatialQuery, bus_left_of_car
+
+__all__ = [
+    "CountQuery",
+    "SpatialQuery",
+    "bus_left_of_car",
+    "query_accuracy",
+    "Predicate",
+    "MinCount",
+    "LeftOf",
+    "Above",
+    "Near",
+    "InRegion",
+    "And",
+    "Or",
+    "Not",
+]

@@ -1,0 +1,44 @@
+"""The query-accuracy metric A_q (Section 6.3).
+
+``A_q`` is the fraction of frames where the system's prediction matches the
+ground truth produced by the reference annotator.  This module provides the
+generic reduction; :mod:`repro.queries.count` and
+:mod:`repro.queries.spatial` provide query-specific ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def query_accuracy(predictions: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Fraction of positions where ``predictions == ground_truth``."""
+    preds = np.asarray(predictions).reshape(-1)
+    truth = np.asarray(ground_truth).reshape(-1)
+    if preds.shape[0] != truth.shape[0]:
+        raise ConfigurationError(
+            f"predictions length {preds.shape[0]} != ground truth "
+            f"{truth.shape[0]}")
+    if preds.shape[0] == 0:
+        return 0.0
+    return float((preds == truth).mean())
+
+
+def accuracy_by_key(predictions: np.ndarray, ground_truth: np.ndarray,
+                    keys) -> dict:
+    """A_q grouped by a parallel key sequence (e.g. segment names)."""
+    preds = np.asarray(predictions).reshape(-1)
+    truth = np.asarray(ground_truth).reshape(-1)
+    keys = list(keys)
+    if not (preds.shape[0] == truth.shape[0] == len(keys)):
+        raise ConfigurationError(
+            f"length mismatch: {preds.shape[0]} predictions, "
+            f"{truth.shape[0]} truths, {len(keys)} keys")
+    buckets: dict = {}
+    for key, p, t in zip(keys, preds, truth):
+        bucket = buckets.setdefault(key, [0, 0])
+        bucket[0] += int(p == t)
+        bucket[1] += 1
+    return {key: c / n for key, (c, n) in buckets.items()}

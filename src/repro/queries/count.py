@@ -1,0 +1,75 @@
+"""The count query: number of cars appearing in each frame (Section 6.3.1).
+
+Ground truth comes from the renderer (Mask R-CNN's role in the paper); the
+query is answered either by a per-distribution count classifier or by a
+detector's detection count, and accuracy ``A_q`` is the fraction of frames
+where the prediction matches ground truth exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.video.objects import CAR
+from repro.video.stream import Frame
+
+
+class CountQuery:
+    """Evaluates car-count predictions against ground truth."""
+
+    def __init__(self, num_classes: int = 10, bucket_width: int = 1) -> None:
+        if num_classes < 2:
+            raise ConfigurationError(
+                f"num_classes must be >= 2, got {num_classes}")
+        if bucket_width < 1:
+            raise ConfigurationError(
+                f"bucket_width must be >= 1, got {bucket_width}")
+        self.num_classes = num_classes
+        self.bucket_width = bucket_width
+
+    def ground_truth(self, frames: Sequence[Frame]) -> np.ndarray:
+        """Clipped car-count labels for the frames."""
+        return np.asarray(
+            [f.count_label(self.num_classes, self.bucket_width)
+             for f in frames], dtype=np.int64)
+
+    def accuracy(self, frames: Sequence[Frame],
+                 predictions: np.ndarray) -> float:
+        """A_q: fraction of frames with exact count match."""
+        preds = np.asarray(predictions, dtype=np.int64).reshape(-1)
+        if preds.shape[0] != len(frames):
+            raise ConfigurationError(
+                f"{preds.shape[0]} predictions for {len(frames)} frames")
+        if preds.shape[0] == 0:
+            return 0.0
+        truth = self.ground_truth(frames)
+        return float((preds == truth).mean())
+
+    def accuracy_from_detections(self, frames: Sequence[Frame],
+                                 results: List) -> float:
+        """A_q for a detector: compare clipped detected car counts."""
+        if len(results) != len(frames):
+            raise ConfigurationError(
+                f"{len(results)} detection results for {len(frames)} frames")
+        preds = np.asarray(
+            [min(r.count(CAR) // self.bucket_width, self.num_classes - 1)
+             for r in results], dtype=np.int64)
+        return self.accuracy(frames, preds)
+
+    def per_sequence_accuracy(self, frames: Sequence[Frame],
+                              predictions: np.ndarray) -> dict:
+        """A_q broken down by segment name (the Figure 7 bars)."""
+        preds = np.asarray(predictions, dtype=np.int64).reshape(-1)
+        if preds.shape[0] != len(frames):
+            raise ConfigurationError(
+                f"{preds.shape[0]} predictions for {len(frames)} frames")
+        truth = self.ground_truth(frames)
+        buckets: dict = {}
+        for frame, p, t in zip(frames, preds, truth):
+            bucket = buckets.setdefault(frame.segment, [0, 0])
+            bucket[0] += int(p == t)
+            bucket[1] += 1
+        return {name: c / n for name, (c, n) in buckets.items()}

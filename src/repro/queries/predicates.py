@@ -1,0 +1,197 @@
+"""Composable frame predicates (toward the paper's activity-query future work).
+
+The paper's spatial query is a single hard-coded relation ("a bus is on the
+left side of a car"); its conclusions name richer object-interaction
+querying as future work.  This module provides a small combinator algebra
+over frame ground truth so arbitrary spatial/count predicates can be
+declared, evaluated against oracle ground truth, and handed to
+:class:`~repro.detectors.classifier_filters.SpatialFilter` for learned
+pixel-level evaluation:
+
+    query = And(MinCount("car", 3), LeftOf("bus", "car"))
+    labels = [query(frame) for frame in frames]
+    filt = SpatialFilter(query, config=...)   # predicates are callables
+
+Every predicate is a callable ``Frame -> bool`` with a readable ``name``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.video.objects import KINDS
+from repro.video.stream import Frame
+
+
+class Predicate:
+    """Base class: a named boolean function of a frame."""
+
+    name: str = "predicate"
+
+    def evaluate(self, frame: Frame) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, frame: Frame) -> bool:
+        return self.evaluate(frame)
+
+    # combinators -------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def selectivity(self, frames: Sequence[Frame]) -> float:
+        """Fraction of frames satisfying the predicate."""
+        if not frames:
+            return 0.0
+        return sum(1 for f in frames if self.evaluate(f)) / len(frames)
+
+
+def _check_kind(kind: str) -> str:
+    if kind not in KINDS:
+        raise ConfigurationError(f"kind must be one of {KINDS}, got {kind!r}")
+    return kind
+
+
+class MinCount(Predicate):
+    """At least ``n`` objects of ``kind`` appear in the frame."""
+
+    def __init__(self, kind: str, n: int) -> None:
+        _check_kind(kind)
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self.kind = kind
+        self.n = n
+        self.name = f"count({kind}) >= {n}"
+
+    def evaluate(self, frame: Frame) -> bool:
+        return sum(1 for o in frame.objects if o.kind == self.kind) >= self.n
+
+
+class LeftOf(Predicate):
+    """Some ``kind_a`` object's centre lies left of some ``kind_b``'s."""
+
+    def __init__(self, kind_a: str, kind_b: str) -> None:
+        _check_kind(kind_a)
+        _check_kind(kind_b)
+        self.kind_a = kind_a
+        self.kind_b = kind_b
+        self.name = f"{kind_a} left-of {kind_b}"
+
+    def evaluate(self, frame: Frame) -> bool:
+        xs_a = [o.x for o in frame.objects if o.kind == self.kind_a]
+        xs_b = [o.x for o in frame.objects if o.kind == self.kind_b]
+        return bool(xs_a and xs_b and min(xs_a) < max(xs_b))
+
+
+class Above(Predicate):
+    """Some ``kind_a`` object's centre lies above some ``kind_b``'s."""
+
+    def __init__(self, kind_a: str, kind_b: str) -> None:
+        _check_kind(kind_a)
+        _check_kind(kind_b)
+        self.kind_a = kind_a
+        self.kind_b = kind_b
+        self.name = f"{kind_a} above {kind_b}"
+
+    def evaluate(self, frame: Frame) -> bool:
+        ys_a = [o.y for o in frame.objects if o.kind == self.kind_a]
+        ys_b = [o.y for o in frame.objects if o.kind == self.kind_b]
+        return bool(ys_a and ys_b and min(ys_a) < max(ys_b))
+
+
+class Near(Predicate):
+    """Some ``kind_a`` / ``kind_b`` pair lies within ``radius`` (normalised
+    Euclidean distance between centres)."""
+
+    def __init__(self, kind_a: str, kind_b: str, radius: float = 0.15) -> None:
+        _check_kind(kind_a)
+        _check_kind(kind_b)
+        if radius <= 0:
+            raise ConfigurationError(f"radius must be positive, got {radius}")
+        self.kind_a = kind_a
+        self.kind_b = kind_b
+        self.radius = radius
+        self.name = f"{kind_a} within {radius:g} of {kind_b}"
+
+    def evaluate(self, frame: Frame) -> bool:
+        a_objs = [o for o in frame.objects if o.kind == self.kind_a]
+        b_objs = [o for o in frame.objects if o.kind == self.kind_b]
+        for a in a_objs:
+            for b in b_objs:
+                if a is b:
+                    continue
+                if ((a.x - b.x) ** 2 + (a.y - b.y) ** 2) ** 0.5 <= self.radius:
+                    return True
+        return False
+
+
+class InRegion(Predicate):
+    """Some ``kind`` object's centre lies inside a normalised box."""
+
+    def __init__(self, kind: str, x0: float, y0: float, x1: float,
+                 y1: float) -> None:
+        _check_kind(kind)
+        if not (x0 < x1 and y0 < y1):
+            raise ConfigurationError(
+                f"box must satisfy x0 < x1 and y0 < y1, got "
+                f"({x0}, {y0}, {x1}, {y1})")
+        self.kind = kind
+        self.box = (x0, y0, x1, y1)
+        self.name = f"{kind} in [{x0:g},{x1:g}]x[{y0:g},{y1:g}]"
+
+    def evaluate(self, frame: Frame) -> bool:
+        x0, y0, x1, y1 = self.box
+        return any(x0 <= o.x <= x1 and y0 <= o.y <= y1
+                   for o in frame.objects if o.kind == self.kind)
+
+
+class And(Predicate):
+    """All sub-predicates hold."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        if len(predicates) < 2:
+            raise ConfigurationError("And needs at least two predicates")
+        self.predicates = predicates
+        self.name = "(" + " and ".join(p.name for p in predicates) + ")"
+
+    def evaluate(self, frame: Frame) -> bool:
+        return all(p.evaluate(frame) for p in self.predicates)
+
+
+class Or(Predicate):
+    """Any sub-predicate holds."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        if len(predicates) < 2:
+            raise ConfigurationError("Or needs at least two predicates")
+        self.predicates = predicates
+        self.name = "(" + " or ".join(p.name for p in predicates) + ")"
+
+    def evaluate(self, frame: Frame) -> bool:
+        return any(p.evaluate(frame) for p in self.predicates)
+
+
+class Not(Predicate):
+    """The sub-predicate does not hold."""
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+        self.name = f"not {predicate.name}"
+
+    def evaluate(self, frame: Frame) -> bool:
+        return not self.predicate.evaluate(frame)
+
+
+def ground_truth(predicate: Callable[[Frame], bool],
+                 frames: Iterable[Frame]) -> List[int]:
+    """Binary labels of ``predicate`` over ``frames`` (annotator helper)."""
+    return [int(bool(predicate(frame))) for frame in frames]

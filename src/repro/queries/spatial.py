@@ -1,0 +1,78 @@
+"""The spatial-constrained query (Section 6.3.2).
+
+The paper's predicate is "a bus is on the left side of a car"; ground truth
+comes from object positions (Mask R-CNN extracted them; our renderer knows
+them).  The query is answered by a per-distribution
+:class:`~repro.detectors.classifier_filters.SpatialFilter` (OD-CLF
+substitute) or directly from a detector's positions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.video.objects import BUS, CAR
+from repro.video.stream import Frame
+
+
+def bus_left_of_car(frame: Frame) -> bool:
+    """True when some bus's centre lies left of some car's centre."""
+    bus_xs = [obj.x for obj in frame.objects if obj.kind == BUS]
+    car_xs = [obj.x for obj in frame.objects if obj.kind == CAR]
+    if not bus_xs or not car_xs:
+        return False
+    return min(bus_xs) < max(car_xs)
+
+
+class SpatialQuery:
+    """Evaluates a binary spatial predicate against ground truth."""
+
+    def __init__(self, predicate=bus_left_of_car) -> None:
+        self.predicate = predicate
+
+    def ground_truth(self, frames: Sequence[Frame]) -> np.ndarray:
+        return np.asarray([int(self.predicate(f)) for f in frames],
+                          dtype=np.int64)
+
+    def accuracy(self, frames: Sequence[Frame],
+                 predictions: np.ndarray) -> float:
+        """A_q: fraction of frames where the filter matches the predicate."""
+        preds = np.asarray(predictions, dtype=np.int64).reshape(-1)
+        if preds.shape[0] != len(frames):
+            raise ConfigurationError(
+                f"{preds.shape[0]} predictions for {len(frames)} frames")
+        if preds.shape[0] == 0:
+            return 0.0
+        return float((preds == self.ground_truth(frames)).mean())
+
+    def accuracy_from_detections(self, frames: Sequence[Frame],
+                                 results: List) -> float:
+        """A_q for a detector: evaluate the predicate on detected positions."""
+        if len(results) != len(frames):
+            raise ConfigurationError(
+                f"{len(results)} detection results for {len(frames)} frames")
+        preds = []
+        for result in results:
+            bus_xs = [x for x, _ in result.positions(BUS)]
+            car_xs = [x for x, _ in result.positions(CAR)]
+            holds = bool(bus_xs and car_xs and min(bus_xs) < max(car_xs))
+            preds.append(int(holds))
+        return self.accuracy(frames, np.asarray(preds, dtype=np.int64))
+
+    def per_sequence_accuracy(self, frames: Sequence[Frame],
+                              predictions: np.ndarray) -> dict:
+        """A_q broken down by segment name (the Figure 8 bars)."""
+        preds = np.asarray(predictions, dtype=np.int64).reshape(-1)
+        if preds.shape[0] != len(frames):
+            raise ConfigurationError(
+                f"{preds.shape[0]} predictions for {len(frames)} frames")
+        truth = self.ground_truth(frames)
+        buckets: dict = {}
+        for frame, p, t in zip(frames, preds, truth):
+            bucket = buckets.setdefault(frame.segment, [0, 0])
+            bucket[0] += int(p == t)
+            bucket[1] += 1
+        return {name: c / n for name, (c, n) in buckets.items()}

@@ -1,0 +1,84 @@
+"""Track-based queries (MIRIS/OTIF-style workloads the paper's intro cites).
+
+Frame queries ask "how many cars are visible *now*"; track queries ask
+"how many *distinct* cars passed" or "did any object cross a region".
+These consume :class:`~repro.video.tracking.Track` objects from any
+detector + tracker combination, so drift-induced recall loss shows up as
+track fragmentation (one physical car becoming several short tracks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.video.tracking import Track
+
+
+class TrackQuery:
+    """Aggregate queries over a set of tracks."""
+
+    def __init__(self, min_length: int = 2) -> None:
+        if min_length < 1:
+            raise ConfigurationError(
+                f"min_length must be >= 1, got {min_length}")
+        self.min_length = min_length
+
+    def _filtered(self, tracks: Sequence[Track],
+                  kind: Optional[str] = None) -> List[Track]:
+        return [t for t in tracks
+                if t.length >= self.min_length
+                and (kind is None or t.kind == kind)]
+
+    def distinct_count(self, tracks: Sequence[Track],
+                       kind: Optional[str] = None) -> int:
+        """Number of distinct objects (tracks) observed."""
+        return len(self._filtered(tracks, kind))
+
+    def crossings(self, tracks: Sequence[Track], x_line: float,
+                  kind: Optional[str] = None) -> int:
+        """Tracks whose trajectory crosses the vertical line ``x = x_line``."""
+        if not 0.0 <= x_line <= 1.0:
+            raise ConfigurationError(
+                f"x_line must be in [0, 1], got {x_line}")
+        count = 0
+        for track in self._filtered(tracks, kind):
+            xs = [p.x for p in track.points]
+            if min(xs) < x_line <= max(xs):
+                count += 1
+        return count
+
+    def dwell_times(self, tracks: Sequence[Track],
+                    kind: Optional[str] = None) -> List[int]:
+        """Frames each distinct object stayed in view."""
+        return [t.end - t.start + 1 for t in self._filtered(tracks, kind)]
+
+    def busiest_interval(self, tracks: Sequence[Track], window: int,
+                         kind: Optional[str] = None
+                         ) -> Tuple[int, int]:
+        """``(start_frame, active_tracks)`` of the window with the most
+        simultaneously active tracks."""
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        filtered = self._filtered(tracks, kind)
+        if not filtered:
+            return (0, 0)
+        horizon = max(t.end for t in filtered) + 1
+        best_start, best_count = 0, -1
+        for start in range(0, max(horizon - window + 1, 1)):
+            end = start + window - 1
+            active = sum(1 for t in filtered
+                         if t.start <= end and t.end >= start)
+            if active > best_count:
+                best_start, best_count = start, active
+        return (best_start, best_count)
+
+    def fragmentation(self, observed: Sequence[Track],
+                      ground_truth: Sequence[Track],
+                      kind: Optional[str] = None) -> float:
+        """Ratio of observed to true distinct counts (1.0 = perfect;
+        > 1 means recall loss fragmented tracks, < 1 means merges/misses)."""
+        true_count = self.distinct_count(ground_truth, kind)
+        if true_count == 0:
+            return 0.0
+        return self.distinct_count(observed, kind) / true_count

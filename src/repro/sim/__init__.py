@@ -1,0 +1,26 @@
+"""Simulation substrate: simulated clock, cost profiles, metric collectors.
+
+The paper reports wall-clock seconds on a 2x Titan XP workstation.  Our CPU
+substrate cannot match those absolute numbers, so time-performance tables are
+reproduced against a :class:`~repro.sim.clock.SimulatedClock` charged with
+per-operation costs calibrated to the paper's reported per-frame figures
+(:mod:`repro.sim.costs`).  Real wall-clock is additionally measured by the
+pytest-benchmark targets.
+"""
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.costs import CostProfile, PAPER_COSTS
+from repro.sim.metrics import (
+    AccuracyCollector,
+    DetectionRecord,
+    InvocationCounter,
+)
+
+__all__ = [
+    "SimulatedClock",
+    "CostProfile",
+    "PAPER_COSTS",
+    "AccuracyCollector",
+    "DetectionRecord",
+    "InvocationCounter",
+]

@@ -1,0 +1,91 @@
+"""Simulated clock charging per-operation costs.
+
+Components call ``clock.charge("operation")`` (or ``charge_ms``) at the point
+where the paper's testbed would spend GPU/CPU time.  Experiments read
+``clock.elapsed_ms`` / ``elapsed_s`` to build the time-performance tables.
+The clock also keeps a per-operation ledger for cost breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.costs import CostProfile, PAPER_COSTS
+
+
+class SimulatedClock:
+    """Accumulates simulated milliseconds against a :class:`CostProfile`."""
+
+    def __init__(self, profile: Optional[CostProfile] = None) -> None:
+        self.profile = profile or PAPER_COSTS
+        self._elapsed_ms = 0.0
+        self._ledger: Counter = Counter()
+        self._op_counts: Counter = Counter()
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Total simulated time in milliseconds."""
+        return self._elapsed_ms
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated time in seconds."""
+        return self._elapsed_ms / 1000.0
+
+    def charge(self, operation: str, times: int = 1) -> float:
+        """Charge ``operation`` ``times`` times; returns the ms charged."""
+        if times < 0:
+            raise ConfigurationError(f"times must be non-negative, got {times}")
+        ms = self.profile.cost(operation) * times
+        self._elapsed_ms += ms
+        self._ledger[operation] += ms
+        self._op_counts[operation] += times
+        return ms
+
+    def charge_ms(self, operation: str, ms: float) -> float:
+        """Charge an explicit duration under ``operation``'s ledger entry."""
+        if ms < 0:
+            raise ConfigurationError(f"ms must be non-negative, got {ms}")
+        self._elapsed_ms += ms
+        self._ledger[operation] += ms
+        return ms
+
+    def ledger(self) -> Dict[str, float]:
+        """Milliseconds charged per operation name."""
+        return dict(self._ledger)
+
+    def operation_counts(self) -> Dict[str, int]:
+        """How many times each operation was charged via :meth:`charge`."""
+        return dict(self._op_counts)
+
+    def reset(self) -> None:
+        """Zero the clock and ledger."""
+        self._elapsed_ms = 0.0
+        self._ledger.clear()
+        self._op_counts.clear()
+
+    def split(self) -> "ClockSplit":
+        """A context manager measuring the simulated time of a block."""
+        return ClockSplit(self)
+
+
+class ClockSplit:
+    """Context manager capturing elapsed simulated ms inside a block."""
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed_ms = 0.0
+
+    def __enter__(self) -> "ClockSplit":
+        self._start = self._clock.elapsed_ms
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_ms = self._clock.elapsed_ms - self._start
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ms / 1000.0

@@ -1,0 +1,125 @@
+"""Metric collectors used across experiments.
+
+- :class:`DetectionRecord` -- detection delay bookkeeping (Figure 3 / 4).
+- :class:`InvocationCounter` -- model invocations per frame (Figure 6).
+- :class:`AccuracyCollector` -- query accuracy ``A_q`` (Figures 7 / 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DetectionRecord:
+    """One drift-detection episode.
+
+    ``drift_frame`` is the ground-truth frame index where the distribution
+    changed; ``detected_frame`` the index where the detector declared drift
+    (``None`` if it never fired).  ``delay`` is the paper's metric: frames
+    processed from the change point until detection.
+    """
+
+    sequence: str
+    drift_frame: int
+    detected_frame: Optional[int]
+
+    @property
+    def detected(self) -> bool:
+        return self.detected_frame is not None
+
+    @property
+    def delay(self) -> Optional[int]:
+        if self.detected_frame is None:
+            return None
+        return self.detected_frame - self.drift_frame
+
+    @property
+    def false_positive(self) -> bool:
+        """True when the detector fired before the ground-truth change."""
+        return (self.detected_frame is not None
+                and self.detected_frame < self.drift_frame)
+
+
+def mean_delay(records: List[DetectionRecord]) -> float:
+    """Average detection delay over records that actually detected."""
+    delays = [r.delay for r in records if r.delay is not None]
+    if not delays:
+        return float("nan")
+    return sum(delays) / len(delays)
+
+
+class InvocationCounter:
+    """Counts model invocations per processed frame (Figure 6's metric)."""
+
+    def __init__(self) -> None:
+        self._per_frame: List[int] = []
+        self._per_model: Dict[str, int] = {}
+
+    def record(self, models: List[str]) -> None:
+        """Record that ``models`` were all invoked for one frame."""
+        if not models:
+            raise ConfigurationError("a frame must invoke at least one model")
+        self._per_frame.append(len(models))
+        for name in models:
+            self._per_model[name] = self._per_model.get(name, 0) + 1
+
+    @property
+    def frames(self) -> int:
+        return len(self._per_frame)
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(self._per_frame)
+
+    @property
+    def invocations_per_frame(self) -> float:
+        """The paper's headline metric; 1.0 means single-model processing."""
+        if not self._per_frame:
+            return 0.0
+        return self.total_invocations / self.frames
+
+    @property
+    def ensemble_fraction(self) -> float:
+        """Fraction of frames processed by more than one model."""
+        if not self._per_frame:
+            return 0.0
+        return sum(1 for n in self._per_frame if n > 1) / self.frames
+
+    def per_model(self) -> Dict[str, int]:
+        return dict(self._per_model)
+
+
+@dataclass
+class AccuracyCollector:
+    """Accumulates query accuracy ``A_q``: fraction of frames whose
+    prediction matches ground truth."""
+
+    correct: int = 0
+    total: int = 0
+    per_sequence: Dict[str, List[int]] = field(default_factory=dict)
+
+    def record(self, sequence: str, is_correct: bool) -> None:
+        self.correct += int(is_correct)
+        self.total += 1
+        bucket = self.per_sequence.setdefault(sequence, [0, 0])
+        bucket[0] += int(is_correct)
+        bucket[1] += 1
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.correct / self.total
+
+    def sequence_accuracy(self, sequence: str) -> float:
+        bucket = self.per_sequence.get(sequence)
+        if not bucket or bucket[1] == 0:
+            return 0.0
+        return bucket[0] / bucket[1]
+
+    def by_sequence(self) -> Dict[str, float]:
+        return {name: self.sequence_accuracy(name) for name in self.per_sequence}

@@ -1,0 +1,45 @@
+"""Synthetic video substrate.
+
+Stands in for the paper's BDD / Detrac / Tokyo datasets: a parametric scene
+renderer produces pixel frames whose distribution shifts at known ground
+truth drift points, with per-frame temporal correlation (objects persist and
+move between frames) as in real video.
+
+- :mod:`repro.video.objects` -- cars / buses with positions and motion.
+- :mod:`repro.video.scenes` -- conditions (day/night/rain/snow) and camera
+  angles; each defines a frame distribution.
+- :mod:`repro.video.renderer` -- scene -> pixel array.
+- :mod:`repro.video.stream` -- drifting video streams (abrupt and gradual).
+- :mod:`repro.video.datasets` -- SyntheticBDD / Detrac / Tokyo builders.
+- :mod:`repro.video.annotator` -- oracle annotator (Mask R-CNN substitute).
+- :mod:`repro.video.features` -- downsampling / flattening helpers.
+"""
+
+from repro.video.annotator import OracleAnnotator
+from repro.video.datasets import (
+    DriftingDataset,
+    make_bdd,
+    make_detrac,
+    make_slow_drift,
+    make_tokyo,
+)
+from repro.video.objects import SceneObject
+from repro.video.renderer import Renderer
+from repro.video.scenes import CameraAngle, SceneCondition, SegmentSpec
+from repro.video.stream import Frame, VideoStream
+
+__all__ = [
+    "SceneObject",
+    "SceneCondition",
+    "CameraAngle",
+    "SegmentSpec",
+    "Renderer",
+    "Frame",
+    "VideoStream",
+    "DriftingDataset",
+    "make_bdd",
+    "make_detrac",
+    "make_tokyo",
+    "make_slow_drift",
+    "OracleAnnotator",
+]

@@ -1,0 +1,84 @@
+"""Oracle annotator -- the Mask R-CNN substitute.
+
+In the paper, Mask R-CNN annotates training frames (counts, object
+positions) and serves as the accuracy baseline.  Here the renderer already
+knows the ground truth, so the annotator reads it from :class:`Frame`
+objects, optionally corrupting a configurable fraction of labels (real
+annotators are imperfect) and charging the simulated per-frame annotation
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.sim.clock import SimulatedClock
+from repro.video.stream import Frame
+
+
+class OracleAnnotator:
+    """Labels frames from renderer ground truth.
+
+    ``noise`` is the probability that a label is perturbed by +/-1 class
+    (clipped to the valid range), modelling annotation error.
+    """
+
+    def __init__(self, num_classes: int = 10, noise: float = 0.0,
+                 bucket_width: int = 1,
+                 clock: Optional[SimulatedClock] = None,
+                 seed: SeedLike = None) -> None:
+        if num_classes < 2:
+            raise ConfigurationError(
+                f"num_classes must be >= 2, got {num_classes}")
+        if not 0.0 <= noise <= 1.0:
+            raise ConfigurationError(f"noise must be in [0, 1], got {noise}")
+        if bucket_width < 1:
+            raise ConfigurationError(
+                f"bucket_width must be >= 1, got {bucket_width}")
+        self.num_classes = num_classes
+        self.noise = noise
+        self.bucket_width = bucket_width
+        self.clock = clock
+        self._rng = ensure_rng(seed)
+
+    def count_labels(self, frames: Sequence[Frame]) -> np.ndarray:
+        """Car-count labels for a sequence of frames."""
+        if len(frames) == 0:
+            raise ConfigurationError("no frames to annotate")
+        if self.clock is not None:
+            self.clock.charge("annotate_frame", times=len(frames))
+        labels = np.asarray(
+            [f.count_label(self.num_classes, self.bucket_width)
+             for f in frames], dtype=np.int64)
+        if self.noise > 0:
+            flips = self._rng.uniform(size=labels.shape[0]) < self.noise
+            offsets = self._rng.choice([-1, 1], size=labels.shape[0])
+            labels = np.where(flips, labels + offsets, labels)
+            labels = np.clip(labels, 0, self.num_classes - 1)
+        return labels
+
+    def __call__(self, frames: Sequence[Frame]) -> np.ndarray:
+        return self.count_labels(frames)
+
+    def spatial_labels(self, frames: Sequence[Frame],
+                       predicate) -> np.ndarray:
+        """Binary labels: 1 when ``predicate(frame)`` holds."""
+        if len(frames) == 0:
+            raise ConfigurationError("no frames to annotate")
+        if self.clock is not None:
+            self.clock.charge("annotate_frame", times=len(frames))
+        labels = np.asarray([int(bool(predicate(f))) for f in frames],
+                            dtype=np.int64)
+        if self.noise > 0:
+            flips = self._rng.uniform(size=labels.shape[0]) < self.noise
+            labels = np.where(flips, 1 - labels, labels)
+        return labels
+
+
+def positions_of(frame: Frame, kind: str) -> List[tuple]:
+    """Centre coordinates of all objects of ``kind`` in a frame."""
+    return [(obj.x, obj.y) for obj in frame.objects if obj.kind == kind]

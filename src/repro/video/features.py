@@ -1,0 +1,52 @@
+"""Frame feature helpers: downsampling and flattening.
+
+The paper pre-processes BDD to the Detrac/Tokyo resolution; here the
+equivalent utility is block-mean downsampling, used to shrink frames before
+they reach the numpy networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+
+def downsample(frame: np.ndarray, factor: int) -> np.ndarray:
+    """Block-mean downsample a ``(H, W)`` frame by an integer factor."""
+    if factor <= 0:
+        raise ConfigurationError(f"factor must be positive, got {factor}")
+    arr = np.asarray(frame, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(f"expected (H, W), got shape {arr.shape}")
+    h, w = arr.shape
+    if h % factor or w % factor:
+        raise DimensionMismatchError(
+            f"frame {arr.shape} not divisible by factor {factor}")
+    return arr.reshape(h // factor, factor, w // factor, factor).mean(axis=(1, 3))
+
+
+def downsample_batch(frames: np.ndarray, factor: int) -> np.ndarray:
+    """Downsample a stack of frames ``(N, H, W)``."""
+    arr = np.asarray(frames, dtype=np.float64)
+    if arr.ndim != 3:
+        raise DimensionMismatchError(
+            f"expected (N, H, W), got shape {arr.shape}")
+    n, h, w = arr.shape
+    if factor <= 0:
+        raise ConfigurationError(f"factor must be positive, got {factor}")
+    if h % factor or w % factor:
+        raise DimensionMismatchError(
+            f"frames {arr.shape} not divisible by factor {factor}")
+    return arr.reshape(n, h // factor, factor, w // factor, factor).mean(
+        axis=(2, 4))
+
+
+def flatten(frames: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, ...)`` frames to ``(N, D)`` (or one frame to ``(D,)``)."""
+    arr = np.asarray(frames, dtype=np.float64)
+    if arr.ndim <= 1:
+        return arr
+    if arr.ndim == 2:
+        return arr.reshape(-1)
+    return arr.reshape(arr.shape[0], -1)

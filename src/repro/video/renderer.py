@@ -1,0 +1,137 @@
+"""Rasterising scenes to pixel arrays.
+
+Frames are grayscale float arrays in ``[0, 1]`` with shape ``(H, W)``.
+The renderer composes, in order: a background gradient (oriented by the
+camera angle, lit by the condition), a road band, the objects (rectangles,
+with headlight dots at night), then condition noise (sensor noise, rain
+streaks, snow speckle).  Everything is vectorised numpy; no image libraries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, ensure_rng
+from repro.video.objects import SceneObject
+from repro.video.scenes import CameraAngle, SceneCondition
+
+
+# Static world landmarks (buildings, signs): fixed world positions drawn
+# through the camera transform, so each camera angle sees them at different
+# frame positions -- the dominant static cue distinguishing camera
+# placements, as in real fixed-camera footage.
+_LANDMARKS = (
+    # (x, y, width, height, shade relative to background)
+    (0.15, 0.12, 0.12, 0.10, -0.16),
+    (0.72, 0.10, 0.10, 0.14, +0.14),
+    (0.40, 0.90, 0.16, 0.08, -0.12),
+    (0.88, 0.80, 0.09, 0.12, +0.11),
+    (0.05, 0.75, 0.10, 0.09, -0.10),
+)
+
+
+class Renderer:
+    """Renders object lists into grayscale frames."""
+
+    def __init__(self, height: int = 32, width: int = 32) -> None:
+        if height < 8 or width < 8:
+            raise ConfigurationError(
+                f"frame size must be at least 8x8, got {(height, width)}")
+        self.height = height
+        self.width = width
+        ys = np.linspace(0.0, 1.0, height)[:, None]
+        xs = np.linspace(0.0, 1.0, width)[None, :]
+        self._ys = np.broadcast_to(ys, (height, width))
+        self._xs = np.broadcast_to(xs, (height, width))
+
+    @property
+    def shape(self) -> tuple:
+        return (self.height, self.width)
+
+    # ------------------------------------------------------------------
+    def _background(self, condition: SceneCondition,
+                    angle: CameraAngle) -> np.ndarray:
+        phase = angle.gradient_phase
+        gradient = (np.cos(phase) * self._xs + np.sin(phase) * self._ys)
+        gradient = (gradient - gradient.min()) / max(
+            gradient.max() - gradient.min(), 1e-9)
+        base = condition.background + condition.contrast * 0.18 * (gradient - 0.5)
+        # road band: a darker strip where objects drive, mapped through the
+        # camera geometry -- a different angle shifts, scales and tilts the
+        # road, which is the dominant global cue distinguishing camera
+        # placements (as in the Detrac / Tokyo fixed-angle sequences)
+        road_centre = 0.5 + (0.55 - 0.5) * angle.zoom + angle.offset_y
+        road_line = road_centre + angle.shear * (self._xs - 0.5)
+        road_width = 0.22 * angle.zoom
+        road = np.exp(-(((self._ys - road_line) / road_width) ** 2))
+        canvas = base - 0.14 * condition.contrast * road
+        self._draw_landmarks(canvas, condition, angle)
+        return canvas
+
+    def _draw_landmarks(self, canvas: np.ndarray, condition: SceneCondition,
+                        angle: CameraAngle) -> None:
+        for lx, ly, lw, lh, shade in _LANDMARKS:
+            cx, cy = angle.transform(lx, ly)
+            w = lw * angle.zoom
+            h = lh * angle.zoom
+            x0 = max(int(np.floor((cx - w / 2) * self.width)), 0)
+            x1 = min(int(np.ceil((cx + w / 2) * self.width)), self.width)
+            y0 = max(int(np.floor((cy - h / 2) * self.height)), 0)
+            y1 = min(int(np.ceil((cy + h / 2) * self.height)), self.height)
+            if x0 < x1 and y0 < y1:
+                canvas[y0:y1, x0:x1] += shade * condition.contrast
+
+    def _draw_object(self, canvas: np.ndarray, obj: SceneObject,
+                     condition: SceneCondition, angle: CameraAngle) -> None:
+        cx, cy = angle.transform(obj.x, obj.y)
+        w = obj.width * angle.zoom
+        h = obj.height * angle.zoom
+        x0 = int(np.floor((cx - w / 2) * self.width))
+        x1 = int(np.ceil((cx + w / 2) * self.width))
+        y0 = int(np.floor((cy - h / 2) * self.height))
+        y1 = int(np.ceil((cy + h / 2) * self.height))
+        x0, x1 = max(x0, 0), min(x1, self.width)
+        y0, y1 = max(y0, 0), min(y1, self.height)
+        if x0 >= x1 or y0 >= y1:
+            return
+        value = np.clip(obj.intensity * condition.object_gain, 0.0, 1.0)
+        canvas[y0:y1, x0:x1] = value
+        if condition.headlights:
+            # bright dots on the leading edge, the visible signature at night
+            hx = min(x1 - 1, self.width - 1)
+            hy = min(max((y0 + y1) // 2, 0), self.height - 1)
+            canvas[hy, hx] = 1.0
+            if hy + 1 < self.height:
+                canvas[hy + 1, hx] = 0.9
+
+    def _weather(self, canvas: np.ndarray, condition: SceneCondition,
+                 rng: np.random.Generator) -> np.ndarray:
+        if condition.rain_streaks > 0:
+            n_streaks = max(1, int(condition.rain_streaks * self.width))
+            cols = rng.integers(0, self.width, size=n_streaks)
+            starts = rng.integers(0, max(self.height - 8, 1), size=n_streaks)
+            lengths = rng.integers(4, max(self.height // 2, 5), size=n_streaks)
+            for col, start, length in zip(cols, starts, lengths):
+                end = min(start + length, self.height)
+                canvas[start:end, col] -= 0.18
+        if condition.snow_speckle > 0:
+            mask = rng.uniform(size=canvas.shape) < condition.snow_speckle
+            canvas[mask] = np.maximum(canvas[mask], 0.95)
+        if condition.noise_std > 0:
+            canvas = canvas + rng.normal(0.0, condition.noise_std, canvas.shape)
+        return canvas
+
+    # ------------------------------------------------------------------
+    def render(self, objects: List[SceneObject], condition: SceneCondition,
+               angle: CameraAngle, seed: SeedLike = None,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Compose one frame; returns ``(H, W)`` floats in ``[0, 1]``."""
+        noise_rng = rng if rng is not None else ensure_rng(seed)
+        canvas = self._background(condition, angle)
+        for obj in objects:
+            self._draw_object(canvas, obj, condition, angle)
+        canvas = self._weather(canvas, condition, noise_rng)
+        return np.clip(canvas, 0.0, 1.0)

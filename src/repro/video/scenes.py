@@ -1,0 +1,156 @@
+"""Scene conditions and camera angles -- the frame distributions.
+
+A :class:`SceneCondition` controls global appearance (background brightness,
+object visibility, weather noise); a :class:`CameraAngle` controls geometry
+(shear / offset / zoom of object positions and the background gradient
+orientation).  A :class:`SegmentSpec` fixes one (condition, angle) pair plus
+object statistics, defining one distribution ``F_k`` of the paper's problem
+statement.  Conditions support linear interpolation so streams can drift
+*gradually* (the paper's slow-drift experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SceneCondition:
+    """Global appearance parameters of a weather / time-of-day condition."""
+
+    name: str
+    background: float = 0.55          # base background brightness
+    object_gain: float = 1.0          # multiplier on object intensity
+    noise_std: float = 0.02           # white sensor noise
+    rain_streaks: float = 0.0         # density of dark vertical streaks
+    snow_speckle: float = 0.0         # density of bright speckles
+    headlights: bool = False          # draw bright dots on objects (night)
+    contrast: float = 1.0             # background gradient contrast
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.background <= 1.0:
+            raise ConfigurationError(
+                f"background must be in [0, 1], got {self.background}")
+        if self.noise_std < 0:
+            raise ConfigurationError(
+                f"noise_std must be non-negative, got {self.noise_std}")
+
+    def blend(self, other: "SceneCondition", t: float) -> "SceneCondition":
+        """Linear interpolation toward ``other`` (``t`` in [0, 1]).
+
+        Used by gradual drift: the stream renders intermediate conditions,
+        so the distribution changes smoothly like a real dusk transition.
+        """
+        if not 0.0 <= t <= 1.0:
+            raise ConfigurationError(f"t must be in [0, 1], got {t}")
+
+        def lerp(a: float, b: float) -> float:
+            return a + (b - a) * t
+
+        return SceneCondition(
+            name=f"{self.name}->{other.name}@{t:.2f}",
+            background=lerp(self.background, other.background),
+            object_gain=lerp(self.object_gain, other.object_gain),
+            noise_std=lerp(self.noise_std, other.noise_std),
+            rain_streaks=lerp(self.rain_streaks, other.rain_streaks),
+            snow_speckle=lerp(self.snow_speckle, other.snow_speckle),
+            headlights=other.headlights if t > 0.5 else self.headlights,
+            contrast=lerp(self.contrast, other.contrast),
+        )
+
+
+@dataclass(frozen=True)
+class CameraAngle:
+    """Geometric parameters of a camera placement."""
+
+    name: str
+    shear: float = 0.0        # horizontal shear applied to object positions
+    offset_x: float = 0.0     # field-of-view shift
+    offset_y: float = 0.0
+    zoom: float = 1.0         # scale around the frame centre
+    gradient_phase: float = 0.0  # orientation of the background gradient
+
+    def __post_init__(self) -> None:
+        if self.zoom <= 0:
+            raise ConfigurationError(f"zoom must be positive, got {self.zoom}")
+
+    def transform(self, x: float, y: float) -> Tuple[float, float]:
+        """Map normalized object coordinates through the camera geometry."""
+        cx = 0.5 + (x - 0.5) * self.zoom + self.shear * (y - 0.5) + self.offset_x
+        cy = 0.5 + (y - 0.5) * self.zoom + self.offset_y
+        return cx, cy
+
+
+# ----------------------------------------------------------------------
+# Predefined conditions (the BDD sequence vocabulary)
+# ----------------------------------------------------------------------
+DAY = SceneCondition(name="day", background=0.62, object_gain=1.0,
+                     noise_std=0.02, contrast=1.0)
+NIGHT = SceneCondition(name="night", background=0.12, object_gain=0.35,
+                       noise_std=0.03, headlights=True, contrast=0.4)
+RAIN = SceneCondition(name="rain", background=0.45, object_gain=0.8,
+                      noise_std=0.05, rain_streaks=0.06, contrast=0.7)
+SNOW = SceneCondition(name="snow", background=0.78, object_gain=0.85,
+                      noise_std=0.04, snow_speckle=0.08, contrast=0.6)
+
+CONDITIONS = {c.name: c for c in (DAY, NIGHT, RAIN, SNOW)}
+
+FRONT = CameraAngle(name="front")
+
+
+def make_angle(index: int, overlap_with: Optional[int] = None) -> CameraAngle:
+    """A distinct fixed camera angle (Detrac / Tokyo style).
+
+    ``overlap_with`` makes this angle share part of its field of view with
+    another (paper Section 6.1.1: Tokyo angles 1 and 3 overlap, angle 2 does
+    not), by keeping the offsets close to the referenced angle's.
+    """
+    if index < 0:
+        raise ConfigurationError(f"index must be non-negative, got {index}")
+    if overlap_with is not None:
+        base = make_angle(overlap_with)
+        return CameraAngle(
+            name=f"angle_{index}",
+            shear=base.shear + 0.05,
+            offset_x=base.offset_x + 0.04,
+            offset_y=base.offset_y - 0.03,
+            zoom=base.zoom * 1.05,
+            gradient_phase=base.gradient_phase + 0.2,
+        )
+    return CameraAngle(
+        name=f"angle_{index}",
+        shear=0.12 * ((index % 5) - 2),
+        offset_x=0.09 * ((index * 2) % 5 - 2),
+        offset_y=0.06 * ((index * 3) % 5 - 2),
+        zoom=1.0 + 0.15 * ((index % 3) - 1),
+        gradient_phase=0.9 * index,
+    )
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One distribution F_k: condition + angle + object statistics.
+
+    ``length`` is the number of frames the stream spends in this segment;
+    ``transition`` the number of *leading* frames blended from the previous
+    segment's condition (0 = abrupt drift, the default).
+    """
+
+    name: str
+    condition: SceneCondition = field(default=DAY)
+    angle: CameraAngle = field(default=FRONT)
+    length: int = 1000
+    objects_mean: float = 9.2
+    objects_std: float = 6.4
+    bus_fraction: float = 0.2
+    transition: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigurationError(f"length must be positive: {self.length}")
+        if self.transition < 0 or self.transition > self.length:
+            raise ConfigurationError(
+                f"transition must be in [0, length], got {self.transition}")

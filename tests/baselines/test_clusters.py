@@ -1,0 +1,112 @@
+"""ODIN clusters: running statistics, density bands, KL divergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.odin.clusters import OdinCluster, diagonal_gaussian_kl
+from repro.errors import ConfigurationError, EmptyReferenceError
+
+
+class TestDiagonalGaussianKL:
+    def test_identical_gaussians_have_zero_kl(self):
+        mean = np.array([1.0, -2.0])
+        var = np.array([0.5, 2.0])
+        assert diagonal_gaussian_kl(mean, var, mean, var) == pytest.approx(0.0)
+
+    def test_known_univariate_value(self):
+        # KL(N(1,1) || N(0,1)) = 0.5
+        kl = diagonal_gaussian_kl(np.array([1.0]), np.array([1.0]),
+                                  np.array([0.0]), np.array([1.0]))
+        assert kl == pytest.approx(0.5)
+
+    def test_non_negative(self, rng):
+        for _ in range(20):
+            kl = diagonal_gaussian_kl(rng.normal(size=3),
+                                      rng.uniform(0.1, 2.0, 3),
+                                      rng.normal(size=3),
+                                      rng.uniform(0.1, 2.0, 3))
+            assert kl >= -1e-12
+
+    def test_asymmetric(self):
+        a = diagonal_gaussian_kl(np.array([0.0]), np.array([1.0]),
+                                 np.array([0.0]), np.array([4.0]))
+        b = diagonal_gaussian_kl(np.array([0.0]), np.array([4.0]),
+                                 np.array([0.0]), np.array([1.0]))
+        assert a != pytest.approx(b)
+
+
+class TestOdinCluster:
+    def test_centroid_and_variance_match_numpy(self, rng):
+        points = rng.normal(2.0, 1.5, size=(100, 3))
+        cluster = OdinCluster("c")
+        cluster.bulk_add(points)
+        np.testing.assert_allclose(cluster.centroid, points.mean(axis=0),
+                                   atol=1e-9)
+        np.testing.assert_allclose(cluster.variance,
+                                   points.var(axis=0, ddof=1), atol=1e-9)
+
+    def test_incremental_equals_bulk(self, rng):
+        points = rng.normal(size=(50, 2))
+        incremental = OdinCluster("a")
+        for p in points:
+            incremental.add(p)
+        bulk = OdinCluster("b")
+        bulk.bulk_add(points)
+        np.testing.assert_allclose(incremental.centroid, bulk.centroid)
+        np.testing.assert_allclose(incremental.variance, bulk.variance)
+
+    def test_band_encloses_half_the_members(self, rng):
+        points = rng.normal(size=(400, 3))
+        cluster = OdinCluster("c", delta=0.5)
+        cluster.bulk_add(points)
+        lo, hi = cluster.band()
+        distances = np.sqrt(((points - cluster.centroid) ** 2).sum(axis=1))
+        inside = ((distances >= lo) & (distances <= hi)).mean()
+        assert 0.35 < inside < 0.65
+
+    def test_accepts_in_distribution_rejects_far(self, rng):
+        points = rng.normal(size=(200, 3))
+        cluster = OdinCluster("c")
+        cluster.bulk_add(points)
+        assert cluster.accepts(rng.normal(size=3), tolerance=0.5)
+        assert not cluster.accepts(np.full(3, 50.0), tolerance=0.5)
+
+    def test_empty_cluster_rejects_everything(self):
+        cluster = OdinCluster("c")
+        assert not cluster.accepts(np.zeros(2))
+
+    def test_empty_cluster_raises_on_stats(self):
+        cluster = OdinCluster("c")
+        with pytest.raises(EmptyReferenceError):
+            cluster.centroid
+        with pytest.raises(EmptyReferenceError):
+            cluster.band()
+
+    def test_distance_is_euclidean(self):
+        cluster = OdinCluster("c")
+        cluster.bulk_add(np.zeros((5, 2)))
+        assert cluster.distance(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_gaussian_state_is_a_snapshot(self, rng):
+        cluster = OdinCluster("c")
+        cluster.bulk_add(rng.normal(size=(20, 2)))
+        mean, var = cluster.gaussian_state()
+        cluster.add(np.full(2, 100.0))
+        assert not np.allclose(mean, cluster.centroid)
+
+    def test_memory_is_bounded(self, rng):
+        from repro.baselines.odin.clusters import _MAX_DISTANCES
+        cluster = OdinCluster("c")
+        for _ in range(_MAX_DISTANCES + 100):
+            cluster.add(rng.normal(size=2))
+        assert len(cluster._distances) <= _MAX_DISTANCES
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OdinCluster("c", delta=1.0)
+
+    def test_bulk_add_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OdinCluster("c").bulk_add(np.empty((0, 2)))

@@ -1,0 +1,147 @@
+"""ODIN-Detect / Select / Specialize on synthetic gaussian data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.odin.detect import OdinConfig, OdinDetect
+from repro.baselines.odin.select import OdinSelect, SelectionOutcome
+from repro.baselines.odin.specialize import OdinSpecialize
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulatedClock
+
+DIM = 5
+
+
+def seeded_detect(rng, centres=(0.0,), config=None):
+    detect = OdinDetect(config=config or OdinConfig())
+    for i, centre in enumerate(centres):
+        detect.seed_cluster(f"c{i}", rng.normal(centre, 1.0, size=(150, DIM)))
+    return detect
+
+
+class TestOdinDetect:
+    def test_assigns_in_distribution_frames(self, rng):
+        detect = seeded_detect(rng)
+        decision = detect.observe(rng.normal(0.0, 1.0, size=DIM))
+        assert decision.assigned_cluster == "c0"
+        assert not decision.drift
+
+    def test_detects_shifted_distribution_via_promotion(self, rng):
+        detect = seeded_detect(rng)
+        shifted = rng.normal(8.0, 1.0, size=(120, DIM))
+        delay = detect.frames_to_detect(iter(shifted))
+        assert delay is not None
+        # promotion needs at least min_temp_size members
+        assert delay >= detect.config.min_temp_size
+
+    def test_promoted_cluster_becomes_permanent(self, rng):
+        detect = seeded_detect(rng)
+        for frame in rng.normal(8.0, 1.0, size=(120, DIM)):
+            if detect.observe(frame).drift:
+                break
+        assert len(detect.clusters) == 2
+        assert detect.temp is None
+
+    def test_no_promotion_on_null_stream(self, rng):
+        detect = seeded_detect(rng)
+        for frame in rng.normal(0.0, 1.0, size=(300, DIM)):
+            assert not detect.observe(frame).drift
+
+    def test_temp_timeout_discards_stale_cluster(self, rng):
+        config = OdinConfig(temp_timeout=10, min_temp_size=22)
+        detect = seeded_detect(rng, config=config)
+        # a trickle of outliers: one every 5 frames
+        for i in range(100):
+            if i % 5 == 0:
+                detect.observe(rng.normal(8.0, 1.0, size=DIM))
+            else:
+                detect.observe(rng.normal(0.0, 1.0, size=DIM))
+        # the trickle never promotes because the temp cluster keeps dying
+        assert not detect.drift_detected
+
+    def test_reset_detection_keeps_clusters(self, rng):
+        detect = seeded_detect(rng)
+        detect.frames_to_detect(iter(rng.normal(8.0, 1.0, size=(120, DIM))))
+        n_clusters = len(detect.clusters)
+        detect.reset_detection()
+        assert not detect.drift_detected
+        assert len(detect.clusters) == n_clusters
+
+    def test_clock_charges(self, rng):
+        clock = SimulatedClock()
+        detect = OdinDetect(clock=clock)
+        detect.seed_cluster("c", rng.normal(size=(50, DIM)))
+        detect.observe(rng.normal(size=DIM))
+        assert clock.operation_counts()["odin_band_update"] == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kl_threshold": 0.0}, {"min_temp_size": 2}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OdinConfig(**kwargs)
+
+
+class TestOdinSelect:
+    def test_single_model_for_clear_frames(self, rng):
+        detect = seeded_detect(rng, centres=(0.0, 20.0))
+        select = OdinSelect(detect.clusters, band_tolerance=0.3)
+        outcome = select.select(rng.normal(0.0, 1.0, size=DIM))
+        assert outcome.models == ["c0"]
+        assert not outcome.is_ensemble
+
+    def test_overlapping_clusters_yield_ensembles(self, rng):
+        detect = seeded_detect(rng, centres=(0.0, 0.5))
+        select = OdinSelect(detect.clusters, band_tolerance=1.0)
+        ensembles = 0
+        for frame in rng.normal(0.25, 1.0, size=(60, DIM)):
+            if select.select(frame).is_ensemble:
+                ensembles += 1
+        assert ensembles > 0
+        assert select.invocations_per_frame > 1.0
+        assert 0.0 < select.ensemble_fraction <= 1.0
+
+    def test_no_band_match_falls_back_to_nearest(self, rng):
+        detect = seeded_detect(rng, centres=(0.0, 20.0))
+        select = OdinSelect(detect.clusters, band_tolerance=0.1)
+        outcome = select.select(np.full(DIM, 19.0))
+        assert outcome.models == ["c1"]
+
+    def test_equal_weights(self):
+        outcome = SelectionOutcome(frame_index=0, models=["a", "b"])
+        assert outcome.weights == [0.5, 0.5]
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectionOutcome(frame_index=0, models=[])
+
+    def test_empty_cluster_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OdinSelect([])
+
+
+class TestOdinSpecialize:
+    def test_trains_model_from_items(self, rng):
+        class FakeModel:
+            def fit(self, frames, labels):
+                self.n = len(frames)
+                return self
+
+        specializer = OdinSpecialize(
+            classifier_factory=lambda seed: FakeModel(),
+            annotator=lambda items: np.zeros(len(items), dtype=np.int64),
+            min_frames=5, seed=0)
+        items = list(range(10))
+        pixels = rng.uniform(size=(10, 4))
+        model = specializer.specialize("new", items, pixels)
+        assert model.n == 10
+        assert specializer.trained_clusters == ["new"]
+
+    def test_too_few_frames_rejected(self, rng):
+        specializer = OdinSpecialize(
+            classifier_factory=lambda seed: None,
+            annotator=lambda items: np.zeros(len(items), dtype=np.int64),
+            min_frames=5)
+        with pytest.raises(ConfigurationError):
+            specializer.specialize("x", [1, 2], rng.uniform(size=(2, 4)))

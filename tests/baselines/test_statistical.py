@@ -1,0 +1,85 @@
+"""Classical change detectors (KS, CUSUM, moment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.statistical import CusumDetector, KSDetector, MomentDetector
+from repro.errors import ConfigurationError, EmptyReferenceError
+
+DIM = 4
+
+
+@pytest.fixture
+def reference(rng):
+    return rng.normal(size=(300, DIM))
+
+
+@pytest.mark.parametrize("detector_cls,kwargs", [
+    (KSDetector, {"window": 30, "significance": 0.01}),
+    (CusumDetector, {"threshold": 8.0}),
+    (MomentDetector, {"window": 20, "z_threshold": 4.0}),
+])
+class TestDetectors:
+    def test_detects_mean_shift(self, detector_cls, kwargs, reference, rng):
+        detector = detector_cls(reference, **kwargs)
+        shifted = rng.normal(4.0, 1.0, size=(150, DIM))
+        assert detector.frames_to_detect(iter(shifted)) is not None
+
+    def test_no_false_positive_on_null(self, detector_cls, kwargs, reference):
+        detector = detector_cls(reference, **kwargs)
+        null = np.random.default_rng(77).normal(size=(250, DIM))
+        assert detector.frames_to_detect(iter(null)) is None
+
+    def test_drift_frame_recorded(self, detector_cls, kwargs, reference, rng):
+        detector = detector_cls(reference, **kwargs)
+        for frame in rng.normal(4.0, 1.0, size=(150, DIM)):
+            if detector.observe(frame):
+                break
+        assert detector.drift_detected
+        assert detector.drift_frame is not None
+
+    def test_limit_respected(self, detector_cls, kwargs, reference):
+        detector = detector_cls(reference, **kwargs)
+        null = np.random.default_rng(3).normal(size=(100, DIM))
+        assert detector.frames_to_detect(iter(null), limit=5) is None
+
+
+class TestKSSpecifics:
+    def test_needs_full_window_before_testing(self, reference, rng):
+        detector = KSDetector(reference, window=30)
+        # even wildly shifted frames cannot fire before the window fills
+        for i, frame in enumerate(rng.normal(10.0, 1.0, size=(29, DIM))):
+            assert not detector.observe(frame), i
+
+    @pytest.mark.parametrize("kwargs", [{"window": 2}, {"significance": 0.0}])
+    def test_invalid_config(self, reference, kwargs):
+        with pytest.raises(ConfigurationError):
+            KSDetector(reference, **kwargs)
+
+
+class TestCusumSpecifics:
+    def test_slack_suppresses_small_drifts(self, reference, rng):
+        tight = CusumDetector(reference, threshold=8.0, slack=2.0)
+        slightly_shifted = rng.normal(0.4, 1.0, size=(200, DIM))
+        assert tight.frames_to_detect(iter(slightly_shifted)) is None
+
+    def test_invalid_threshold(self, reference):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(reference, threshold=0.0)
+
+
+class TestCommonValidation:
+    def test_tiny_reference_rejected(self):
+        with pytest.raises(EmptyReferenceError):
+            MomentDetector(np.zeros((3, 2)))
+
+    def test_embedder_is_applied(self, rng, reference):
+        class Halver:
+            def embed(self, frames):
+                return np.asarray(frames)[:, :DIM]
+
+        detector = MomentDetector(reference, embedder=Halver())
+        # frames of double width are projected down before testing
+        assert not detector.observe(rng.normal(size=2 * DIM))

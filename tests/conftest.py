@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Heavy assets (trained bundles, experiment contexts) are session-scoped so
+the suite stays fast; pure-function tests build their own tiny inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentContext, fast_config
+from repro.video.datasets import make_bdd
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def gaussian_reference(rng):
+    """A 200x4 reference sample from a unit gaussian."""
+    return rng.normal(0.0, 1.0, size=(200, 4))
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """The smallest harness config that still detects drifts reliably."""
+    return fast_config()
+
+
+@pytest.fixture(scope="session")
+def bdd_context(tiny_config):
+    """A shared BDD context with cached bundles (built lazily on use)."""
+    dataset = make_bdd(scale=tiny_config.scale,
+                       frame_size=tiny_config.frame_size)
+    return ExperimentContext(dataset, tiny_config)
+
+
+@pytest.fixture(scope="session")
+def bdd_registry(bdd_context):
+    """Provisioned bundles (VAE + classifier + ensemble) for BDD."""
+    return bdd_context.registry()

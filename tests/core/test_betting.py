@@ -1,0 +1,190 @@
+"""Betting functions: integral constraints, monotonicity, log scores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.betting import (
+    ConstantBetting,
+    LogScore,
+    MixtureBetting,
+    PowerBetting,
+    ShiftedOddBetting,
+)
+from repro.errors import ConfigurationError
+
+
+def _integral(fn, lo=1e-6, hi=1.0, n=200_001):
+    xs = np.linspace(lo, hi, n)
+    ys = np.array([fn(float(x)) for x in xs])
+    return np.trapezoid(ys, xs)
+
+
+class TestPowerBetting:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.3, 0.5, 0.9])
+    def test_integrates_to_one(self, epsilon):
+        # integral over [lo, 1] of eps * p^(eps-1) is exactly 1 - lo^eps
+        # integrate on a log-spaced grid: the eps = 0.1 singularity at 0
+        # makes a uniform trapezoid grid overestimate near the left edge
+        lo = 1e-6
+        g = PowerBetting(epsilon)
+        xs = np.geomspace(lo, 1.0, 200_001)
+        integral = np.trapezoid([g(float(x)) for x in xs], xs)
+        assert integral == pytest.approx(1.0 - lo ** epsilon, abs=5e-3)
+
+    def test_decreasing_in_p(self):
+        g = PowerBetting(0.3)
+        assert g(0.01) > g(0.1) > g(0.5) > g(0.99)
+
+    def test_diverges_at_zero(self):
+        assert PowerBetting(0.3)(0.0) == float("inf")
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            PowerBetting(epsilon)
+
+    def test_p_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBetting(0.3)(1.5)
+
+
+class TestMixtureBetting:
+    def test_integrates_to_one(self):
+        # mass below lo is integral_0^1 lo^eps d eps = (lo - 1) / ln lo
+        lo = 1e-6
+        expected = 1.0 - (lo - 1.0) / np.log(lo)
+        assert _integral(MixtureBetting(), lo=lo) == pytest.approx(
+            expected, abs=2e-2)
+
+    def test_matches_numeric_mixture_of_power_bets(self):
+        g = MixtureBetting()
+        eps = np.linspace(1e-4, 1 - 1e-4, 20_001)
+        for p in (0.05, 0.3, 0.7):
+            numeric = np.trapezoid(eps * p ** (eps - 1.0), eps)
+            assert g(p) == pytest.approx(numeric, rel=1e-3)
+
+    def test_limit_at_one(self):
+        assert MixtureBetting()(1.0) == pytest.approx(0.5, abs=1e-6)
+
+    def test_decreasing_in_p(self):
+        g = MixtureBetting()
+        assert g(0.01) > g(0.1) > g(0.9)
+
+
+class TestConstantBetting:
+    def test_always_one(self):
+        g = ConstantBetting()
+        assert g(0.0) == g(0.5) == g(1.0) == 1.0
+
+
+class TestShiftedOddBetting:
+    @pytest.mark.parametrize("power", [1.0, 2.0, 3.0])
+    def test_integrates_to_zero(self, power):
+        g = ShiftedOddBetting(power=power)
+        assert _integral(g, lo=0.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_default_is_half_minus_p(self):
+        g = ShiftedOddBetting()
+        for p in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert g(p) == pytest.approx(0.5 - p)
+
+    def test_odd_symmetry_around_half(self):
+        g = ShiftedOddBetting(power=2.0)
+        for p in (0.1, 0.3, 0.45):
+            assert g(p) == pytest.approx(-g(1.0 - p))
+
+    def test_bound_property(self):
+        g = ShiftedOddBetting(scale=3.0)
+        assert g.bound == pytest.approx(1.5)
+        assert abs(g(0.0)) <= g.bound + 1e-12
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShiftedOddBetting(scale=0.0)
+
+
+class TestLogScore:
+    def test_positive_for_small_p_negative_for_large_p(self):
+        score = LogScore(PowerBetting(0.1), p_floor=1e-3)
+        assert score(0.001) > 0
+        assert score(0.9) < 0
+
+    def test_floor_caps_the_score(self):
+        score = LogScore(PowerBetting(0.1), p_floor=1e-3)
+        assert score(0.0) == pytest.approx(score(1e-3))
+        assert score(0.0) == pytest.approx(score.max_score)
+
+    def test_expectation_under_uniform_is_negative(self):
+        """Jensen: E[log g(U)] < log E[g(U)] = 0 -- CUSUM drifts down
+        under the null."""
+        score = LogScore(PowerBetting(0.2), p_floor=1e-4)
+        xs = np.linspace(1e-6, 1.0, 100_001)
+        mean = np.mean([score(float(x)) for x in xs])
+        assert mean < 0
+
+    def test_requires_multiplicative_betting(self):
+        with pytest.raises(ConfigurationError):
+            LogScore(ShiftedOddBetting())
+
+    @pytest.mark.parametrize("floor", [0.0, 1.0, -0.1])
+    def test_invalid_floor_rejected(self, floor):
+        with pytest.raises(ConfigurationError):
+            LogScore(PowerBetting(0.3), p_floor=floor)
+
+    @given(p=st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_finite_for_any_p(self, p):
+        score = LogScore(PowerBetting(0.1))
+        assert np.isfinite(score(p))
+
+
+class TestHistogramBetting:
+    def test_integrates_to_one_at_any_state(self):
+        from repro.core.betting import HistogramBetting
+        g = HistogramBetting(bins=10)
+        for p in (0.05, 0.5, 0.9, 0.9, 0.9):
+            g(p)
+        # the density estimate always integrates to exactly 1
+        import numpy as np
+        xs = np.linspace(1e-6, 1.0 - 1e-6, 10_001)
+        # evaluate without mutating: snapshot the counts
+        counts = g._counts.copy()
+        values = []
+        for x in xs:
+            values.append(counts[min(int(x * 10), 9)] * 10 / counts.sum())
+        assert np.trapezoid(values, xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_learns_concentrated_pvalues(self):
+        from repro.core.betting import HistogramBetting
+        g = HistogramBetting(bins=10)
+        for _ in range(50):
+            g(0.05)
+        # after many small p-values, the bet on the first bin is large
+        snapshot = g._counts.copy()
+        assert snapshot[0] * 10 / snapshot.sum() > 3.0
+
+    def test_bets_before_updating(self):
+        """The first call returns the prior (uniform) density regardless of
+        the observed p-value -- betting after updating would peek."""
+        from repro.core.betting import HistogramBetting
+        g = HistogramBetting(bins=10, prior_count=1.0)
+        assert g(0.01) == pytest.approx(1.0)
+
+    def test_reset_restores_prior(self):
+        from repro.core.betting import HistogramBetting
+        g = HistogramBetting(bins=10)
+        for _ in range(20):
+            g(0.05)
+        g.reset()
+        assert g(0.5) == pytest.approx(1.0)
+
+    def test_invalid_config(self):
+        from repro.core.betting import HistogramBetting
+        with pytest.raises(ConfigurationError):
+            HistogramBetting(bins=1)
+        with pytest.raises(ConfigurationError):
+            HistogramBetting(prior_count=0.0)

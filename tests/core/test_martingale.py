@@ -1,0 +1,156 @@
+"""Martingales and the windowed Hoeffding-Azuma drift test."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.betting import LogScore, PowerBetting, ShiftedOddBetting
+from repro.core.martingale import (
+    AdditiveMartingale,
+    MultiplicativeMartingale,
+    hoeffding_threshold,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHoeffdingThreshold:
+    def test_paper_worked_example(self):
+        """Section 4.3.1: W = 2, r = 0.5 gives threshold 4."""
+        assert hoeffding_threshold(2, 0.5) == pytest.approx(4.0)
+
+    def test_scales_with_sqrt_window(self):
+        t1 = hoeffding_threshold(4, 0.5)
+        t2 = hoeffding_threshold(16, 0.5)
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_log_bound_is_tighter(self):
+        assert hoeffding_threshold(3, 0.5, use_log_bound=True) < (
+            hoeffding_threshold(3, 0.5))
+
+    def test_bound_scales_linearly(self):
+        assert hoeffding_threshold(3, 0.5, bound=2.0) == pytest.approx(
+            2.0 * hoeffding_threshold(3, 0.5))
+
+    @pytest.mark.parametrize("window,significance", [(0, 0.5), (3, 0.0),
+                                                     (3, 1.0), (-1, 0.5)])
+    def test_invalid_parameters_rejected(self, window, significance):
+        with pytest.raises(ConfigurationError):
+            hoeffding_threshold(window, significance)
+
+
+class TestMultiplicativeMartingale:
+    def test_stays_low_under_uniform_pvalues(self, rng):
+        martingale = MultiplicativeMartingale(PowerBetting(0.3),
+                                              significance=0.05)
+        fired = [martingale.update(float(rng.uniform())).drift
+                 for _ in range(500)]
+        # Ville: P(ever exceeding 1/0.05) <= 0.05
+        assert not any(fired)
+
+    def test_grows_and_fires_under_small_pvalues(self):
+        martingale = MultiplicativeMartingale(PowerBetting(0.3),
+                                              significance=0.05)
+        state = None
+        for _ in range(10):
+            state = martingale.update(0.001)
+        assert state.drift
+        assert martingale.log_value > math.log(1 / 0.05)
+
+    def test_value_overflow_saturates_to_inf(self):
+        martingale = MultiplicativeMartingale(PowerBetting(0.1))
+        for _ in range(200):
+            martingale.update(1e-3)
+        assert martingale.value == math.inf
+        assert np.isfinite(martingale.log_value)
+
+    def test_reset(self):
+        martingale = MultiplicativeMartingale(PowerBetting(0.3))
+        martingale.update(0.01)
+        martingale.reset()
+        assert martingale.log_value == 0.0
+        assert martingale.step == 0
+
+    def test_requires_multiplicative_betting(self):
+        with pytest.raises(ConfigurationError):
+            MultiplicativeMartingale(ShiftedOddBetting())
+
+    def test_martingale_property_single_step_expectation(self):
+        """E[g(U)] = 1 for one step under a uniform p-value (the defining
+        martingale property); over many steps the *typical* path decays
+        even though the mean stays 1, so we check the one-step integral."""
+        g = PowerBetting(0.5)
+        xs = np.linspace(1e-8, 1.0, 400_001)
+        one_step = np.trapezoid([g(float(x)) for x in xs], xs)
+        assert one_step == pytest.approx(1.0, abs=2e-2)
+
+
+class TestAdditiveMartingale:
+    def _make(self, **kwargs):
+        score = LogScore(PowerBetting(0.1), p_floor=1e-3)
+        defaults = dict(window=3, significance=0.5)
+        defaults.update(kwargs)
+        return AdditiveMartingale(score, **defaults)
+
+    def test_cusum_reset_keeps_value_non_negative(self, rng):
+        martingale = self._make()
+        for _ in range(200):
+            martingale.update(float(rng.uniform(0.5, 1.0)))
+        assert martingale.value == 0.0
+
+    def test_without_reset_value_can_go_negative(self, rng):
+        martingale = self._make(cusum_reset=False)
+        for _ in range(50):
+            martingale.update(0.9)
+        assert martingale.value < 0.0
+
+    def test_fires_on_burst_of_small_pvalues(self):
+        martingale = self._make()
+        fired = False
+        for _ in range(4):
+            fired = martingale.update(0.001).drift or fired
+        assert fired
+
+    def test_rate_measures_windowed_change(self):
+        martingale = self._make(window=2)
+        martingale.update(0.001)
+        martingale.update(0.001)
+        expected = martingale.history[-1] - martingale.history[-3]
+        assert martingale.rate() == pytest.approx(abs(expected))
+
+    def test_no_drift_under_uniform_pvalues(self):
+        for seed in range(5):
+            martingale = self._make()
+            r = np.random.default_rng(seed)
+            fired = [martingale.update(float(r.uniform())).drift
+                     for _ in range(300)]
+            assert not any(fired)
+
+    def test_history_truncation_keeps_window(self):
+        martingale = self._make(max_history=10)
+        for _ in range(100):
+            martingale.update(0.5)
+        assert len(martingale.history) <= 10
+        # the rate test must still be computable
+        assert martingale.rate() >= 0.0
+
+    def test_reset(self):
+        martingale = self._make()
+        martingale.update(0.001)
+        martingale.reset()
+        assert martingale.history == [0.0]
+        assert martingale.step == 0
+
+    def test_additive_betting_function_also_works(self):
+        martingale = AdditiveMartingale(ShiftedOddBetting(), window=3,
+                                        significance=0.5, bound=0.5)
+        state = None
+        for _ in range(10):
+            state = martingale.update(0.0)  # max positive bet each step
+        assert state.value > 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._make(window=0)

@@ -1,0 +1,166 @@
+"""FleetMonitor: multi-camera processing over a shared registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import FleetConfig, FleetMonitor
+from repro.core.pipeline import PipelineConfig
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.selection.registry import ModelRegistry
+from repro.core.selection.trainer import ModelTrainer, TrainerConfig
+from repro.errors import ConfigurationError
+
+from tests.core.test_pipeline import (  # reuse the cheap gaussian fixtures
+    DIM,
+    gaussian_stream,
+    make_bundle,
+    oracle_annotator,
+)
+
+
+@pytest.fixture
+def registry(rng):
+    return ModelRegistry([
+        make_bundle("low", 0.0, 0, rng),
+        make_bundle("high", 6.0, 1, rng),
+    ])
+
+
+def make_fleet(registry, **kwargs):
+    defaults = dict(
+        annotator=oracle_annotator,
+        config=FleetConfig(
+            selection_window=8,
+            pipeline=PipelineConfig(
+                selection_window=8,
+                drift_inspector=DriftInspectorConfig(seed=0))))
+    defaults.update(kwargs)
+    return FleetMonitor(registry, **defaults)
+
+
+class TestFleetBasics:
+    def test_cameras_process_independently(self, rng, registry):
+        fleet = make_fleet(registry)
+        fleet.add_camera("cam-a", "low")
+        fleet.add_camera("cam-b", "high")
+        for frame in gaussian_stream(rng, [(0.0, 40)]):
+            fleet.step("cam-a", frame)
+        for frame in gaussian_stream(rng, [(6.0, 40)]):
+            fleet.step("cam-b", frame)
+        fleet.flush()
+        results = fleet.results()
+        assert len(results["cam-a"].records) == 40
+        assert len(results["cam-b"].records) == 40
+        assert results["cam-a"].detections == []
+        assert results["cam-b"].detections == []
+
+    def test_drift_on_one_camera_does_not_touch_the_other(self, rng,
+                                                          registry):
+        fleet = make_fleet(registry)
+        fleet.add_camera("stable", "low")
+        fleet.add_camera("drifting", "low")
+        stable = gaussian_stream(rng, [(0.0, 80)])
+        drifting = gaussian_stream(rng, [(0.0, 40), (6.0, 40)])
+        for a, b in zip(stable, drifting):
+            fleet.step("stable", a)
+            fleet.step("drifting", b)
+        fleet.flush()
+        assert fleet.deployed_model("stable") == "low"
+        assert fleet.deployed_model("drifting") == "high"
+        assert fleet.result("stable").detections == []
+        assert len(fleet.result("drifting").detections) >= 1
+
+    def test_fleet_summary(self, rng, registry):
+        fleet = make_fleet(registry)
+        fleet.add_camera("a", "low")
+        for frame in gaussian_stream(rng, [(0.0, 20), (6.0, 20)]):
+            fleet.step("a", frame)
+        fleet.flush()
+        summary = fleet.fleet_summary()
+        assert summary["cameras"] == 1
+        assert summary["frames"] == 40
+        assert summary["detections"] >= 1
+        assert "low" in summary["registry_models"]
+
+    def test_duplicate_camera_rejected(self, registry):
+        fleet = make_fleet(registry)
+        fleet.add_camera("a", "low")
+        with pytest.raises(ConfigurationError):
+            fleet.add_camera("a", "low")
+
+    def test_unknown_camera_rejected(self, registry):
+        fleet = make_fleet(registry)
+        with pytest.raises(ConfigurationError):
+            fleet.step("ghost", np.zeros(DIM))
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetMonitor(ModelRegistry())
+
+    def test_invalid_selector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(selector="oracle")
+
+
+class TestSharedTraining:
+    def test_novel_model_from_one_camera_serves_the_fleet(self, rng,
+                                                          registry):
+        """Camera A drifts to an unknown distribution -> trainNewModel;
+        the new bundle lands in the shared registry, so camera B's selector
+        can deploy it without retraining."""
+
+        class FakeVAE:
+            def fit(self, frames):
+                self._frames = np.asarray(frames)
+                return self
+
+            def sample_latents(self, n, seed=None):
+                r = np.random.default_rng(0)
+                idx = r.integers(0, self._frames.shape[0], size=n)
+                return self._frames[idx] + r.normal(0, 1e-3,
+                                                    size=(n, DIM))
+
+            def embed(self, frames):
+                return np.asarray(frames)
+
+        class FakeClassifier:
+            def fit(self, frames, labels):
+                return self
+
+            def predict(self, frames):
+                return np.full(np.asarray(frames).shape[0], 2,
+                               dtype=np.int64)
+
+        trainer = ModelTrainer(
+            vae_factory=lambda seed: FakeVAE(),
+            classifier_factory=lambda seed: FakeClassifier(),
+            annotator=oracle_annotator,
+            config=TrainerConfig(frames_to_collect=30, sigma_size=40))
+        fleet = make_fleet(registry, trainer=trainer,
+                           config=FleetConfig(
+                               selection_window=8,
+                               pipeline=PipelineConfig(
+                                   selection_window=8, training_budget=30,
+                                   drift_inspector=DriftInspectorConfig(
+                                       seed=0))))
+        fleet.add_camera("a", "low")
+        fleet.add_camera("b", "low")
+        # camera A sees the novel distribution and trains a bundle for it
+        for frame in gaussian_stream(rng, [(0.0, 40), (25.0, 60)]):
+            fleet.step("a", frame)
+        fleet.flush("a")
+        novel = [d for d in fleet.result("a").detections if d.novel]
+        assert novel
+        new_name = novel[0].selected_model
+        assert new_name in fleet.registry
+        # camera B hits the same distribution: MSBI now *selects* the shared
+        # bundle instead of training again
+        for frame in gaussian_stream(rng, [(0.0, 40), (25.0, 40)]):
+            fleet.step("b", frame)
+        fleet.flush("b")
+        b_detections = fleet.result("b").detections
+        assert b_detections
+        assert b_detections[-1].selected_model == new_name
+        assert not b_detections[-1].novel

@@ -1,0 +1,137 @@
+"""Property-based tests on the core statistical invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.betting import HistogramBetting, MixtureBetting, PowerBetting
+from repro.core.martingale import AdditiveMartingale, hoeffding_threshold
+from repro.core.betting import LogScore
+from repro.core.nonconformity import KNNDistance
+from repro.core.pvalues import conformal_pvalue
+
+
+class TestPValueProperties:
+    @given(seed=st.integers(0, 5000), n=st.integers(10, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_pvalue_strictly_inside_unit_interval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=n)
+        score = float(rng.normal(scale=5.0))
+        p = conformal_pvalue(reference, score, rng=rng)
+        assert 0.0 < p < 1.0
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_pvalue_monotone_in_score(self, seed):
+        """A stranger observation never gets a larger p-value (up to the
+        shared tie-smoothing uniform)."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=100)
+        u_rng_a = np.random.default_rng(1)
+        u_rng_b = np.random.default_rng(1)
+        low = conformal_pvalue(reference, -10.0, rng=u_rng_a)
+        high = conformal_pvalue(reference, 10.0, rng=u_rng_b)
+        assert high < low
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_pvalue_permutation_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=50)
+        score = float(rng.normal())
+        a = conformal_pvalue(reference, score, rng=np.random.default_rng(7))
+        shuffled = reference[rng.permutation(50)]
+        b = conformal_pvalue(shuffled, score, rng=np.random.default_rng(7))
+        assert a == pytest.approx(b)
+
+
+class TestBettingProperties:
+    @given(eps=st.floats(0.05, 0.95), p=st.floats(0.01, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_power_betting_positive(self, eps, p):
+        assert PowerBetting(eps)(p) > 0.0
+
+    @given(p=st.floats(0.001, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_mixture_dominated_by_most_aggressive_power_at_small_p(self, p):
+        """The mixture bet is an average over eps, so it is bounded by the
+        envelope of the power bets it mixes."""
+        mixture = MixtureBetting()(p)
+        envelope = max(PowerBetting(eps)(p)
+                       for eps in (0.05, 0.25, 0.5, 0.75, 0.95))
+        assert mixture <= envelope * 1.5 + 1.0
+
+    @given(seed=st.integers(0, 500), n=st.integers(5, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_histogram_counts_conserved(self, seed, n):
+        rng = np.random.default_rng(seed)
+        g = HistogramBetting(bins=8, prior_count=1.0)
+        for _ in range(n):
+            g(float(rng.uniform()))
+        assert g._counts.sum() == pytest.approx(8 * 1.0 + n)
+
+
+class TestMartingaleProperties:
+    @given(seed=st.integers(0, 300), window=st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_additive_value_never_negative_with_reset(self, seed, window):
+        rng = np.random.default_rng(seed)
+        score = LogScore(PowerBetting(0.2), p_floor=1e-3)
+        martingale = AdditiveMartingale(score, window=window,
+                                        significance=0.5)
+        for _ in range(100):
+            martingale.update(float(rng.uniform()))
+            assert martingale.value >= 0.0
+
+    @given(window=st.integers(1, 50),
+           significance=st.floats(0.01, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_positive_and_monotone_in_window(self, window,
+                                                       significance):
+        t = hoeffding_threshold(window, significance)
+        assert t > 0
+        assert hoeffding_threshold(window + 1, significance) > t
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_burst_of_small_pvalues_always_fires(self, seed):
+        score = LogScore(PowerBetting(0.1), p_floor=1e-3)
+        martingale = AdditiveMartingale(score, window=3, significance=0.5)
+        rng = np.random.default_rng(seed)
+        # some null noise first
+        for _ in range(30):
+            martingale.update(float(rng.uniform()))
+        fired = False
+        for _ in range(5):
+            fired = martingale.update(1e-4).drift or fired
+        assert fired
+
+
+class TestNonconformityProperties:
+    @given(seed=st.integers(0, 500), shift=st.floats(5.0, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_far_points_score_higher_than_the_centre(self, seed, shift):
+        """KNN scores are not locally monotone (density varies), but any
+        point far outside the reference support must outscore the centre."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=(60, 3))
+        measure = KNNDistance(k=4)
+        near = measure.score(reference.mean(axis=0), reference)
+        far = measure.score(reference.mean(axis=0) + shift, reference)
+        assert far > near
+
+    @given(seed=st.integers(0, 500), scale=st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_score_scales_linearly(self, seed, scale):
+        """Euclidean KNN scores are homogeneous of degree 1."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=(40, 2))
+        point = rng.normal(size=2)
+        measure = KNNDistance(k=3)
+        base = measure.score(point, reference)
+        scaled = measure.score(point * scale, reference * scale)
+        assert scaled == pytest.approx(base * scale, rel=1e-9)

@@ -1,0 +1,159 @@
+"""Detector substitutes: oracle, fast, and query-model wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import Detection, DetectionResult
+from repro.detectors.classifier_filters import CountClassifier, SpatialFilter
+from repro.detectors.fast import FastDetector
+from repro.detectors.oracle import ReferenceDetector
+from repro.errors import ConfigurationError
+from repro.nn.classifier import ClassifierConfig
+from repro.queries.spatial import bus_left_of_car
+from repro.sim.clock import SimulatedClock
+from repro.video.datasets import make_bdd
+
+
+@pytest.fixture(scope="module")
+def day_frames():
+    return make_bdd(scale=1e9).training_frames("day", 40, seed=0)
+
+
+@pytest.fixture(scope="module")
+def night_frames():
+    return make_bdd(scale=1e9).training_frames("night", 40, seed=0)
+
+
+class TestDetectionResult:
+    def test_count_by_kind(self):
+        result = DetectionResult([Detection("car", 0.1, 0.2),
+                                  Detection("car", 0.5, 0.5),
+                                  Detection("bus", 0.9, 0.9)])
+        assert result.count() == 3
+        assert result.count("car") == 2
+        assert result.count("bus") == 1
+
+    def test_positions(self):
+        result = DetectionResult([Detection("car", 0.1, 0.2)])
+        assert result.positions("car") == [(0.1, 0.2)]
+        assert result.positions("bus") == []
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Detection("car", 0.5, 0.5, confidence=1.5)
+
+
+class TestReferenceDetector:
+    def test_perfect_detection_without_noise(self, day_frames):
+        detector = ReferenceDetector(seed=0)
+        for frame in day_frames[:10]:
+            result = detector.detect(frame)
+            assert result.count("car") == frame.car_count
+            assert result.count("bus") == frame.bus_count
+
+    def test_miss_rate_drops_detections(self, day_frames):
+        detector = ReferenceDetector(miss_rate=0.5, seed=0)
+        total_true = sum(f.object_count for f in day_frames)
+        total_detected = sum(detector.detect(f).count() for f in day_frames)
+        assert total_detected < total_true * 0.75
+
+    def test_charges_expensive_inference(self, day_frames):
+        clock = SimulatedClock()
+        detector = ReferenceDetector(clock=clock, seed=0)
+        detector.detect(day_frames[0])
+        assert clock.elapsed_ms == pytest.approx(133.5)
+
+    def test_invalid_miss_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceDetector(miss_rate=1.0)
+
+
+class TestFastDetector:
+    def test_degrades_at_night(self, day_frames, night_frames):
+        detector = FastDetector(seed=0)
+        day_recall = sum(detector.detect(f).count() for f in day_frames) / max(
+            sum(f.object_count for f in day_frames), 1)
+        night_recall = sum(
+            detector.detect(f).count() for f in night_frames) / max(
+            sum(f.object_count for f in night_frames), 1)
+        assert night_recall < day_recall
+
+    def test_unknown_condition_uses_angle_miss(self, day_frames):
+        from repro.detectors.fast import DEFAULT_ANGLE_MISS
+        detector = FastDetector(seed=0)
+        frame = day_frames[0]
+        # fabricate a frame-like object with an unknown condition name
+        class Fake:
+            objects = frame.objects
+            condition = "dusk-blend"
+        assert detector._miss_rate(Fake()) == DEFAULT_ANGLE_MISS
+
+    def test_charges_yolo_cost(self, day_frames):
+        clock = SimulatedClock()
+        detector = FastDetector(clock=clock, seed=0)
+        detector.detect(day_frames[0])
+        assert clock.elapsed_ms == pytest.approx(15.4)
+
+    def test_custom_miss_rates_merge(self):
+        detector = FastDetector(miss_rates={"day": 0.0}, seed=0)
+        assert detector.miss_rates["day"] == 0.0
+        assert detector.miss_rates["night"] > 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"miss_rates": {"day": 1.0}}, {"hallucination_rate": -0.1}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FastDetector(**kwargs)
+
+
+def small_config(num_classes=6):
+    return ClassifierConfig(input_shape=(1, 32, 32), num_classes=num_classes,
+                            hidden=32, epochs=6, seed=0)
+
+
+class TestCountClassifier:
+    def test_fit_frames_and_predict(self, day_frames):
+        model = CountClassifier(small_config())
+        model.fit_frames(day_frames)
+        pixels = np.stack([f.pixels for f in day_frames[:5]])
+        preds = model.predict(pixels)
+        assert preds.shape == (5,)
+        assert model.is_fitted
+
+    def test_accuracy_on_reports_fraction(self, day_frames):
+        model = CountClassifier(small_config())
+        model.fit_frames(day_frames)
+        accuracy = model.accuracy_on(day_frames)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_clock_charges_per_frame(self, day_frames):
+        clock = SimulatedClock()
+        model = CountClassifier(small_config(), clock=clock)
+        model.fit_frames(day_frames)
+        model.predict(np.stack([f.pixels for f in day_frames[:4]]))
+        assert clock.operation_counts()["classifier_infer"] == 4
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountClassifier(small_config()).fit_frames([])
+
+
+class TestSpatialFilter:
+    def test_binary_output(self, day_frames):
+        filt = SpatialFilter(bus_left_of_car, config=small_config())
+        filt.fit_frames(day_frames)
+        pixels = np.stack([f.pixels for f in day_frames[:6]])
+        preds = filt.predict(pixels)
+        assert set(np.unique(preds)) <= {0, 1}
+        assert filt.num_classes == 2
+
+    def test_forces_two_classes_regardless_of_config(self, day_frames):
+        filt = SpatialFilter(bus_left_of_car, config=small_config(num_classes=9))
+        assert filt.config.num_classes == 2
+
+    def test_accuracy_on(self, day_frames):
+        filt = SpatialFilter(bus_left_of_car, config=small_config())
+        filt.fit_frames(day_frames)
+        assert 0.0 <= filt.accuracy_on(day_frames) <= 1.0

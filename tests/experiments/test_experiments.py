@@ -1,0 +1,156 @@
+"""Experiment harness: each module produces a sane table at the fast budget.
+
+These are integration-level smoke tests: they verify the experiment wiring
+(rows, columns, headline invariants), not the paper-scale numbers -- those
+are produced by the benchmark harness at the default profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_detection,
+    fig4_slow_drift,
+    fig5_brier,
+    fig6_invocations,
+    fig7_count_accuracy,
+    fig8_spatial_accuracy,
+    table5_datasets,
+    table6_detect_time,
+    table7_per_frame,
+    table8_selection_time,
+    table9_end_to_end,
+)
+from repro.experiments.common import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_format_table_renders_rows_and_notes(self):
+        result = ExperimentResult("exp", "demo")
+        result.add_row(a=1, b=2.5)
+        result.add_row(a=3, b=4.0, c="x")
+        result.notes.append("a note")
+        text = result.format_table()
+        assert "exp" in text and "2.500" in text and "note: a note" in text
+
+    def test_column_access(self):
+        result = ExperimentResult("exp", "demo")
+        result.add_row(a=1)
+        result.add_row(a=2)
+        assert result.column("a") == [1, 2]
+        assert result.column("missing") == [None, None]
+
+    def test_empty_result_formats(self):
+        assert "(no rows)" in ExperimentResult("e", "d").format_table()
+
+
+class TestTable5:
+    def test_rows_for_all_datasets(self, tiny_config):
+        result = table5_datasets.run(tiny_config, sample=40)
+        assert {r["dataset"] for r in result.rows} == {"BDD", "Detrac",
+                                                       "Tokyo"}
+        for row in result.rows:
+            assert row["obj_per_frame"] == pytest.approx(
+                row["paper_obj_per_frame"], abs=2.5)
+
+
+class TestFig3:
+    def test_di_beats_odin_on_bdd(self, bdd_context):
+        result = fig3_detection.run(bdd_context, warmup=20, limit=100)
+        assert len(result.rows) == 3  # three drifts in BDD
+        di = [r["di_delay"] for r in result.rows]
+        odin = [r["odin_delay"] for r in result.rows]
+        assert all(d is not None for d in di)
+        detected_pairs = [(d, o) for d, o in zip(di, odin) if o is not None]
+        assert detected_pairs, "ODIN detected nothing"
+        assert all(d <= o for d, o in detected_pairs)
+        assert not any(r["di_false_positive"] for r in result.rows)
+
+
+class TestTable6:
+    def test_di_cheaper_than_odin(self, bdd_context):
+        result = table6_detect_time.run(bdd_context)
+        row = result.rows[0]
+        assert row["di_ms_per_frame"] == pytest.approx(3.0, abs=0.2)
+        assert row["odin_ms_per_frame"] > row["di_ms_per_frame"]
+        assert row["di_paper_scale_s"] < row["odin_paper_scale_s"]
+
+
+class TestFig4:
+    def test_slow_drift_detected_by_both(self, tiny_config):
+        result = fig4_slow_drift.run(config=tiny_config)
+        row = result.rows[0]
+        assert row["di_delay"] is not None
+        assert not row["di_false_positive"]
+        if row["odin_delay"] is not None:
+            assert row["di_delay"] <= row["odin_delay"]
+
+
+class TestFig6:
+    def test_ms_is_one_invocation_per_frame(self, bdd_context):
+        result = fig6_invocations.run(bdd_context)
+        for row in result.rows:
+            assert row["msbo_invocations_per_frame"] == 1.0
+            assert row["msbi_invocations_per_frame"] == 1.0
+            assert row["odin_invocations_per_frame"] >= 1.0
+
+
+class TestTable7:
+    def test_selection_cost_structure(self, bdd_context):
+        result = table7_per_frame.run(bdd_context)
+        row = result.rows[0]
+        # ODIN per-frame cost: embed + one op per cluster (4 on BDD)
+        assert row["odin_ms_per_frame"] == pytest.approx(1.8 + 4 * 3.2)
+        # MSBO / MSBI per-frame costs dwarf ODIN's (paper Table 7 shape)
+        assert row["msbo_ms_per_frame"] > 10 * row["odin_ms_per_frame"]
+        assert row["msbi_ms_per_frame"] > 10 * row["odin_ms_per_frame"]
+
+
+class TestTable8:
+    def test_odin_stream_selection_dominates_at_paper_scale(self, bdd_context):
+        result = table8_selection_time.run(bdd_context)
+        row = result.rows[0]
+        assert row["msbo_s_per_drift"] < row["odin_s_paper_scale"]
+        assert row["msbi_s_per_drift"] < row["odin_s_paper_scale"]
+
+
+class TestFig5:
+    def test_matched_model_has_lowest_brier(self, bdd_context):
+        result = fig5_brier.run(bdd_context, eval_frames=40)
+        matched_best = sum(
+            1 for row in result.rows if row["best_by_brier"] == row["sequence"])
+        assert matched_best >= 3  # at least 3 of 4 sequences
+
+
+class TestEndToEnd:
+    def test_table9_orderings(self, bdd_context):
+        result = table9_end_to_end.run(bdd_context)
+        seconds = {r["system"]: r["paper_scale_s"] for r in result.rows}
+        assert seconds["(DI, MSBO)"] < seconds["ODIN"]
+        assert seconds["(DI, MSBI)"] < seconds["ODIN"]
+        assert seconds["MaskRCNN"] > seconds["YOLO"]
+        invocations = {r["system"]: r["invocations_per_frame"]
+                       for r in result.rows}
+        assert invocations["(DI, MSBO)"] == 1.0
+        assert invocations["ODIN"] >= 1.0
+
+    def test_fig7_accuracy_orderings(self, bdd_context):
+        result = fig7_count_accuracy.run(bdd_context)
+        overall = next(r for r in result.rows if r["sequence"] == "OVERALL")
+        assert overall["A_q[MaskRCNN]"] == pytest.approx(1.0)
+        assert overall["A_q[(DI, MSBO)]"] > overall["A_q[YOLO]"]
+        assert overall["A_q[(DI, MSBI)]"] > overall["A_q[YOLO]"]
+
+    def test_fig8_spatial_accuracy(self, bdd_context):
+        result = fig8_spatial_accuracy.run(bdd_context)
+        overall = next(r for r in result.rows if r["sequence"] == "OVERALL")
+        assert overall["A_q[MaskRCNN]"] == pytest.approx(1.0)
+        assert overall["A_q[(DI, MSBO)]"] > 0.5
+
+    def test_runs_are_cached_on_context(self, bdd_context):
+        from repro.experiments.endtoend import run_systems
+        first = run_systems(bdd_context, spatial=False)
+        second = run_systems(bdd_context, spatial=False)
+        assert first is second

@@ -1,0 +1,85 @@
+"""Extension experiments (ablations, statistical baselines) and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations, statistical_baselines
+from repro.experiments.runner import (
+    ALL_EXPERIMENTS,
+    EXTENSIONS,
+    build_contexts,
+    run_experiment,
+)
+
+
+class TestAblations:
+    def test_betting_ablation_rows(self, bdd_context):
+        result = ablations.betting_ablation(bdd_context)
+        variants = [r["variant"] for r in result.rows]
+        assert "power eps=0.1 (default)" in variants
+        assert "one-sided" in variants
+        for row in result.rows:
+            assert row["missed"] >= 0 and row["false_alarms"] >= 0
+
+    def test_sensitivity_covers_w_r_k(self, bdd_context):
+        result = ablations.sensitivity_ablation(bdd_context)
+        parameters = {r["parameter"] for r in result.rows}
+        assert parameters == {"W", "r", "K"}
+
+    def test_embedding_ablation_flags_latent_only_weakness(self, bdd_context):
+        result = ablations.embedding_ablation(bdd_context)
+        rows = {r["variant"]: r for r in result.rows}
+        assert set(rows) == {"latent only", "latent + recon",
+                             "latent + profile", "full (default)",
+                             "full, LOO scoring"}
+        # toggling the flags must not leave the shared VAEs mutated
+        bundle = bdd_context.registry().get("day")
+        assert bundle.vae.config.augment_recon
+        assert bundle.vae.config.augment_profile
+
+    def test_ensemble_size_ablation(self, bdd_context):
+        result = ablations.ensemble_size_ablation(bdd_context, sizes=(2, 3))
+        assert [r["ensemble_size"] for r in result.rows] == [2, 3]
+        for row in result.rows:
+            assert row["correct_selections"] + row["novel_flags"] <= row[
+                "drifts"]
+
+
+class TestStatisticalBaselines:
+    def test_all_detectors_reported(self, bdd_context):
+        result = statistical_baselines.run(bdd_context)
+        detectors = [r["detector"] for r in result.rows]
+        assert detectors == ["DriftInspector", "KS", "CUSUM", "Moment"]
+
+    def test_di_detects_most_drifts(self, bdd_context):
+        result = statistical_baselines.run(bdd_context)
+        di = next(r for r in result.rows if r["detector"] == "DriftInspector")
+        total = len(bdd_context.dataset.drift_frames)
+        assert di["detected"] + di["missed"] + di["false_alarms"] >= total
+        assert di["detected"] >= total - 1
+
+
+class TestRunner:
+    def test_experiment_ids_are_consistent(self):
+        assert "fig3" in ALL_EXPERIMENTS
+        assert set(EXTENSIONS) == {"stat-baselines", "ablations"}
+
+    def test_unknown_experiment_exits(self, tiny_config):
+        contexts = {}
+        with pytest.raises(SystemExit):
+            run_experiment("fig99", contexts, tiny_config)
+
+    def test_table5_runs_without_contexts(self, tiny_config):
+        results = run_experiment("table5", {}, tiny_config)
+        assert results[0].experiment == "table5"
+
+    def test_per_dataset_experiment_uses_given_contexts(self, bdd_context,
+                                                        tiny_config):
+        results = run_experiment("fig5", {"BDD": bdd_context}, tiny_config)
+        assert results[0].experiment == "fig5"
+
+    def test_build_contexts_subset(self, tiny_config):
+        contexts = build_contexts(tiny_config, datasets=["BDD"])
+        assert list(contexts) == ["BDD"]
+        assert contexts["BDD"].dataset.name == "BDD"

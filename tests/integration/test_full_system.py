@@ -1,0 +1,129 @@
+"""Full-system integration tests on the synthetic BDD stream.
+
+These exercise the real stack end to end: rendered frames -> trained VAEs /
+classifiers -> Drift Inspector -> MSBI / MSBO -> deployed model, including
+the trainNewModel path when no provisioned model covers a segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.msbo import MSBO, MSBOConfig
+from repro.core.selection.registry import ModelRegistry
+from repro.core.selection.trainer import ModelTrainer, TrainerConfig
+from repro.queries.count import CountQuery
+
+
+@pytest.fixture(scope="module")
+def pipeline_parts(bdd_context, bdd_registry):
+    return bdd_context, bdd_registry
+
+
+def build_pipeline(context, registry, kind):
+    window = 10
+    if kind == "msbo":
+        selector = MSBO(registry, MSBOConfig(window_size=window,
+                                             seed=context.config.seed))
+    else:
+        selector = MSBI(registry, MSBIConfig(window_size=window,
+                                             seed=context.config.seed))
+    return DriftAwareAnalytics(
+        registry, context.dataset.segment_names[0], selector,
+        annotator=context.annotator,
+        config=PipelineConfig(
+            selection_window=window,
+            drift_inspector=DriftInspectorConfig(seed=context.config.seed)))
+
+
+@pytest.mark.parametrize("kind", ["msbi", "msbo"])
+class TestDriftAwareOnRealStream:
+    def test_detects_and_recovers_from_every_drift(self, pipeline_parts, kind):
+        context, registry = pipeline_parts
+        pipeline = build_pipeline(context, registry, kind)
+        result = pipeline.process(context.stream)
+        assert len(result.records) == len(context.stream)
+        # every ground-truth drift leads to the right model being deployed;
+        # the r = 0.5 test has a false-alarm budget, so a spurious
+        # re-selection of the *current* model may additionally appear
+        selected = [d.selected_model for d in result.detections]
+        required = iter(["night", "rain", "snow"])
+        needed = next(required)
+        for name in selected:
+            if name == needed:
+                needed = next(required, None)
+        assert needed is None, f"missing recoveries in {selected}"
+        truths = len(context.dataset.drift_frames)
+        assert truths <= len(result.detections) <= truths + 1
+
+    def test_detection_delays_are_small(self, pipeline_parts, kind):
+        context, registry = pipeline_parts
+        pipeline = build_pipeline(context, registry, kind)
+        result = pipeline.process(context.stream)
+        # each true drift's model swap lands within 40 frames (the window
+        # allows for a false alarm's cooldown right before a real drift)
+        swaps = {d.selected_model: d.frame_index for d in result.detections}
+        for truth, segment in zip(context.dataset.drift_frames,
+                                  ["night", "rain", "snow"]):
+            assert segment in swaps, f"{segment} never deployed"
+            assert -1 <= swaps[segment] - truth <= 40
+
+    def test_beats_static_single_model(self, pipeline_parts, kind):
+        """The drift-aware pipeline must beat deploying the day model for
+        the whole stream -- the paper's core value proposition."""
+        context, registry = pipeline_parts
+        pipeline = build_pipeline(context, registry, kind)
+        result = pipeline.process(context.stream)
+        query = CountQuery(context.dataset.num_count_classes,
+                           context.dataset.count_bucket_width)
+        adaptive = query.accuracy(context.stream, result.predictions)
+        day_model = registry.get("day").model
+        static_preds = day_model.predict(
+            np.stack([f.pixels for f in context.stream]))
+        static = query.accuracy(context.stream, static_preds)
+        assert adaptive > static
+
+
+class TestNovelDistributionTraining:
+    def test_unprovisioned_segment_triggers_training(self, bdd_context):
+        """Provision only day/night; the rain segment must come out of
+        trainNewModel with a usable bundle."""
+        context = bdd_context
+        full = context.registry()
+        partial = ModelRegistry([full.get("day"), full.get("night")])
+        trainer = ModelTrainer(
+            vae_factory=context.make_vae,
+            classifier_factory=context.make_classifier,
+            annotator=context.annotator,
+            config=TrainerConfig(
+                frames_to_collect=60,
+                sigma_size=context.config.sigma_size,
+                seed=context.config.seed))
+        selector = MSBI(partial, MSBIConfig(window_size=10,
+                                            seed=context.config.seed))
+        pipeline = DriftAwareAnalytics(
+            partial, "day", selector, annotator=context.annotator,
+            trainer=trainer,
+            config=PipelineConfig(
+                selection_window=10, training_budget=60,
+                drift_inspector=DriftInspectorConfig(
+                    seed=context.config.seed)))
+        # day -> night -> rain; stop before snow to keep the test fast
+        frames = [f for f in context.stream
+                  if f.segment in ("day", "night", "rain")]
+        result = pipeline.process(frames)
+        novel = [d for d in result.detections if d.novel]
+        assert novel, "rain should be flagged as a novel distribution"
+        new_name = novel[0].selected_model
+        assert new_name.startswith("novel_")
+        bundle = partial.get(new_name)
+        assert bundle.vae is not None
+        assert bundle.model is not None
+        # the new bundle's model actually answers count queries
+        preds = bundle.model.predict(
+            np.stack([f.pixels for f in frames[-5:]]))
+        assert preds.shape == (5,)

@@ -1,0 +1,123 @@
+"""SoftmaxClassifier: learning, probabilities, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.nn.classifier import ClassifierConfig, SoftmaxClassifier
+
+
+def blob_data(rng, n_per_class=60, num_classes=3, dim=16):
+    """Linearly separable blobs flattened as 'frames'."""
+    xs, ys = [], []
+    for label in range(num_classes):
+        centre = np.zeros(dim)
+        centre[label] = 3.0
+        xs.append(rng.normal(centre, 0.5, size=(n_per_class, dim)))
+        ys.append(np.full(n_per_class, label))
+    return np.vstack(xs), np.concatenate(ys)
+
+
+def make_classifier(**kwargs):
+    defaults = dict(input_shape=(1, 4, 4), num_classes=3,
+                    architecture="mlp", hidden=32, epochs=20, seed=0)
+    defaults.update(kwargs)
+    return SoftmaxClassifier(ClassifierConfig(**defaults))
+
+
+class TestLearning:
+    def test_learns_separable_blobs(self, rng):
+        x, y = blob_data(rng)
+        clf = make_classifier()
+        clf.fit(x, y)
+        assert clf.accuracy(x, y) > 0.95
+
+    def test_generalises_to_fresh_samples(self, rng):
+        x, y = blob_data(rng)
+        clf = make_classifier()
+        clf.fit(x, y)
+        x_test, y_test = blob_data(np.random.default_rng(99))
+        assert clf.accuracy(x_test, y_test) > 0.9
+
+    def test_history_tracks_progress(self, rng):
+        x, y = blob_data(rng)
+        clf = make_classifier(epochs=10)
+        clf.fit(x, y)
+        assert len(clf.history.loss) == 10
+        assert clf.history.loss[-1] < clf.history.loss[0]
+        assert clf.history.accuracy[-1] >= clf.history.accuracy[0]
+
+    def test_input_centering_is_applied_consistently(self, rng):
+        """Shifting all inputs by a constant must not change accuracy
+        (training and inference both subtract the training mean)."""
+        x, y = blob_data(rng)
+        clf = make_classifier()
+        clf.fit(x + 10.0, y)
+        assert clf.accuracy(x + 10.0, y) > 0.95
+
+
+class TestPrediction:
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        x, y = blob_data(rng)
+        clf = make_classifier(epochs=3)
+        clf.fit(x, y)
+        probs = clf.predict_proba(x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10))
+        assert (probs >= 0).all()
+
+    def test_predict_is_argmax_of_proba(self, rng):
+        x, y = blob_data(rng)
+        clf = make_classifier(epochs=3)
+        clf.fit(x, y)
+        np.testing.assert_array_equal(
+            clf.predict(x[:10]), clf.predict_proba(x[:10]).argmax(axis=1))
+
+    def test_single_frame_prediction(self, rng):
+        x, y = blob_data(rng)
+        clf = make_classifier(epochs=3)
+        clf.fit(x, y)
+        assert clf.predict(x[0]).shape == (1,)
+
+    def test_use_before_fit_raises(self, rng):
+        clf = make_classifier()
+        with pytest.raises(NotFittedError):
+            clf.predict(rng.normal(size=(1, 16)))
+
+
+class TestConvClassifier:
+    def test_conv_architecture_trains(self, rng):
+        # clearly separated brightness classes
+        dark = rng.uniform(0.0, 0.35, size=(25, 8, 8))
+        bright = rng.uniform(0.65, 1.0, size=(25, 8, 8))
+        frames = np.vstack([dark, bright])
+        labels = np.array([0] * 25 + [1] * 25, dtype=np.int64)
+        clf = SoftmaxClassifier(ClassifierConfig(
+            input_shape=(1, 8, 8), num_classes=2, architecture="conv",
+            hidden=16, epochs=10, seed=0))
+        clf.fit(frames, labels)
+        assert clf.accuracy(frames, labels) > 0.9
+
+
+class TestValidation:
+    def test_wrong_feature_count_rejected(self, rng):
+        clf = make_classifier()
+        with pytest.raises(ConfigurationError):
+            clf.fit(rng.normal(size=(10, 99)), np.zeros(10, dtype=np.int64))
+
+    def test_label_out_of_range_rejected(self, rng):
+        clf = make_classifier(num_classes=2)
+        with pytest.raises(ConfigurationError):
+            clf.fit(rng.normal(size=(4, 16)), np.array([0, 1, 2, 0]))
+
+    def test_label_length_mismatch_rejected(self, rng):
+        clf = make_classifier()
+        with pytest.raises(ConfigurationError):
+            clf.fit(rng.normal(size=(4, 16)), np.zeros(3, dtype=np.int64))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_classes": 1}, {"architecture": "transformer"}, {"epochs": 0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            make_classifier(**kwargs)

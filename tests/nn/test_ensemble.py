@@ -1,0 +1,74 @@
+"""DeepEnsemble: mixture semantics, diversity, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.nn.classifier import ClassifierConfig
+from repro.nn.ensemble import DeepEnsemble
+
+
+def base_config(**kwargs):
+    defaults = dict(input_shape=(1, 4, 4), num_classes=2,
+                    architecture="mlp", hidden=16, epochs=5, seed=0)
+    defaults.update(kwargs)
+    return ClassifierConfig(**defaults)
+
+
+def binary_data(rng, n=80):
+    x = rng.normal(size=(n, 16))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+class TestEnsemble:
+    def test_mixture_is_mean_of_members(self, rng):
+        x, y = binary_data(rng)
+        ensemble = DeepEnsemble(base_config(), size=3, seed=1)
+        ensemble.fit(x, y)
+        mixture = ensemble.predict_proba(x[:10])
+        members = ensemble.member_proba(x[:10])
+        np.testing.assert_allclose(mixture, members.mean(axis=0))
+
+    def test_members_are_initialised_differently(self, rng):
+        x, y = binary_data(rng)
+        ensemble = DeepEnsemble(base_config(), size=3, seed=1)
+        ensemble.fit(x, y)
+        w0 = ensemble.members[0].net.layers[0].W
+        w1 = ensemble.members[1].net.layers[0].W
+        assert not np.allclose(w0, w1)
+
+    def test_ensemble_learns(self, rng):
+        x, y = binary_data(rng)
+        ensemble = DeepEnsemble(base_config(epochs=40, hidden=32), size=3,
+                                seed=1)
+        ensemble.fit(x, y)
+        assert (ensemble.predict(x) == y).mean() > 0.85
+
+    def test_member_proba_shape(self, rng):
+        x, y = binary_data(rng)
+        ensemble = DeepEnsemble(base_config(), size=4, seed=1)
+        ensemble.fit(x, y)
+        assert ensemble.member_proba(x[:7]).shape == (4, 7, 2)
+
+    def test_disagreement_non_negative_and_bounded(self, rng):
+        x, y = binary_data(rng)
+        ensemble = DeepEnsemble(base_config(epochs=2), size=3, seed=1)
+        ensemble.fit(x, y)
+        disagreement = ensemble.disagreement(x[:20])
+        assert (disagreement >= 0).all()
+        assert (disagreement <= 1).all()
+
+    def test_use_before_fit_raises(self, rng):
+        ensemble = DeepEnsemble(base_config(), size=2, seed=1)
+        with pytest.raises(NotFittedError):
+            ensemble.predict_proba(rng.normal(size=(1, 16)))
+
+    def test_size_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeepEnsemble(base_config(), size=1)
+
+    def test_size_property(self):
+        assert DeepEnsemble(base_config(), size=5, seed=0).size == 5

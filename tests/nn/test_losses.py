@@ -1,0 +1,152 @@
+"""Losses: values and analytic-vs-numerical gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.nn.losses import (
+    binary_cross_entropy,
+    gaussian_kl,
+    mse,
+    softmax,
+    softmax_cross_entropy,
+)
+
+EPS = 1e-6
+
+
+def numerical_grad(fn, x):
+    grad = np.zeros_like(x)
+    flat_x, flat_g = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + EPS
+        up = fn()
+        flat_x[i] = orig - EPS
+        down = fn()
+        flat_x[i] = orig
+        flat_g[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(6, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6))
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_logits_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.array([[100.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_loss_is_log_k(self):
+        k = 5
+        logits = np.zeros((2, k))
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 3]))
+        assert loss == pytest.approx(np.log(k))
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, grad = softmax_cross_entropy(logits, labels)
+        num = numerical_grad(
+            lambda: softmax_cross_entropy(logits, labels)[0], logits)
+        np.testing.assert_allclose(grad, num, atol=1e-6)
+
+    def test_one_hot_labels_equivalent(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 3, 0])
+        onehot = np.eye(4)[labels]
+        loss_int, grad_int = softmax_cross_entropy(logits, labels)
+        loss_oh, grad_oh = softmax_cross_entropy(logits, onehot)
+        assert loss_int == pytest.approx(loss_oh)
+        np.testing.assert_allclose(grad_int, grad_oh)
+
+    def test_label_length_mismatch_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            softmax_cross_entropy(rng.normal(size=(3, 2)), np.array([0]))
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_reconstruction_near_zero(self):
+        target = np.array([[0.0, 1.0, 0.0]])
+        pred = np.array([[1e-9, 1 - 1e-9, 1e-9]])
+        loss, _ = binary_cross_entropy(pred, target)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        pred = rng.uniform(0.1, 0.9, size=(3, 5))
+        target = rng.uniform(size=(3, 5))
+        _, grad = binary_cross_entropy(pred, target)
+        num = numerical_grad(
+            lambda: binary_cross_entropy(pred, target)[0], pred)
+        np.testing.assert_allclose(grad, num, atol=1e-4)
+
+    def test_extreme_predictions_finite(self):
+        loss, grad = binary_cross_entropy(np.array([[0.0, 1.0]]),
+                                          np.array([[1.0, 0.0]]))
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            binary_cross_entropy(np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestMSE:
+    def test_value(self):
+        loss, _ = mse(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert loss == pytest.approx(5.0)
+
+    def test_gradient_matches_numerical(self, rng):
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        _, grad = mse(pred, target)
+        num = numerical_grad(lambda: mse(pred, target)[0], pred)
+        np.testing.assert_allclose(grad, num, atol=1e-5)
+
+
+class TestGaussianKL:
+    def test_standard_normal_has_zero_kl(self):
+        mean = np.zeros((2, 3))
+        logvar = np.zeros((2, 3))
+        loss, dmean, dlogvar = gaussian_kl(mean, logvar)
+        assert loss == pytest.approx(0.0)
+        np.testing.assert_allclose(dmean, np.zeros_like(mean))
+        np.testing.assert_allclose(dlogvar, np.zeros_like(logvar))
+
+    def test_known_value(self):
+        # KL(N(1, 1) || N(0, 1)) = 0.5 per dimension
+        mean = np.array([[1.0]])
+        logvar = np.array([[0.0]])
+        loss, _, _ = gaussian_kl(mean, logvar)
+        assert loss == pytest.approx(0.5)
+
+    def test_gradients_match_numerical(self, rng):
+        mean = rng.normal(size=(3, 4))
+        logvar = rng.normal(size=(3, 4)) * 0.5
+        _, dmean, dlogvar = gaussian_kl(mean, logvar)
+        num_mean = numerical_grad(lambda: gaussian_kl(mean, logvar)[0], mean)
+        num_logvar = numerical_grad(lambda: gaussian_kl(mean, logvar)[0],
+                                    logvar)
+        np.testing.assert_allclose(dmean, num_mean, atol=1e-5)
+        np.testing.assert_allclose(dlogvar, num_logvar, atol=1e-5)
+
+    def test_always_non_negative(self, rng):
+        for _ in range(10):
+            loss, _, _ = gaussian_kl(rng.normal(size=(2, 5)),
+                                     rng.normal(size=(2, 5)))
+            assert loss >= 0.0

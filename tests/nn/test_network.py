@@ -1,0 +1,116 @@
+"""Sequential container: backprop chain, serialization hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense, ReLU, Tanh
+from repro.nn.network import Sequential
+
+EPS = 1e-6
+
+
+def make_net(seed=0):
+    return Sequential([Dense(4, 6, seed=seed), Tanh(),
+                       Dense(6, 3, seed=seed + 1)])
+
+
+class TestForwardBackward:
+    def test_forward_shape(self, rng):
+        net = make_net()
+        assert net.forward(rng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_end_to_end_gradient_matches_numerical(self, rng):
+        net = make_net()
+        x = rng.normal(size=(3, 4))
+        grad_out = rng.normal(size=(3, 3))
+        net.forward(x)
+        dx = net.backward(grad_out)
+
+        def objective():
+            return (net.forward(x, training=False) * grad_out).sum()
+
+        num = np.zeros_like(x)
+        flat_x, flat_g = x.reshape(-1), num.reshape(-1)
+        for i in range(flat_x.size):
+            orig = flat_x[i]
+            flat_x[i] = orig + EPS
+            up = objective()
+            flat_x[i] = orig - EPS
+            down = objective()
+            flat_x[i] = orig
+            flat_g[i] = (up - down) / (2 * EPS)
+        np.testing.assert_allclose(dx, num, atol=1e-5)
+
+    def test_param_grads_pairs_every_parameter(self):
+        net = make_net()
+        x = np.ones((2, 4))
+        net.forward(x)
+        net.backward(np.ones((2, 3)))
+        pairs = net.param_grads()
+        assert len(pairs) == 4  # two Dense layers x (W, b)
+        for param, grad in pairs:
+            assert param.shape == grad.shape
+
+    def test_num_parameters(self):
+        net = make_net()
+        assert net.num_parameters() == (4 * 6 + 6) + (6 * 3 + 3)
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sequential([])
+
+
+class TestStateDict:
+    def test_roundtrip_restores_outputs(self, rng):
+        net = make_net(seed=0)
+        other = make_net(seed=99)
+        x = rng.normal(size=(4, 4))
+        assert not np.allclose(net.forward(x, training=False),
+                               other.forward(x, training=False))
+        other.load_state_dict(net.state_dict())
+        np.testing.assert_allclose(net.forward(x, training=False),
+                                   other.forward(x, training=False))
+
+    def test_state_dict_is_a_copy(self):
+        net = make_net()
+        state = net.state_dict()
+        state["0.W"][:] = 0.0
+        assert not np.allclose(net.layers[0].W, 0.0)
+
+    def test_missing_key_rejected(self):
+        net = make_net()
+        state = net.state_dict()
+        del state["0.W"]
+        with pytest.raises(ConfigurationError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = make_net()
+        state = net.state_dict()
+        state["0.W"] = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError):
+            net.load_state_dict(state)
+
+
+class TestTrainingIntegration:
+    def test_learns_linear_map(self, rng):
+        """A small net + Adam fits a noiseless linear function."""
+        from repro.nn.losses import mse
+        from repro.nn.optim import Adam
+
+        true_w = rng.normal(size=(4, 2))
+        x = rng.normal(size=(200, 4))
+        y = x @ true_w
+        net = Sequential([Dense(4, 16, seed=1), ReLU(),
+                          Dense(16, 2, seed=2)])
+        optimizer = Adam(lr=1e-2)
+        for _ in range(300):
+            pred = net.forward(x)
+            loss, grad = mse(pred, y)
+            net.backward(grad)
+            optimizer.step(net.param_grads())
+        final_loss, _ = mse(net.forward(x, training=False), y)
+        assert final_loss < 0.05

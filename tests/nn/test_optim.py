@@ -1,0 +1,88 @@
+"""Optimizers: update rules and convergence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_grad(param, target):
+    return 2.0 * (param - target)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = np.array([1.0, 2.0])
+        grad = np.array([0.5, -0.5])
+        SGD(lr=0.1).step([(param, grad)])
+        np.testing.assert_allclose(param, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        param = np.zeros(1)
+        optimizer = SGD(lr=0.1, momentum=0.9)
+        grad = np.array([1.0])
+        optimizer.step([(param, grad)])
+        first = param.copy()
+        optimizer.step([(param, grad)])
+        second_step = param - first
+        # second step is larger because of accumulated velocity
+        assert abs(second_step[0]) > abs(first[0])
+
+    def test_converges_on_quadratic(self):
+        param = np.array([10.0, -10.0])
+        target = np.array([3.0, 4.0])
+        optimizer = SGD(lr=0.1)
+        for _ in range(200):
+            optimizer.step([(param, quadratic_grad(param, target))])
+        np.testing.assert_allclose(param, target, atol=1e-6)
+
+    def test_updates_in_place(self):
+        param = np.zeros(2)
+        alias = param
+        SGD(lr=1.0).step([(param, np.ones(2))])
+        assert alias is param
+        np.testing.assert_allclose(alias, [-1.0, -1.0])
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"lr": -1.0},
+                                        {"momentum": 1.0},
+                                        {"momentum": -0.1}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SGD(**{"lr": 0.1, **kwargs})
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, Adam's first step magnitude ~= lr."""
+        param = np.array([0.0])
+        Adam(lr=0.01).step([(param, np.array([5.0]))])
+        assert param[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        param = np.array([10.0, -10.0])
+        target = np.array([3.0, 4.0])
+        optimizer = Adam(lr=0.5)
+        for _ in range(500):
+            optimizer.step([(param, quadratic_grad(param, target))])
+        np.testing.assert_allclose(param, target, atol=1e-3)
+
+    def test_per_parameter_state_is_independent(self):
+        a, b = np.zeros(1), np.zeros(1)
+        optimizer = Adam(lr=0.1)
+        optimizer.step([(a, np.array([1.0]))])
+        optimizer.step([(a, np.array([1.0])), (b, np.array([1.0]))])
+        # b's first step has fresh state => step size = lr
+        assert b[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adam().step([(np.zeros(2), np.zeros(3))])
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"beta1": 1.0},
+                                        {"beta2": -0.1}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Adam(**kwargs)

@@ -1,0 +1,50 @@
+"""npz serialization round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Sequential
+from repro.nn.serialization import load_network, load_state, save_network, save_state
+
+
+class TestStateIO:
+    def test_roundtrip(self, tmp_path, rng):
+        state = {"a": rng.normal(size=(3, 2)), "b": np.arange(4.0)}
+        path = str(tmp_path / "weights.npz")
+        save_state(path, state)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b"}
+        np.testing.assert_allclose(loaded["a"], state["a"])
+
+    def test_empty_state_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_state(str(tmp_path / "x.npz"), {})
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "w.npz")
+        save_state(path, {"a": np.ones(2)})
+        assert load_state(path)["a"].shape == (2,)
+
+
+class TestNetworkIO:
+    def test_network_roundtrip_preserves_outputs(self, tmp_path, rng):
+        net = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+        path = str(tmp_path / "net.npz")
+        save_network(path, net)
+        fresh = Sequential([Dense(4, 8, seed=7), ReLU(), Dense(8, 2, seed=8)])
+        load_network(path, fresh)
+        x = rng.normal(size=(5, 4))
+        np.testing.assert_allclose(net.forward(x, training=False),
+                                   fresh.forward(x, training=False))
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        net = Sequential([Dense(4, 8, seed=0)])
+        path = str(tmp_path / "net.npz")
+        save_network(path, net)
+        wrong = Sequential([Dense(4, 9, seed=0)])
+        with pytest.raises(ConfigurationError):
+            load_network(path, wrong)

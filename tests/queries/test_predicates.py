@@ -1,0 +1,138 @@
+"""Predicate combinator algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queries.predicates import (
+    Above,
+    And,
+    InRegion,
+    LeftOf,
+    MinCount,
+    Near,
+    Not,
+    Or,
+    ground_truth,
+)
+from repro.video.objects import SceneObject
+from repro.video.stream import Frame
+
+
+def frame_with(objects):
+    return Frame(index=0, pixels=np.zeros((4, 4)), objects=tuple(objects),
+                 segment="s", condition="day", angle="front")
+
+
+def obj(kind, x, y=0.5):
+    return SceneObject(kind=kind, x=x, y=y, width=0.05, height=0.05,
+                       intensity=0.5)
+
+
+@pytest.fixture
+def busy_frame():
+    return frame_with([obj("car", 0.2, 0.3), obj("car", 0.8, 0.7),
+                       obj("bus", 0.5, 0.5)])
+
+
+class TestAtomicPredicates:
+    def test_min_count(self, busy_frame):
+        assert MinCount("car", 2)(busy_frame)
+        assert not MinCount("car", 3)(busy_frame)
+        assert MinCount("bus", 1)(busy_frame)
+
+    def test_left_of(self, busy_frame):
+        assert LeftOf("car", "bus")(busy_frame)   # car at 0.2 < bus at 0.5
+        assert LeftOf("bus", "car")(busy_frame)   # bus at 0.5 < car at 0.8
+
+    def test_left_of_requires_both_kinds(self):
+        only_cars = frame_with([obj("car", 0.1), obj("car", 0.9)])
+        assert not LeftOf("bus", "car")(only_cars)
+
+    def test_above(self, busy_frame):
+        assert Above("car", "bus")(busy_frame)    # car at y=0.3 above 0.5
+
+    def test_near(self):
+        close = frame_with([obj("car", 0.50, 0.50), obj("bus", 0.55, 0.50)])
+        apart = frame_with([obj("car", 0.1, 0.1), obj("bus", 0.9, 0.9)])
+        assert Near("car", "bus", radius=0.1)(close)
+        assert not Near("car", "bus", radius=0.1)(apart)
+
+    def test_near_ignores_self_pairs(self):
+        one_car = frame_with([obj("car", 0.5, 0.5)])
+        assert not Near("car", "car", radius=1.0)(one_car)
+
+    def test_in_region(self, busy_frame):
+        assert InRegion("bus", 0.4, 0.4, 0.6, 0.6)(busy_frame)
+        assert not InRegion("bus", 0.0, 0.0, 0.1, 0.1)(busy_frame)
+
+    @pytest.mark.parametrize("build", [
+        lambda: MinCount("plane", 1),
+        lambda: MinCount("car", 0),
+        lambda: Near("car", "bus", radius=0.0),
+        lambda: InRegion("car", 0.5, 0.5, 0.4, 0.6),
+    ])
+    def test_invalid_construction(self, build):
+        with pytest.raises(ConfigurationError):
+            build()
+
+
+class TestCombinators:
+    def test_and_or_not(self, busy_frame):
+        p = And(MinCount("car", 2), MinCount("bus", 1))
+        assert p(busy_frame)
+        q = Or(MinCount("car", 5), MinCount("bus", 1))
+        assert q(busy_frame)
+        assert not Not(q)(busy_frame)
+
+    def test_operator_sugar(self, busy_frame):
+        p = MinCount("car", 2) & MinCount("bus", 1)
+        q = MinCount("car", 9) | MinCount("bus", 1)
+        assert p(busy_frame) and q(busy_frame)
+        assert not (~p)(busy_frame)
+
+    def test_names_are_readable(self):
+        p = And(MinCount("car", 3), LeftOf("bus", "car"))
+        assert "count(car) >= 3" in p.name
+        assert "bus left-of car" in p.name
+
+    def test_combinators_need_two_operands(self):
+        with pytest.raises(ConfigurationError):
+            And(MinCount("car", 1))
+
+
+class TestIntegration:
+    def test_matches_builtin_spatial_predicate(self):
+        """LeftOf('bus', 'car') is exactly the paper's query."""
+        from repro.queries.spatial import bus_left_of_car
+        from repro.video.datasets import make_bdd
+
+        frames = make_bdd(scale=1e9).training_frames("day", 40, seed=0)
+        dsl = LeftOf("bus", "car")
+        assert [dsl(f) for f in frames] == [bus_left_of_car(f)
+                                            for f in frames]
+
+    def test_selectivity_and_ground_truth(self):
+        from repro.video.datasets import make_bdd
+
+        frames = make_bdd(scale=1e9).training_frames("day", 40, seed=0)
+        p = MinCount("car", 1)
+        labels = ground_truth(p, frames)
+        assert p.selectivity(frames) == pytest.approx(
+            sum(labels) / len(labels))
+
+    def test_predicate_trains_a_spatial_filter(self):
+        """Any predicate plugs into the learned pixel-level filter."""
+        from repro.detectors.classifier_filters import SpatialFilter
+        from repro.nn.classifier import ClassifierConfig
+        from repro.video.datasets import make_bdd
+
+        frames = make_bdd(scale=1e9).training_frames("day", 60, seed=0)
+        query = MinCount("car", 8)
+        filt = SpatialFilter(query, config=ClassifierConfig(
+            input_shape=(1, 32, 32), num_classes=2, hidden=32, epochs=6,
+            seed=0))
+        filt.fit_frames(frames)
+        assert 0.0 <= filt.accuracy_on(frames) <= 1.0

@@ -1,0 +1,120 @@
+"""Count and spatial queries, the A_q metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import Detection, DetectionResult
+from repro.errors import ConfigurationError
+from repro.queries.accuracy import accuracy_by_key, query_accuracy
+from repro.queries.count import CountQuery
+from repro.queries.spatial import SpatialQuery, bus_left_of_car
+from repro.video.datasets import make_bdd
+from repro.video.objects import SceneObject
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return make_bdd(scale=1e9).training_frames("day", 25, seed=0)
+
+
+def frame_with(objects):
+    """A minimal Frame carrying only object ground truth."""
+    from repro.video.stream import Frame
+    return Frame(index=0, pixels=np.zeros((4, 4)), objects=tuple(objects),
+                 segment="s", condition="day", angle="front")
+
+
+def obj(kind, x):
+    return SceneObject(kind=kind, x=x, y=0.5, width=0.05, height=0.05,
+                       intensity=0.5)
+
+
+class TestBusLeftOfCar:
+    def test_true_when_bus_left(self):
+        frame = frame_with([obj("bus", 0.2), obj("car", 0.8)])
+        assert bus_left_of_car(frame)
+
+    def test_false_when_bus_right(self):
+        frame = frame_with([obj("bus", 0.9), obj("car", 0.1)])
+        assert not bus_left_of_car(frame)
+
+    def test_false_without_both_kinds(self):
+        assert not bus_left_of_car(frame_with([obj("car", 0.5)]))
+        assert not bus_left_of_car(frame_with([obj("bus", 0.5)]))
+        assert not bus_left_of_car(frame_with([]))
+
+    def test_any_pair_suffices(self):
+        frame = frame_with([obj("bus", 0.6), obj("car", 0.1),
+                            obj("car", 0.9)])
+        assert bus_left_of_car(frame)
+
+
+class TestCountQuery:
+    def test_perfect_predictions_give_full_accuracy(self, frames):
+        query = CountQuery(num_classes=6, bucket_width=4)
+        truth = query.ground_truth(frames)
+        assert query.accuracy(frames, truth) == 1.0
+
+    def test_wrong_predictions_give_zero(self, frames):
+        query = CountQuery(num_classes=6, bucket_width=4)
+        truth = query.ground_truth(frames)
+        assert query.accuracy(frames, (truth + 1) % 6) == 0.0
+
+    def test_accuracy_from_detections_with_oracle(self, frames):
+        query = CountQuery(num_classes=6, bucket_width=4)
+        results = [
+            DetectionResult([Detection(o.kind, o.x, o.y) for o in f.objects])
+            for f in frames
+        ]
+        assert query.accuracy_from_detections(frames, results) == 1.0
+
+    def test_per_sequence_accuracy_groups_by_segment(self, frames):
+        query = CountQuery(num_classes=6, bucket_width=4)
+        truth = query.ground_truth(frames)
+        by_seq = query.per_sequence_accuracy(frames, truth)
+        assert by_seq == {"day": 1.0}
+
+    def test_length_mismatch_rejected(self, frames):
+        query = CountQuery(num_classes=6)
+        with pytest.raises(ConfigurationError):
+            query.accuracy(frames, np.zeros(3, dtype=np.int64))
+
+
+class TestSpatialQuery:
+    def test_perfect_predictions(self, frames):
+        query = SpatialQuery()
+        truth = query.ground_truth(frames)
+        assert query.accuracy(frames, truth) == 1.0
+
+    def test_detection_based_evaluation(self, frames):
+        query = SpatialQuery()
+        results = [
+            DetectionResult([Detection(o.kind, o.x, o.y) for o in f.objects])
+            for f in frames
+        ]
+        assert query.accuracy_from_detections(frames, results) == 1.0
+
+    def test_missing_detections_can_flip_predicate(self):
+        query = SpatialQuery()
+        frame = frame_with([obj("bus", 0.2), obj("car", 0.8)])
+        empty = DetectionResult([])
+        assert query.accuracy_from_detections([frame], [empty]) == 0.0
+
+
+class TestAccuracyHelpers:
+    def test_query_accuracy(self):
+        assert query_accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+
+    def test_query_accuracy_empty(self):
+        assert query_accuracy([], []) == 0.0
+
+    def test_query_accuracy_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            query_accuracy([1], [1, 2])
+
+    def test_accuracy_by_key(self):
+        result = accuracy_by_key([1, 1, 0, 0], [1, 0, 0, 1],
+                                 ["a", "a", "b", "b"])
+        assert result == {"a": 0.5, "b": 0.5}

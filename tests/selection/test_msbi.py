@@ -1,0 +1,113 @@
+"""MSBI (Algorithm 2) on synthetic gaussian bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nonconformity import KNNDistance
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.registry import (
+    ModelBundle,
+    ModelRegistry,
+    NovelDistribution,
+)
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulatedClock
+
+DIM = 6
+
+
+def gaussian_bundle(name, centre, rng, n=200):
+    sigma = rng.normal(centre, 1.0, size=(n, DIM))
+    scores = KNNDistance(5).reference_scores(sigma)
+    return ModelBundle(name=name, sigma=sigma, reference_scores=scores)
+
+
+@pytest.fixture
+def registry(rng):
+    return ModelRegistry([
+        gaussian_bundle("low", 0.0, rng),
+        gaussian_bundle("mid", 6.0, rng),
+        gaussian_bundle("high", 12.0, rng),
+    ])
+
+
+class TestSelection:
+    @pytest.mark.parametrize("centre,expected", [(0.0, "low"), (6.0, "mid"),
+                                                 (12.0, "high")])
+    def test_selects_matching_distribution(self, rng, registry, centre,
+                                           expected):
+        msbi = MSBI(registry, MSBIConfig(seed=0))
+        frames = rng.normal(centre, 1.0, size=(10, DIM))
+        assert msbi.select(frames) == expected
+
+    def test_novel_distribution_raises(self, rng, registry):
+        msbi = MSBI(registry, MSBIConfig(seed=0))
+        frames = rng.normal(30.0, 1.0, size=(10, DIM))
+        with pytest.raises(NovelDistribution) as excinfo:
+            msbi.select(frames)
+        flags = excinfo.value.diagnostics["drift_flags"]
+        assert all(flags.values())
+
+    def test_report_is_populated(self, rng, registry):
+        msbi = MSBI(registry, MSBIConfig(seed=0))
+        frames = rng.normal(0.0, 1.0, size=(10, DIM))
+        selected = msbi.select(frames)
+        report = msbi.last_report
+        assert report.selected == selected
+        assert report.rounds >= 1
+        assert report.frames_examined >= 10
+
+    def test_candidates_restrict_the_search(self, rng, registry):
+        msbi = MSBI(registry, MSBIConfig(seed=0))
+        frames = rng.normal(0.0, 1.0, size=(10, DIM))
+        assert msbi.select(frames, candidates=["low", "mid"]) == "low"
+
+    def test_tie_between_overlapping_bundles_resolves(self, rng):
+        """Two nearly identical reference distributions: escalation (and
+        finally the closest-centroid tie-break) must return one of them."""
+        registry = ModelRegistry([
+            gaussian_bundle("a", 0.0, rng),
+            gaussian_bundle("b", 0.3, rng),
+            gaussian_bundle("far", 15.0, rng),
+        ])
+        msbi = MSBI(registry, MSBIConfig(seed=0))
+        frames = np.random.default_rng(5).normal(0.0, 1.0, size=(10, DIM))
+        assert msbi.select(frames) in ("a", "b")
+
+    def test_window_size_truncates_input(self, rng, registry):
+        msbi = MSBI(registry, MSBIConfig(window_size=5, seed=0))
+        frames = rng.normal(0.0, 1.0, size=(50, DIM))
+        msbi.select(frames)
+        # one round over 3 bundles at 5 frames each
+        assert msbi.last_report.frames_examined % 5 == 0
+
+
+class TestCost:
+    def test_clock_charges_per_model_per_frame(self, rng, registry):
+        clock = SimulatedClock()
+        msbi = MSBI(registry, MSBIConfig(window_size=10, seed=0), clock=clock)
+        frames = rng.normal(0.0, 1.0, size=(10, DIM))
+        msbi.select(frames)
+        counts = clock.operation_counts()
+        # 3 models x 10 frames in the first (and only) round
+        assert counts["msbi_model_frame"] == 30
+
+
+class TestValidation:
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MSBI(ModelRegistry())
+
+    def test_empty_window_rejected(self, registry):
+        msbi = MSBI(registry, MSBIConfig(seed=0))
+        with pytest.raises(ConfigurationError):
+            msbi.select(np.empty((0, DIM)))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_size": 0}, {"significance": 0.0}, {"r_step": 0.0},
+    ])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MSBIConfig(**kwargs)

@@ -1,0 +1,173 @@
+"""MSBO (Algorithm 3) on synthetic bundles with fake ensembles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nonconformity import KNNDistance
+from repro.core.selection.msbo import MSBO, MSBOCalibration, MSBOConfig
+from repro.core.selection.registry import (
+    ModelBundle,
+    ModelRegistry,
+    NovelDistribution,
+)
+from repro.errors import ConfigurationError, NotFittedError
+from repro.sim.clock import SimulatedClock
+
+DIM = 4
+K = 3
+
+
+class ThresholdEnsemble:
+    """Confident and correct near its centre, confident and wrong away.
+
+    Predicts class ``label`` with high confidence for frames whose mean is
+    within ``radius`` of ``centre``; otherwise it still predicts ``label``
+    confidently (deep nets are overconfident off-distribution, the exact
+    behaviour MSBO's Brier calibration exists to catch).
+    """
+
+    size = 4
+
+    def __init__(self, centre: float, label: int):
+        self.centre = centre
+        self.label = label
+
+    def predict_proba(self, frames):
+        n = np.asarray(frames).shape[0]
+        probs = np.full((n, K), (1 - 0.94) / (K - 1))
+        probs[:, self.label] = 0.94
+        return probs
+
+    def predict(self, frames):
+        return self.predict_proba(frames).argmax(axis=1)
+
+
+def make_bundle(name, centre, label, rng):
+    sigma = rng.normal(centre, 1.0, size=(60, DIM))
+    scores = KNNDistance(5).reference_scores(sigma)
+    frames = rng.normal(centre, 1.0, size=(80, DIM))
+    labels = np.full(80, label, dtype=np.int64)
+    return ModelBundle(name=name, sigma=sigma, reference_scores=scores,
+                       ensemble=ThresholdEnsemble(centre, label),
+                       training_frames=frames, training_labels=labels)
+
+
+@pytest.fixture
+def registry(rng):
+    return ModelRegistry([
+        make_bundle("a", 0.0, 0, rng),
+        make_bundle("b", 5.0, 1, rng),
+        make_bundle("c", 10.0, 2, rng),
+    ])
+
+
+class TestCalibration:
+    def test_calibrate_builds_cross_distribution_baseline(self, registry):
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        calibration = msbo.calibrate()
+        assert set(calibration.pc_avg) == {"a", "b", "c"}
+        # every ensemble is confidently wrong on the other distributions:
+        # the baseline uncertainty is high
+        for name in ("a", "b", "c"):
+            assert calibration.pc_avg[name] > 0.3
+
+    def test_threshold_is_mean_minus_margin_sigma(self):
+        calibration = MSBOCalibration(pc_avg={"m": 0.5}, sigma={"m": 0.1})
+        assert calibration.threshold("m") == pytest.approx(0.4)
+        assert calibration.threshold("m", margin=2.0) == pytest.approx(0.3)
+
+    def test_threshold_unknown_model_raises(self):
+        with pytest.raises(NotFittedError):
+            MSBOCalibration().threshold("missing")
+
+    def test_calibration_needs_two_models(self, rng):
+        registry = ModelRegistry([make_bundle("solo", 0.0, 0, rng)])
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=10))
+        with pytest.raises(ConfigurationError):
+            msbo.calibrate()
+
+    def test_missing_ensemble_rejected(self, rng):
+        bundle = make_bundle("x", 0.0, 0, rng)
+        bundle.ensemble = None
+        registry = ModelRegistry([bundle, make_bundle("y", 5.0, 1, rng)])
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=10))
+        with pytest.raises(NotFittedError):
+            msbo.calibrate()
+
+
+class TestSelection:
+    @pytest.mark.parametrize("centre,label,expected", [
+        (0.0, 0, "a"), (5.0, 1, "b"), (10.0, 2, "c")])
+    def test_selects_lowest_brier_model(self, rng, registry, centre, label,
+                                        expected):
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        frames = rng.normal(centre, 1.0, size=(10, DIM))
+        labels = np.full(10, label, dtype=np.int64)
+        assert msbo.select(frames, labels) == expected
+
+    def test_novel_when_best_model_fails_threshold(self, rng, registry):
+        """A strict calibrated threshold rejects even the best model."""
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        msbo.calibration = MSBOCalibration(
+            pc_avg={"a": 1e-6, "b": 1e-6, "c": 1e-6},
+            sigma={"a": 0.0, "b": 0.0, "c": 0.0})
+        frames = rng.normal(20.0, 1.0, size=(10, DIM))
+        labels = np.array([(i % K) for i in range(10)], dtype=np.int64)
+        with pytest.raises(NovelDistribution) as excinfo:
+            msbo.select(frames, labels)
+        assert "brier" in excinfo.value.diagnostics
+
+    def test_report_records_scores(self, rng, registry):
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        frames = rng.normal(0.0, 1.0, size=(10, DIM))
+        labels = np.zeros(10, dtype=np.int64)
+        msbo.select(frames, labels)
+        report = msbo.last_report
+        assert report.selected == "a"
+        assert set(report.brier) == {"a", "b", "c"}
+        assert report.brier["a"] < report.brier["b"]
+
+    def test_select_auto_calibrates(self, rng, registry):
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        assert msbo.calibration is None
+        msbo.select(rng.normal(0.0, 1.0, size=(10, DIM)),
+                    np.zeros(10, dtype=np.int64))
+        assert msbo.calibration is not None
+
+    def test_window_truncation(self, rng, registry):
+        msbo = MSBO(registry, MSBOConfig(window_size=5, seed=0,
+                                         calibration_sample=40))
+        frames = rng.normal(0.0, 1.0, size=(50, DIM))
+        labels = np.zeros(50, dtype=np.int64)
+        assert msbo.select(frames, labels) == "a"
+
+
+class TestCost:
+    def test_clock_charges_ensemble_members(self, rng, registry):
+        clock = SimulatedClock()
+        msbo = MSBO(registry, MSBOConfig(window_size=10, seed=0,
+                                         calibration_sample=40), clock=clock)
+        frames = rng.normal(0.0, 1.0, size=(10, DIM))
+        msbo.select(frames, np.zeros(10, dtype=np.int64))
+        # 3 models x 4 members x 10 frames
+        assert clock.operation_counts()["ensemble_member_infer"] == 120
+
+
+class TestValidation:
+    def test_labels_length_mismatch_rejected(self, rng, registry):
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        with pytest.raises(ConfigurationError):
+            msbo.select(rng.normal(size=(5, DIM)), np.zeros(3, dtype=np.int64))
+
+    def test_empty_window_rejected(self, registry):
+        msbo = MSBO(registry, MSBOConfig(seed=0, calibration_sample=40))
+        with pytest.raises(ConfigurationError):
+            msbo.select(np.empty((0, DIM)), np.empty(0, dtype=np.int64))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_size": 0}, {"calibration_sample": 1}, {"sigma_margin": -1.0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MSBOConfig(**kwargs)

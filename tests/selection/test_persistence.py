@@ -1,0 +1,131 @@
+"""Bundle / registry persistence round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.selection.persistence import (
+    load_bundle,
+    load_registry,
+    save_bundle,
+    save_registry,
+)
+from repro.core.selection.registry import ModelBundle, ModelRegistry
+from repro.detectors.classifier_filters import CountClassifier, SpatialFilter
+from repro.errors import ConfigurationError
+from repro.nn.classifier import ClassifierConfig
+from repro.nn.ensemble import DeepEnsemble
+from repro.nn.vae import VAE, VAEConfig
+from repro.queries.spatial import bus_left_of_car
+
+
+@pytest.fixture(scope="module")
+def trained_bundle(rng=None):
+    rng = np.random.default_rng(0)
+    frames = np.clip(rng.uniform(size=(60, 8, 8)), 0, 1)
+    labels = (frames.mean(axis=(1, 2)) > 0.5).astype(np.int64)
+    vae = VAE(VAEConfig(input_shape=(1, 8, 8), latent_dim=3, epochs=2,
+                        hidden=16, seed=0))
+    vae.fit(frames)
+    sigma = vae.sample_latents(150, seed=1)
+    from repro.core.nonconformity import KNNDistance
+    scores = KNNDistance(5).reference_scores(sigma)
+    clf_config = ClassifierConfig(input_shape=(1, 8, 8), num_classes=2,
+                                  hidden=16, epochs=3, seed=0)
+    model = CountClassifier(clf_config)
+    model.fit(frames, labels)
+    ensemble = DeepEnsemble(clf_config, size=2, seed=0)
+    ensemble.fit(frames, labels)
+    return ModelBundle(name="demo", sigma=sigma, reference_scores=scores,
+                       vae=vae, model=model, ensemble=ensemble,
+                       training_frames=frames, training_labels=labels,
+                       metadata={"trained_frames": 60})
+
+
+class TestBundleRoundTrip:
+    def test_arrays_survive(self, trained_bundle, tmp_path):
+        save_bundle(str(tmp_path / "b"), trained_bundle)
+        loaded = load_bundle(str(tmp_path / "b"))
+        np.testing.assert_allclose(loaded.sigma, trained_bundle.sigma)
+        np.testing.assert_allclose(loaded.reference_scores,
+                                   trained_bundle.reference_scores)
+        np.testing.assert_allclose(loaded.training_frames,
+                                   trained_bundle.training_frames)
+        assert loaded.metadata["trained_frames"] == 60
+
+    def test_vae_embeddings_survive(self, trained_bundle, tmp_path):
+        save_bundle(str(tmp_path / "b"), trained_bundle)
+        loaded = load_bundle(str(tmp_path / "b"))
+        frames = trained_bundle.training_frames[:4]
+        np.testing.assert_allclose(loaded.vae.embed(frames),
+                                   trained_bundle.vae.embed(frames),
+                                   atol=1e-10)
+        np.testing.assert_allclose(
+            loaded.vae.augmented_embed(frames),
+            trained_bundle.vae.augmented_embed(frames), atol=1e-10)
+
+    def test_model_predictions_survive(self, trained_bundle, tmp_path):
+        save_bundle(str(tmp_path / "b"), trained_bundle)
+        loaded = load_bundle(str(tmp_path / "b"))
+        frames = trained_bundle.training_frames[:8]
+        np.testing.assert_array_equal(loaded.model.predict(frames),
+                                      trained_bundle.model.predict(frames))
+
+    def test_ensemble_probabilities_survive(self, trained_bundle, tmp_path):
+        save_bundle(str(tmp_path / "b"), trained_bundle)
+        loaded = load_bundle(str(tmp_path / "b"))
+        frames = trained_bundle.training_frames[:8]
+        np.testing.assert_allclose(
+            loaded.ensemble.predict_proba(frames),
+            trained_bundle.ensemble.predict_proba(frames), atol=1e-10)
+
+    def test_loaded_bundle_drives_a_drift_inspector(self, trained_bundle,
+                                                    tmp_path):
+        save_bundle(str(tmp_path / "b"), trained_bundle)
+        loaded = load_bundle(str(tmp_path / "b"))
+        inspector = DriftInspector(loaded.sigma, DriftInspectorConfig(seed=2),
+                                   embedder=loaded.vae)
+        # strongly darkened frames are a genuine distribution shift
+        # (note 1 - U(0,1) would NOT be: uniform noise is inversion-invariant)
+        shifted = trained_bundle.training_frames[:40] * 0.3
+        assert inspector.frames_to_detect(iter(shifted)) is not None
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_bundle(str(tmp_path / "nothing"))
+
+    def test_spatial_model_needs_predicate(self, trained_bundle, tmp_path):
+        clf_config = ClassifierConfig(input_shape=(1, 8, 8), num_classes=2,
+                                      hidden=16, epochs=2, seed=0)
+        filt = SpatialFilter(bus_left_of_car, config=clf_config)
+        filt.fit(trained_bundle.training_frames,
+                 trained_bundle.training_labels)
+        bundle = ModelBundle(name="sp", sigma=trained_bundle.sigma,
+                             reference_scores=trained_bundle.reference_scores,
+                             model=filt)
+        save_bundle(str(tmp_path / "sp"), bundle)
+        with pytest.raises(ConfigurationError, match="spatial_predicate"):
+            load_bundle(str(tmp_path / "sp"))
+        loaded = load_bundle(str(tmp_path / "sp"),
+                             spatial_predicate=bus_left_of_car)
+        frames = trained_bundle.training_frames[:4]
+        np.testing.assert_array_equal(loaded.model.predict(frames),
+                                      filt.predict(frames))
+
+
+class TestRegistryRoundTrip:
+    def test_registry_order_and_content(self, trained_bundle, tmp_path):
+        other = ModelBundle(name="other", sigma=trained_bundle.sigma * 2,
+                            reference_scores=trained_bundle.reference_scores)
+        registry = ModelRegistry([trained_bundle, other])
+        save_registry(str(tmp_path / "reg"), registry)
+        loaded = load_registry(str(tmp_path / "reg"))
+        assert loaded.names() == ["demo", "other"]
+        np.testing.assert_allclose(loaded.get("other").sigma,
+                                   trained_bundle.sigma * 2)
+
+    def test_missing_index_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_registry(str(tmp_path / "nope"))

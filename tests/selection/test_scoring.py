@@ -1,0 +1,123 @@
+"""Proper scoring rules: Brier, NLL, decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection.scoring import (
+    brier_decomposition,
+    brier_score,
+    negative_log_likelihood,
+)
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+
+class TestBrierScore:
+    def test_perfect_certainty_scores_zero(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        assert brier_score(probs, labels) == pytest.approx(0.0)
+
+    def test_confident_wrong_scores_maximally(self):
+        probs = np.array([[1.0, 0.0]])
+        labels = np.array([1])
+        # per paper normalization: (1 + 1) / K = 1.0 for K = 2
+        assert brier_score(probs, labels) == pytest.approx(1.0)
+
+    def test_uniform_prediction_value(self):
+        k = 4
+        probs = np.full((1, k), 1.0 / k)
+        labels = np.array([2])
+        expected = ((1 - 1 / k) ** 2 + (k - 1) * (1 / k) ** 2) / k
+        assert brier_score(probs, labels) == pytest.approx(expected)
+
+    def test_unnormalized_matches_classic_definition(self):
+        probs = np.array([[0.7, 0.3]])
+        labels = np.array([0])
+        classic = (0.3 ** 2 + 0.3 ** 2)
+        assert brier_score(probs, labels, normalize=False) == pytest.approx(
+            classic)
+        assert brier_score(probs, labels) == pytest.approx(classic / 2)
+
+    def test_properness_true_distribution_wins(self, rng):
+        """A proper scoring rule is minimised in expectation by the true
+        conditional distribution."""
+        true_p = np.array([0.7, 0.2, 0.1])
+        labels = rng.choice(3, p=true_p, size=4000)
+        honest = np.tile(true_p, (4000, 1))
+        overconfident = np.tile([0.99, 0.005, 0.005], (4000, 1))
+        flat = np.full((4000, 3), 1 / 3)
+        honest_score = brier_score(honest, labels)
+        assert honest_score < brier_score(overconfident, labels)
+        assert honest_score < brier_score(flat, labels)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            brier_score(np.empty((0, 2)), np.empty(0, dtype=int))
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            brier_score(np.array([[0.5, 0.5]]), np.array([2]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            brier_score(np.array([[0.5, 0.5]]), np.array([0, 1]))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded(self, seed):
+        r = np.random.default_rng(seed)
+        logits = r.normal(size=(20, 5))
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        labels = r.integers(0, 5, size=20)
+        score = brier_score(probs, labels)
+        assert 0.0 <= score <= 2.0
+
+
+class TestNLL:
+    def test_perfect_prediction_is_zero(self):
+        probs = np.array([[1.0, 0.0]])
+        assert negative_log_likelihood(probs, np.array([0])) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_worse_prediction_higher_nll(self):
+        labels = np.array([0])
+        good = negative_log_likelihood(np.array([[0.9, 0.1]]), labels)
+        bad = negative_log_likelihood(np.array([[0.2, 0.8]]), labels)
+        assert bad > good
+
+    def test_zero_probability_is_finite(self):
+        probs = np.array([[0.0, 1.0]])
+        assert np.isfinite(negative_log_likelihood(probs, np.array([0])))
+
+
+class TestBrierDecomposition:
+    def test_keys_and_ranges(self, rng):
+        probs = rng.dirichlet(np.ones(3), size=100)
+        labels = rng.integers(0, 3, size=100)
+        decomp = brier_decomposition(probs, labels)
+        assert set(decomp) == {"reliability", "resolution", "uncertainty",
+                               "brier_top1"}
+        assert decomp["reliability"] >= 0
+        assert decomp["resolution"] >= 0
+        assert 0 <= decomp["uncertainty"] <= 0.25
+
+    def test_calibrated_predictor_has_low_reliability(self, rng):
+        """A predictor whose confidence equals its accuracy has reliability
+        near zero."""
+        n = 5000
+        confidence = 0.8
+        probs = np.tile([confidence, 1 - confidence], (n, 1))
+        correct = rng.uniform(size=n) < confidence
+        labels = np.where(correct, 0, 1)
+        decomp = brier_decomposition(probs, labels)
+        assert decomp["reliability"] < 0.01
+
+    def test_invalid_bins_rejected(self, rng):
+        probs = rng.dirichlet(np.ones(2), size=10)
+        with pytest.raises(ConfigurationError):
+            brier_decomposition(probs, np.zeros(10, dtype=int), bins=0)

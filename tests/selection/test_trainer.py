@@ -1,0 +1,145 @@
+"""ModelTrainer (trainNewModel, Section 5.4) with injected fakes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.selection.trainer import ModelTrainer, TrainerConfig
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulatedClock
+
+
+class FakeVAE:
+    def __init__(self):
+        self.fit_calls = 0
+
+    def fit(self, frames):
+        self.fit_calls += 1
+        self._frames = np.asarray(frames).reshape(len(frames), -1)
+        return self
+
+    def sample_latents(self, n, seed=None):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, self._frames.shape[0], size=n)
+        return self._frames[idx] + rng.normal(0, 1e-3,
+                                              size=(n, self._frames.shape[1]))
+
+    def embed(self, frames):
+        return np.asarray(frames).reshape(len(frames), -1)
+
+
+class FakeClassifier:
+    def __init__(self):
+        self.fitted_with = None
+
+    def fit(self, frames, labels):
+        self.fitted_with = (np.asarray(frames).shape[0],
+                            np.asarray(labels).shape[0])
+        return self
+
+    def predict(self, frames):
+        return np.zeros(np.asarray(frames).shape[0], dtype=np.int64)
+
+
+class FakeEnsemble(FakeClassifier):
+    size = 3
+
+    def predict_proba(self, frames):
+        n = np.asarray(frames).shape[0]
+        return np.full((n, 2), 0.5)
+
+
+def count_annotator(frames):
+    return np.zeros(np.asarray(frames).shape[0], dtype=np.int64)
+
+
+def make_trainer(**kwargs):
+    defaults = dict(
+        vae_factory=lambda seed: FakeVAE(),
+        classifier_factory=lambda seed: FakeClassifier(),
+        annotator=count_annotator,
+        ensemble_factory=lambda seed: FakeEnsemble(),
+        config=TrainerConfig(frames_to_collect=20, sigma_size=15, seed=0))
+    defaults.update(kwargs)
+    return ModelTrainer(**defaults)
+
+
+class TestTrainNewModel:
+    def test_builds_complete_bundle(self, rng):
+        trainer = make_trainer()
+        frames = rng.uniform(size=(30, 8))
+        bundle = trainer.train_new_model("fresh", frames)
+        assert bundle.name == "fresh"
+        assert bundle.sigma.shape[0] == 15
+        assert bundle.reference_scores.shape[0] == 15
+        assert bundle.vae is not None
+        assert bundle.model.fitted_with == (30, 30)
+        assert bundle.ensemble.fitted_with == (30, 30)
+        assert trainer.trained == ["fresh"]
+
+    def test_supplied_labels_skip_annotation(self, rng):
+        calls = []
+
+        def tracking_annotator(frames):
+            calls.append(len(frames))
+            return np.zeros(len(frames), dtype=np.int64)
+
+        trainer = make_trainer(annotator=tracking_annotator)
+        frames = rng.uniform(size=(20, 8))
+        trainer.train_new_model("x", frames,
+                                labels=np.zeros(20, dtype=np.int64))
+        assert calls == []
+
+    def test_annotation_charges_clock(self, rng):
+        clock = SimulatedClock()
+        trainer = make_trainer(clock=clock)
+        trainer.train_new_model("x", rng.uniform(size=(25, 8)))
+        assert clock.operation_counts()["annotate_frame"] == 25
+
+    def test_no_ensemble_factory_yields_bundle_without_ensemble(self, rng):
+        trainer = make_trainer(ensemble_factory=None)
+        bundle = trainer.train_new_model("x", rng.uniform(size=(20, 8)))
+        assert bundle.ensemble is None
+
+    def test_annotator_length_mismatch_rejected(self, rng):
+        trainer = make_trainer(
+            annotator=lambda frames: np.zeros(3, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            trainer.train_new_model("x", rng.uniform(size=(20, 8)))
+
+    def test_too_few_frames_rejected(self, rng):
+        trainer = make_trainer()
+        with pytest.raises(ConfigurationError):
+            trainer.train_new_model("x", rng.uniform(size=(1, 8)))
+
+
+class TestCollect:
+    def test_collect_respects_budget(self, rng):
+        trainer = make_trainer()
+        stream = iter(rng.uniform(size=(100, 8)))
+        frames = trainer.collect(stream)
+        assert frames.shape == (20, 8)
+
+    def test_collect_explicit_limit(self, rng):
+        trainer = make_trainer()
+        frames = trainer.collect(iter(rng.uniform(size=(100, 8))), limit=7)
+        assert frames.shape[0] == 7
+
+    def test_collect_short_stream_returns_what_exists(self, rng):
+        trainer = make_trainer()
+        frames = trainer.collect(iter(rng.uniform(size=(5, 8))))
+        assert frames.shape[0] == 5
+
+    def test_collect_empty_stream_rejected(self):
+        trainer = make_trainer()
+        with pytest.raises(ConfigurationError):
+            trainer.collect(iter([]))
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"frames_to_collect": 0}, {"sigma_size": 1}, {"ensemble_size": 1}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrainerConfig(**kwargs)

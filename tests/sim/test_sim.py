@@ -1,0 +1,165 @@
+"""Simulated clock, cost profiles and metric collectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimulatedClock
+from repro.sim.costs import PAPER_COSTS, CostProfile
+from repro.sim.metrics import (
+    AccuracyCollector,
+    DetectionRecord,
+    InvocationCounter,
+    mean_delay,
+)
+
+
+class TestCostProfile:
+    def test_known_cost(self):
+        assert PAPER_COSTS.cost("vae_encode") == 1.0
+
+    def test_unknown_operation_costs_zero(self):
+        assert PAPER_COSTS.cost("teleportation") == 0.0
+
+    def test_paper_di_per_frame_is_three_ms(self):
+        total = sum(PAPER_COSTS.cost(op) for op in (
+            "vae_encode", "knn_nonconformity", "martingale_update"))
+        assert total == pytest.approx(3.0)
+
+    def test_paper_odin_select_detrac_is_17_8_ms(self):
+        total = (PAPER_COSTS.cost("odin_select_embed")
+                 + 5 * PAPER_COSTS.cost("odin_cluster_op"))
+        assert total == pytest.approx(17.8)
+
+    def test_paper_msbo_detrac_is_830_ms_per_frame(self):
+        # 5 models x L = 5 members
+        assert 25 * PAPER_COSTS.cost("ensemble_member_infer") == pytest.approx(
+            830.0)
+
+    def test_paper_msbi_detrac_is_640_ms_per_frame(self):
+        assert 5 * PAPER_COSTS.cost("msbi_model_frame") == pytest.approx(640.0)
+
+    def test_with_overrides_copies(self):
+        custom = PAPER_COSTS.with_overrides(vae_encode=9.0)
+        assert custom.cost("vae_encode") == 9.0
+        assert PAPER_COSTS.cost("vae_encode") == 1.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostProfile({"x": -1.0})
+
+
+class TestSimulatedClock:
+    def test_charge_accumulates(self):
+        clock = SimulatedClock()
+        clock.charge("vae_encode", times=3)
+        assert clock.elapsed_ms == pytest.approx(3.0)
+        assert clock.elapsed_s == pytest.approx(0.003)
+
+    def test_ledger_and_counts(self):
+        clock = SimulatedClock()
+        clock.charge("vae_encode", times=2)
+        clock.charge("odin_cluster_op")
+        assert clock.ledger() == {"vae_encode": 2.0, "odin_cluster_op": 3.2}
+        assert clock.operation_counts() == {"vae_encode": 2,
+                                            "odin_cluster_op": 1}
+
+    def test_charge_ms_explicit(self):
+        clock = SimulatedClock()
+        clock.charge_ms("training", 1234.5)
+        assert clock.elapsed_ms == pytest.approx(1234.5)
+
+    def test_split_measures_block(self):
+        clock = SimulatedClock()
+        clock.charge("vae_encode")
+        with clock.split() as split:
+            clock.charge("vae_encode", times=5)
+        assert split.elapsed_ms == pytest.approx(5.0)
+        assert split.elapsed_s == pytest.approx(0.005)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge("vae_encode")
+        clock.reset()
+        assert clock.elapsed_ms == 0.0
+        assert clock.ledger() == {}
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock().charge("x", times=-1)
+
+    def test_negative_ms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock().charge_ms("x", -5.0)
+
+
+class TestDetectionRecord:
+    def test_delay(self):
+        record = DetectionRecord("s", drift_frame=100, detected_frame=128)
+        assert record.delay == 28
+        assert record.detected
+        assert not record.false_positive
+
+    def test_missed_detection(self):
+        record = DetectionRecord("s", drift_frame=100, detected_frame=None)
+        assert record.delay is None
+        assert not record.detected
+
+    def test_false_positive(self):
+        record = DetectionRecord("s", drift_frame=100, detected_frame=90)
+        assert record.false_positive
+
+    def test_mean_delay(self):
+        records = [DetectionRecord("a", 0, 10),
+                   DetectionRecord("b", 0, 20),
+                   DetectionRecord("c", 0, None)]
+        assert mean_delay(records) == pytest.approx(15.0)
+
+    def test_mean_delay_empty_is_nan(self):
+        import math
+        assert math.isnan(mean_delay([]))
+
+
+class TestInvocationCounter:
+    def test_single_model_processing(self):
+        counter = InvocationCounter()
+        for _ in range(10):
+            counter.record(["m"])
+        assert counter.invocations_per_frame == 1.0
+        assert counter.ensemble_fraction == 0.0
+        assert counter.per_model() == {"m": 10}
+
+    def test_ensembles_raise_the_average(self):
+        counter = InvocationCounter()
+        counter.record(["a"])
+        counter.record(["a", "b"])
+        assert counter.invocations_per_frame == pytest.approx(1.5)
+        assert counter.ensemble_fraction == pytest.approx(0.5)
+        assert counter.total_invocations == 3
+
+    def test_empty_invocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InvocationCounter().record([])
+
+    def test_empty_counter_properties(self):
+        counter = InvocationCounter()
+        assert counter.invocations_per_frame == 0.0
+        assert counter.ensemble_fraction == 0.0
+
+
+class TestAccuracyCollector:
+    def test_overall_and_per_sequence(self):
+        collector = AccuracyCollector()
+        collector.record("a", True)
+        collector.record("a", False)
+        collector.record("b", True)
+        assert collector.accuracy == pytest.approx(2 / 3)
+        assert collector.sequence_accuracy("a") == pytest.approx(0.5)
+        assert collector.by_sequence() == {"a": 0.5, "b": 1.0}
+
+    def test_unknown_sequence_is_zero(self):
+        assert AccuracyCollector().sequence_accuracy("zzz") == 0.0
+
+    def test_empty_collector(self):
+        assert AccuracyCollector().accuracy == 0.0

@@ -1,0 +1,82 @@
+"""OracleAnnotator (Mask R-CNN substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.queries.spatial import bus_left_of_car
+from repro.sim.clock import SimulatedClock
+from repro.video.annotator import OracleAnnotator, positions_of
+from repro.video.datasets import make_bdd
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return make_bdd(scale=1e9).training_frames("day", 30, seed=0)
+
+
+class TestCountLabels:
+    def test_labels_match_ground_truth(self, frames):
+        annotator = OracleAnnotator(num_classes=6, bucket_width=4)
+        labels = annotator.count_labels(frames)
+        expected = [f.count_label(6, 4) for f in frames]
+        assert labels.tolist() == expected
+
+    def test_callable_interface(self, frames):
+        annotator = OracleAnnotator(num_classes=6, bucket_width=4)
+        np.testing.assert_array_equal(annotator(frames),
+                                      annotator.count_labels(frames))
+
+    def test_noise_perturbs_some_labels(self, frames):
+        clean = OracleAnnotator(num_classes=6, bucket_width=4, seed=1)
+        noisy = OracleAnnotator(num_classes=6, bucket_width=4, noise=0.5,
+                                seed=1)
+        clean_labels = clean.count_labels(frames)
+        noisy_labels = noisy.count_labels(frames)
+        assert (clean_labels != noisy_labels).any()
+        # perturbations stay within one class and in range
+        assert (np.abs(clean_labels - noisy_labels) <= 1).all()
+        assert noisy_labels.min() >= 0 and noisy_labels.max() < 6
+
+    def test_clock_charged_per_frame(self, frames):
+        clock = SimulatedClock()
+        annotator = OracleAnnotator(num_classes=6, clock=clock)
+        annotator.count_labels(frames)
+        assert clock.operation_counts()["annotate_frame"] == len(frames)
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OracleAnnotator().count_labels([])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_classes": 1}, {"noise": 1.5}, {"bucket_width": 0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OracleAnnotator(**kwargs)
+
+
+class TestSpatialLabels:
+    def test_labels_match_predicate(self, frames):
+        annotator = OracleAnnotator()
+        labels = annotator.spatial_labels(frames, bus_left_of_car)
+        expected = [int(bus_left_of_car(f)) for f in frames]
+        assert labels.tolist() == expected
+
+    def test_noise_flips_binary_labels(self, frames):
+        clean = OracleAnnotator(seed=2)
+        noisy = OracleAnnotator(noise=0.5, seed=2)
+        a = clean.spatial_labels(frames, bus_left_of_car)
+        b = noisy.spatial_labels(frames, bus_left_of_car)
+        assert (a != b).any()
+        assert set(np.unique(b)) <= {0, 1}
+
+
+class TestPositions:
+    def test_positions_of_filters_by_kind(self, frames):
+        frame = frames[0]
+        cars = positions_of(frame, "car")
+        buses = positions_of(frame, "bus")
+        assert len(cars) == frame.car_count
+        assert len(buses) == frame.bus_count

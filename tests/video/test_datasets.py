@@ -1,0 +1,97 @@
+"""Dataset builders (Table 5 parameters, scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.datasets import (
+    all_datasets,
+    make_bdd,
+    make_detrac,
+    make_slow_drift,
+    make_tokyo,
+)
+
+
+class TestBuilders:
+    def test_bdd_structure(self):
+        ds = make_bdd(scale=400)
+        assert ds.segment_names == ["day", "night", "rain", "snow"]
+        assert len(ds.drift_frames) == 3
+        assert ds.paper_stream_size == 80_000
+        assert ds.num_count_classes == 6
+
+    def test_detrac_structure(self):
+        ds = make_detrac(scale=400)
+        assert ds.segment_names == [f"angle_{i}" for i in range(1, 6)]
+        assert len(ds.drift_frames) == 4
+        assert ds.paper_stream_size == 30_000
+
+    def test_tokyo_structure(self):
+        ds = make_tokyo(scale=400)
+        assert ds.segment_names == ["angle_1", "angle_2", "angle_3"]
+        assert len(ds.drift_frames) == 2
+
+    def test_tokyo_angles_1_and_3_overlap(self):
+        """Section 6.1.1: angles 1 and 3 share part of their field of view."""
+        ds = make_tokyo(scale=400)
+        a1, a2, a3 = [s.angle for s in ds.stream.segments]
+        p1 = a1.transform(0.5, 0.5)
+        p2 = a2.transform(0.5, 0.5)
+        p3 = a3.transform(0.5, 0.5)
+        d13 = ((p1[0] - p3[0]) ** 2 + (p1[1] - p3[1]) ** 2) ** 0.5
+        d12 = ((p1[0] - p2[0]) ** 2 + (p1[1] - p2[1]) ** 2) ** 0.5
+        assert d13 < d12
+
+    def test_slow_drift_has_transition(self):
+        ds = make_slow_drift(scale=400)
+        assert ds.stream.segments[1].transition > 0
+        assert ds.metadata["transition_frames"] > 0
+
+    def test_scale_controls_length(self):
+        small = make_bdd(scale=400)
+        large = make_bdd(scale=100)
+        assert large.stream.length > small.stream.length
+
+    def test_minimum_segment_length_enforced(self):
+        tiny = make_bdd(scale=1e9)
+        assert all(s.length >= 60 for s in tiny.stream.segments)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_bdd(scale=0)
+
+    def test_all_datasets_keys(self):
+        datasets = all_datasets(scale=400)
+        assert set(datasets) == {"BDD", "Detrac", "Tokyo"}
+
+
+class TestStatistics:
+    @pytest.mark.parametrize("maker,mean,std", [
+        (make_bdd, 9.2, 6.4),
+        (make_detrac, 17.2, 7.1),
+        (make_tokyo, 19.2, 4.7),
+    ])
+    def test_table5_objects_per_frame(self, maker, mean, std):
+        ds = maker(scale=400)
+        stats = ds.table5_stats(sample=150)
+        assert stats["obj_per_frame"] == pytest.approx(mean, abs=1.5)
+        assert stats["obj_per_frame_std"] == pytest.approx(std, abs=2.0)
+
+    def test_table5_reports_paper_sizes(self):
+        stats = make_bdd(scale=400).table5_stats(sample=30)
+        assert stats["paper_stream_size"] == 80_000
+        assert stats["sequences"] == 4
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_bdd(scale=400).table5_stats(sample=0)
+
+
+class TestTrainingFrames:
+    def test_training_frames_match_segment(self):
+        ds = make_bdd(scale=400)
+        frames = ds.training_frames("night", 10, seed=1)
+        assert len(frames) == 10
+        assert all(f.condition == "night" for f in frames)

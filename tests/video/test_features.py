@@ -1,0 +1,61 @@
+"""Feature helpers: downsampling and flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.video.features import downsample, downsample_batch, flatten
+
+
+class TestDownsample:
+    def test_block_mean(self):
+        frame = np.array([[1.0, 3.0], [5.0, 7.0]])
+        out = downsample(frame, 2)
+        assert out.shape == (1, 1)
+        assert out[0, 0] == pytest.approx(4.0)
+
+    def test_factor_one_is_identity(self, rng):
+        frame = rng.uniform(size=(8, 8))
+        np.testing.assert_allclose(downsample(frame, 1), frame)
+
+    def test_preserves_mean(self, rng):
+        frame = rng.uniform(size=(16, 16))
+        assert downsample(frame, 4).mean() == pytest.approx(frame.mean())
+
+    def test_indivisible_shape_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            downsample(rng.uniform(size=(9, 9)), 2)
+
+    def test_invalid_factor_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            downsample(rng.uniform(size=(8, 8)), 0)
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            downsample(rng.uniform(size=(2, 8, 8)), 2)
+
+
+class TestDownsampleBatch:
+    def test_batch_matches_per_frame(self, rng):
+        frames = rng.uniform(size=(5, 8, 8))
+        batch = downsample_batch(frames, 2)
+        for i in range(5):
+            np.testing.assert_allclose(batch[i], downsample(frames[i], 2))
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            downsample_batch(rng.uniform(size=(8, 8)), 2)
+
+
+class TestFlatten:
+    def test_single_frame_flattens_to_vector(self, rng):
+        assert flatten(rng.uniform(size=(4, 4))).shape == (16,)
+
+    def test_batch_flattens_to_matrix(self, rng):
+        assert flatten(rng.uniform(size=(3, 4, 4))).shape == (3, 16)
+
+    def test_vector_passthrough(self, rng):
+        v = rng.uniform(size=7)
+        np.testing.assert_allclose(flatten(v), v)

@@ -1,0 +1,112 @@
+"""Renderer: output invariants and visual effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.objects import SceneObject
+from repro.video.renderer import Renderer
+from repro.video.scenes import DAY, NIGHT, RAIN, SNOW, CameraAngle, make_angle
+
+
+@pytest.fixture
+def renderer():
+    return Renderer(32, 32)
+
+
+def car(x=0.5, y=0.55, intensity=0.1):
+    return SceneObject(kind="car", x=x, y=y, width=0.12, height=0.1,
+                       intensity=intensity)
+
+
+class TestInvariants:
+    def test_output_shape_and_range(self, renderer, rng):
+        frame = renderer.render([car()], DAY, make_angle(1), rng=rng)
+        assert frame.shape == (32, 32)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+
+    def test_seeded_rendering_is_deterministic(self, renderer):
+        a = renderer.render([car()], RAIN, make_angle(1), seed=5)
+        b = renderer.render([car()], RAIN, make_angle(1), seed=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_rectangular_renderer(self):
+        renderer = Renderer(16, 24)
+        frame = renderer.render([], DAY, make_angle(1), seed=0)
+        assert frame.shape == (16, 24)
+
+    def test_too_small_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Renderer(4, 4)
+
+
+class TestObjects:
+    def test_object_darkens_its_pixels_in_day(self, renderer):
+        empty = renderer.render([], DAY, CameraAngle(name="id"), seed=0)
+        with_car = renderer.render([car(intensity=0.1)], DAY,
+                                   CameraAngle(name="id"), seed=0)
+        region = (slice(15, 20), slice(14, 19))
+        assert with_car[region].mean() < empty[region].mean()
+
+    def test_offscreen_object_changes_nothing(self, renderer):
+        empty = renderer.render([], DAY, CameraAngle(name="id"), seed=0)
+        offscreen = renderer.render([car(x=5.0)], DAY,
+                                    CameraAngle(name="id"), seed=0)
+        np.testing.assert_allclose(empty, offscreen)
+
+    def test_more_objects_more_dark_mass(self, renderer):
+        angle = CameraAngle(name="id")
+        few = renderer.render([car(0.3)], DAY, angle, seed=0)
+        many = renderer.render([car(0.2), car(0.5), car(0.8)], DAY, angle,
+                               seed=0)
+        assert many.sum() < few.sum()
+
+    def test_headlights_at_night(self, renderer):
+        frame = renderer.render([car()], NIGHT, CameraAngle(name="id"),
+                                seed=0)
+        # a near-white pixel exists despite the dark scene
+        assert frame.max() > 0.95
+        assert frame.mean() < 0.3
+
+
+class TestConditionsAndAngles:
+    def test_night_darker_than_day(self, renderer):
+        day = renderer.render([], DAY, make_angle(1), seed=0)
+        night = renderer.render([], NIGHT, make_angle(1), seed=0)
+        assert night.mean() < day.mean() - 0.2
+
+    def test_snow_adds_bright_speckles(self, renderer):
+        clean = renderer.render([], DAY, make_angle(1), seed=0)
+        snowy = renderer.render([], SNOW, make_angle(1), seed=0)
+        assert (snowy > 0.94).sum() > (clean > 0.94).sum()
+
+    def test_rain_adds_noise(self, renderer):
+        day = renderer.render([], DAY, make_angle(1), seed=0)
+        rain = renderer.render([], RAIN, make_angle(1), seed=0)
+        assert rain.std() != pytest.approx(day.std(), abs=1e-6)
+
+    def test_different_angles_render_different_backgrounds(self, renderer):
+        frames = [renderer.render([], DAY, make_angle(i), seed=0)
+                  for i in range(1, 6)]
+        for i in range(len(frames)):
+            for j in range(i + 1, len(frames)):
+                diff = np.abs(frames[i] - frames[j]).mean()
+                assert diff > 0.01, (i + 1, j + 1)
+
+    def test_same_angle_backgrounds_differ_only_by_noise(self, renderer):
+        a = renderer.render([], DAY, make_angle(1), seed=0)
+        b = renderer.render([], DAY, make_angle(1), seed=99)
+        assert np.abs(a - b).mean() < 0.05
+
+    def test_zoom_enlarges_objects(self, renderer):
+        wide = CameraAngle(name="w", zoom=1.0)
+        tight = CameraAngle(name="t", zoom=1.5)
+        base = renderer.render([], DAY, wide, seed=0)
+        obj_wide = renderer.render([car(intensity=0.05)], DAY, wide, seed=0)
+        base_t = renderer.render([], DAY, tight, seed=0)
+        obj_tight = renderer.render([car(intensity=0.05)], DAY, tight, seed=0)
+        dark_wide = (base - obj_wide > 0.1).sum()
+        dark_tight = (base_t - obj_tight > 0.1).sum()
+        assert dark_tight > dark_wide

@@ -1,0 +1,119 @@
+"""Scene conditions, camera angles and segment specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.scenes import (
+    CONDITIONS,
+    DAY,
+    NIGHT,
+    RAIN,
+    SNOW,
+    CameraAngle,
+    SceneCondition,
+    SegmentSpec,
+    make_angle,
+)
+
+
+class TestSceneCondition:
+    def test_predefined_vocabulary(self):
+        assert set(CONDITIONS) == {"day", "night", "rain", "snow"}
+
+    def test_night_is_darker_than_day(self):
+        assert NIGHT.background < DAY.background
+        assert NIGHT.object_gain < DAY.object_gain
+        assert NIGHT.headlights and not DAY.headlights
+
+    def test_weather_conditions_have_their_effects(self):
+        assert RAIN.rain_streaks > 0 and RAIN.snow_speckle == 0
+        assert SNOW.snow_speckle > 0 and SNOW.rain_streaks == 0
+
+    def test_blend_endpoints(self):
+        start = DAY.blend(NIGHT, 0.0)
+        end = DAY.blend(NIGHT, 1.0)
+        assert start.background == pytest.approx(DAY.background)
+        assert end.background == pytest.approx(NIGHT.background)
+
+    def test_blend_is_monotone_in_t(self):
+        mid = DAY.blend(NIGHT, 0.5)
+        assert NIGHT.background < mid.background < DAY.background
+
+    def test_blend_switches_headlights_past_half(self):
+        assert not DAY.blend(NIGHT, 0.4).headlights
+        assert DAY.blend(NIGHT, 0.6).headlights
+
+    def test_blend_invalid_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DAY.blend(NIGHT, 1.5)
+
+    def test_invalid_background_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SceneCondition(name="x", background=2.0)
+
+
+class TestCameraAngle:
+    def test_identity_transform(self):
+        angle = CameraAngle(name="id")
+        assert angle.transform(0.3, 0.7) == pytest.approx((0.3, 0.7))
+
+    def test_zoom_scales_around_centre(self):
+        angle = CameraAngle(name="z", zoom=2.0)
+        cx, cy = angle.transform(0.75, 0.75)
+        assert cx == pytest.approx(1.0)
+        assert cy == pytest.approx(1.0)
+        # centre is a fixed point
+        assert angle.transform(0.5, 0.5) == pytest.approx((0.5, 0.5))
+
+    def test_shear_depends_on_y(self):
+        angle = CameraAngle(name="s", shear=0.2)
+        top_x, _ = angle.transform(0.5, 0.0)
+        bottom_x, _ = angle.transform(0.5, 1.0)
+        assert bottom_x - top_x == pytest.approx(0.2)
+
+    def test_offsets_translate(self):
+        angle = CameraAngle(name="o", offset_x=0.1, offset_y=-0.2)
+        assert angle.transform(0.5, 0.5) == pytest.approx((0.6, 0.3))
+
+    def test_invalid_zoom_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CameraAngle(name="bad", zoom=0.0)
+
+
+class TestMakeAngle:
+    def test_distinct_indices_give_distinct_geometry(self):
+        angles = [make_angle(i) for i in range(1, 6)]
+        transforms = {a.transform(0.3, 0.3) for a in angles}
+        assert len(transforms) == 5
+
+    def test_overlapping_angle_is_close_to_base(self):
+        base = make_angle(1)
+        overlap = make_angle(3, overlap_with=1)
+        distinct = make_angle(4)
+        bx, by = base.transform(0.5, 0.5)
+        ox, oy = overlap.transform(0.5, 0.5)
+        dx, dy = distinct.transform(0.5, 0.5)
+        overlap_dist = ((bx - ox) ** 2 + (by - oy) ** 2) ** 0.5
+        distinct_dist = ((bx - dx) ** 2 + (by - dy) ** 2) ** 0.5
+        assert overlap_dist < distinct_dist
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_angle(-1)
+
+
+class TestSegmentSpec:
+    def test_defaults(self):
+        spec = SegmentSpec(name="s")
+        assert spec.condition is DAY
+        assert spec.transition == 0
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentSpec(name="s", length=0)
+
+    def test_transition_longer_than_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentSpec(name="s", length=10, transition=11)

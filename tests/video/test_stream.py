@@ -1,0 +1,171 @@
+"""VideoStream: segments, drift points, ground truth, labels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.video.renderer import Renderer
+from repro.video.scenes import DAY, NIGHT, SegmentSpec, make_angle
+from repro.video.stream import (
+    VideoStream,
+    count_label,
+    frames_to_count_labels,
+    frames_to_pixels,
+)
+
+
+def two_segment_stream(len_a=20, len_b=15, transition=0, seed=0):
+    segments = [
+        SegmentSpec(name="a", condition=DAY, length=len_a,
+                    objects_mean=5.0, objects_std=2.0),
+        SegmentSpec(name="b", condition=NIGHT, length=len_b,
+                    objects_mean=5.0, objects_std=2.0,
+                    transition=transition),
+    ]
+    return VideoStream(segments, renderer=Renderer(16, 16), seed=seed)
+
+
+class TestStructure:
+    def test_length_and_drift_frames(self):
+        stream = two_segment_stream()
+        assert stream.length == 35
+        assert stream.drift_frames == [20]
+
+    def test_single_segment_has_no_drifts(self):
+        stream = VideoStream([SegmentSpec(name="only", length=10)],
+                             renderer=Renderer(16, 16), seed=0)
+        assert stream.drift_frames == []
+
+    def test_segment_of(self):
+        stream = two_segment_stream()
+        assert stream.segment_of(0).name == "a"
+        assert stream.segment_of(19).name == "a"
+        assert stream.segment_of(20).name == "b"
+        assert stream.segment_of(34).name == "b"
+
+    def test_segment_of_out_of_range(self):
+        stream = two_segment_stream()
+        with pytest.raises(ConfigurationError):
+            stream.segment_of(35)
+
+    def test_duplicate_segment_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VideoStream([SegmentSpec(name="x", length=5),
+                         SegmentSpec(name="x", length=5)])
+
+    def test_empty_segment_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VideoStream([])
+
+
+class TestFrames:
+    def test_materialize_yields_full_stream(self):
+        stream = two_segment_stream()
+        frames = stream.materialize()
+        assert len(frames) == 35
+        assert [f.index for f in frames] == list(range(35))
+
+    def test_materialize_limit(self):
+        frames = two_segment_stream().materialize(limit=7)
+        assert len(frames) == 7
+
+    def test_segment_labels_change_at_drift(self):
+        frames = two_segment_stream().materialize()
+        assert frames[19].segment == "a"
+        assert frames[20].segment == "b"
+
+    def test_ground_truth_counts_match_objects(self):
+        frames = two_segment_stream().materialize(limit=10)
+        for frame in frames:
+            cars = sum(1 for o in frame.objects if o.kind == "car")
+            buses = sum(1 for o in frame.objects if o.kind == "bus")
+            assert frame.car_count == cars
+            assert frame.bus_count == buses
+            assert frame.object_count == cars + buses
+
+    def test_streams_are_reproducible_by_seed(self):
+        a = two_segment_stream(seed=3).materialize(limit=5)
+        b = two_segment_stream(seed=3).materialize(limit=5)
+        for fa, fb in zip(a, b):
+            np.testing.assert_allclose(fa.pixels, fb.pixels)
+
+    def test_different_seeds_differ(self):
+        a = two_segment_stream(seed=3).materialize(limit=3)
+        b = two_segment_stream(seed=4).materialize(limit=3)
+        assert not np.allclose(a[0].pixels, b[0].pixels)
+
+    def test_abrupt_drift_changes_brightness_immediately(self):
+        frames = two_segment_stream().materialize()
+        day_mean = np.mean([f.pixels.mean() for f in frames[10:20]])
+        night_mean = np.mean([f.pixels.mean() for f in frames[20:30]])
+        assert night_mean < day_mean - 0.15
+
+
+class TestGradualDrift:
+    def test_transition_blends_conditions(self):
+        stream = two_segment_stream(len_b=20, transition=10)
+        frames = stream.materialize()
+        # the first post-drift frame is nearly day, the 10th nearly night
+        first = frames[20].pixels.mean()
+        late = frames[29].pixels.mean()
+        day_level = np.mean([f.pixels.mean() for f in frames[10:20]])
+        assert abs(first - day_level) < abs(late - day_level)
+
+    def test_transition_condition_names_are_blends(self):
+        stream = two_segment_stream(len_b=20, transition=10)
+        frames = stream.materialize()
+        assert "->" in frames[20].condition
+        assert frames[34].condition == "night"
+
+
+class TestSegmentFrames:
+    def test_fresh_training_frames_come_from_right_segment(self):
+        stream = two_segment_stream()
+        frames = stream.segment_frames("b", 12, seed=1)
+        assert len(frames) == 12
+        assert all(f.segment == "b" for f in frames)
+
+    def test_training_frames_differ_from_stream(self):
+        stream = two_segment_stream()
+        training = stream.segment_frames("a", 5, seed=123)
+        stream_frames = stream.materialize(limit=5)
+        assert not np.allclose(training[0].pixels, stream_frames[0].pixels)
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            two_segment_stream().segment_frames("zzz", 5)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            two_segment_stream().segment_frames("a", 0)
+
+
+class TestCountLabels:
+    def test_count_label_buckets(self):
+        assert count_label(0, 6, 4) == 0
+        assert count_label(3, 6, 4) == 0
+        assert count_label(4, 6, 4) == 1
+        assert count_label(19, 6, 4) == 4
+        assert count_label(100, 6, 4) == 5  # clipped
+
+    def test_count_label_validation(self):
+        with pytest.raises(ConfigurationError):
+            count_label(5, 1, 1)
+        with pytest.raises(ConfigurationError):
+            count_label(5, 4, 0)
+        with pytest.raises(ConfigurationError):
+            count_label(-1, 4, 1)
+
+    def test_frames_to_pixels_and_labels(self):
+        frames = two_segment_stream().materialize(limit=6)
+        pixels = frames_to_pixels(frames)
+        labels = frames_to_count_labels(frames, 6, 2)
+        assert pixels.shape == (6, 16, 16)
+        assert labels.shape == (6,)
+        assert labels.max() < 6
+
+    def test_frames_to_pixels_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            frames_to_pixels([])

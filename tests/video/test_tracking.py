@@ -1,0 +1,166 @@
+"""IoU tracker and track-based queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import Detection, DetectionResult
+from repro.detectors.oracle import ReferenceDetector
+from repro.errors import ConfigurationError
+from repro.queries.tracks import TrackQuery
+from repro.video.datasets import make_bdd
+from repro.video.tracking import (
+    IoUTracker,
+    Track,
+    TrackPoint,
+    ground_truth_tracks,
+    track_detections,
+)
+
+
+def moving_object(xs, kind="car", y=0.5):
+    """Detection results for one object moving through positions xs."""
+    return [DetectionResult([Detection(kind, x, y)]) for x in xs]
+
+
+class TestIoUTracker:
+    def test_single_object_forms_single_track(self):
+        results = moving_object([0.10, 0.12, 0.14, 0.16])
+        tracks = track_detections(results)
+        assert len(tracks) == 1
+        assert tracks[0].length == 4
+        assert tracks[0].kind == "car"
+        assert tracks[0].start == 0 and tracks[0].end == 3
+
+    def test_two_separated_objects_stay_separate(self):
+        results = [
+            DetectionResult([Detection("car", 0.1 + 0.01 * i, 0.2),
+                             Detection("car", 0.8 - 0.01 * i, 0.8)])
+            for i in range(5)
+        ]
+        tracks = track_detections(results)
+        assert len(tracks) == 2
+        assert all(t.length == 5 for t in tracks)
+
+    def test_kinds_never_mix(self):
+        results = [
+            DetectionResult([Detection("car", 0.5, 0.5)]),
+            DetectionResult([Detection("bus", 0.5, 0.5)]),
+        ]
+        tracks = track_detections(results)
+        assert len(tracks) == 2
+        assert {t.kind for t in tracks} == {"car", "bus"}
+
+    def test_gap_shorter_than_max_age_keeps_the_track(self):
+        results = (moving_object([0.10, 0.12])
+                   + [DetectionResult([])]          # one missed frame
+                   + moving_object([0.16, 0.18]))
+        tracks = track_detections(results, max_age=3)
+        assert len(tracks) == 1
+        assert tracks[0].length == 4
+
+    def test_long_gap_splits_the_track(self):
+        results = (moving_object([0.10, 0.12])
+                   + [DetectionResult([])] * 5
+                   + moving_object([0.20, 0.22]))
+        tracks = track_detections(results, max_age=2)
+        assert len(tracks) == 2
+
+    def test_teleporting_detection_opens_new_track(self):
+        results = moving_object([0.1, 0.9])
+        tracks = track_detections(results)
+        assert len(tracks) == 2
+
+    def test_displacement_and_position(self):
+        track = Track(0, "car", [TrackPoint(0, 0.0, 0.0),
+                                 TrackPoint(1, 0.3, 0.4)])
+        assert track.displacement == pytest.approx(0.5)
+        assert track.position_at(1) == (0.3, 0.4)
+        assert track.position_at(9) is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"iou_threshold": 0.0}, {"box_size": 0.0}, {"max_age": 0}])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            IoUTracker(**kwargs)
+
+
+class TestGroundTruthTracks:
+    def test_oracle_tracks_on_a_real_stream(self):
+        frames = make_bdd(scale=1e9).training_frames("day", 40, seed=0)
+        tracks = ground_truth_tracks(frames)
+        # at 9.2 objects/frame over 40 frames there are many tracks, and
+        # persistent objects yield tracks longer than one frame
+        assert len(tracks) >= 5
+        assert max(t.length for t in tracks) >= 5
+
+    def test_kind_filter(self):
+        frames = make_bdd(scale=1e9).training_frames("day", 20, seed=0)
+        car_tracks = ground_truth_tracks(frames, kind="car")
+        assert all(t.kind == "car" for t in car_tracks)
+
+    def test_noisy_detector_shortens_tracks(self):
+        """Recall loss fragments physical objects into shorter tracks --
+        the failure mode drift causes for track queries.  (The raw track
+        *count* can go either direction: misses both split long tracks and
+        drop objects entirely, so the robust signature is dwell time.)"""
+        frames = make_bdd(scale=1e9).training_frames("day", 50, seed=0)
+        oracle = ground_truth_tracks(frames)
+        noisy_detector = ReferenceDetector(miss_rate=0.5, seed=1)
+        noisy = track_detections([noisy_detector.detect(f) for f in frames],
+                                 max_age=1)
+        query = TrackQuery(min_length=1)
+        oracle_dwell = np.mean(query.dwell_times(oracle))
+        noisy_dwell = np.mean(query.dwell_times(noisy))
+        assert noisy_dwell < 0.7 * oracle_dwell
+
+
+class TestTrackQuery:
+    @pytest.fixture
+    def tracks(self):
+        return [
+            Track(0, "car", [TrackPoint(i, 0.1 + 0.1 * i, 0.5)
+                             for i in range(6)]),       # crosses x=0.45
+            Track(1, "car", [TrackPoint(i, 0.8, 0.5) for i in range(3)]),
+            Track(2, "bus", [TrackPoint(i + 4, 0.2 + 0.2 * i, 0.5)
+                             for i in range(4)]),       # crosses x=0.45
+            Track(3, "car", [TrackPoint(0, 0.5, 0.5)]),  # single point
+        ]
+
+    def test_distinct_count_filters_short_tracks(self, tracks):
+        query = TrackQuery(min_length=2)
+        assert query.distinct_count(tracks) == 3
+        assert query.distinct_count(tracks, kind="car") == 2
+        assert TrackQuery(min_length=1).distinct_count(tracks) == 4
+
+    def test_crossings(self, tracks):
+        query = TrackQuery(min_length=2)
+        assert query.crossings(tracks, 0.45) == 2
+        assert query.crossings(tracks, 0.45, kind="bus") == 1
+        assert query.crossings(tracks, 0.95) == 0
+
+    def test_dwell_times(self, tracks):
+        query = TrackQuery(min_length=2)
+        assert sorted(query.dwell_times(tracks, kind="car")) == [3, 6]
+
+    def test_busiest_interval(self, tracks):
+        query = TrackQuery(min_length=2)
+        start, count = query.busiest_interval(tracks, window=3)
+        assert count >= 2
+        assert start >= 0
+
+    def test_fragmentation_ratio(self, tracks):
+        query = TrackQuery(min_length=1)
+        doubled = tracks + [Track(9, "car", [TrackPoint(0, 0.9, 0.9)])]
+        assert query.fragmentation(doubled, tracks) > 1.0
+        assert query.fragmentation(tracks, tracks) == pytest.approx(1.0)
+        assert query.fragmentation(tracks, []) == 0.0
+
+    def test_invalid_parameters(self, tracks):
+        with pytest.raises(ConfigurationError):
+            TrackQuery(min_length=0)
+        with pytest.raises(ConfigurationError):
+            TrackQuery().crossings(tracks, 1.5)
+        with pytest.raises(ConfigurationError):
+            TrackQuery().busiest_interval(tracks, window=0)
