@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo health check: byte-compile the library, run the tier-1 suite, then
+# the chaos/fault suite.  Run from the repo root:  bash scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== chaos suite =="
+python -m pytest -x -q tests/faults
+
+echo "all checks passed"

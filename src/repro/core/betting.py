@@ -175,6 +175,18 @@ class HistogramBetting(BettingFunction):
         """Forget all observed p-values."""
         self._counts = np.full(self.bins, self.prior_count, dtype=np.float64)
 
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the adaptive histogram."""
+        return {"counts": self._counts.tolist()}
+
+    def load_state_dict(self, state: dict) -> None:
+        counts = np.asarray(state["counts"], dtype=np.float64)
+        if counts.shape != (self.bins,):
+            raise ConfigurationError(
+                f"histogram state has {counts.shape[0]} bins, "
+                f"betting configured for {self.bins}")
+        self._counts = counts
+
 
 class LogScore:
     """``log g(max(p, p_floor))`` for a multiplicative betting function.

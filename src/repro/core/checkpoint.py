@@ -1,0 +1,169 @@
+"""Checkpoint / restore for :class:`~repro.core.pipeline.DriftAwareAnalytics`.
+
+A checkpoint freezes one streaming session mid-stream into a single npz
+archive (the :mod:`repro.nn.serialization` manifest-archive pattern): the
+deployed model name, the Drift Inspector's martingale and RNG state, the
+pipeline mode and its selection / training buffer, the frame guard and
+circuit-breaker state, every record and detection emitted so far, the
+invocation and fault ledgers, and the simulated clock.  Restoring into a
+freshly constructed pipeline (same registry, selector and configuration)
+resumes the stream *bit-exactly*: the remaining frames produce the same
+records and detections an uninterrupted run would have.
+
+What a checkpoint deliberately does **not** carry:
+
+- provisioned bundles -- they are configuration; persist them with
+  :mod:`repro.core.selection.persistence` and rebuild the registry first.
+  Bundles trained mid-session (``novel_*``) must be persisted the same way
+  before the process dies, or restore will refuse the unknown name.
+- per-frame ``DriftDecision`` diagnostics and the guard's quarantine keep --
+  they are observability, not behaviour.
+- buffered frames' ground-truth metadata: buffer items are restored as raw
+  pixel arrays, so an annotator used after restore must accept arrays (the
+  built-in oracle annotators do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.pipeline import (
+    DetectionEvent,
+    DriftAwareAnalytics,
+    FrameRecord,
+)
+from repro.errors import CheckpointError
+from repro.nn.serialization import load_manifest_archive, save_manifest_archive
+
+CHECKPOINT_VERSION = 1
+
+
+def _pixels_of(item: object) -> np.ndarray:
+    return np.asarray(getattr(item, "pixels", item), dtype=np.float64)
+
+
+def session_state(pipeline: DriftAwareAnalytics):
+    """Capture a live session as ``(manifest, arrays)``.
+
+    Raises :class:`CheckpointError` when no session is active.
+    """
+    if not hasattr(pipeline, "_mode"):
+        raise CheckpointError(
+            "no active session to checkpoint; call start() or step() first")
+    guard = pipeline.guard
+    manifest: dict = {
+        "version": CHECKPOINT_VERSION,
+        "deployed": pipeline.deployed_model,
+        "mode": pipeline._mode,
+        "index": pipeline._index,
+        "frames_since_swap": pipeline._frames_since_swap,
+        "start_ms": pipeline._start_ms,
+        "records": [{"frame_index": r.frame_index,
+                     "prediction": r.prediction,
+                     "model": r.model} for r in pipeline._records],
+        "detections": [{"frame_index": d.frame_index,
+                        "previous_model": d.previous_model,
+                        "selected_model": d.selected_model,
+                        "novel": d.novel,
+                        "selection_frames": d.selection_frames}
+                       for d in pipeline._detections],
+        "invocations": pipeline._invocations.state_dict(),
+        "faults": pipeline._faults.state_dict(),
+        "inspector": pipeline.inspector.state_dict(),
+        "clock": pipeline.clock.state_dict(),
+        "breaker": {"failures": pipeline.breaker.failures,
+                    "trips": pipeline.breaker.trips,
+                    "is_open": pipeline.breaker.is_open},
+        "guard": {"expected_shape": (list(guard.expected_shape)
+                                     if guard.expected_shape is not None
+                                     else None),
+                  "admitted": guard._admitted,
+                  "reasons": dict(guard.reasons)},
+        "buffer_len": len(pipeline._buffer),
+    }
+    selector_rng = getattr(pipeline.selector, "_rng", None)
+    if isinstance(selector_rng, np.random.Generator):
+        manifest["selector_rng"] = selector_rng.bit_generator.state
+    arrays: Dict[str, np.ndarray] = {}
+    if pipeline._buffer:
+        arrays["buffer"] = np.stack(
+            [_pixels_of(item) for item in pipeline._buffer])
+    if guard.last_good is not None:
+        arrays["guard_last_good"] = guard.last_good
+    return manifest, arrays
+
+
+def save_checkpoint(path: str, pipeline: DriftAwareAnalytics) -> None:
+    """Write the session to ``path`` as one npz archive."""
+    manifest, arrays = session_state(pipeline)
+    save_manifest_archive(path, manifest, arrays)
+
+
+def apply_session_state(pipeline: DriftAwareAnalytics, manifest: dict,
+                        arrays: Dict[str, np.ndarray]) -> DriftAwareAnalytics:
+    """Load captured state into a freshly constructed pipeline."""
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {version!r} not supported "
+            f"(expected {CHECKPOINT_VERSION})")
+    deployed = manifest["deployed"]
+    if deployed not in pipeline.registry:
+        raise CheckpointError(
+            f"checkpoint deploys {deployed!r} but the registry only has "
+            f"{pipeline.registry.names()}; persist mid-session bundles with "
+            f"repro.core.selection.persistence before checkpointing")
+    pipeline.start()
+    # rebuild the inspector against the deployed bundle, then overlay the
+    # checkpointed dynamic state (martingale, RNG streams, counters)
+    pipeline._deploy(deployed)
+    pipeline.inspector.load_state_dict(manifest["inspector"])
+    pipeline._records = [FrameRecord(**r) for r in manifest["records"]]
+    pipeline._detections = [DetectionEvent(**d)
+                            for d in manifest["detections"]]
+    pipeline._invocations.load_state_dict(manifest["invocations"])
+    pipeline._faults.load_state_dict(manifest["faults"])
+    pipeline._mode = str(manifest["mode"])
+    pipeline._index = int(manifest["index"])
+    pipeline._frames_since_swap = int(manifest["frames_since_swap"])
+    pipeline.clock.load_state_dict(manifest["clock"])
+    pipeline._start_ms = float(manifest["start_ms"])
+    breaker = manifest["breaker"]
+    pipeline.breaker.failures = int(breaker["failures"])
+    pipeline.breaker.trips = int(breaker["trips"])
+    pipeline.breaker.is_open = bool(breaker["is_open"])
+    guard_state = manifest["guard"]
+    shape = guard_state["expected_shape"]
+    pipeline.guard.expected_shape = (tuple(int(n) for n in shape)
+                                     if shape is not None else None)
+    pipeline.guard._admitted = int(guard_state["admitted"])
+    pipeline.guard.reasons = {str(k): int(v)
+                              for k, v in guard_state["reasons"].items()}
+    if "guard_last_good" in arrays:
+        pipeline.guard.last_good = np.asarray(arrays["guard_last_good"],
+                                              dtype=np.float64)
+    buffer_len = int(manifest["buffer_len"])
+    buffer = arrays.get("buffer")
+    if buffer_len:
+        if buffer is None or buffer.shape[0] != buffer_len:
+            raise CheckpointError(
+                f"checkpoint announces {buffer_len} buffered frames but the "
+                f"archive holds "
+                f"{0 if buffer is None else buffer.shape[0]}")
+        pipeline._buffer = [np.asarray(frame, dtype=np.float64)
+                            for frame in buffer]
+    if "selector_rng" in manifest:
+        selector_rng = getattr(pipeline.selector, "_rng", None)
+        if isinstance(selector_rng, np.random.Generator):
+            selector_rng.bit_generator.state = manifest["selector_rng"]
+    return pipeline
+
+
+def restore_checkpoint(path: str,
+                       pipeline: DriftAwareAnalytics) -> DriftAwareAnalytics:
+    """Resume a saved session into ``pipeline`` (freshly constructed with
+    the same registry, selector and configuration)."""
+    manifest, arrays = load_manifest_archive(path)
+    return apply_session_state(pipeline, manifest, arrays)

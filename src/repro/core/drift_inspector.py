@@ -67,6 +67,12 @@ class DriftInspectorConfig:
                 f"significance must be in (0, 1): {self.significance}")
         if self.k <= 0:
             raise ConfigurationError(f"k must be positive: {self.k}")
+        if not 0.0 < self.betting_epsilon < 1.0:
+            raise ConfigurationError(
+                f"betting_epsilon must be in (0, 1): {self.betting_epsilon}")
+        if not 0.0 < self.p_floor < 1.0:
+            raise ConfigurationError(
+                f"p_floor must be in (0, 1): {self.p_floor}")
         if self.martingale not in ("additive", "multiplicative"):
             raise ConfigurationError(
                 f"martingale must be 'additive' or 'multiplicative', "
@@ -281,6 +287,33 @@ class DriftInspector:
             if decision.drift:
                 return i + 1
         return None
+
+    def state_dict(self) -> dict:
+        """JSON-serializable dynamic state for checkpoint / restore.
+
+        Covers everything that evolves during monitoring: frame counter,
+        drift flag, martingale internals and both RNG streams (tie-breaking
+        uniforms and posterior-sampling).  The reference sample / scores are
+        *configuration* -- they are rebuilt from the deployed bundle on
+        restore -- and per-frame ``decisions`` are diagnostics, not state,
+        so neither is included.
+        """
+        return {"frame_index": self._frame_index,
+                "drift_frame": self._drift_frame,
+                "martingale": self.martingale.state_dict(),
+                "pvalue_rng": self._pvalue.rng_state(),
+                "embed_rng": self._embed_rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore dynamic state captured by :meth:`state_dict` into an
+        inspector built with the same configuration and reference."""
+        self._frame_index = int(state["frame_index"])
+        drift_frame = state["drift_frame"]
+        self._drift_frame = None if drift_frame is None else int(drift_frame)
+        self.martingale.load_state_dict(state["martingale"])
+        self._pvalue.set_rng_state(state["pvalue_rng"])
+        self._embed_rng.bit_generator.state = state["embed_rng"]
+        self.decisions = []
 
     def reset(self, reference: Optional[np.ndarray] = None,
               reference_scores: Optional[np.ndarray] = None) -> None:

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.core.betting import BettingFunction, LogScore
 
 
@@ -102,6 +102,32 @@ class MultiplicativeMartingale:
         self.max_log_value = 0.0
         self.step = 0
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot for checkpoint / restore."""
+        state = {"kind": "multiplicative", "log_value": self.log_value,
+                 "max_log_value": self.max_log_value, "step": self.step}
+        betting_state = getattr(self.betting, "state_dict", None)
+        if betting_state is not None:
+            state["betting"] = betting_state()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        if state.get("kind") != "multiplicative":
+            raise CheckpointError(
+                f"cannot load {state.get('kind')!r} state into a "
+                f"multiplicative martingale")
+        self.log_value = float(state["log_value"])
+        self.max_log_value = float(state["max_log_value"])
+        self.step = int(state["step"])
+        if "betting" in state:
+            loader = getattr(self.betting, "load_state_dict", None)
+            if loader is None:
+                raise CheckpointError(
+                    "checkpoint carries betting state but the configured "
+                    "betting function is stateless")
+            loader(state["betting"])
+
 
 ScoreFunction = Union[LogScore, BettingFunction, Callable[[float], float]]
 
@@ -168,3 +194,36 @@ class AdditiveMartingale:
         """Restart at ``S[0] = 0`` keeping the configuration."""
         self.history = [0.0]
         self.step = 0
+
+    def _betting(self):
+        """The underlying betting function, unwrapping a LogScore."""
+        score = self.score
+        return getattr(score, "betting", score)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot for checkpoint / restore."""
+        state = {"kind": "additive", "history": list(self.history),
+                 "step": self.step}
+        betting_state = getattr(self._betting(), "state_dict", None)
+        if betting_state is not None:
+            state["betting"] = betting_state()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        if state.get("kind") != "additive":
+            raise CheckpointError(
+                f"cannot load {state.get('kind')!r} state into an "
+                f"additive martingale")
+        history = [float(v) for v in state["history"]]
+        if not history:
+            raise CheckpointError("additive martingale history is empty")
+        self.history = history
+        self.step = int(state["step"])
+        if "betting" in state:
+            loader = getattr(self._betting(), "load_state_dict", None)
+            if loader is None:
+                raise CheckpointError(
+                    "checkpoint carries betting state but the configured "
+                    "betting function is stateless")
+            loader(state["betting"])

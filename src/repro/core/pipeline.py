@@ -24,8 +24,17 @@ from repro.core.selection.msbo import MSBO
 from repro.core.selection.registry import ModelRegistry, NovelDistribution
 from repro.core.selection.trainer import ModelTrainer
 from repro.errors import ConfigurationError
+from repro.faults.guard import (
+    GUARD_POLICIES,
+    OK,
+    QUARANTINED,
+    CircuitBreaker,
+    FrameGuard,
+    RetryPolicy,
+)
+from repro.faults.injectors import _with_pixels
 from repro.sim.clock import SimulatedClock
-from repro.sim.metrics import InvocationCounter
+from repro.sim.metrics import FaultStats, InvocationCounter
 
 
 @dataclass
@@ -35,11 +44,24 @@ class PipelineConfig:
     ``selection_window`` is the number of post-drift frames buffered for the
     selector (W_N for MSBI, W_T for MSBO); ``training_budget`` overrides the
     trainer's frame collection budget when a novel distribution appears.
+
+    Fault tolerance: ``frame_policy`` governs the
+    :class:`~repro.faults.guard.FrameGuard` at the pipeline boundary
+    (``"raise"`` fails fast on invalid frames, ``"skip"`` quarantines them,
+    ``"repair"`` imputes from the last good frame); selector / trainer calls
+    get ``max_retries`` retries with ``retry_backoff_ms`` simulated-clock
+    backoff, and ``breaker_threshold`` consecutive resolution failures trip
+    a circuit breaker that pins the nearest provisioned model instead of
+    crashing.
     """
 
     selection_window: int = 10
     training_budget: Optional[int] = None
     cooldown_frames: int = 25
+    frame_policy: str = "raise"
+    max_retries: int = 2
+    retry_backoff_ms: float = 50.0
+    breaker_threshold: int = 3
     drift_inspector: DriftInspectorConfig = field(
         default_factory=DriftInspectorConfig)
 
@@ -50,6 +72,21 @@ class PipelineConfig:
         if self.cooldown_frames < 0:
             raise ConfigurationError(
                 f"cooldown_frames must be non-negative: {self.cooldown_frames}")
+        if self.frame_policy not in GUARD_POLICIES:
+            raise ConfigurationError(
+                f"frame_policy must be one of {GUARD_POLICIES}, "
+                f"got {self.frame_policy!r}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative: {self.max_retries}")
+        if self.retry_backoff_ms < 0:
+            raise ConfigurationError(
+                f"retry_backoff_ms must be non-negative: "
+                f"{self.retry_backoff_ms}")
+        if self.breaker_threshold <= 0:
+            raise ConfigurationError(
+                f"breaker_threshold must be positive: "
+                f"{self.breaker_threshold}")
 
 
 @dataclass
@@ -74,12 +111,17 @@ class FrameRecord:
 
 @dataclass
 class PipelineResult:
-    """Aggregated output of one :meth:`DriftAwareAnalytics.process` run."""
+    """Aggregated output of one :meth:`DriftAwareAnalytics.process` run.
+
+    ``faults`` carries the session's degradation accounting: guard verdicts
+    (repaired / quarantined frames), retries, and circuit-breaker activity.
+    """
 
     records: List[FrameRecord]
     detections: List[DetectionEvent]
     invocations: InvocationCounter
     simulated_ms: float
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def predictions(self) -> np.ndarray:
@@ -134,6 +176,12 @@ class DriftAwareAnalytics:
         self.annotator = annotator
         self.trainer = trainer
         self.clock = clock or SimulatedClock()
+        self.guard = FrameGuard(policy=self.config.frame_policy)
+        self.breaker = CircuitBreaker(threshold=self.config.breaker_threshold)
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            backoff_ms=self.config.retry_backoff_ms)
+        self._faults = FaultStats()
         self._deploy(initial_model)
 
     # ------------------------------------------------------------------
@@ -188,6 +236,67 @@ class DriftAwareAnalytics:
         return best_name
 
     # ------------------------------------------------------------------
+    # degraded resolution: retries + circuit breaker around the
+    # selection / training path
+    # ------------------------------------------------------------------
+    def _count_retry(self, attempt: int, error: BaseException) -> None:
+        self._faults.retries += 1
+
+    def _with_retries(self, fn):
+        """Run a selector / trainer call under the retry policy.
+
+        ``NovelDistribution`` is a control-flow signal, not a failure, so it
+        propagates without consuming retries.
+        """
+        return self._retry_policy.run(
+            fn, clock=self.clock, retryable=(Exception,),
+            non_retryable=(NovelDistribution,),
+            on_retry=self._count_retry)
+
+    def _train_or_fallback(self, items: List[object],
+                           window: np.ndarray) -> str:
+        """Train a new bundle; degrade to the nearest provisioned model when
+        training is impossible (no trainer, too few frames) or keeps
+        failing."""
+        if self.trainer is None or len(items) < 2:
+            return self._fallback_model(window)
+        try:
+            name = self._with_retries(lambda: self._train_new(items))
+        except Exception:
+            self._faults.training_failures += 1
+            self.breaker.record_failure()
+            return self._fallback_model(window)
+        self.breaker.record_success()
+        return name
+
+    def _decide_model(self, items: List[object], window: np.ndarray,
+                      novel_hint: bool):
+        """Pick the model for a drift episode; returns ``(name, novel)``.
+
+        Never raises (beyond programming errors in the fallback itself):
+        selection and training run under retry, repeated failures trip the
+        breaker, and an open breaker pins the nearest provisioned model
+        without attempting selection at all.
+        """
+        if self.breaker.is_open:
+            self._faults.breaker_fallbacks += 1
+            return self._fallback_model(window), novel_hint
+        if novel_hint:
+            return self._train_or_fallback(items, window), True
+        try:
+            selected = self._with_retries(lambda: self._try_select(
+                items[: self.config.selection_window],
+                window[: self.config.selection_window]))
+        except NovelDistribution:
+            return self._train_or_fallback(items, window), True
+        except Exception:
+            self._faults.selection_failures += 1
+            self.breaker.record_failure()
+            return self._fallback_model(window), False
+        self.breaker.record_success()
+        return selected, False
+
+    # ------------------------------------------------------------------
     # streaming API
     # ------------------------------------------------------------------
     _MODE_MONITOR = "monitor"
@@ -200,6 +309,9 @@ class DriftAwareAnalytics:
         self._records: List[FrameRecord] = []
         self._detections: List[DetectionEvent] = []
         self._invocations = InvocationCounter()
+        self._faults = FaultStats()
+        self.guard.reset()
+        self.breaker.reset()
         self._start_ms = self.clock.elapsed_ms
         self._buffer: List[object] = []
         self._mode = self._MODE_MONITOR
@@ -228,19 +340,8 @@ class DriftAwareAnalytics:
         window = np.stack([_pixels_of(entry) for entry in items])
         previous = self._deployed.name
         novel = novel_hint
-        if selected is None and novel_hint:
-            selected = self._train_new(items)
-        elif selected is None:
-            try:
-                selected = self._try_select(
-                    items[: self.config.selection_window],
-                    window[: self.config.selection_window])
-            except NovelDistribution:
-                novel = True
-                if self.trainer is None:
-                    selected = self._fallback_model(window)
-                else:
-                    selected = self._train_new(items)
+        if selected is None:
+            selected, novel = self._decide_model(items, window, novel_hint)
         self._detections.append(DetectionEvent(
             frame_index=self._index, previous_model=previous,
             selected_model=selected, novel=novel,
@@ -253,10 +354,21 @@ class DriftAwareAnalytics:
     def step(self, item: object) -> List[FrameRecord]:
         """Push one frame; returns the records it emitted (possibly none
         while post-drift frames are being buffered for selection or
-        training)."""
+        training, or when the guard quarantined the frame)."""
         if not hasattr(self, "_mode"):
             self.start()
-        pixels = _pixels_of(item)
+        report = self.guard.admit(item)
+        if report.status == QUARANTINED:
+            self._faults.frames_quarantined += 1
+            self._faults.quarantine_reasons[report.reason] = (
+                self._faults.quarantine_reasons.get(report.reason, 0) + 1)
+            return []
+        pixels = report.pixels
+        if report.status == OK:
+            self._faults.frames_ok += 1
+        else:  # repaired: carry the imputed pixels, keep any metadata
+            self._faults.frames_repaired += 1
+            item = _with_pixels(item, pixels)
         if self._mode == self._MODE_SELECT:
             self._buffer.append(item)
             if len(self._buffer) < self.config.selection_window:
@@ -264,13 +376,26 @@ class DriftAwareAnalytics:
             # window full: try selection; a novel distribution with a
             # trainer keeps buffering up to the training budget
             window = np.stack([_pixels_of(e) for e in self._buffer])
+            if self.breaker.is_open:
+                self._faults.breaker_fallbacks += 1
+                return self._resolve_buffer(
+                    selected=self._fallback_model(window))
             try:
-                selected = self._try_select(self._buffer, window)
+                selected = self._with_retries(
+                    lambda: self._try_select(self._buffer, window))
             except NovelDistribution:
                 if self.trainer is not None:
                     self._mode = self._MODE_TRAIN
                     return []
-                return self._resolve_buffer()  # fallback path
+                # no trainer: degrade to the nearest provisioned model
+                return self._resolve_buffer(
+                    selected=self._fallback_model(window), novel_hint=True)
+            except Exception:
+                self._faults.selection_failures += 1
+                self.breaker.record_failure()
+                return self._resolve_buffer(
+                    selected=self._fallback_model(window))
+            self.breaker.record_success()
             return self._resolve_buffer(selected=selected)
         if self._mode == self._MODE_TRAIN:
             self._buffer.append(item)
@@ -297,14 +422,15 @@ class DriftAwareAnalytics:
         """End the stream: resolve any frames still buffered.
 
         A partial selection window is evaluated as-is; a partial training
-        buffer trains on whatever was collected (falling back to the nearest
-        provisioned model when fewer than two frames are available).
+        buffer trains on whatever was collected, deterministically falling
+        back to the nearest provisioned model when fewer than two frames
+        are available (training needs at least two).
         """
         if not hasattr(self, "_mode"):
             self.start()
         if not self._buffer:
             return []
-        if self._mode == self._MODE_TRAIN and len(self._buffer) >= 2:
+        if self._mode == self._MODE_TRAIN:
             return self._resolve_buffer(novel_hint=True)
         return self._resolve_buffer()
 
@@ -312,10 +438,12 @@ class DriftAwareAnalytics:
         """The session's aggregated outcome so far."""
         if not hasattr(self, "_mode"):
             self.start()
+        self._faults.breaker_trips = self.breaker.trips
         return PipelineResult(
             records=self._records, detections=self._detections,
             invocations=self._invocations,
-            simulated_ms=self.clock.elapsed_ms - self._start_ms)
+            simulated_ms=self.clock.elapsed_ms - self._start_ms,
+            faults=self._faults)
 
     # ------------------------------------------------------------------
     def process(self, stream: Iterable[object]) -> PipelineResult:

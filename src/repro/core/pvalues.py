@@ -77,3 +77,12 @@ class PValueCalculator:
         return conformal_pvalue(self.reference_scores, score, rng=self._rng,
                                 tie_tolerance=self.tie_tolerance,
                                 include_self=self.include_self)
+
+    def rng_state(self) -> dict:
+        """The tie-breaking generator's bit-generator state (JSON-safe)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`rng_state`, so the uniform
+        stream resumes exactly where a checkpointed session left off."""
+        self._rng.bit_generator.state = state

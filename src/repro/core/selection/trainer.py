@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.nonconformity import KNNDistance, NonconformityMeasure
 from repro.core.selection.registry import ModelBundle
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamExhaustedError
 from repro.rng import SeedLike, derive, stable_hash
 from repro.sim.clock import SimulatedClock
 
@@ -86,8 +86,15 @@ class ModelTrainer:
         self.clock = clock
         self.trained: List[str] = []
 
-    def collect(self, stream, limit: Optional[int] = None) -> np.ndarray:
-        """Pull the training budget of frames from an iterator of frames."""
+    def collect(self, stream, limit: Optional[int] = None,
+                exact: bool = False) -> np.ndarray:
+        """Pull the training budget of frames from an iterator of frames.
+
+        By default a stream that ends early yields whatever was gathered;
+        with ``exact=True`` an under-supplied budget raises
+        :class:`~repro.errors.StreamExhaustedError` so a training run never
+        silently proceeds on fewer frames than it was promised.
+        """
         budget = limit if limit is not None else self.config.frames_to_collect
         frames = []
         for frame in stream:
@@ -96,6 +103,10 @@ class ModelTrainer:
                 break
         if not frames:
             raise ConfigurationError("stream yielded no frames to collect")
+        if exact and len(frames) < budget:
+            raise StreamExhaustedError(
+                f"stream supplied {len(frames)} of the {budget} training "
+                f"frames required")
         return np.stack(frames)
 
     def train_new_model(self, name: str, frames: np.ndarray,

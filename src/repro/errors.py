@@ -33,3 +33,13 @@ class StreamExhaustedError(ReproError):
 
 class RegistryError(ReproError):
     """A model registry lookup failed (unknown distribution or duplicate)."""
+
+
+class FrameValidationError(ReproError):
+    """An incoming frame failed validation (non-finite pixels, wrong shape
+    or a dtype that cannot be coerced to float)."""
+
+
+class CheckpointError(ReproError):
+    """A pipeline checkpoint could not be written, read or applied (corrupt
+    archive, version mismatch, or state incompatible with the session)."""

@@ -1,0 +1,37 @@
+"""Fault injection and graceful-degradation toolkit.
+
+Chaos-testing side: :class:`FaultSchedule` plans seeded, deterministic
+faults per source frame and :class:`FaultInjector` applies them to any
+frame iterable while logging ground truth.  Degradation side:
+:class:`FrameGuard`, :class:`RetryPolicy` and :class:`CircuitBreaker` are
+the primitives :class:`~repro.core.pipeline.DriftAwareAnalytics` uses to
+survive those faults.
+"""
+
+from repro.faults.guard import (
+    GUARD_POLICIES,
+    CircuitBreaker,
+    FrameGuard,
+    GuardReport,
+    RetryPolicy,
+)
+from repro.faults.injectors import FaultInjector
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    PIXEL_KINDS,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PIXEL_KINDS",
+    "GUARD_POLICIES",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FrameGuard",
+    "GuardReport",
+    "RetryPolicy",
+]

@@ -1,0 +1,171 @@
+"""Fault injectors: wrap any frame iterable in scheduled stream faults.
+
+``FaultInjector.wrap(stream)`` yields the stream with the faults its
+:class:`~repro.faults.schedule.FaultSchedule` planned -- dropped, duplicated
+and swapped frames, pixel corruption (NaN/Inf, salt-and-pepper, black
+frames), shape mangling, and clock-charged stalls -- while recording every
+injected fault in the schedule's ground-truth log.
+
+Items may be raw pixel arrays or objects with a ``pixels`` attribute (e.g.
+:class:`~repro.video.stream.Frame`); corrupted copies preserve the carrier
+object (and its ground truth) whenever it is a dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.sim.clock import SimulatedClock
+
+
+def _pixels_of(item: object) -> np.ndarray:
+    return np.asarray(getattr(item, "pixels", item), dtype=np.float64)
+
+
+def _with_pixels(item: object, pixels: np.ndarray) -> object:
+    """Rebuild ``item`` with ``pixels`` swapped in, keeping metadata when the
+    carrier is a dataclass (``Frame``); otherwise the bare array stands in."""
+    if hasattr(item, "pixels") and dataclasses.is_dataclass(item):
+        return dataclasses.replace(item, pixels=pixels)
+    return pixels
+
+
+def corrupt_nan(pixels: np.ndarray, rng: np.random.Generator,
+                fraction: float) -> np.ndarray:
+    """Set a random ``fraction`` of pixels (at least one) to NaN."""
+    out = np.array(pixels, dtype=np.float64, copy=True)
+    flat = out.reshape(-1)
+    count = max(1, int(round(fraction * flat.size)))
+    flat[rng.choice(flat.size, size=count, replace=False)] = np.nan
+    return out
+
+
+def corrupt_inf(pixels: np.ndarray, rng: np.random.Generator,
+                fraction: float) -> np.ndarray:
+    """Set a random ``fraction`` of pixels (at least one) to +/-Inf."""
+    out = np.array(pixels, dtype=np.float64, copy=True)
+    flat = out.reshape(-1)
+    count = max(1, int(round(fraction * flat.size)))
+    idx = rng.choice(flat.size, size=count, replace=False)
+    flat[idx] = np.where(rng.uniform(size=count) < 0.5, np.inf, -np.inf)
+    return out
+
+
+def corrupt_saltpepper(pixels: np.ndarray, rng: np.random.Generator,
+                       fraction: float) -> np.ndarray:
+    """Slam a random ``fraction`` of pixels to the frame's min/max (dead and
+    hot pixels).  Stays finite, so it tests the *detector's* robustness
+    rather than the guard."""
+    out = np.array(pixels, dtype=np.float64, copy=True)
+    flat = out.reshape(-1)
+    count = max(1, int(round(fraction * flat.size)))
+    idx = rng.choice(flat.size, size=count, replace=False)
+    low, high = float(np.min(flat)), float(np.max(flat))
+    flat[idx] = np.where(rng.uniform(size=count) < 0.5, low, high)
+    return out
+
+
+def corrupt_black(pixels: np.ndarray) -> np.ndarray:
+    """An all-zero frame (camera blackout)."""
+    return np.zeros_like(np.asarray(pixels, dtype=np.float64))
+
+
+def mangle_shape(pixels: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Return the frame with a wrong shape: a flattened copy (lost its
+    geometry) or a cropped one (decoder handed back a partial frame)."""
+    arr = np.array(pixels, dtype=np.float64, copy=True)
+    flat = arr.reshape(-1)
+    if arr.ndim > 1 and rng.uniform() < 0.5:
+        return flat
+    if flat.shape[0] > 1:
+        return arr[:-1]
+    return np.concatenate([flat, flat])
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to a frame iterable.
+
+    Parameters
+    ----------
+    schedule:
+        The seeded plan; its ``log`` fills with ground-truth
+        :class:`FaultEvent` records as frames pass through.
+    clock:
+        Optional simulated clock; ``stall`` faults charge
+        ``schedule.stall_ms`` under the ``"fault_stall"`` ledger entry.
+    """
+
+    def __init__(self, schedule: FaultSchedule,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        self.schedule = schedule
+        self.clock = clock
+
+    @property
+    def log(self) -> List[FaultEvent]:
+        return self.schedule.log
+
+    # ------------------------------------------------------------------
+    def _corrupted(self, item: object, kind: str, index: int) -> object:
+        rng = self.schedule.rng_for(index)
+        rng.uniform()  # skip the fire/kind draws consumed by draw()
+        pixels = _pixels_of(item)
+        fraction = self.schedule.pixel_fraction
+        if kind == "nan":
+            return _with_pixels(item, corrupt_nan(pixels, rng, fraction))
+        if kind == "inf":
+            return _with_pixels(item, corrupt_inf(pixels, rng, fraction))
+        if kind == "saltpepper":
+            return _with_pixels(item,
+                                corrupt_saltpepper(pixels, rng, fraction))
+        if kind == "black":
+            return _with_pixels(item, corrupt_black(pixels))
+        if kind == "shape":
+            # a mis-shaped array cannot ride inside a Frame dataclass's
+            # contract; it is yielded bare, as a broken decoder would
+            return mangle_shape(pixels, rng)
+        raise AssertionError(f"not a pixel fault: {kind}")
+
+    def wrap(self, stream: Iterable[object]) -> Iterator[object]:
+        """Yield ``stream`` with scheduled faults applied and logged."""
+        held: Optional[object] = None  # frame awaiting its reorder swap
+        for index, item in enumerate(stream):
+            kind = self.schedule.draw(index)
+            out: List[object] = []
+            if kind is None:
+                out.append(item)
+            elif kind == "drop":
+                self.schedule.record(FaultEvent(index, "drop"))
+            elif kind == "duplicate":
+                self.schedule.record(FaultEvent(index, "duplicate"))
+                out.extend([item, item])
+            elif kind == "reorder":
+                if held is None:
+                    # hold this frame; it re-emerges after the next one
+                    self.schedule.record(FaultEvent(index, "reorder"))
+                    held = item
+                else:
+                    # already holding one: pass through to keep bounded lag
+                    out.append(item)
+            elif kind == "stall":
+                ms = self.schedule.stall_ms
+                if self.clock is not None:
+                    self.clock.charge_ms("fault_stall", ms)
+                self.schedule.record(
+                    FaultEvent(index, "stall", {"ms": ms}))
+                out.append(item)
+            else:  # pixel corruption
+                self.schedule.record(FaultEvent(
+                    index, kind,
+                    {"fraction": self.schedule.pixel_fraction}))
+                out.append(self._corrupted(item, kind, index))
+            for emitted in out:
+                yield emitted
+                if held is not None and emitted is not held:
+                    yield held
+                    held = None
+        if held is not None:  # stream ended while a frame was held
+            yield held

@@ -1,0 +1,154 @@
+"""Deterministic fault schedules for chaos testing.
+
+A :class:`FaultSchedule` decides, per *source* frame index, whether a fault
+fires and which kind.  Decisions are derived from ``(seed, index)`` alone --
+not from a shared generator stream -- so the schedule is stable under
+re-iteration, partial consumption and out-of-order queries, and two runs
+over the same stream see byte-identical faults.
+
+The schedule also owns the ground-truth :class:`FaultEvent` log filled in by
+:class:`~repro.faults.injectors.FaultInjector`, which chaos tests assert
+against (e.g. "the pipeline's quarantine count equals the number of NaN
+events the injector actually emitted").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, derive
+
+#: Every fault kind an injector understands.
+FAULT_KINDS = ("drop", "duplicate", "reorder", "nan", "inf", "saltpepper",
+               "black", "shape", "stall")
+
+#: Kinds that corrupt pixel content (versus stream structure / timing).
+PIXEL_KINDS = ("nan", "inf", "saltpepper", "black")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, recorded as ground truth.
+
+    ``index`` is the *source* stream position the fault applied to (before
+    drops/duplicates shift downstream indices).
+    """
+
+    index: int
+    kind: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class FaultSchedule:
+    """Seeded per-frame fault plan.
+
+    Parameters
+    ----------
+    rate:
+        Probability that any given source frame is faulted, in ``[0, 1]``.
+    kinds:
+        Fault kinds to draw from (subset of :data:`FAULT_KINDS`).
+    weights:
+        Optional relative weights aligned with ``kinds``; uniform when
+        omitted.
+    seed:
+        Any :data:`~repro.rng.SeedLike`; ``None`` draws a fresh base seed
+        once, so a single schedule instance is still self-consistent.
+    pixel_fraction:
+        Fraction of pixels corrupted by ``nan`` / ``inf`` / ``saltpepper``.
+    stall_ms:
+        Simulated milliseconds charged per ``stall`` fault.
+    """
+
+    def __init__(self, rate: float = 0.05,
+                 kinds: Sequence[str] = FAULT_KINDS,
+                 weights: Optional[Sequence[float]] = None,
+                 seed: SeedLike = None,
+                 pixel_fraction: float = 0.02,
+                 stall_ms: float = 50.0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        kinds = tuple(kinds)
+        if not kinds:
+            raise ConfigurationError("schedule needs at least one fault kind")
+        unknown = [k for k in kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault kinds {unknown}; known: {list(FAULT_KINDS)}")
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != len(kinds):
+                raise ConfigurationError(
+                    f"{len(weights)} weights for {len(kinds)} kinds")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ConfigurationError(
+                    f"weights must be non-negative with positive sum: "
+                    f"{weights}")
+        if not 0.0 < pixel_fraction <= 1.0:
+            raise ConfigurationError(
+                f"pixel_fraction must be in (0, 1], got {pixel_fraction}")
+        if stall_ms < 0:
+            raise ConfigurationError(
+                f"stall_ms must be non-negative, got {stall_ms}")
+        self.rate = float(rate)
+        self.kinds = kinds
+        self.pixel_fraction = float(pixel_fraction)
+        self.stall_ms = float(stall_ms)
+        if weights is None:
+            self._probabilities = np.full(len(kinds), 1.0 / len(kinds))
+        else:
+            self._probabilities = np.asarray(weights) / sum(weights)
+        # pin a concrete base seed so a seed=None schedule still gives the
+        # same answer every time the same index is queried
+        if isinstance(seed, np.random.Generator):
+            self._base = int(seed.integers(0, 2**31 - 1))
+        elif seed is None:
+            self._base = int(np.random.default_rng().integers(0, 2**31 - 1))
+        else:
+            self._base = int(seed)
+        self.log: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def rng_for(self, index: int) -> np.random.Generator:
+        """Generator derived from ``(seed, index)``; used both for the
+        fire/kind decision and for the fault's own randomness (which pixels,
+        which corruption values)."""
+        return derive(self._base, index)
+
+    def draw(self, index: int) -> Optional[str]:
+        """The fault kind scheduled for source frame ``index`` (or ``None``).
+
+        Pure function of ``(seed, index)`` -- calling it twice, or never,
+        changes nothing.
+        """
+        rng = self.rng_for(index)
+        if rng.uniform() >= self.rate:
+            return None
+        return str(rng.choice(np.asarray(self.kinds, dtype=object),
+                              p=self._probabilities))
+
+    # ------------------------------------------------------------------
+    def record(self, event: FaultEvent) -> None:
+        """Append one ground-truth event (called by the injector)."""
+        self.log.append(event)
+
+    def events(self, kind: Optional[str] = None) -> List[FaultEvent]:
+        """Recorded events, optionally filtered by kind."""
+        if kind is None:
+            return list(self.log)
+        return [e for e in self.log if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Recorded events per kind."""
+        out: Dict[str, int] = {}
+        for event in self.log:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        """Drop the recorded log (the plan itself is stateless)."""
+        self.log = []

@@ -54,10 +54,14 @@ class Sequential:
         return state
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameters saved by :meth:`state_dict` (shapes must match)."""
+        """Load parameters saved by :meth:`state_dict` (keys and shapes must
+        match exactly -- extra keys mean the archive belongs to a different
+        architecture and loading it would silently discard weights)."""
+        expected = set()
         for i, layer in enumerate(self.layers):
             for name, param in layer.params().items():
                 key = f"{i}.{name}"
+                expected.add(key)
                 if key not in state:
                     raise ConfigurationError(f"missing parameter {key} in state")
                 value = state[key]
@@ -66,6 +70,10 @@ class Sequential:
                         f"shape mismatch for {key}: saved {value.shape}, "
                         f"model {param.shape}")
                 param[...] = value
+        extra = sorted(set(state) - expected)
+        if extra:
+            raise ConfigurationError(
+                f"unexpected parameters in state: {extra}")
 
     def num_parameters(self) -> int:
         """Total count of trainable scalars."""

@@ -3,17 +3,26 @@
 Serialization stores only parameter arrays keyed by ``Sequential.state_dict``
 names; the caller reconstructs the architecture (from its config) and then
 loads weights, mirroring the PyTorch ``state_dict`` pattern.
+
+The same npz pattern also backs pipeline checkpoints: a *manifest archive*
+bundles arbitrary arrays with one JSON manifest string in a single file
+(:func:`save_manifest_archive` / :func:`load_manifest_archive`), so a
+checkpoint needs no sidecar files.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+import zipfile
+from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.nn.network import Sequential
+
+_MANIFEST_KEY = "__manifest_json__"
 
 
 def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
@@ -26,9 +35,21 @@ def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
 
 
 def load_state(path: str) -> Dict[str, np.ndarray]:
-    """Read a mapping written by :func:`save_state`."""
-    with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files}
+    """Read a mapping written by :func:`save_state`.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the file is
+    missing, truncated or not an npz archive (numpy's raw ``BadZipFile`` /
+    ``ValueError`` would otherwise leak past the pipeline's error
+    boundary).
+    """
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise ConfigurationError(f"no state archive at {path!r}")
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as error:
+        raise ConfigurationError(
+            f"corrupted or unreadable npz archive {path!r}: {error}")
 
 
 def save_network(path: str, net: Sequential) -> None:
@@ -40,3 +61,42 @@ def load_network(path: str, net: Sequential) -> Sequential:
     """Load parameters into an architecture-matched :class:`Sequential`."""
     net.load_state_dict(load_state(path))
     return net
+
+
+# ----------------------------------------------------------------------
+# manifest archives (pipeline checkpoints)
+# ----------------------------------------------------------------------
+def save_manifest_archive(path: str, manifest: dict,
+                          arrays: Dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` plus a JSON ``manifest`` into one npz file.
+
+    The manifest rides along as a zero-dimensional string array under a
+    reserved key, so the archive stays a plain npz readable by
+    :func:`load_state` too.
+    """
+    if _MANIFEST_KEY in arrays:
+        raise ConfigurationError(
+            f"array name {_MANIFEST_KEY!r} is reserved for the manifest")
+    payload = dict(arrays)
+    payload[_MANIFEST_KEY] = np.asarray(json.dumps(manifest))
+    save_state(path, payload)
+
+
+def load_manifest_archive(path: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Read an archive written by :func:`save_manifest_archive`.
+
+    Returns ``(manifest, arrays)``; raises
+    :class:`~repro.errors.CheckpointError` when the manifest is absent or
+    not valid JSON.
+    """
+    state = load_state(path)
+    raw = state.pop(_MANIFEST_KEY, None)
+    if raw is None:
+        raise CheckpointError(
+            f"archive {path!r} carries no manifest (not a checkpoint?)")
+    try:
+        manifest = json.loads(str(raw))
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"archive {path!r} has a corrupt manifest: {error}")
+    return manifest, state

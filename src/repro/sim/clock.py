@@ -70,6 +70,21 @@ class SimulatedClock:
         """A context manager measuring the simulated time of a block."""
         return ClockSplit(self)
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (elapsed time + ledgers)."""
+        return {"elapsed_ms": self._elapsed_ms,
+                "ledger": dict(self._ledger),
+                "op_counts": dict(self._op_counts)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict` (the cost profile
+        is configuration, not state, and must be supplied by the caller)."""
+        self._elapsed_ms = float(state["elapsed_ms"])
+        self._ledger = Counter(
+            {str(k): float(v) for k, v in state["ledger"].items()})
+        self._op_counts = Counter(
+            {str(k): int(v) for k, v in state["op_counts"].items()})
+
 
 class ClockSplit:
     """Context manager capturing elapsed simulated ms inside a block."""

@@ -3,6 +3,8 @@
 - :class:`DetectionRecord` -- detection delay bookkeeping (Figure 3 / 4).
 - :class:`InvocationCounter` -- model invocations per frame (Figure 6).
 - :class:`AccuracyCollector` -- query accuracy ``A_q`` (Figures 7 / 8).
+- :class:`FaultStats` -- degradation accounting (guard verdicts, retries,
+  breaker activity) surfaced in ``PipelineResult``.
 """
 
 from __future__ import annotations
@@ -91,6 +93,77 @@ class InvocationCounter:
 
     def per_model(self) -> Dict[str, int]:
         return dict(self._per_model)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot for checkpoint / restore."""
+        return {"per_frame": list(self._per_frame),
+                "per_model": dict(self._per_model)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self._per_frame = [int(n) for n in state["per_frame"]]
+        self._per_model = {str(k): int(v)
+                           for k, v in state["per_model"].items()}
+
+
+@dataclass
+class FaultStats:
+    """Degradation accounting for one pipeline session.
+
+    ``frames_ok`` counts frames that passed validation untouched;
+    ``frames_repaired`` / ``frames_quarantined`` the guard's interventions
+    (a quarantined frame is dropped from processing and emits no record).
+    ``retries`` counts re-attempted selector / trainer calls,
+    ``selection_failures`` / ``training_failures`` the calls that exhausted
+    their retries, ``breaker_trips`` how often the circuit opened and
+    ``breaker_fallbacks`` how many drift resolutions were short-circuited
+    to the nearest provisioned model while it was open.
+    """
+
+    frames_ok: int = 0
+    frames_repaired: int = 0
+    frames_quarantined: int = 0
+    retries: int = 0
+    selection_failures: int = 0
+    training_failures: int = 0
+    breaker_trips: int = 0
+    breaker_fallbacks: int = 0
+    quarantine_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def frames_faulty(self) -> int:
+        """Frames the guard had to intervene on."""
+        return self.frames_repaired + self.frames_quarantined
+
+    @property
+    def degraded(self) -> bool:
+        """True when any degradation (guard, retry, breaker) occurred."""
+        return (self.frames_faulty > 0 or self.retries > 0
+                or self.selection_failures > 0 or self.training_failures > 0
+                or self.breaker_trips > 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"frames_ok": self.frames_ok,
+                "frames_repaired": self.frames_repaired,
+                "frames_quarantined": self.frames_quarantined,
+                "retries": self.retries,
+                "selection_failures": self.selection_failures,
+                "training_failures": self.training_failures,
+                "breaker_trips": self.breaker_trips,
+                "breaker_fallbacks": self.breaker_fallbacks,
+                "quarantine_reasons": dict(self.quarantine_reasons)}
+
+    def state_dict(self) -> dict:
+        return self.as_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        for name in ("frames_ok", "frames_repaired", "frames_quarantined",
+                     "retries", "selection_failures", "training_failures",
+                     "breaker_trips", "breaker_fallbacks"):
+            setattr(self, name, int(state[name]))
+        self.quarantine_reasons = {
+            str(k): int(v)
+            for k, v in state.get("quarantine_reasons", {}).items()}
 
 
 @dataclass

@@ -19,7 +19,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamExhaustedError
 from repro.rng import SeedLike, derive
 from repro.video.objects import BUS, CAR, ObjectPopulation
 from repro.video.renderer import Renderer
@@ -147,13 +147,23 @@ class VideoStream:
                 index += 1
             previous_condition = segment.condition
 
-    def materialize(self, limit: Optional[int] = None) -> List[Frame]:
-        """Render the stream into a list (optionally truncated)."""
+    def materialize(self, limit: Optional[int] = None,
+                    exact: bool = False) -> List[Frame]:
+        """Render the stream into a list (optionally truncated).
+
+        With ``exact=True`` a ``limit`` the stream cannot supply raises
+        :class:`~repro.errors.StreamExhaustedError` instead of silently
+        returning fewer frames -- use it when a fixed frame count is a
+        correctness requirement (training budgets, windowed selectors).
+        """
         out: List[Frame] = []
         for frame in self.frames():
             out.append(frame)
             if limit is not None and len(out) >= limit:
                 break
+        if exact and limit is not None and len(out) < limit:
+            raise StreamExhaustedError(
+                f"stream supplied {len(out)} of the {limit} frames required")
         return out
 
     def segment_frames(self, name: str, count: int,
@@ -181,7 +191,8 @@ class VideoStream:
             length=count, objects_mean=spec.objects_mean,
             objects_std=spec.objects_std, bus_fraction=spec.bus_fraction)
         solo = VideoStream([only], renderer=self.renderer, seed=iso_seed)
-        return solo.materialize()
+        # training sets are a fixed budget: under-supplying must be loud
+        return solo.materialize(limit=count, exact=True)
 
 
 def frames_to_pixels(frames: List[Frame]) -> np.ndarray:

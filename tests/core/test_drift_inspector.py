@@ -145,6 +145,9 @@ class TestPlumbing:
     @pytest.mark.parametrize("kwargs", [
         {"window": 0}, {"significance": 0.0}, {"significance": 1.0},
         {"k": 0},
+        {"betting_epsilon": 0.0}, {"betting_epsilon": 1.0},
+        {"betting_epsilon": -0.2}, {"p_floor": 0.0}, {"p_floor": 1.0},
+        {"p_floor": 2.0},
     ])
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):

@@ -216,6 +216,14 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             DriftAwareAnalytics(registry, "low", selector)
 
+    @pytest.mark.parametrize("kwargs", [
+        {"frame_policy": "ignore"}, {"max_retries": -1},
+        {"retry_backoff_ms": -5.0}, {"breaker_threshold": 0},
+    ])
+    def test_invalid_fault_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(**kwargs)
+
 
 class TestStreamingAPI:
     """step() / flush() push-based processing matches batch process()."""
@@ -277,3 +285,23 @@ class TestStreamingAPI:
             pipeline.step(item)
         partial = pipeline.result()
         assert len(partial.records) == 10
+
+
+class TestFaultAccounting:
+    def test_clean_run_reports_zero_faults(self, rng, registry):
+        stream = gaussian_stream(rng, [(0.0, 50), (6.0, 50)])
+        result = make_pipeline(registry, "msbi").process(stream)
+        assert result.faults.frames_ok == 100
+        assert not result.faults.degraded
+        assert result.faults.as_dict()["frames_repaired"] == 0
+
+    def test_flush_with_tiny_train_buffer_falls_back(self, rng, registry):
+        # the stream ends one frame after a far-out-of-distribution jump:
+        # flush() resolves a train-mode buffer too small for the trainer
+        # and must fall back deterministically instead of raising
+        pipeline = make_pipeline(registry, "msbi")
+        stream = np.vstack([gaussian_stream(rng, [(0.0, 50)]),
+                            rng.normal(25.0, 1.0, size=(1, DIM))])
+        result = pipeline.process(stream)
+        assert len(result.records) == 51
+        assert result.records[-1].model in ("low", "high")

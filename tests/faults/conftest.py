@@ -1,0 +1,64 @@
+"""Shared fixtures for the chaos suite: cheap gaussian bundles and streams.
+
+Mirrors the synthetic setup of ``tests/core/test_pipeline.py`` -- identity
+embedders and constant models keep every chaos run fast while exercising
+the full guard / retry / breaker / checkpoint machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.nonconformity import KNNDistance
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.registry import ModelBundle, ModelRegistry
+
+DIM = 8
+
+
+class ConstantModel:
+    """Predicts a fixed class; lets tests identify which model ran."""
+
+    def __init__(self, label: int):
+        self.label = label
+
+    def predict(self, frames):
+        return np.full(np.asarray(frames).shape[0], self.label, dtype=np.int64)
+
+
+def make_bundle(name: str, centre: float, label: int, rng) -> ModelBundle:
+    sigma = rng.normal(centre, 1.0, size=(200, DIM))
+    scores = KNNDistance(5).reference_scores(sigma)
+    return ModelBundle(name=name, sigma=sigma, reference_scores=scores,
+                       model=ConstantModel(label))
+
+
+def gaussian_stream(rng, segments):
+    """Frames from consecutive (centre, length) gaussian segments."""
+    chunks = [rng.normal(c, 1.0, size=(n, DIM)) for c, n in segments]
+    return np.vstack(chunks)
+
+
+def make_pipeline(registry, **config_kwargs) -> DriftAwareAnalytics:
+    config = PipelineConfig(
+        selection_window=8,
+        drift_inspector=DriftInspectorConfig(seed=0),
+        **config_kwargs)
+    selector = MSBI(registry, MSBIConfig(window_size=8, seed=0))
+    return DriftAwareAnalytics(registry, "low", selector, config=config)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(777)
+
+
+@pytest.fixture
+def registry(rng):
+    return ModelRegistry([
+        make_bundle("low", 0.0, 0, rng),
+        make_bundle("high", 6.0, 1, rng),
+    ])

@@ -1,0 +1,167 @@
+"""Chaos property: the pipeline survives any seeded <=5% fault schedule.
+
+The acceptance property from the robustness issue: under drops, NaN
+corruption and duplicates at rate <= 5 %, ``process()`` never raises,
+``PipelineResult`` reports accurate fault counts, and the ground-truth
+drift is still detected within a bounded delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection.registry import ModelRegistry
+from repro.faults import FaultInjector, FaultSchedule
+
+from tests.faults.conftest import (
+    gaussian_stream,
+    make_bundle,
+    make_pipeline,
+)
+
+PRE, POST = 80, 90  # frames before / after the ground-truth drift
+DETECTION_SLACK = 45  # emitted frames allowed between change and resolution
+
+
+def build_registry(seed):
+    rng = np.random.default_rng(seed)
+    return ModelRegistry([
+        make_bundle("low", 0.0, 0, rng),
+        make_bundle("high", 6.0, 1, rng),
+    ])
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       rate=st.floats(min_value=0.0, max_value=0.05))
+def test_chaos_property(seed, rate):
+    rng = np.random.default_rng(seed)
+    registry = build_registry(seed)
+    stream = gaussian_stream(rng, [(0.0, PRE), (6.0, POST)])
+    schedule = FaultSchedule(rate=rate, kinds=("drop", "nan", "duplicate"),
+                             seed=seed)
+    injector = FaultInjector(schedule)
+    pipeline = make_pipeline(registry, frame_policy="repair")
+
+    result = pipeline.process(injector.wrap(stream))  # must never raise
+
+    counts = schedule.counts()
+    drops = counts.get("drop", 0)
+    dups = counts.get("duplicate", 0)
+    nans = counts.get("nan", 0)
+    emitted = len(stream) - drops + dups
+    # every guard intervention corresponds to a logged NaN fault (a NaN
+    # frame with no prior good frame quarantines instead of repairing; a
+    # duplicated NaN frame intervenes twice)
+    interventions = (result.faults.frames_repaired
+                     + result.faults.frames_quarantined)
+    nan_indices = {e.index for e in schedule.events("nan")}
+    dup_indices = {e.index for e in schedule.events("duplicate")}
+    expected_interventions = nans + len(nan_indices & dup_indices)
+    assert interventions == expected_interventions
+    # every admitted-and-kept frame produced exactly one record
+    assert len(result.records) == emitted - result.faults.frames_quarantined
+    assert result.faults.frames_ok == (emitted - interventions)
+    # the ground-truth drift is still detected within a bounded delay:
+    # locate the change point in *emitted* coordinates
+    pre_events = [e for e in schedule.log if e.index < PRE]
+    change = (PRE - sum(1 for e in pre_events if e.kind == "drop")
+              + sum(1 for e in pre_events if e.kind == "duplicate"))
+    hits = [d for d in result.detections
+            if change - 5 <= d.frame_index <= change + DETECTION_SLACK]
+    assert hits, (f"no detection near emitted change point {change}; "
+                  f"got {[d.frame_index for d in result.detections]}")
+
+
+class TestDegradedResolution:
+    """Retry + breaker behaviour with an unreliable selector."""
+
+    def flaky_pipeline(self, registry, fail_times, **kwargs):
+        pipeline = make_pipeline(registry, **kwargs)
+        real_select = pipeline.selector.select
+        state = {"remaining": fail_times}
+
+        def select(frames, candidates=None):
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                raise RuntimeError("selector backend unavailable")
+            return real_select(frames, candidates)
+
+        pipeline.selector.select = select
+        return pipeline
+
+    def test_transient_selector_failure_is_retried(self, rng, registry):
+        pipeline = self.flaky_pipeline(registry, fail_times=2, max_retries=2)
+        stream = gaussian_stream(rng, [(0.0, 50), (6.0, 50)])
+        result = pipeline.process(stream)
+        assert result.faults.retries == 2
+        assert result.faults.selection_failures == 0
+        assert result.detections and result.detections[0].selected_model == "high"
+        # backoff charged simulated time
+        assert pipeline.clock.ledger().get("retry_backoff", 0.0) > 0
+
+    def test_persistent_failure_falls_back_without_crashing(self, rng,
+                                                            registry):
+        pipeline = self.flaky_pipeline(registry, fail_times=100,
+                                       max_retries=1)
+        stream = gaussian_stream(rng, [(0.0, 50), (6.0, 50)])
+        result = pipeline.process(stream)
+        assert result.faults.selection_failures >= 1
+        # degraded but alive: the nearest provisioned model was pinned
+        assert result.detections
+        assert result.detections[0].selected_model in ("low", "high")
+        assert len(result.records) == 100
+
+    def test_breaker_opens_and_short_circuits(self, rng, registry):
+        pipeline = self.flaky_pipeline(registry, fail_times=100,
+                                       max_retries=0, breaker_threshold=2,
+                                       cooldown_frames=0)
+        # three drift episodes: low -> high -> low -> high
+        stream = gaussian_stream(
+            rng, [(0.0, 40), (6.0, 40), (0.0, 40), (6.0, 40)])
+        result = pipeline.process(stream)
+        assert result.faults.breaker_trips >= 1
+        assert result.faults.breaker_fallbacks >= 1
+        assert len(result.records) == 160
+
+    def test_breaker_closes_after_recovery(self, rng, registry):
+        pipeline = self.flaky_pipeline(registry, fail_times=1, max_retries=0,
+                                       breaker_threshold=1,
+                                       cooldown_frames=0)
+        stream = gaussian_stream(
+            rng, [(0.0, 40), (6.0, 40), (0.0, 40)])
+        result = pipeline.process(stream)
+        # first episode fails (breaker opens), second short-circuits OR
+        # succeeds after the breaker closed; the run always completes
+        assert len(result.records) == 120
+        assert result.faults.breaker_trips >= 1
+
+
+class TestNovelWithFaults:
+    def test_novel_distribution_with_single_frame_buffer_survives(self, rng,
+                                                                  registry):
+        # stream ends immediately after the drift frame: flush resolves a
+        # 1-frame buffer; the novel path must fall back, not train/crash
+        pipeline = make_pipeline(registry)
+        stream = gaussian_stream(rng, [(0.0, 50), (25.0, 1)])
+        result = pipeline.process(stream)
+        assert len(result.records) == 51
+
+
+class TestSkipPolicyChaos:
+    def test_skip_policy_drops_faulty_frames_from_records(self, rng,
+                                                          registry):
+        stream = gaussian_stream(rng, [(0.0, 60)])
+        schedule = FaultSchedule(rate=0.1, kinds=("nan",), seed=5)
+        injector = FaultInjector(schedule)
+        pipeline = make_pipeline(registry, frame_policy="skip")
+        result = pipeline.process(injector.wrap(stream))
+        nans = len(schedule.events("nan"))
+        assert nans > 0
+        assert result.faults.frames_quarantined == nans
+        assert len(result.records) == 60 - nans
+        # indices stay contiguous: quarantined frames emit no record
+        assert [r.frame_index for r in result.records] == list(
+            range(60 - nans))

@@ -1,0 +1,197 @@
+"""Checkpoint / restore: bit-exact mid-stream resume and error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import checkpoint
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.martingale import AdditiveMartingale, MultiplicativeMartingale
+from repro.core.selection.registry import ModelRegistry
+from repro.errors import CheckpointError
+from repro.nn.serialization import save_manifest_archive, save_state
+
+from tests.faults.conftest import gaussian_stream, make_bundle, make_pipeline
+
+
+def run_records(result):
+    return [(r.frame_index, r.prediction, r.model) for r in result.records]
+
+
+def resume_run(registry, stream, cut, tmp_path, **config_kwargs):
+    """Process ``stream`` with a checkpoint at frame ``cut`` and a restore
+    into a fresh pipeline; returns the resumed run's result."""
+    path = str(tmp_path / "session.npz")
+    first = make_pipeline(registry, **config_kwargs)
+    first.start()
+    for item in stream[:cut]:
+        first.step(item)
+    checkpoint.save_checkpoint(path, first)
+    resumed = make_pipeline(registry, **config_kwargs)
+    checkpoint.restore_checkpoint(path, resumed)
+    for item in stream[cut:]:
+        resumed.step(item)
+    resumed.flush()
+    return resumed.result()
+
+
+class TestRoundTrip:
+    def assert_equal_runs(self, registry, stream, cut, tmp_path, **kwargs):
+        baseline = make_pipeline(registry, **kwargs).process(stream)
+        resumed = resume_run(registry, stream, cut, tmp_path, **kwargs)
+        assert run_records(resumed) == run_records(baseline)
+        assert resumed.detections == baseline.detections
+        assert resumed.simulated_ms == baseline.simulated_ms
+        assert (resumed.invocations.per_model()
+                == baseline.invocations.per_model())
+
+    def test_resume_in_monitor_mode_matches_uninterrupted(self, rng, registry,
+                                                          tmp_path):
+        stream = gaussian_stream(rng, [(0.0, 50), (6.0, 50)])
+        self.assert_equal_runs(registry, stream, cut=30, tmp_path=tmp_path)
+
+    def test_resume_after_drift_swap_matches(self, rng, registry, tmp_path):
+        stream = gaussian_stream(rng, [(0.0, 40), (6.0, 60)])
+        # cut deep into the post-swap segment: inspector state, cooldown and
+        # deployed model all come from the checkpoint
+        self.assert_equal_runs(registry, stream, cut=80, tmp_path=tmp_path)
+
+    def test_resume_mid_selection_buffer_matches(self, rng, registry,
+                                                 tmp_path):
+        stream = gaussian_stream(rng, [(0.0, 40), (6.0, 40)])
+        baseline = make_pipeline(registry).process(stream)
+        assert baseline.detections, "stream must contain a drift"
+        # cut inside the selection window: detection happened, buffer partial
+        detect_at = baseline.detections[0].frame_index
+        cut = detect_at + 3
+        resumed = resume_run(registry, stream, cut, tmp_path)
+        assert run_records(resumed) == run_records(baseline)
+        assert resumed.detections == baseline.detections
+
+    def test_resume_with_repair_policy_and_faulty_frames(self, rng, registry,
+                                                         tmp_path):
+        stream = gaussian_stream(rng, [(0.0, 60), (6.0, 40)])
+        stream[20, 2] = np.nan  # repaired before the cut
+        stream[50, 0] = np.inf  # repaired after the cut
+        kwargs = {"frame_policy": "repair"}
+        baseline = make_pipeline(registry, **kwargs).process(stream)
+        resumed = resume_run(registry, stream, 35, tmp_path, **kwargs)
+        assert run_records(resumed) == run_records(baseline)
+        assert resumed.faults.as_dict() == baseline.faults.as_dict()
+        assert resumed.faults.frames_repaired == 2
+
+    def test_restored_session_reports_prior_accounting(self, rng, registry,
+                                                       tmp_path):
+        stream = gaussian_stream(rng, [(0.0, 30)])
+        stream[5, 0] = np.nan
+        path = str(tmp_path / "session.npz")
+        first = make_pipeline(registry, frame_policy="skip")
+        first.start()
+        for item in stream:
+            first.step(item)
+        checkpoint.save_checkpoint(path, first)
+        resumed = make_pipeline(registry, frame_policy="skip")
+        checkpoint.restore_checkpoint(path, resumed)
+        resumed.flush()
+        result = resumed.result()
+        assert result.faults.frames_quarantined == 1
+        assert result.faults.quarantine_reasons == {"nonfinite": 1}
+        assert len(result.records) == 29
+
+
+class TestErrorPaths:
+    def test_checkpoint_without_session_refused(self, registry):
+        pipeline = make_pipeline(registry)
+        with pytest.raises(CheckpointError, match="no active session"):
+            checkpoint.session_state(pipeline)
+
+    def test_unknown_deployed_model_refused(self, rng, registry, tmp_path):
+        path = str(tmp_path / "session.npz")
+        pipeline = make_pipeline(registry)
+        pipeline.start()
+        pipeline.step(rng.normal(0.0, 1.0, size=8))
+        checkpoint.save_checkpoint(path, pipeline)
+        other = ModelRegistry([make_bundle("other", 0.0, 0, rng)])
+        fresh = make_pipeline(
+            ModelRegistry([make_bundle("low", 0.0, 0, rng),
+                           make_bundle("high", 6.0, 1, rng)]))
+        fresh.registry = other  # simulate a mismatched provisioning
+        with pytest.raises(CheckpointError, match="registry"):
+            checkpoint.restore_checkpoint(path, fresh)
+
+    def test_version_mismatch_refused(self, registry, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        save_manifest_archive(path, {"version": 999}, {})
+        with pytest.raises(CheckpointError, match="version"):
+            checkpoint.restore_checkpoint(path, make_pipeline(registry))
+
+    def test_plain_archive_is_not_a_checkpoint(self, registry, tmp_path):
+        path = str(tmp_path / "weights.npz")
+        save_state(path, {"w": np.zeros(3)})
+        with pytest.raises(CheckpointError, match="manifest"):
+            checkpoint.restore_checkpoint(path, make_pipeline(registry))
+
+    def test_buffer_length_mismatch_refused(self, rng, registry, tmp_path):
+        path = str(tmp_path / "session.npz")
+        pipeline = make_pipeline(registry)
+        pipeline.start()
+        pipeline.step(rng.normal(0.0, 1.0, size=8))
+        manifest, arrays = checkpoint.session_state(pipeline)
+        manifest["buffer_len"] = 4  # lie about the buffer
+        save_manifest_archive(path, manifest, arrays)
+        with pytest.raises(CheckpointError, match="buffer"):
+            checkpoint.restore_checkpoint(path, make_pipeline(registry))
+
+
+class TestComponentState:
+    def test_additive_martingale_round_trip(self):
+        a = AdditiveMartingale(lambda p: 0.5 - p, window=3)
+        for p in (0.1, 0.2, 0.05, 0.9):
+            a.update(p)
+        b = AdditiveMartingale(lambda p: 0.5 - p, window=3)
+        b.load_state_dict(a.state_dict())
+        assert b.history == a.history and b.step == a.step
+        assert b.update(0.3).value == a.update(0.3).value
+
+    def test_multiplicative_martingale_round_trip(self):
+        from repro.core.betting import PowerBetting
+        a = MultiplicativeMartingale(PowerBetting(0.3), significance=0.05)
+        for p in (0.1, 0.2, 0.05):
+            a.update(p)
+        b = MultiplicativeMartingale(PowerBetting(0.3), significance=0.05)
+        b.load_state_dict(a.state_dict())
+        assert b.log_value == a.log_value and b.step == a.step
+
+    def test_kind_mismatch_rejected(self):
+        a = AdditiveMartingale(lambda p: 0.5 - p, window=3)
+        with pytest.raises(CheckpointError, match="additive"):
+            a.load_state_dict({"kind": "multiplicative"})
+
+    def test_inspector_round_trip_continues_identically(self, rng):
+        reference = rng.normal(0.0, 1.0, size=(100, 4))
+        stream = rng.normal(0.0, 1.0, size=(40, 4))
+        config = DriftInspectorConfig(seed=3)
+        a = DriftInspector(reference, config=config)
+        for frame in stream[:20]:
+            a.observe(frame)
+        b = DriftInspector(reference, config=DriftInspectorConfig(seed=3))
+        b.load_state_dict(a.state_dict())
+        for frame in stream[20:]:
+            da, db = a.observe(frame), b.observe(frame)
+            assert da == db
+
+    def test_histogram_betting_state_survives(self, rng):
+        config = DriftInspectorConfig(seed=1, betting="histogram")
+        reference = rng.normal(0.0, 1.0, size=(100, 4))
+        a = DriftInspector(reference, config=config)
+        for frame in rng.normal(0.0, 1.0, size=(30, 4)):
+            a.observe(frame)
+        state = a.state_dict()
+        assert "betting" in state["martingale"]
+        b = DriftInspector(reference,
+                           config=DriftInspectorConfig(seed=1,
+                                                       betting="histogram"))
+        b.load_state_dict(state)
+        frame = rng.normal(0.0, 1.0, size=4)
+        assert a.observe(frame) == b.observe(frame)

@@ -1,0 +1,192 @@
+"""FrameGuard policies, RetryPolicy backoff, CircuitBreaker transitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FrameValidationError
+from repro.faults.guard import (
+    OK,
+    QUARANTINED,
+    REPAIRED,
+    CircuitBreaker,
+    FrameGuard,
+    RetryPolicy,
+)
+from repro.sim.clock import SimulatedClock
+
+
+def nan_frame(shape=(4, 4)):
+    pixels = np.zeros(shape)
+    pixels[0, 0] = np.nan
+    return pixels
+
+
+class TestFrameGuard:
+    def test_valid_frames_pass(self):
+        guard = FrameGuard("raise")
+        report = guard.admit(np.ones((4, 4)))
+        assert report.status == OK
+        assert np.array_equal(report.pixels, np.ones((4, 4)))
+
+    def test_learns_shape_from_first_frame(self):
+        guard = FrameGuard("skip")
+        guard.admit(np.ones((4, 4)))
+        assert guard.expected_shape == (4, 4)
+        assert guard.admit(np.ones((3, 4))).status == QUARANTINED
+        assert guard.reasons == {"shape": 1}
+
+    def test_corrupt_first_frame_does_not_poison_shape_contract(self):
+        guard = FrameGuard("skip")
+        assert guard.admit(nan_frame()).status == QUARANTINED
+        assert guard.expected_shape is None
+        assert guard.admit(np.ones((4, 4))).status == OK
+        assert guard.expected_shape == (4, 4)
+
+    def test_raise_policy_raises_on_nonfinite(self):
+        guard = FrameGuard("raise")
+        guard.admit(np.zeros((4, 4)))
+        with pytest.raises(FrameValidationError):
+            guard.admit(nan_frame())
+
+    def test_raise_policy_raises_on_shape(self):
+        guard = FrameGuard("raise", expected_shape=(4, 4))
+        with pytest.raises(FrameValidationError, match="shape"):
+            guard.admit(np.zeros((5, 5)))
+
+    def test_raise_policy_raises_on_dtype(self):
+        guard = FrameGuard("raise")
+        with pytest.raises(FrameValidationError, match="dtype"):
+            guard.admit(np.array(["not", "pixels"], dtype=object))
+
+    def test_skip_policy_quarantines(self):
+        guard = FrameGuard("skip")
+        guard.admit(np.zeros((4, 4)))
+        report = guard.admit(nan_frame())
+        assert report.status == QUARANTINED and report.pixels is None
+        assert list(guard.quarantine) == [(1, "nonfinite")]
+
+    def test_repair_imputes_from_last_good(self):
+        guard = FrameGuard("repair")
+        good = np.full((4, 4), 7.0)
+        guard.admit(good)
+        report = guard.admit(nan_frame())
+        assert report.status == REPAIRED
+        assert report.pixels[0, 0] == 7.0  # imputed
+        assert (report.pixels[1:] == 0.0).all()  # finite pixels kept
+
+    def test_repair_substitutes_whole_frame_on_shape_defect(self):
+        guard = FrameGuard("repair")
+        good = np.full((4, 4), 3.0)
+        guard.admit(good)
+        report = guard.admit(np.zeros((2, 2)))
+        assert report.status == REPAIRED
+        assert np.array_equal(report.pixels, good)
+
+    def test_repair_without_history_quarantines(self):
+        guard = FrameGuard("repair")
+        assert guard.admit(nan_frame()).status == QUARANTINED
+
+    def test_repaired_frame_becomes_imputation_source_only_if_good(self):
+        guard = FrameGuard("repair")
+        guard.admit(np.full((2, 2), 1.0))
+        guard.admit(np.full((2, 2), np.nan))  # repaired, not "good"
+        assert np.array_equal(guard.last_good, np.full((2, 2), 1.0))
+
+    def test_reset_clears_session_but_keeps_explicit_shape(self):
+        guard = FrameGuard("skip", expected_shape=(4, 4))
+        guard.admit(np.zeros((3, 3)))
+        guard.reset()
+        assert guard.expected_shape == (4, 4)
+        assert guard.reasons == {} and not guard.quarantine
+
+    def test_reset_forgets_learned_shape(self):
+        guard = FrameGuard("skip")
+        guard.admit(np.zeros((4, 4)))
+        guard.reset()
+        assert guard.expected_shape is None
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameGuard("ignore")
+
+
+class TestRetryPolicy:
+    def flaky(self, failures, error=RuntimeError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise error(f"attempt {calls['n']}")
+            return "ok"
+
+        return fn, calls
+
+    def test_succeeds_within_budget(self):
+        fn, calls = self.flaky(2)
+        assert RetryPolicy(max_retries=2).run(fn) == "ok"
+        assert calls["n"] == 3
+
+    def test_exhaustion_raises_last_error(self):
+        fn, _ = self.flaky(5)
+        with pytest.raises(RuntimeError, match="attempt 3"):
+            RetryPolicy(max_retries=2).run(fn)
+
+    def test_non_retryable_propagates_immediately(self):
+        class Signal(Exception):
+            pass
+
+        fn, calls = self.flaky(1, error=Signal)
+        with pytest.raises(Signal):
+            RetryPolicy(max_retries=3).run(fn, non_retryable=(Signal,))
+        assert calls["n"] == 1
+
+    def test_backoff_charges_clock_exponentially(self):
+        clock = SimulatedClock()
+        fn, _ = self.flaky(2)
+        policy = RetryPolicy(max_retries=2, backoff_ms=10.0,
+                             backoff_factor=2.0)
+        policy.run(fn, clock=clock)
+        assert clock.ledger()["retry_backoff"] == pytest.approx(10.0 + 20.0)
+
+    def test_zero_retries_means_single_attempt(self):
+        fn, calls = self.flaky(1)
+        with pytest.raises(RuntimeError):
+            RetryPolicy(max_retries=0).run(fn)
+        assert calls["n"] == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.is_open
+        breaker.record_failure()
+        assert breaker.is_open and breaker.trips == 1
+
+    def test_success_closes_and_resets_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert not breaker.is_open  # streak was broken
+
+    def test_trips_accumulate_across_episodes(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.trips == 2
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)

@@ -1,0 +1,184 @@
+"""FaultSchedule / FaultInjector: determinism, per-kind behaviour, logging."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_KINDS, FaultInjector, FaultSchedule
+from repro.faults.injectors import (
+    corrupt_black,
+    corrupt_inf,
+    corrupt_nan,
+    corrupt_saltpepper,
+    mangle_shape,
+)
+from repro.sim.clock import SimulatedClock
+
+
+def frames(n=100, shape=(6, 6), seed=1):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(size=shape) for _ in range(n)]
+
+
+class TestSchedule:
+    def test_draw_is_deterministic_and_order_free(self):
+        a = FaultSchedule(rate=0.3, seed=5)
+        b = FaultSchedule(rate=0.3, seed=5)
+        forward = [a.draw(i) for i in range(50)]
+        backward = [b.draw(i) for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+        # re-querying the same schedule gives the same answers
+        assert forward == [a.draw(i) for i in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = [FaultSchedule(rate=0.5, seed=1).draw(i) for i in range(100)]
+        b = [FaultSchedule(rate=0.5, seed=2).draw(i) for i in range(100)]
+        assert a != b
+
+    def test_zero_rate_never_fires(self):
+        schedule = FaultSchedule(rate=0.0, seed=3)
+        assert all(schedule.draw(i) is None for i in range(200))
+
+    def test_rate_one_always_fires(self):
+        schedule = FaultSchedule(rate=1.0, seed=3)
+        assert all(schedule.draw(i) is not None for i in range(50))
+
+    def test_empirical_rate_tracks_nominal(self):
+        schedule = FaultSchedule(rate=0.05, seed=11)
+        fired = sum(schedule.draw(i) is not None for i in range(4000))
+        assert 0.02 < fired / 4000 < 0.09
+
+    def test_weights_restrict_kinds(self):
+        schedule = FaultSchedule(rate=1.0, kinds=("drop", "nan"),
+                                 weights=(0.0, 1.0), seed=7)
+        assert {schedule.draw(i) for i in range(50)} == {"nan"}
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": -0.1}, {"rate": 1.5}, {"kinds": ()},
+        {"kinds": ("drop", "bogus")}, {"kinds": ("drop",), "weights": (1, 2)},
+        {"weights": (0.0,) * len(FAULT_KINDS)},
+        {"pixel_fraction": 0.0}, {"stall_ms": -1.0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule(**kwargs)
+
+
+class TestCorruptions:
+    def test_nan_corrupts_requested_fraction(self):
+        rng = np.random.default_rng(0)
+        out = corrupt_nan(np.zeros((10, 10)), rng, fraction=0.1)
+        assert np.isnan(out).sum() == 10
+
+    def test_inf_corrupts_at_least_one_pixel(self):
+        rng = np.random.default_rng(0)
+        out = corrupt_inf(np.zeros(16), rng, fraction=0.01)
+        assert np.isinf(out).sum() >= 1
+
+    def test_saltpepper_stays_finite(self):
+        rng = np.random.default_rng(0)
+        pixels = np.linspace(0.0, 1.0, 64).reshape(8, 8)
+        out = corrupt_saltpepper(pixels, rng, fraction=0.2)
+        assert np.isfinite(out).all()
+        assert not np.array_equal(out, pixels)
+        assert out.min() >= pixels.min() and out.max() <= pixels.max()
+
+    def test_black_is_all_zero(self):
+        assert not corrupt_black(np.ones((4, 4))).any()
+
+    @pytest.mark.parametrize("shape", [(8,), (6, 6), (1,)])
+    def test_mangle_always_changes_shape(self, shape):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            out = mangle_shape(np.zeros(shape), rng)
+            assert out.shape != tuple(shape)
+
+    def test_originals_untouched(self):
+        rng = np.random.default_rng(0)
+        pixels = np.ones((5, 5))
+        corrupt_nan(pixels, rng, 0.5)
+        corrupt_inf(pixels, rng, 0.5)
+        corrupt_saltpepper(pixels, rng, 0.5)
+        mangle_shape(pixels, rng)
+        assert np.array_equal(pixels, np.ones((5, 5)))
+
+
+class TestInjector:
+    def run(self, kinds, n=200, rate=0.2, seed=9, clock=None, shape=(6, 6)):
+        schedule = FaultSchedule(rate=rate, kinds=kinds, seed=seed)
+        injector = FaultInjector(schedule, clock=clock)
+        out = list(injector.wrap(frames(n, shape=shape)))
+        return schedule, out
+
+    def test_wrap_is_deterministic(self):
+        _, a = self.run(("drop", "nan", "duplicate"))
+        _, b = self.run(("drop", "nan", "duplicate"))
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y, equal_nan=True)
+
+    def test_drop_shortens_stream_by_logged_count(self):
+        schedule, out = self.run(("drop",))
+        assert len(out) == 200 - len(schedule.events("drop"))
+
+    def test_duplicate_lengthens_stream_by_logged_count(self):
+        schedule, out = self.run(("duplicate",))
+        assert len(out) == 200 + len(schedule.events("duplicate"))
+
+    def test_reorder_preserves_multiset(self):
+        schedule, out = self.run(("reorder",))
+        assert len(out) == 200
+        source = frames(200)
+        key = lambda arr: tuple(np.asarray(arr).reshape(-1)[:3])
+        assert sorted(map(key, out)) == sorted(map(key, source))
+        # at least one swap actually displaced a frame
+        assert schedule.events("reorder")
+        assert any(not np.array_equal(x, y) for x, y in zip(out, source))
+
+    def test_reorder_swaps_adjacent(self):
+        schedule, out = self.run(("reorder",), n=50, rate=0.3, seed=2)
+        source = frames(50)
+        displaced = [i for i, (x, y) in enumerate(zip(out, source))
+                     if not np.array_equal(x, y)]
+        # displacements come in adjacent pairs (held frame + its successor)
+        assert all(b - a == 1 for a, b in
+                   zip(displaced[::2], displaced[1::2]))
+
+    def test_nan_events_match_corrupted_frames(self):
+        schedule, out = self.run(("nan",))
+        corrupted = sum(bool(np.isnan(np.asarray(f)).any()) for f in out)
+        assert corrupted == len(schedule.events("nan")) > 0
+
+    def test_stall_charges_clock(self):
+        clock = SimulatedClock()
+        schedule, out = self.run(("stall",), clock=clock)
+        stalls = schedule.events("stall")
+        assert stalls
+        assert len(out) == 200
+        assert clock.ledger()["fault_stall"] == pytest.approx(
+            sum(e.detail["ms"] for e in stalls))
+
+    def test_frame_dataclass_metadata_survives_corruption(self):
+        @dataclasses.dataclass(frozen=True)
+        class Carrier:
+            pixels: np.ndarray
+            tag: str
+
+        items = [Carrier(np.zeros((4, 4)), f"t{i}") for i in range(100)]
+        schedule = FaultSchedule(rate=0.5, kinds=("nan",), seed=1)
+        out = list(FaultInjector(schedule).wrap(items))
+        assert [c.tag for c in out] == [f"t{i}" for i in range(100)]
+        corrupted = [c for c in out if np.isnan(c.pixels).any()]
+        assert len(corrupted) == len(schedule.events("nan")) > 0
+
+    def test_five_percent_mixed_schedule_accounting(self):
+        schedule, out = self.run(
+            ("drop", "nan", "duplicate"), n=1000, rate=0.05, seed=4)
+        counts = schedule.counts()
+        expected = 1000 - counts.get("drop", 0) + counts.get("duplicate", 0)
+        assert len(out) == expected
+        assert sum(counts.values()) < 1000 * 0.1

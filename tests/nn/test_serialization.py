@@ -5,10 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.nn.layers import Dense, ReLU
 from repro.nn.network import Sequential
-from repro.nn.serialization import load_network, load_state, save_network, save_state
+from repro.nn.serialization import (
+    load_manifest_archive,
+    load_network,
+    load_state,
+    save_manifest_archive,
+    save_network,
+    save_state,
+)
 
 
 class TestStateIO:
@@ -48,3 +55,58 @@ class TestNetworkIO:
         wrong = Sequential([Dense(4, 9, seed=0)])
         with pytest.raises(ConfigurationError):
             load_network(path, wrong)
+
+
+class TestErrorPaths:
+    def test_missing_key_rejected(self, tmp_path):
+        net = Sequential([Dense(4, 8, seed=0), ReLU(), Dense(8, 2, seed=1)])
+        state = net.state_dict()
+        state.pop(sorted(state)[0])
+        with pytest.raises(ConfigurationError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_extra_key_rejected(self, tmp_path):
+        net = Sequential([Dense(4, 8, seed=0)])
+        state = net.state_dict()
+        state["9.stowaway"] = np.zeros(3)
+        with pytest.raises(ConfigurationError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_missing_file_raises_library_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no state archive"):
+            load_state(str(tmp_path / "absent.npz"))
+
+    def test_corrupted_npz_raises_library_error(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ConfigurationError, match="corrupted"):
+            load_state(str(path))
+
+    def test_truncated_npz_raises_library_error(self, tmp_path, rng):
+        path = tmp_path / "trunc.npz"
+        save_state(str(path), {"a": rng.normal(size=(50, 50))})
+        path.write_bytes(path.read_bytes()[:60])
+        with pytest.raises(ConfigurationError, match="corrupted"):
+            load_state(str(path))
+
+
+class TestManifestArchive:
+    def test_roundtrip(self, tmp_path, rng):
+        path = str(tmp_path / "ckpt.npz")
+        manifest = {"version": 1, "mode": "monitor", "nested": {"a": [1, 2]}}
+        arrays = {"buffer": rng.normal(size=(3, 4))}
+        save_manifest_archive(path, manifest, arrays)
+        loaded_manifest, loaded_arrays = load_manifest_archive(path)
+        assert loaded_manifest == manifest
+        np.testing.assert_allclose(loaded_arrays["buffer"], arrays["buffer"])
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            save_manifest_archive(str(tmp_path / "x.npz"), {},
+                                  {"__manifest_json__": np.zeros(1)})
+
+    def test_plain_state_archive_rejected(self, tmp_path):
+        path = str(tmp_path / "w.npz")
+        save_state(path, {"a": np.ones(2)})
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_manifest_archive(path)

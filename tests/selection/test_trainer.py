@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.selection.trainer import ModelTrainer, TrainerConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamExhaustedError
 from repro.sim.clock import SimulatedClock
 
 
@@ -130,6 +130,16 @@ class TestCollect:
         trainer = make_trainer()
         frames = trainer.collect(iter(rng.uniform(size=(5, 8))))
         assert frames.shape[0] == 5
+
+    def test_collect_exact_short_stream_raises(self, rng):
+        trainer = make_trainer()
+        with pytest.raises(StreamExhaustedError, match="5 of the 20"):
+            trainer.collect(iter(rng.uniform(size=(5, 8))), exact=True)
+
+    def test_collect_exact_satisfied(self, rng):
+        trainer = make_trainer()
+        frames = trainer.collect(iter(rng.uniform(size=(30, 8))), exact=True)
+        assert frames.shape[0] == 20
 
     def test_collect_empty_stream_rejected(self):
         trainer = make_trainer()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamExhaustedError
 from repro.video.renderer import Renderer
 from repro.video.scenes import DAY, NIGHT, SegmentSpec, make_angle
 from repro.video.stream import (
@@ -169,3 +169,24 @@ class TestCountLabels:
     def test_frames_to_pixels_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             frames_to_pixels([])
+
+
+class TestExactMaterialize:
+    def test_exact_limit_satisfied_returns_frames(self):
+        frames = two_segment_stream().materialize(limit=10, exact=True)
+        assert len(frames) == 10
+
+    def test_exact_limit_unmet_raises(self):
+        with pytest.raises(StreamExhaustedError, match="12 of the 50"):
+            two_segment_stream(len_a=8, len_b=4).materialize(
+                limit=50, exact=True)
+
+    def test_default_still_truncates(self):
+        frames = two_segment_stream(len_a=8, len_b=4).materialize(limit=50)
+        assert len(frames) == 12
+
+    def test_segment_frames_always_meets_budget(self):
+        # a solo stream is rendered at exactly ``count`` frames, so the
+        # exact-materialize guard inside segment_frames never fires
+        stream = two_segment_stream(len_a=3)
+        assert len(stream.segment_frames("a", 5)) == 5
