@@ -1,0 +1,119 @@
+"""Batched monitoring and a sharded camera fleet, bit-identical throughout.
+
+Four synthetic cameras stream gaussian frames that drift mid-stream.  The
+example runs the same fleet three ways -- sequential `process()`, batched
+`process_batched()` and a `FleetExecutor` sharded across worker processes
+-- verifies the results are identical frame for frame, then kills a worker
+mid-stream and shows checkpoint recovery merging to the exact same output.
+
+Run:  python examples/parallel_fleet.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.nonconformity import KNNDistance
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.registry import ModelBundle, ModelRegistry
+from repro.parallel import FleetExecutor, FleetTask, stream_seed
+
+DIM = 8
+
+
+class ConstantModel:
+    def __init__(self, label):
+        self.label = label
+
+    def predict(self, frames):
+        return np.full(np.asarray(frames).shape[0], self.label,
+                       dtype=np.int64)
+
+
+def make_registry():
+    rng = np.random.default_rng(777)
+
+    def bundle(name, centre, label):
+        sigma = rng.normal(centre, 1.0, size=(150, DIM))
+        return ModelBundle(name=name, sigma=sigma,
+                           reference_scores=KNNDistance(5)
+                           .reference_scores(sigma),
+                           model=ConstantModel(label))
+
+    return ModelRegistry([bundle("clear", 0.0, 0), bundle("fog", 6.0, 1)])
+
+
+def factory(task, seed):
+    """One pipeline per stream; `seed` is the task's stream_seed."""
+    registry = make_registry()
+    config = PipelineConfig(selection_window=8,
+                            drift_inspector=DriftInspectorConfig(seed=seed))
+    return DriftAwareAnalytics(registry, "clear",
+                               MSBI(registry, MSBIConfig(window_size=8,
+                                                         seed=seed)),
+                               config=config)
+
+
+def record_keys(result):
+    return [(r.frame_index, r.prediction, r.model) for r in result.records]
+
+
+def main() -> None:
+    tasks = []
+    for index in range(4):
+        rng = np.random.default_rng(100 + index)
+        frames = np.vstack([rng.normal(0.0, 1.0, size=(800, DIM)),
+                            rng.normal(6.0, 1.0, size=(800, DIM))])
+        tasks.append(FleetTask(stream_id=f"cam-{index}", frames=frames))
+    total = sum(task.frames.shape[0] for task in tasks)
+
+    print(f"fleet: {len(tasks)} cameras x {tasks[0].frames.shape[0]} frames")
+    timings, outputs = {}, {}
+    for mode, run in [
+        ("sequential", lambda t: factory(t, stream_seed(0, t.stream_id))
+            .process(t.frames)),
+        ("batched", lambda t: factory(t, stream_seed(0, t.stream_id))
+            .process_batched(t.frames, batch_size=256)),
+    ]:
+        start = time.perf_counter()
+        outputs[mode] = {task.stream_id: run(task) for task in tasks}
+        timings[mode] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fleet = FleetExecutor(factory, workers=4, batch_size=256)
+    outputs["fleet"] = {e.stream_id: e.result for e in fleet.run(tasks)}
+    timings["fleet"] = time.perf_counter() - start
+
+    for mode in ("sequential", "batched", "fleet"):
+        identical = all(
+            record_keys(outputs[mode][t.stream_id])
+            == record_keys(outputs["sequential"][t.stream_id])
+            for t in tasks)
+        print(f"  {mode:<10} {total / timings[mode]:>9.0f} fps   "
+              f"identical={identical}")
+
+    print("\ncrash recovery: killing cam-1's worker at frame 500 ...")
+    crashing = [FleetTask(t.stream_id, t.frames,
+                          crash_at_frame=500 if i == 1 else None)
+                for i, t in enumerate(tasks)]
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        executor = FleetExecutor(factory, workers=4, batch_size=256,
+                                 checkpoint_dir=ckpt_dir,
+                                 checkpoint_every=200, max_restarts=1)
+        recovered = {e.stream_id: e for e in executor.run(crashing)}
+    crashed = recovered["cam-1"]
+    identical = all(
+        record_keys(recovered[t.stream_id].result)
+        == record_keys(outputs["sequential"][t.stream_id]) for t in tasks)
+    print(f"  cam-1 attempts={crashed.attempts} "
+          f"resumed_at={crashed.resumed_at}  merged identical={identical}")
+    detections = [(d.frame_index, d.selected_model)
+                  for d in recovered["cam-1"].result.detections]
+    print(f"  cam-1 detections: {detections}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the pipeline performance harness and refresh BENCH_pipeline.json.
+#
+#   scripts/bench.sh            full run (writes BENCH_pipeline.json)
+#   scripts/bench.sh --quick    short streams, for CI smoke / local sanity
+#
+# Extra arguments are forwarded to benchmarks/bench_perf.py (e.g.
+# --output /tmp/report.json --batch-size 128 --workers 2).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src python benchmarks/bench_perf.py "$@"

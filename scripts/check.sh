@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo health check: byte-compile the library, run the tier-1 suite, then
-# the chaos/fault suite.  Run from the repo root:  bash scripts/check.sh
+# Repo health check: byte-compile the library, run the tier-1 suite (with
+# slowest-test timings), the chaos/fault suite, an optional coverage floor,
+# and a benchmark smoke pass.  Run from the repo root:  bash scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,9 +11,42 @@ echo "== compileall =="
 python -m compileall -q src
 
 echo "== tier-1 tests =="
-python -m pytest -x -q
+python -m pytest -x -q --durations=10
 
 echo "== chaos suite =="
 python -m pytest -x -q tests/faults
+
+echo "== coverage floor (repro.core + repro.parallel) =="
+if python -c "import coverage" >/dev/null 2>&1; then
+    python -m coverage run --branch \
+        --include="src/repro/core/*,src/repro/parallel/*" \
+        -m pytest -q tests
+    python -m coverage report --fail-under=85
+else
+    echo "coverage package not installed; skipping the 85% floor"
+fi
+
+echo "== bench report =="
+# the committed report must satisfy the schema ...
+python - <<'PY'
+from repro.parallel import load_bench_report
+report = load_bench_report("BENCH_pipeline.json")
+batched = report["modes"]["batched"]
+print(f"BENCH_pipeline.json valid "
+      f"(batched {batched['speedup_vs_sequential']}x sequential)")
+PY
+# ... and the harness must still run end to end and emit a valid one
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+bash scripts/bench.sh --quick --output "$smoke_dir/bench_smoke.json" \
+    > "$smoke_dir/bench_smoke.log" \
+    || { cat "$smoke_dir/bench_smoke.log"; exit 1; }
+python - "$smoke_dir/bench_smoke.json" <<'PY'
+import sys
+from repro.parallel import load_bench_report
+report = load_bench_report(sys.argv[1])
+assert report["quick"], "smoke pass must be flagged quick"
+print("bench smoke pass OK")
+PY
 
 echo "all checks passed"

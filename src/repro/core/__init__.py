@@ -13,20 +13,23 @@
 from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
 from repro.core.martingale import (
     AdditiveMartingale,
+    MartingaleBatch,
     MultiplicativeMartingale,
     hoeffding_threshold,
 )
 from repro.core.nonconformity import KNNDistance, MahalanobisDistance, MeanDistance
-from repro.core.pvalues import conformal_pvalue
+from repro.core.pvalues import conformal_pvalue, conformal_pvalues_batch
 
 __all__ = [
     "DriftInspector",
     "DriftInspectorConfig",
     "AdditiveMartingale",
+    "MartingaleBatch",
     "MultiplicativeMartingale",
     "hoeffding_threshold",
     "KNNDistance",
     "MeanDistance",
     "MahalanobisDistance",
     "conformal_pvalue",
+    "conformal_pvalues_batch",
 ]

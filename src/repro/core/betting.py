@@ -32,10 +32,30 @@ class BettingFunction:
     def __call__(self, p: float) -> float:
         raise NotImplementedError
 
+    def batch(self, ps: np.ndarray) -> np.ndarray:
+        """Evaluate ``g`` over a 1-D array of p-values.
+
+        The default walks the scalar path element by element, which keeps
+        stateful bets (e.g. :class:`HistogramBetting`) exact; vectorizable
+        subclasses override it with ufunc evaluation that is bit-identical
+        to the scalar path (numpy applies the same per-element kernels to
+        arrays and scalars).
+        """
+        ps = self._check_ps(ps)
+        return np.asarray([self(float(p)) for p in ps], dtype=np.float64)
+
     def _check_p(self, p: float) -> float:
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"p-value must be in [0, 1], got {p}")
         return float(p)
+
+    def _check_ps(self, ps: np.ndarray) -> np.ndarray:
+        arr = np.asarray(ps, dtype=np.float64).reshape(-1)
+        if arr.size and (arr.min() < 0.0 or arr.max() > 1.0):
+            raise ConfigurationError(
+                f"p-values must be in [0, 1], got range "
+                f"[{arr.min()}, {arr.max()}]")
+        return arr
 
 
 class ConstantBetting(BettingFunction):
@@ -47,6 +67,9 @@ class ConstantBetting(BettingFunction):
     def __call__(self, p: float) -> float:
         self._check_p(p)
         return 1.0
+
+    def batch(self, ps: np.ndarray) -> np.ndarray:
+        return np.ones_like(self._check_ps(ps))
 
 
 class PowerBetting(BettingFunction):
@@ -69,7 +92,15 @@ class PowerBetting(BettingFunction):
         p = self._check_p(p)
         if p == 0.0:
             return float("inf")
-        return self.epsilon * p ** (self.epsilon - 1.0)
+        # np.power (not python **) so the scalar and batch paths run the
+        # same libm kernel and stay bit-identical
+        return float(self.epsilon * np.power(p, self.epsilon - 1.0))
+
+    def batch(self, ps: np.ndarray) -> np.ndarray:
+        ps = self._check_ps(ps)
+        with np.errstate(divide="ignore"):
+            out = self.epsilon * np.power(ps, self.epsilon - 1.0)
+        return out
 
 
 class MixtureBetting(BettingFunction):
@@ -91,6 +122,19 @@ class MixtureBetting(BettingFunction):
             return 0.5
         u = np.log(p)
         return float((u - 1.0 + 1.0 / p) / (u * u))
+
+    def batch(self, ps: np.ndarray) -> np.ndarray:
+        ps = self._check_ps(ps)
+        out = np.empty_like(ps)
+        zero = ps == 0.0
+        one = np.abs(ps - 1.0) < 1e-8
+        interior = ~(zero | one)
+        out[zero] = np.inf
+        out[one] = 0.5
+        p = ps[interior]
+        u = np.log(p)
+        out[interior] = (u - 1.0 + 1.0 / p) / (u * u)
+        return out
 
 
 class ShiftedOddBetting(BettingFunction):
@@ -116,8 +160,15 @@ class ShiftedOddBetting(BettingFunction):
     def __call__(self, p: float) -> float:
         p = self._check_p(p)
         x = p - 0.5
-        magnitude = 0.5 * abs(2.0 * x) ** self.power
+        # np.power keeps the scalar and batch paths bit-identical
+        magnitude = 0.5 * np.power(abs(2.0 * x), self.power)
         return float(-np.sign(x) * magnitude * self.scale)
+
+    def batch(self, ps: np.ndarray) -> np.ndarray:
+        ps = self._check_ps(ps)
+        x = ps - 0.5
+        magnitude = 0.5 * np.power(np.abs(2.0 * x), self.power)
+        return -np.sign(x) * magnitude * self.scale
 
     @property
     def bound(self) -> float:
@@ -209,6 +260,13 @@ class LogScore:
     def __call__(self, p: float) -> float:
         p = max(min(float(p), 1.0), self.p_floor)
         return float(np.log(self.betting(p)))
+
+    def batch(self, ps: np.ndarray) -> np.ndarray:
+        """Increments for a 1-D array of p-values, bit-identical to the
+        scalar path (same clipping, same betting kernel, same log)."""
+        ps = np.asarray(ps, dtype=np.float64).reshape(-1)
+        clipped = np.maximum(np.minimum(ps, 1.0), self.p_floor)
+        return np.log(self.betting.batch(clipped))
 
     @property
     def max_score(self) -> float:

@@ -20,7 +20,7 @@ the martingale trajectory for diagnostics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -195,8 +195,9 @@ class DriftInspector:
         if self.config.inductive_split and reference.shape[0] >= 8:
             half = reference.shape[0] // 2
             bag, calibration = reference[:half], reference[half:]
-            scores = np.asarray(
-                [self.measure.score(point, bag) for point in calibration])
+            # score_batch is bit-identical to scoring point by point and
+            # turns the O(N) construction loop into one broadcast
+            scores = self.measure.score_batch(calibration, bag)
             return bag, scores
         return reference, self.measure.reference_scores(reference)
 
@@ -215,22 +216,33 @@ class DriftInspector:
         return self._drift_frame
 
     # ------------------------------------------------------------------
+    def _embed_block(self, frames: np.ndarray) -> np.ndarray:
+        """Embed a ``(B, ...)`` stack in one embedder call; returns (B, D).
+
+        Prefers posterior *sampling* so the frames' embeddings follow the
+        same distribution ``Sigma_T`` was drawn from (Section 4.2.2).  The
+        posterior-noise draws consume :attr:`_embed_rng` exactly as ``B``
+        single-frame calls would (numpy generators fill arrays from the same
+        bit stream), but the encoder's batched matmuls may differ from the
+        single-frame path in low-order mantissa bits on blocked BLAS
+        backends -- see :meth:`observe_batch`.
+        """
+        sample_embed = getattr(self.embedder, "sample_embed", None)
+        if sample_embed is not None:
+            try:
+                latent = sample_embed(np.asarray(frames),
+                                      rng=self._embed_rng)
+            except TypeError:
+                latent = sample_embed(np.asarray(frames))
+        else:
+            latent = self.embedder.embed(np.asarray(frames))
+        return np.asarray(latent, dtype=np.float64).reshape(frames.shape[0], -1)
+
     def _embed(self, frame: np.ndarray) -> np.ndarray:
         if self.embedder is not None:
             if self.clock is not None:
                 self.clock.charge("vae_encode")
-            # prefer posterior *sampling* so the frame's embedding follows
-            # the same distribution Sigma_T was drawn from (Section 4.2.2)
-            sample_embed = getattr(self.embedder, "sample_embed", None)
-            if sample_embed is not None:
-                try:
-                    latent = sample_embed(np.asarray(frame)[None, ...],
-                                          rng=self._embed_rng)
-                except TypeError:
-                    latent = sample_embed(np.asarray(frame)[None, ...])
-            else:
-                latent = self.embedder.embed(np.asarray(frame)[None, ...])
-            return np.asarray(latent, dtype=np.float64).reshape(-1)
+            return self._embed_block(np.asarray(frame)[None, ...])[0]
         return np.asarray(frame, dtype=np.float64).reshape(-1)
 
     def observe(self, frame: np.ndarray) -> DriftDecision:
@@ -263,6 +275,74 @@ class DriftInspector:
         self.decisions.append(decision)
         self._frame_index += 1
         return decision
+
+    def observe_batch(self, frames: Sequence[np.ndarray],
+                      exact_embed: bool = False) -> List[DriftDecision]:
+        """Process a window of frames at once; returns per-frame decisions.
+
+        Vectorizes the whole per-frame loop: nonconformity scores are
+        computed by broadcast KNN, conformal p-values by block counting with
+        a block draw of tie-breaking uniforms, and the martingale by the
+        batch CUSUM/cumsum update.  All three stages are **bit-identical**
+        to calling :meth:`observe` once per frame -- the equivalence is
+        enforced by property tests -- and both paths consume the RNG streams
+        identically, so sequential and batched observation can be freely
+        interleaved on one inspector.
+
+        The only caveat is the embedder: by default the window is embedded
+        with a single batched ``sample_embed`` call, whose matmuls may
+        differ from the per-frame path in low-order mantissa bits on
+        blocked BLAS backends (the posterior-noise draws themselves stay
+        stream-identical).  Pass ``exact_embed=True`` to embed frame by
+        frame and reproduce the sequential path bit-exactly even with an
+        embedder; pre-embedded latents (no embedder) are always exact.
+        """
+        arr = np.asarray(frames, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        n = arr.shape[0]
+        if n == 0:
+            return []
+        if self.embedder is not None:
+            if self.clock is not None:
+                self.clock.charge("vae_encode", times=n)
+            if exact_embed:
+                latents = np.stack(
+                    [self._embed_block(arr[i:i + 1])[0] for i in range(n)])
+            else:
+                latents = self._embed_block(arr)
+        else:
+            latents = arr.reshape(n, -1)
+        if self.clock is not None:
+            self.clock.charge("knn_nonconformity", times=n)
+            self.clock.charge("martingale_update", times=n)
+        scores = self.measure.score_batch(latents, self._bag)
+        ps = self._pvalue.batch(scores)
+        if self.config.two_sided:
+            p_eff = 2.0 * np.minimum(ps, 1.0 - ps)
+        else:
+            p_eff = ps
+        batch = self.martingale.update_batch(p_eff)
+        # drift is sticky: once declared (now or previously), every later
+        # decision reports drift=True until reset()
+        flags = np.logical_or.accumulate(batch.drift)
+        if self.drift_detected:
+            flags = np.ones(n, dtype=bool)
+        score_list, p_list = scores.tolist(), ps.tolist()
+        value_list, flag_list = batch.values.tolist(), flags.tolist()
+        decisions = []
+        for i in range(n):
+            drift = flag_list[i]
+            decision = DriftDecision(
+                frame_index=self._frame_index + i,
+                nonconformity=score_list[i], p_value=p_list[i],
+                martingale=value_list[i], drift=drift)
+            if drift and self._drift_frame is None:
+                self._drift_frame = decision.frame_index
+            decisions.append(decision)
+        self.decisions.extend(decisions)
+        self._frame_index += n
+        return decisions
 
     def monitor(self, frames: Iterable[np.ndarray],
                 stop_on_drift: bool = True) -> Iterator[DriftDecision]:
@@ -330,8 +410,17 @@ class DriftInspector:
             self.reference = reference
             self._bag, self.reference_scores = self._prepare_reference(
                 reference, reference_scores)
-            self._pvalue = PValueCalculator(
-                self.reference_scores, seed=ensure_rng(self.config.seed))
+            # rebuild the RNG streams exactly as __init__ does so an
+            # in-place reference swap is indistinguishable from constructing
+            # a fresh inspector -- previously the tie-breaking stream
+            # restarted one draw ahead of a fresh inspector's and the
+            # posterior-sampling stream was left mid-flight, so a swapped
+            # inspector and a rebuilt one (e.g. after checkpoint restore,
+            # or the pipeline's _deploy) diverged
+            rng = ensure_rng(self.config.seed)
+            self._pvalue = PValueCalculator(self.reference_scores, seed=rng)
+            self._embed_rng = np.random.default_rng(
+                rng.integers(0, 2**63 - 1))
         self.martingale = self._build_martingale()
         self._drift_frame = None
         self._frame_index = 0

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
+import numpy as np
+
 from repro.errors import CheckpointError, ConfigurationError
 from repro.core.betting import BettingFunction, LogScore
 
@@ -57,6 +59,27 @@ class MartingaleState:
     step: int
 
 
+@dataclass
+class MartingaleBatch:
+    """Result of one :meth:`update_batch` call: per-step arrays.
+
+    ``values[i]`` / ``drift[i]`` / ``steps[i]`` are exactly the fields the
+    ``i``-th sequential :meth:`update` call would have reported.
+    """
+
+    values: np.ndarray
+    drift: np.ndarray
+    steps: np.ndarray
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def states(self) -> List[MartingaleState]:
+        """The batch as per-step :class:`MartingaleState` objects."""
+        return [MartingaleState(value=float(v), drift=bool(d), step=int(s))
+                for v, d, s in zip(self.values, self.drift, self.steps)]
+
+
 class MultiplicativeMartingale:
     """Product martingale ``S_n = prod g_i(p_i)`` tracked in log space.
 
@@ -82,7 +105,9 @@ class MultiplicativeMartingale:
     def value(self) -> float:
         """Current martingale value ``S_n`` (may overflow to inf; use
         :attr:`log_value` for numerics)."""
-        return math.exp(self.log_value) if self.log_value < 700 else math.inf
+        # np.exp (not math.exp) so scalar and batch updates report
+        # bit-identical values
+        return float(np.exp(self.log_value)) if self.log_value < 700 else math.inf
 
     def update(self, p: float) -> MartingaleState:
         """Consume one p-value; returns the new state."""
@@ -90,11 +115,36 @@ class MultiplicativeMartingale:
         if g <= 0.0:
             raise ConfigurationError(
                 f"multiplicative betting returned non-positive value {g}")
-        self.log_value += math.log(g)
+        self.log_value += float(np.log(g))
         self.max_log_value = max(self.max_log_value, self.log_value)
         self.step += 1
         drift = self.log_value > math.log(1.0 / self.significance)
         return MartingaleState(value=self.value, drift=drift, step=self.step)
+
+    def update_batch(self, ps: np.ndarray) -> MartingaleBatch:
+        """Consume a 1-D array of p-values; bit-identical to sequential
+        :meth:`update` calls (betting evaluated with the shared batch
+        kernel, log-values accumulated with ``cumsum``, which performs the
+        same left-to-right additions as the scalar loop)."""
+        ps = np.asarray(ps, dtype=np.float64).reshape(-1)
+        n = ps.shape[0]
+        if n == 0:
+            return MartingaleBatch(values=np.empty(0), drift=np.empty(0, bool),
+                                   steps=np.empty(0, np.int64))
+        g = self.betting.batch(ps)
+        if (g <= 0.0).any():
+            raise ConfigurationError(
+                f"multiplicative betting returned non-positive value "
+                f"{float(g[g <= 0.0][0])}")
+        log_values = np.cumsum(np.concatenate(([self.log_value], np.log(g))))[1:]
+        self.log_value = float(log_values[-1])
+        self.max_log_value = max(self.max_log_value, float(log_values.max()))
+        steps = self.step + 1 + np.arange(n, dtype=np.int64)
+        self.step = int(steps[-1])
+        drift = log_values > math.log(1.0 / self.significance)
+        with np.errstate(over="ignore"):
+            values = np.where(log_values < 700, np.exp(log_values), math.inf)
+        return MartingaleBatch(values=values, drift=drift, steps=steps)
 
     def reset(self) -> None:
         """Restart the martingale at 1 (log 0)."""
@@ -182,6 +232,88 @@ class AdditiveMartingale:
             keep = max(self.window + 1, self.max_history)
             self.history = self.history[-keep:]
         return MartingaleState(value=new_value, drift=drift, step=self.step)
+
+    def update_batch(self, ps: np.ndarray) -> MartingaleBatch:
+        """Consume a 1-D array of p-values; bit-identical to sequential
+        :meth:`update` calls.
+
+        The log-score increments are evaluated with the betting function's
+        batch kernel; the CUSUM recurrence ``S[t] = max(0, S[t-1] + inc)``
+        is computed as a ``cumsum`` restarted at every clamp point --
+        ``cumsum`` performs the same left-to-right additions as the scalar
+        loop, and between clamps the two are the same float sequence.  The
+        windowed Hoeffding-Azuma test is then evaluated for every step at
+        once against the extended history.
+        """
+        ps = np.asarray(ps, dtype=np.float64).reshape(-1)
+        n = ps.shape[0]
+        if n == 0:
+            return MartingaleBatch(values=np.empty(0), drift=np.empty(0, bool),
+                                   steps=np.empty(0, np.int64))
+        batch_score = getattr(self.score, "batch", None)
+        if batch_score is not None:
+            increments = np.asarray(batch_score(ps), dtype=np.float64)
+        else:
+            increments = np.asarray([float(self.score(p)) for p in ps],
+                                    dtype=np.float64)
+        values = np.empty(n, dtype=np.float64)
+        start, last = 0, self.history[-1]
+        # every scan is bounded by an adaptive lookahead window: splitting a
+        # cumsum at any point and carrying ``last`` forward performs the
+        # identical left-to-right additions, so windowing costs nothing in
+        # exactness while keeping clamp-dense streams (which would otherwise
+        # rescan the whole tail at every restart) linear overall
+        lookahead = 32
+        while start < n:
+            stop = min(n, start + lookahead)
+            window = increments[start:stop]
+            if self.cusum_reset and last == 0.0:
+                # S sticks at exactly 0.0 through a run of non-positive
+                # increments (max(0, 0 + inc) == 0.0), so the run needs no
+                # arithmetic at all -- without this, null streams (which
+                # clamp almost every step) degenerate the cumsum restarts
+                # into a per-frame loop
+                nonpos = window <= 0.0
+                if nonpos[0]:
+                    if nonpos.all():
+                        values[start:stop] = 0.0
+                        start = stop
+                        lookahead = min(lookahead * 2, 4096)
+                    else:
+                        run = int(np.argmin(nonpos))
+                        values[start:start + run] = 0.0
+                        start += run
+                    continue
+            segment = np.cumsum(np.concatenate(([last], window)))[1:]
+            if self.cusum_reset:
+                negative = np.nonzero(segment < 0.0)[0]
+                if negative.size:
+                    clamp = int(negative[0])
+                    values[start:start + clamp] = segment[:clamp]
+                    values[start + clamp] = 0.0
+                    last = 0.0
+                    start += clamp + 1
+                    lookahead = 32
+                    continue
+            values[start:stop] = segment
+            last = float(segment[-1])
+            start = stop
+            lookahead = min(lookahead * 2, 4096)
+        # windowed rate test over the extended history, one comparison per
+        # step: position i sits at extended index len(history) + i and is
+        # compared w_i = min(W, step_i) entries back
+        extended = np.concatenate((self.history, values))
+        steps = self.step + 1 + np.arange(n, dtype=np.int64)
+        positions = len(self.history) + np.arange(n)
+        w = np.minimum(self.window, steps)
+        delta = np.abs(extended[positions] - extended[positions - w])
+        drift = delta > self.threshold
+        self.history.extend(values.tolist())  # python floats: JSON-safe
+        self.step = int(steps[-1])
+        if self.max_history is not None and len(self.history) > self.max_history:
+            keep = max(self.window + 1, self.max_history)
+            self.history = self.history[-keep:]
+        return MartingaleBatch(values=values, drift=drift, steps=steps)
 
     def rate(self) -> float:
         """Current windowed rate ``|S[t] - S[t-w]|`` (0 before any update)."""

@@ -39,11 +39,34 @@ def _check_point(point: np.ndarray, dim: int) -> np.ndarray:
     return p
 
 
+def _check_points(points: np.ndarray, dim: int) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[None, :]
+    if pts.ndim != 2 or pts.shape[1] != dim:
+        raise DimensionMismatchError(
+            f"points must be (B, {dim}), got shape {pts.shape}")
+    return pts
+
+
 class NonconformityMeasure:
     """Base class: ``score`` one point, or precompute ``reference_scores``."""
 
     def score(self, point: np.ndarray, reference: np.ndarray) -> float:
         raise NotImplementedError
+
+    def score_batch(self, points: np.ndarray,
+                    reference: np.ndarray) -> np.ndarray:
+        """Scores for a ``(B, D)`` stack of points against ``reference``.
+
+        The default walks the scalar path row by row (always bit-identical);
+        subclasses override it with broadcast evaluation where the
+        vectorized arithmetic provably matches the scalar path.
+        """
+        ref = _check_reference(reference)
+        pts = _check_points(points, ref.shape[1])
+        return np.asarray([self.score(p, ref) for p in pts],
+                          dtype=np.float64)
 
     def reference_scores(self, reference: np.ndarray) -> np.ndarray:
         """Leave-one-out scores of each reference point vs the rest."""
@@ -79,6 +102,33 @@ class KNNDistance(NonconformityMeasure):
         nearest = np.partition(dists, k - 1)[:k]
         return float(nearest.mean())
 
+    # bound the (chunk, N, D) broadcast buffer to ~64 MB of float64
+    _CHUNK_BYTES = 64 * 1024 * 1024
+
+    def score_batch(self, points: np.ndarray,
+                    reference: np.ndarray) -> np.ndarray:
+        """Vectorized KNN scores for a ``(B, D)`` stack of points.
+
+        Bit-identical to the scalar :meth:`score` per row: the broadcast
+        difference/square/row-sum, per-row partition and k-element mean all
+        apply the same per-row kernels the scalar path uses (no matmul
+        tricks, whose blocked accumulation would perturb low-order bits).
+        Large batches are chunked to bound the broadcast buffer.
+        """
+        ref = _check_reference(reference)
+        pts = _check_points(points, ref.shape[1])
+        n, d = ref.shape
+        k = min(self.k, n)
+        chunk = max(1, self._CHUNK_BYTES // max(1, n * d * 8))
+        out = np.empty(pts.shape[0], dtype=np.float64)
+        for start in range(0, pts.shape[0], chunk):
+            block = pts[start:start + chunk]
+            dists = np.sqrt(
+                ((ref[None, :, :] - block[:, None, :]) ** 2).sum(axis=2))
+            nearest = np.partition(dists, k - 1, axis=1)[:, :k]
+            out[start:start + chunk] = nearest.mean(axis=1)
+        return out
+
     def reference_scores(self, reference: np.ndarray) -> np.ndarray:
         """Vectorised leave-one-out KNN scores over the reference set."""
         ref = _check_reference(reference)
@@ -103,6 +153,14 @@ class MeanDistance(NonconformityMeasure):
         ref = _check_reference(reference)
         p = _check_point(point, ref.shape[1])
         return float(np.sqrt(((ref - p) ** 2).sum(axis=1)).mean())
+
+    def score_batch(self, points: np.ndarray,
+                    reference: np.ndarray) -> np.ndarray:
+        """Broadcast mean-distance scores, bit-identical per row."""
+        ref = _check_reference(reference)
+        pts = _check_points(points, ref.shape[1])
+        dists = np.sqrt(((ref[None, :, :] - pts[:, None, :]) ** 2).sum(axis=2))
+        return dists.mean(axis=1)
 
     def reference_scores(self, reference: np.ndarray) -> np.ndarray:
         ref = _check_reference(reference)

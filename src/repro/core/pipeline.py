@@ -331,6 +331,24 @@ class DriftAwareAnalytics:
         self._index += 1
         return record
 
+    def _emit_batch(self, pixels: np.ndarray) -> List[FrameRecord]:
+        """Emit a ``(B, ...)`` stack of admitted monitor frames.
+
+        One batched classifier call replaces ``B`` per-frame predicts; the
+        clock, record list, and invocation ledger advance exactly as ``B``
+        sequential :meth:`_emit` calls would.
+        """
+        self.clock.charge("classifier_infer", times=pixels.shape[0])
+        predictions = self._deployed.model.predict(pixels)
+        name = self._deployed.name
+        start = self._index
+        batch_records = [FrameRecord(start + offset, int(prediction), name)
+                         for offset, prediction in enumerate(predictions)]
+        self._records.extend(batch_records)
+        self._invocations.record_repeat([name], len(batch_records))
+        self._index = start + len(batch_records)
+        return batch_records
+
     def _resolve_buffer(self, selected: Optional[str] = None,
                         novel_hint: bool = False) -> List[FrameRecord]:
         """Deploy ``selected`` (running selection/training if not already
@@ -357,18 +375,35 @@ class DriftAwareAnalytics:
         training, or when the guard quarantined the frame)."""
         if not hasattr(self, "_mode"):
             self.start()
+        admitted = self._admit(item)
+        if admitted is None:
+            return []
+        return self._step_admitted(*admitted)
+
+    def _admit(self, item: object):
+        """Run the frame guard on ``item``.
+
+        Returns ``(item, pixels)`` -- with repaired pixels folded back into
+        the item -- or ``None`` when the frame was quarantined.  Guard state
+        and fault accounting advance exactly as :meth:`step` would.
+        """
         report = self.guard.admit(item)
         if report.status == QUARANTINED:
             self._faults.frames_quarantined += 1
             self._faults.quarantine_reasons[report.reason] = (
                 self._faults.quarantine_reasons.get(report.reason, 0) + 1)
-            return []
+            return None
         pixels = report.pixels
         if report.status == OK:
             self._faults.frames_ok += 1
         else:  # repaired: carry the imputed pixels, keep any metadata
             self._faults.frames_repaired += 1
             item = _with_pixels(item, pixels)
+        return item, pixels
+
+    def _step_admitted(self, item: object,
+                       pixels: np.ndarray) -> List[FrameRecord]:
+        """The post-guard remainder of :meth:`step` (mode dispatch)."""
         if self._mode == self._MODE_SELECT:
             self._buffer.append(item)
             if len(self._buffer) < self.config.selection_window:
@@ -418,6 +453,79 @@ class DriftAwareAnalytics:
             return []
         return [self._emit(pixels)]
 
+    def step_batch(self, items: Iterable[object],
+                   batch_size: int = 64) -> List[FrameRecord]:
+        """Push a window of frames through the batched monitor path.
+
+        Equivalent to calling :meth:`step` once per item, for any
+        ``batch_size``: records, detections, invocation counts, fault stats
+        and the simulated clock all end up bit-identical, so batched and
+        sequential processing (and different chunkings of the same stream,
+        e.g. after a checkpoint restore) are interchangeable.
+
+        Monitoring chunks are observed with
+        :meth:`~repro.core.drift_inspector.DriftInspector.observe_batch`
+        (``exact_embed=True``) and emitted with one batched classifier call.
+        The batching is *optimistic*: the inspector and clock are
+        snapshotted before each chunk, and a drift flag anywhere inside it
+        rolls both back and replays the chunk frame by frame so the
+        post-drift buffering, cooldown and selection logic run exactly as
+        the sequential path.  Frames arriving outside monitor mode (buffer
+        filling, cooldown) take the scalar path directly.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive: {batch_size}")
+        if not hasattr(self, "_mode"):
+            self.start()
+        items = list(items)
+        records: List[FrameRecord] = []
+        i = 0
+        while i < len(items):
+            if (self._mode != self._MODE_MONITOR
+                    or self._frames_since_swap < self.config.cooldown_frames
+                    or self.inspector.drift_detected):
+                records.extend(self.step(items[i]))
+                i += 1
+                continue
+            chunk = items[i:i + batch_size]
+            i += len(chunk)
+            pixels = self.guard.admit_batch(chunk)
+            if pixels is not None:
+                # uniformly clean chunk: one vectorized guard pass stands in
+                # for len(chunk) scalar admits; items pass through untouched
+                self._faults.frames_ok += pixels.shape[0]
+                admitted = None
+            else:
+                entries = []
+                for item in chunk:
+                    entry = self._admit(item)
+                    if entry is not None:
+                        entries.append(entry)
+                if not entries:
+                    continue
+                admitted = entries
+                pixels = np.stack([p for _, p in entries])
+            # optimistic batched observation: snapshot the inspector and
+            # clock so a drift inside the chunk can roll back and replay
+            # with sequential-exact accounting
+            inspector_state = self.inspector.state_dict()
+            saved_decisions = list(self.inspector.decisions)
+            clock_state = self.clock.state_dict()
+            decisions = self.inspector.observe_batch(pixels, exact_embed=True)
+            if not any(d.drift for d in decisions):
+                self._frames_since_swap += pixels.shape[0]
+                records.extend(self._emit_batch(pixels))
+                continue
+            self.inspector.load_state_dict(inspector_state)
+            self.inspector.decisions = saved_decisions
+            self.clock.load_state_dict(clock_state)
+            if admitted is None:
+                admitted = list(zip(chunk, pixels))
+            for entry in admitted:
+                records.extend(self._step_admitted(*entry))
+        return records
+
     def flush(self) -> List[FrameRecord]:
         """End the stream: resolve any frames still buffered.
 
@@ -455,5 +563,14 @@ class DriftAwareAnalytics:
         self.start()
         for item in stream:
             self.step(item)
+        self.flush()
+        return self.result()
+
+    def process_batched(self, stream: Iterable[object],
+                        batch_size: int = 64) -> PipelineResult:
+        """Batched counterpart of :meth:`process` (see :meth:`step_batch`);
+        produces bit-identical results for any ``batch_size``."""
+        self.start()
+        self.step_batch(stream, batch_size=batch_size)
         self.flush()
         return self.result()

@@ -56,6 +56,39 @@ def conformal_pvalue(reference_scores: np.ndarray, score: float,
     return (greater + u * equal) / ref.shape[0]
 
 
+def conformal_pvalues_batch(reference_scores: np.ndarray, scores: np.ndarray,
+                            rng: Optional[np.random.Generator] = None,
+                            tie_tolerance: float = 0.0,
+                            include_self: bool = True) -> np.ndarray:
+    """Smoothed conformal p-values for a 1-D array of scores.
+
+    Bit-identical to calling :func:`conformal_pvalue` once per score with
+    the same generator: the greater/equal counts are computed by row-wise
+    broadcasting (each row performs the scalar path's comparisons), and the
+    tie-breaking uniforms are drawn as one block -- numpy generators consume
+    the underlying bit stream identically whether uniforms are requested one
+    at a time or as an array.
+    """
+    ref = np.asarray(reference_scores, dtype=np.float64).reshape(-1)
+    if ref.shape[0] == 0:
+        raise EmptyReferenceError("reference score list A_i is empty")
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if s.size == 0:
+        return np.empty(0, dtype=np.float64)
+    if tie_tolerance > 0:
+        greater = (ref[None, :] > s[:, None] + tie_tolerance).sum(axis=1)
+        equal = (np.abs(ref[None, :] - s[:, None])
+                 <= tie_tolerance).sum(axis=1)
+    else:
+        greater = (ref[None, :] > s[:, None]).sum(axis=1)
+        equal = (ref[None, :] == s[:, None]).sum(axis=1)
+    generator = ensure_rng(rng) if rng is not None else np.random.default_rng()
+    us = generator.uniform(size=s.shape[0])
+    if include_self:
+        return (greater + us * (equal + 1)) / (ref.shape[0] + 1)
+    return (greater + us * equal) / ref.shape[0]
+
+
 class PValueCalculator:
     """Stateful p-value calculator bound to one reference score list.
 
@@ -77,6 +110,13 @@ class PValueCalculator:
         return conformal_pvalue(self.reference_scores, score, rng=self._rng,
                                 tie_tolerance=self.tie_tolerance,
                                 include_self=self.include_self)
+
+    def batch(self, scores: np.ndarray) -> np.ndarray:
+        """P-values for an array of scores; consumes the tie-breaking
+        uniform stream exactly as repeated scalar calls would."""
+        return conformal_pvalues_batch(
+            self.reference_scores, scores, rng=self._rng,
+            tie_tolerance=self.tie_tolerance, include_self=self.include_self)
 
     def rng_state(self) -> dict:
         """The tie-breaking generator's bit-generator state (JSON-safe)."""

@@ -40,6 +40,7 @@ class MSBIConfig:
     max_significance: float = 0.95
     k: int = 5
     betting_epsilon: float = 0.1
+    batched_testing: bool = True   # vectorized per-bundle DI testing
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -90,6 +91,13 @@ class MSBI:
             bundle.sigma, config=di_config, embedder=bundle.vae)
         if self.clock is not None:
             self.clock.charge("msbi_model_frame", times=frames.shape[0])
+        if self.config.batched_testing:
+            # vectorized window test: the whole window is scored in one
+            # observe_batch call (exact per-frame embedding keeps it
+            # bit-identical to the sequential loop), and the sticky drift
+            # flag makes any(...) agree with the loop's early-stop verdict
+            decisions = inspector.observe_batch(frames, exact_embed=True)
+            return any(d.drift for d in decisions)
         drift = False
         for frame in frames:
             if inspector.observe(frame).drift:

@@ -43,3 +43,12 @@ class FrameValidationError(ReproError):
 class CheckpointError(ReproError):
     """A pipeline checkpoint could not be written, read or applied (corrupt
     archive, version mismatch, or state incompatible with the session)."""
+
+
+class FleetError(ReproError):
+    """A fleet execution could not complete: a worker failed with a real
+    error, or a crashed task exhausted its restart budget."""
+
+
+class BenchReportError(ReproError):
+    """A benchmark report violates the BENCH_pipeline.json schema."""

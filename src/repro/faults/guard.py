@@ -121,6 +121,33 @@ class FrameGuard:
         self.quarantine.append((index, defect))
         return GuardReport(QUARANTINED, None, defect)
 
+    def admit_batch(self, items: object) -> Optional[np.ndarray]:
+        """Vectorized admission for a chunk of uniformly clean frames.
+
+        Returns the ``(B, *expected_shape)`` float64 pixel stack when every
+        frame in ``items`` passes validation, advancing ``_admitted`` and
+        ``last_good`` exactly as ``B`` sequential :meth:`admit` calls would.
+        Returns ``None`` -- with **no** state mutated -- when the shape is
+        still unlearned or any frame needs the scalar path (bad dtype,
+        shape mismatch, non-finite pixels), so the caller can fall back to
+        per-frame :meth:`admit` and reproduce its accounting and policy
+        behaviour bit for bit.
+        """
+        if self.expected_shape is None:
+            return None
+        try:
+            stack = np.asarray(
+                [getattr(item, "pixels", item) for item in items],
+                dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+        if (stack.shape[1:] != self.expected_shape
+                or not np.isfinite(stack).all()):
+            return None
+        self._admitted += stack.shape[0]
+        self.last_good = stack[-1]
+        return stack
+
     def reset(self) -> None:
         """Forget session state (shape stays if it was given explicitly)."""
         if not self._learned_shape:

@@ -1,0 +1,49 @@
+"""Deterministic batched / sharded execution (``repro.parallel``).
+
+The package scales the per-frame algorithms to fleet workloads without
+giving up reproducibility:
+
+- :mod:`repro.parallel.batching` -- :class:`BatchedFeatureExtractor`, a
+  chunked batched front-end for VAE-style embedders.
+- :mod:`repro.parallel.fleet` -- :class:`FleetExecutor`, which runs many
+  camera pipelines across ``multiprocessing`` workers with per-stream seed
+  derivation, periodic checkpoints, crash recovery and a deterministic
+  merge.
+- :mod:`repro.parallel.report` -- the ``BENCH_pipeline.json`` schema and
+  its validator, shared by the perf harness and the CI smoke check.
+
+Determinism contract: a fleet run's merged output is a pure function of
+``(tasks, factory, base_seed)`` -- independent of the worker count, the
+batch size, checkpoint cadence, crash/restart timing and OS scheduling.
+The pipeline layer guarantees the per-stream half of this contract
+(``process_batched`` is bit-identical to ``process`` for any batch size);
+the executor adds per-stream seed isolation and a submission-order merge.
+"""
+
+from repro.parallel.batching import BatchedFeatureExtractor
+from repro.parallel.fleet import (
+    FleetExecutor,
+    FleetTask,
+    FleetTaskResult,
+    SimulatedWorkerCrash,
+    stream_seed,
+)
+from repro.parallel.report import (
+    BENCH_SCHEMA,
+    load_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+
+__all__ = [
+    "BatchedFeatureExtractor",
+    "FleetExecutor",
+    "FleetTask",
+    "FleetTaskResult",
+    "SimulatedWorkerCrash",
+    "stream_seed",
+    "BENCH_SCHEMA",
+    "load_bench_report",
+    "validate_bench_report",
+    "write_bench_report",
+]

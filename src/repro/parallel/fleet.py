@@ -1,0 +1,358 @@
+"""Sharded fleet execution of drift-aware camera pipelines.
+
+:class:`FleetExecutor` runs one :class:`~repro.core.pipeline.\
+DriftAwareAnalytics` session per camera stream, sharded round-robin across
+``multiprocessing`` workers (or in-process with ``workers=0``), and merges
+the per-stream results in submission order.  Reproducibility is the design
+constraint throughout:
+
+- **Seeding** -- every stream gets its own seed derived from
+  ``(base_seed, stream_id)`` via :func:`stream_seed` (CRC32 of the id into
+  a :class:`numpy.random.SeedSequence`), so a stream's result never depends
+  on which worker ran it, what ran before it, or how many workers exist.
+- **Checkpoint recovery** -- with a ``checkpoint_dir``, each worker
+  persists its session every ``checkpoint_every`` frames using the
+  :mod:`repro.core.checkpoint` archive format (plus a ``fleet`` manifest
+  entry recording how many stream frames were consumed).  A crashed
+  worker's unfinished tasks are re-dispatched; the retry restores the last
+  checkpoint and resumes mid-stream.  Because the pipeline's batched path
+  is bit-identical for any chunking, a resumed stream produces exactly the
+  records an uninterrupted run would.
+- **Fault injection** -- a task may carry ``crash_at_frame``; the worker
+  running it dies (``os._exit`` in a subprocess,
+  :class:`SimulatedWorkerCrash` in-process) after consuming that many
+  frames, *on the first attempt only*.  Tests use this to prove the
+  recovery path bit-exact.
+
+Workers are forked (results travel back through pipes), so factories may
+close over unpicklable state; only per-task results must pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.checkpoint import apply_session_state, session_state
+from repro.core.pipeline import DriftAwareAnalytics, PipelineResult
+from repro.errors import ConfigurationError, FleetError
+from repro.nn.serialization import load_manifest_archive, save_manifest_archive
+from repro.rng import stable_hash
+
+_CRASH_EXIT_CODE = 87
+
+
+class SimulatedWorkerCrash(Exception):
+    """Raised (in-process) or converted to a hard exit (subprocess) when a
+    task's ``crash_at_frame`` fault fires.  Not a :class:`ReproError`: the
+    executor's recovery machinery must treat it exactly like a real worker
+    death, not like a library error."""
+
+
+def stream_seed(base_seed: int, stream_id: str) -> int:
+    """Deterministic per-stream seed from the fleet seed and the stream id.
+
+    Uses :func:`repro.rng.stable_hash` (CRC32) rather than ``hash`` so the
+    derivation is identical across processes and interpreter runs.
+    """
+    sequence = np.random.SeedSequence(
+        [int(base_seed), stable_hash(stream_id)])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+@dataclass
+class FleetTask:
+    """One camera stream to process.
+
+    ``crash_at_frame`` injects a worker crash after that many frames have
+    been consumed (first attempt only) -- a test hook for the recovery path.
+    """
+
+    stream_id: str
+    frames: np.ndarray
+    crash_at_frame: Optional[int] = None
+
+
+@dataclass
+class FleetTaskResult:
+    """Outcome of one stream: the pipeline result plus recovery telemetry."""
+
+    stream_id: str
+    result: PipelineResult
+    attempts: int = 1
+    resumed_at: Optional[int] = None
+
+
+@dataclass
+class _TaskFailure:
+    """A real (non-simulated) error inside a worker, reported to the
+    parent so it can fail fast instead of burning restarts."""
+
+    stream_id: str
+    error: str
+
+
+PipelineFactory = Callable[[FleetTask, int], DriftAwareAnalytics]
+
+
+def _checkpoint_path(checkpoint_dir: str, task: FleetTask) -> str:
+    return os.path.join(checkpoint_dir, f"{task.stream_id}.fleet.npz")
+
+
+def _save_fleet_checkpoint(path: str, pipeline: DriftAwareAnalytics,
+                           task: FleetTask, consumed: int) -> None:
+    manifest, arrays = session_state(pipeline)
+    manifest["fleet"] = {"stream_id": task.stream_id,
+                         "frames_consumed": int(consumed)}
+    save_manifest_archive(path, manifest, arrays)
+
+
+def _run_task(task: FleetTask, factory: PipelineFactory, base_seed: int,
+              batch_size: int, checkpoint_dir: Optional[str],
+              checkpoint_every: Optional[int], attempt: int,
+              in_process: bool) -> FleetTaskResult:
+    """Process one stream to completion, checkpointing along the way.
+
+    Resumes from the stream's checkpoint when one exists (written by a
+    previous attempt); honours ``crash_at_frame`` on attempt 0 only.
+    """
+    pipeline = factory(task, stream_seed(base_seed, task.stream_id))
+    frames = np.asarray(task.frames, dtype=np.float64)
+    total = frames.shape[0]
+    ckpt = (_checkpoint_path(checkpoint_dir, task)
+            if checkpoint_dir is not None else None)
+    consumed = 0
+    resumed_at = None
+    if ckpt is not None and os.path.exists(ckpt):
+        manifest, arrays = load_manifest_archive(ckpt)
+        fleet_meta = manifest.get("fleet")
+        if not fleet_meta or fleet_meta.get("stream_id") != task.stream_id:
+            raise FleetError(
+                f"checkpoint {ckpt} does not belong to stream "
+                f"{task.stream_id!r}")
+        apply_session_state(pipeline, manifest, arrays)
+        consumed = int(fleet_meta["frames_consumed"])
+        resumed_at = consumed
+    else:
+        pipeline.start()
+    crash_at = task.crash_at_frame if attempt == 0 else None
+    while consumed < total:
+        stop = total
+        if checkpoint_every is not None:
+            stop = min(stop, consumed + checkpoint_every
+                       - consumed % checkpoint_every)
+        if crash_at is not None and consumed < crash_at:
+            stop = min(stop, crash_at)
+        pipeline.step_batch(frames[consumed:stop], batch_size=batch_size)
+        consumed = stop
+        at_boundary = (checkpoint_every is not None
+                       and consumed % checkpoint_every == 0)
+        if ckpt is not None and (at_boundary or consumed == total):
+            _save_fleet_checkpoint(ckpt, pipeline, task, consumed)
+        if crash_at is not None and consumed == crash_at:
+            if in_process:
+                raise SimulatedWorkerCrash(
+                    f"stream {task.stream_id!r} crashed at frame {crash_at}")
+            os._exit(_CRASH_EXIT_CODE)
+    pipeline.flush()
+    return FleetTaskResult(stream_id=task.stream_id,
+                           result=pipeline.result(),
+                           attempts=attempt + 1,
+                           resumed_at=resumed_at)
+
+
+def _worker_main(conn, entries: List[Tuple[int, FleetTask, int]],
+                 factory: PipelineFactory, base_seed: int, batch_size: int,
+                 checkpoint_dir: Optional[str],
+                 checkpoint_every: Optional[int]) -> None:
+    """Subprocess body: run a shard of tasks, stream results back."""
+    try:
+        for index, task, attempt in entries:
+            try:
+                result = _run_task(task, factory, base_seed, batch_size,
+                                   checkpoint_dir, checkpoint_every,
+                                   attempt, in_process=False)
+            except Exception as exc:  # noqa: BLE001 - reported to parent
+                conn.send((index, _TaskFailure(task.stream_id, repr(exc))))
+                continue
+            conn.send((index, result))
+        conn.send(None)  # shard complete
+    finally:
+        conn.close()
+
+
+class FleetExecutor:
+    """Run a fleet of camera streams with deterministic results.
+
+    Parameters
+    ----------
+    factory:
+        ``(task, seed) -> DriftAwareAnalytics`` -- builds a fresh pipeline
+        for a stream.  Called once per attempt, inside the worker; the
+        ``seed`` argument is the task's :func:`stream_seed` and should feed
+        every stochastic knob of the pipeline so streams stay independent.
+    workers:
+        ``0`` runs every task in-process (the deterministic reference
+        path); ``N >= 1`` forks ``N`` worker processes and shards tasks
+        round-robin.
+    batch_size:
+        Chunk size for the pipeline's batched monitor path.
+    checkpoint_dir / checkpoint_every:
+        Enable periodic checkpoints every that many stream frames; required
+        for crash recovery to resume rather than restart.
+    max_restarts:
+        How many times a crashed task may be re-dispatched before the run
+        fails with :class:`FleetError`.
+    base_seed:
+        Fleet-level seed from which every per-stream seed is derived.
+    """
+
+    def __init__(self, factory: PipelineFactory, workers: int = 0,
+                 batch_size: int = 64, checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None,
+                 max_restarts: int = 1, base_seed: int = 0) -> None:
+        if workers < 0:
+            raise ConfigurationError(
+                f"workers must be non-negative: {workers}")
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive: {batch_size}")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be positive: {checkpoint_every}")
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir")
+        if max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be non-negative: {max_restarts}")
+        self.factory = factory
+        self.workers = workers
+        self.batch_size = batch_size
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+        self.base_seed = base_seed
+
+    # ------------------------------------------------------------------
+    def _clear_checkpoints(self, tasks: Sequence[FleetTask]) -> None:
+        if self.checkpoint_dir is None:
+            return
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        for task in tasks:
+            path = _checkpoint_path(self.checkpoint_dir, task)
+            if os.path.exists(path):
+                os.remove(path)
+
+    def _run_one(self, task: FleetTask, attempt: int) -> FleetTaskResult:
+        return _run_task(task, self.factory, self.base_seed,
+                         self.batch_size, self.checkpoint_dir,
+                         self.checkpoint_every, attempt, in_process=True)
+
+    def _run_in_process(
+            self, tasks: Sequence[FleetTask]) -> List[FleetTaskResult]:
+        results: List[FleetTaskResult] = []
+        for task in tasks:
+            attempt = 0
+            while True:
+                try:
+                    results.append(self._run_one(task, attempt))
+                    break
+                except SimulatedWorkerCrash as exc:
+                    attempt += 1
+                    if attempt > self.max_restarts:
+                        raise FleetError(
+                            f"stream {task.stream_id!r} exhausted "
+                            f"{self.max_restarts} restart(s)") from exc
+        return results
+
+    def _run_sharded(self,
+                     tasks: Sequence[FleetTask]) -> List[FleetTaskResult]:
+        context = multiprocessing.get_context("fork")
+        done: Dict[int, FleetTaskResult] = {}
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(tasks))]
+        while pending:
+            worker_count = min(self.workers, len(pending))
+            shards: List[List[Tuple[int, FleetTask, int]]] = [
+                [] for _ in range(worker_count)]
+            for position, (index, attempt) in enumerate(pending):
+                shards[position % worker_count].append(
+                    (index, tasks[index], attempt))
+            procs = []
+            for shard in shards:
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, shard, self.factory, self.base_seed,
+                          self.batch_size, self.checkpoint_dir,
+                          self.checkpoint_every))
+                proc.start()
+                child_conn.close()
+                procs.append((proc, parent_conn, shard))
+            crashed: List[Tuple[int, int]] = []
+            failure: Optional[_TaskFailure] = None
+            for proc, conn, shard in procs:
+                finished = set()
+                while True:
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        break  # worker died mid-shard
+                    if message is None:
+                        break
+                    index, payload = message
+                    if isinstance(payload, _TaskFailure):
+                        failure = failure or payload
+                        finished.add(index)
+                        continue
+                    done[index] = payload
+                    finished.add(index)
+                conn.close()
+                proc.join()
+                unfinished = [(index, attempt)
+                              for index, task, attempt in shard
+                              if index not in finished and index not in done]
+                # only the first unfinished task was actually running when
+                # the worker died; later ones never started, so their
+                # attempt counter (and crash injection) must not advance
+                for position, (index, attempt) in enumerate(unfinished):
+                    crashed.append(
+                        (index, attempt + 1 if position == 0 else attempt))
+            if failure is not None:
+                raise FleetError(
+                    f"stream {failure.stream_id!r} failed in a worker: "
+                    f"{failure.error}")
+            over_budget = [index for index, attempt in crashed
+                           if attempt > self.max_restarts]
+            if over_budget:
+                names = ", ".join(
+                    repr(tasks[i].stream_id) for i in over_budget)
+                raise FleetError(
+                    f"stream(s) {names} exhausted "
+                    f"{self.max_restarts} restart(s)")
+            pending = crashed
+        return [done[i] for i in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[FleetTask]) -> List[FleetTaskResult]:
+        """Process every task; returns results in submission order.
+
+        The merge is deterministic by construction: stream results are
+        keyed by task index, so worker scheduling and completion order
+        never reorder (or alter) the output.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        ids = [task.stream_id for task in tasks]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(
+                f"stream ids must be unique, got {ids}")
+        self._clear_checkpoints(tasks)
+        if self.workers == 0:
+            return self._run_in_process(tasks)
+        return self._run_sharded(tasks)

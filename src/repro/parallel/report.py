@@ -1,0 +1,186 @@
+"""The ``BENCH_pipeline.json`` performance-report schema.
+
+``benchmarks/bench_perf.py`` measures the sequential, batched and fleet
+execution modes and writes its findings as one JSON document at the repo
+root.  This module owns the document's contract: a JSON-Schema definition
+(:data:`BENCH_SCHEMA`), a dependency-free validator that enforces it, and
+read/write helpers that refuse to produce or accept a malformed report.
+``scripts/check.sh`` validates the committed report on every run, so a
+schema drift fails CI rather than silently rotting the benchmark data.
+
+The validator implements the subset of JSON Schema the contract uses
+(``type``, ``required``, ``properties``, ``additionalProperties``,
+``items``, ``enum``, ``minimum``, ``exclusiveMinimum``).  When the
+``jsonschema`` package is importable the document is additionally checked
+against :data:`BENCH_SCHEMA` with it, guarding the hand-rolled walker.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.errors import BenchReportError
+
+_MODE_ENTRY = {
+    "type": "object",
+    "required": ["frames", "elapsed_s", "fps"],
+    "additionalProperties": False,
+    "properties": {
+        "frames": {"type": "integer", "minimum": 1},
+        "elapsed_s": {"type": "number", "exclusiveMinimum": 0},
+        "fps": {"type": "number", "exclusiveMinimum": 0},
+        "speedup_vs_sequential": {"type": "number", "exclusiveMinimum": 0},
+        "workers": {"type": "integer", "minimum": 1},
+        "batch_size": {"type": "integer", "minimum": 1},
+    },
+}
+
+_STAGE_ENTRY = {
+    "type": "object",
+    "required": ["sequential_us_per_frame", "batched_us_per_frame", "speedup"],
+    "additionalProperties": False,
+    "properties": {
+        "sequential_us_per_frame": {"type": "number", "exclusiveMinimum": 0},
+        "batched_us_per_frame": {"type": "number", "exclusiveMinimum": 0},
+        "speedup": {"type": "number", "exclusiveMinimum": 0},
+    },
+}
+
+BENCH_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro pipeline performance report",
+    "type": "object",
+    "required": ["schema_version", "benchmark", "quick", "config",
+                 "modes", "stages"],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [1]},
+        "benchmark": {"type": "string"},
+        "quick": {"type": "boolean"},
+        "config": {
+            "type": "object",
+            "required": ["streams", "frames_per_stream", "frame_shape",
+                         "batch_size", "workers", "reference_size",
+                         "latent_dim"],
+            "additionalProperties": False,
+            "properties": {
+                "streams": {"type": "integer", "minimum": 1},
+                "frames_per_stream": {"type": "integer", "minimum": 1},
+                "frame_shape": {"type": "array",
+                                "items": {"type": "integer", "minimum": 1}},
+                "batch_size": {"type": "integer", "minimum": 1},
+                "workers": {"type": "integer", "minimum": 0},
+                "reference_size": {"type": "integer", "minimum": 2},
+                "latent_dim": {"type": "integer", "minimum": 1},
+            },
+        },
+        "modes": {
+            "type": "object",
+            "required": ["sequential", "batched", "fleet"],
+            "additionalProperties": False,
+            "properties": {
+                "sequential": _MODE_ENTRY,
+                "batched": _MODE_ENTRY,
+                "fleet": _MODE_ENTRY,
+            },
+        },
+        "stages": {
+            "type": "object",
+            "required": ["encode", "pvalue", "martingale", "selection"],
+            "additionalProperties": False,
+            "properties": {
+                "encode": _STAGE_ENTRY,
+                "pvalue": _STAGE_ENTRY,
+                "martingale": _STAGE_ENTRY,
+                "selection": _STAGE_ENTRY,
+            },
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass in Python; a schema integer must reject it
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+}
+
+
+def _validate(value: object, schema: dict, path: str,
+              errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None and not _TYPE_CHECKS[expected](value):
+        errors.append(
+            f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "exclusiveMinimum" in schema and isinstance(value, (int, float)):
+        if value <= schema["exclusiveMinimum"]:
+            errors.append(
+                f"{path}: {value} <= exclusiveMinimum "
+                f"{schema['exclusiveMinimum']}")
+    if expected == "object":
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{path}: unexpected key {name!r}")
+        for name, subschema in properties.items():
+            if name in value:
+                _validate(value[name], subschema, f"{path}.{name}", errors)
+    elif expected == "array" and "items" in schema:
+        for i, entry in enumerate(value):
+            _validate(entry, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_bench_report(report: object) -> None:
+    """Raise :class:`BenchReportError` unless ``report`` satisfies
+    :data:`BENCH_SCHEMA`; also cross-checks with ``jsonschema`` when that
+    package is available."""
+    errors: List[str] = []
+    _validate(report, BENCH_SCHEMA, "$", errors)
+    if errors:
+        raise BenchReportError(
+            "bench report violates schema:\n  " + "\n  ".join(errors))
+    try:
+        import jsonschema
+    except ImportError:
+        return
+    try:
+        jsonschema.validate(report, BENCH_SCHEMA)
+    except jsonschema.ValidationError as exc:
+        raise BenchReportError(
+            f"bench report violates schema (jsonschema): {exc.message}"
+        ) from exc
+
+
+def write_bench_report(path: str, report: dict) -> None:
+    """Validate ``report`` and write it to ``path`` as formatted JSON."""
+    validate_bench_report(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench_report(path: str) -> dict:
+    """Read and validate a report written by :func:`write_bench_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BenchReportError(
+                f"bench report {path} is not valid JSON: {exc}") from exc
+    validate_bench_report(report)
+    return report

@@ -20,35 +20,49 @@ class SimulatedClock:
 
     def __init__(self, profile: Optional[CostProfile] = None) -> None:
         self.profile = profile or PAPER_COSTS
-        self._elapsed_ms = 0.0
         self._ledger: Counter = Counter()
         self._op_counts: Counter = Counter()
 
     @property
     def elapsed_ms(self) -> float:
-        """Total simulated time in milliseconds."""
-        return self._elapsed_ms
+        """Total simulated time in milliseconds.
+
+        Derived from the per-operation ledger, summed in sorted-key order:
+        each operation's ledger entry only ever accumulates that operation's
+        charges, so the total is independent of how charges to *different*
+        operations interleave -- a batched component charging op-by-op reads
+        the same elapsed time as its sequential equivalent charging
+        frame-by-frame.
+        """
+        return sum(self._ledger[name] for name in sorted(self._ledger))
 
     @property
     def elapsed_s(self) -> float:
         """Total simulated time in seconds."""
-        return self._elapsed_ms / 1000.0
+        return self.elapsed_ms / 1000.0
 
     def charge(self, operation: str, times: int = 1) -> float:
-        """Charge ``operation`` ``times`` times; returns the ms charged."""
+        """Charge ``operation`` ``times`` times; returns the ms charged.
+
+        The accumulators advance by repeated addition (not ``cost * times``)
+        so one ``charge(op, times=n)`` leaves the clock bit-identical to
+        ``n`` single charges -- batched components must not perturb the
+        simulated-time accounting of their sequential equivalents.
+        """
         if times < 0:
             raise ConfigurationError(f"times must be non-negative, got {times}")
-        ms = self.profile.cost(operation) * times
-        self._elapsed_ms += ms
-        self._ledger[operation] += ms
+        cost = self.profile.cost(operation)
+        total = 0.0
+        for _ in range(times):
+            self._ledger[operation] += cost
+            total += cost
         self._op_counts[operation] += times
-        return ms
+        return total
 
     def charge_ms(self, operation: str, ms: float) -> float:
         """Charge an explicit duration under ``operation``'s ledger entry."""
         if ms < 0:
             raise ConfigurationError(f"ms must be non-negative, got {ms}")
-        self._elapsed_ms += ms
         self._ledger[operation] += ms
         return ms
 
@@ -62,7 +76,6 @@ class SimulatedClock:
 
     def reset(self) -> None:
         """Zero the clock and ledger."""
-        self._elapsed_ms = 0.0
         self._ledger.clear()
         self._op_counts.clear()
 
@@ -72,14 +85,14 @@ class SimulatedClock:
 
     def state_dict(self) -> dict:
         """JSON-serializable snapshot (elapsed time + ledgers)."""
-        return {"elapsed_ms": self._elapsed_ms,
+        return {"elapsed_ms": self.elapsed_ms,
                 "ledger": dict(self._ledger),
                 "op_counts": dict(self._op_counts)}
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a snapshot taken by :meth:`state_dict` (the cost profile
-        is configuration, not state, and must be supplied by the caller)."""
-        self._elapsed_ms = float(state["elapsed_ms"])
+        is configuration, not state; ``elapsed_ms`` is derived from the
+        ledger, so only the ledgers are restored)."""
         self._ledger = Counter(
             {str(k): float(v) for k, v in state["ledger"].items()})
         self._op_counts = Counter(

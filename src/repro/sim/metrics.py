@@ -69,6 +69,17 @@ class InvocationCounter:
         for name in models:
             self._per_model[name] = self._per_model.get(name, 0) + 1
 
+    def record_repeat(self, models: List[str], times: int) -> None:
+        """Record ``times`` consecutive frames that each invoked ``models``
+        (state ends up identical to ``times`` :meth:`record` calls)."""
+        if not models:
+            raise ConfigurationError("a frame must invoke at least one model")
+        if times < 0:
+            raise ConfigurationError(f"times must be non-negative: {times}")
+        self._per_frame.extend([len(models)] * times)
+        for name in models:
+            self._per_model[name] = self._per_model.get(name, 0) + times
+
     @property
     def frames(self) -> int:
         return len(self._per_frame)

@@ -6,11 +6,57 @@ the suite stays fast; pure-function tests build their own tiny inputs.
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
 from repro.experiments.common import ExperimentContext, fast_config
 from repro.video.datasets import make_bdd
+
+_GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "golden")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json regression snapshots from the "
+             "current run instead of comparing against them")
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``payload`` against ``tests/golden/<name>.json`` exactly.
+
+    Payloads are normalized through a JSON round-trip before comparing, so
+    snapshots capture floats at full repr precision (Python's float repr
+    round-trips bit-exactly) and any numeric drift -- however small --
+    fails the test.  Run ``pytest --update-golden`` to rewrite snapshots
+    after an *intentional* behaviour change.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, payload):
+        payload = json.loads(json.dumps(payload))
+        path = os.path.join(_GOLDEN_DIR, f"{name}.json")
+        if update:
+            os.makedirs(_GOLDEN_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            return
+        assert os.path.exists(path), (
+            f"golden snapshot {name!r} is missing; generate it with "
+            f"pytest --update-golden")
+        with open(path, "r", encoding="utf-8") as handle:
+            expected = json.load(handle)
+        assert payload == expected, (
+            f"golden snapshot {name!r} drifted; if the change is intended "
+            f"rerun with --update-golden and review the diff")
+
+    return check
 
 
 @pytest.fixture

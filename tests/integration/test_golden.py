@@ -1,0 +1,102 @@
+"""Golden regression snapshots for end-to-end numeric behaviour.
+
+Each test runs a fully seeded scenario and compares its observable output
+-- detections, per-model invocation counts, predictions, drift-inspector
+statistics, Brier scores -- against a committed JSON snapshot, exactly.
+Property tests prove batched == sequential; these snapshots pin the
+*absolute* numbers so a silent change to any kernel (scoring, p-values,
+martingale, selection) fails loudly even when it stays self-consistent.
+
+Regenerate after intentional changes with ``pytest --update-golden`` and
+review the resulting diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.selection.scoring import (
+    brier_decomposition,
+    brier_score,
+    negative_log_likelihood,
+)
+
+from tests.parallel.conftest import DIM, gaussian_stream, make_pipeline
+
+
+def test_pipeline_drift_run_snapshot(golden):
+    """The canonical 3-segment drift run, processed with the batched path
+    (bit-identical to sequential by the equivalence suite)."""
+    stream = gaussian_stream(31, [(0.0, 150), (6.0, 150), (0.0, 150)])
+    result = make_pipeline().process_batched(stream, batch_size=64)
+    records = [[r.frame_index, r.prediction, r.model] for r in result.records]
+    prediction_counts = {}
+    for _, prediction, model in records:
+        key = f"{model}:{prediction}"
+        prediction_counts[key] = prediction_counts.get(key, 0) + 1
+    golden("pipeline_drift_run", {
+        "detections": [
+            {"frame_index": d.frame_index,
+             "previous_model": d.previous_model,
+             "selected_model": d.selected_model,
+             "novel": d.novel,
+             "selection_frames": d.selection_frames}
+            for d in result.detections],
+        "invocations": {
+            "frames": result.invocations.frames,
+            "total": result.invocations.total_invocations,
+            "per_model": result.invocations.per_model(),
+            "per_frame_mean": result.invocations.invocations_per_frame,
+        },
+        "prediction_counts": prediction_counts,
+        "records_head": records[:10],
+        "records_tail": records[-10:],
+        "simulated_ms": result.simulated_ms,
+        "faults": result.faults.as_dict(),
+    })
+
+
+def test_drift_inspector_statistics_snapshot(golden):
+    """Nonconformity / p-value / martingale trajectories around a change
+    point, for the default additive machine and the multiplicative one."""
+    rng = np.random.default_rng(17)
+    reference = rng.normal(0.0, 1.0, size=(100, DIM))
+    frames = np.vstack([rng.normal(0.0, 1.0, size=(40, DIM)),
+                        rng.normal(4.0, 1.0, size=(10, DIM))])
+    payload = {}
+    for name, config in [
+            ("additive", DriftInspectorConfig(seed=23)),
+            ("multiplicative", DriftInspectorConfig(
+                seed=23, martingale="multiplicative", significance=0.02)),
+    ]:
+        inspector = DriftInspector(reference, config=config)
+        decisions = inspector.observe_batch(frames)
+        tail = decisions[-12:]
+        payload[name] = {
+            "drift_frame": inspector.drift_frame,
+            "tail": [
+                {"frame": d.frame_index,
+                 "nonconformity": d.nonconformity,
+                 "p_value": d.p_value,
+                 "martingale": d.martingale,
+                 "drift": d.drift}
+                for d in tail],
+        }
+    golden("drift_inspector_statistics", payload)
+
+
+def test_brier_scoring_snapshot(golden):
+    """Brier score, NLL and the reliability decomposition on a seeded
+    synthetic prediction set (the Figure 5 scoring kernels)."""
+    rng = np.random.default_rng(29)
+    logits = rng.normal(0.0, 2.0, size=(200, 4))
+    probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+    probs /= probs.sum(axis=1, keepdims=True)
+    labels = rng.integers(0, 4, size=200)
+    golden("brier_scoring", {
+        "brier_normalized": brier_score(probs, labels, normalize=True),
+        "brier_classic": brier_score(probs, labels, normalize=False),
+        "nll": negative_log_likelihood(probs, labels),
+        "decomposition": brier_decomposition(probs, labels, bins=10),
+    })

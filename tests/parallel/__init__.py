@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.parallel` and the batched execution paths."""

@@ -1,0 +1,99 @@
+"""The BENCH_pipeline.json contract: schema, validator, read/write."""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.errors import BenchReportError
+from repro.parallel import (
+    BENCH_SCHEMA,
+    load_bench_report,
+    validate_bench_report,
+    write_bench_report,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def minimal_report() -> dict:
+    mode = {"frames": 100, "elapsed_s": 0.5, "fps": 200.0}
+    stage = {"sequential_us_per_frame": 10.0, "batched_us_per_frame": 2.0,
+             "speedup": 5.0}
+    return {
+        "schema_version": 1,
+        "benchmark": "unit-test",
+        "quick": True,
+        "config": {"streams": 1, "frames_per_stream": 100,
+                   "frame_shape": [8], "batch_size": 64, "workers": 0,
+                   "reference_size": 50, "latent_dim": 8},
+        "modes": {"sequential": dict(mode),
+                  "batched": {**mode, "speedup_vs_sequential": 5.0,
+                              "batch_size": 64},
+                  "fleet": {**mode, "workers": 2, "batch_size": 64}},
+        "stages": {"encode": dict(stage), "pvalue": dict(stage),
+                   "martingale": dict(stage), "selection": dict(stage)},
+    }
+
+
+def test_minimal_report_validates():
+    validate_bench_report(minimal_report())
+
+
+@pytest.mark.parametrize("mutate,match", [
+    (lambda r: r.pop("modes"), "missing required key"),
+    (lambda r: r.update(schema_version=2), "not in"),
+    (lambda r: r.update(extra="x"), "unexpected key"),
+    (lambda r: r["modes"]["batched"].update(fps="fast"), "expected number"),
+    (lambda r: r["config"].update(streams=0), "minimum"),
+    (lambda r: r["modes"]["sequential"].update(elapsed_s=0.0),
+     "exclusiveMinimum"),
+    (lambda r: r["config"].update(streams=True), "expected integer"),
+    (lambda r: r["config"].update(frame_shape=[8, "x"]), "expected integer"),
+    (lambda r: r["stages"]["encode"].pop("speedup"), "missing required key"),
+])
+def test_schema_violations_are_rejected(mutate, match):
+    report = copy.deepcopy(minimal_report())
+    mutate(report)
+    with pytest.raises(BenchReportError, match=match):
+        validate_bench_report(report)
+
+
+def test_write_then_load_round_trips(tmp_path):
+    path = str(tmp_path / "report.json")
+    report = minimal_report()
+    write_bench_report(path, report)
+    assert load_bench_report(path) == report
+
+
+def test_write_refuses_invalid_report(tmp_path):
+    path = str(tmp_path / "report.json")
+    broken = minimal_report()
+    broken.pop("stages")
+    with pytest.raises(BenchReportError):
+        write_bench_report(path, broken)
+    assert not os.path.exists(path)
+
+
+def test_load_rejects_malformed_json(tmp_path):
+    path = tmp_path / "report.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchReportError, match="not valid JSON"):
+        load_bench_report(str(path))
+
+
+def test_schema_is_itself_json_serializable():
+    json.dumps(BENCH_SCHEMA)
+
+
+def test_committed_report_is_valid():
+    """The report at the repo root must always satisfy the schema."""
+    path = os.path.join(_REPO_ROOT, "BENCH_pipeline.json")
+    assert os.path.exists(path), "BENCH_pipeline.json must be committed"
+    report = load_bench_report(path)
+    assert report["schema_version"] == 1
+    assert report["modes"]["batched"]["fps"] > 0

@@ -1,0 +1,189 @@
+"""FleetExecutor: sharding, seeding, crash recovery, failure reporting.
+
+The executor's contract is determinism: results must not depend on worker
+count, scheduling, or whether a worker died and was restored mid-stream.
+Every test here compares full result signatures (records, detections,
+invocation ledger, simulated clock, fault stats) bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FleetError
+from repro.parallel import (
+    FleetExecutor,
+    FleetTask,
+    SimulatedWorkerCrash,
+    stream_seed,
+)
+
+from tests.parallel.conftest import (
+    gaussian_stream,
+    make_pipeline,
+    result_sig,
+)
+
+
+def factory(task, seed):
+    return make_pipeline(seed=seed)
+
+
+def make_tasks(n_streams=3, frames=120):
+    tasks = []
+    for index in range(n_streams):
+        frames_arr = gaussian_stream(
+            300 + index, [(0.0, frames // 2), (6.0, frames - frames // 2)])
+        tasks.append(FleetTask(stream_id=f"cam-{index}", frames=frames_arr))
+    return tasks
+
+
+def sigs(results):
+    return [(entry.stream_id, result_sig(entry.result))
+            for entry in results]
+
+
+# ----------------------------------------------------------------------
+# seeding
+# ----------------------------------------------------------------------
+def test_stream_seed_is_deterministic_and_distinct():
+    assert stream_seed(0, "cam-1") == stream_seed(0, "cam-1")
+    assert stream_seed(0, "cam-1") != stream_seed(0, "cam-2")
+    assert stream_seed(0, "cam-1") != stream_seed(1, "cam-1")
+
+
+def test_worker_count_never_changes_results():
+    tasks = make_tasks()
+    reference = sigs(FleetExecutor(factory, workers=0).run(tasks))
+    for workers in (1, 2, 4):
+        got = sigs(FleetExecutor(factory, workers=workers).run(tasks))
+        assert got == reference, f"workers={workers} diverged"
+
+
+def test_fleet_stream_matches_direct_process():
+    """A fleet stream's result is exactly what running the pipeline
+    directly (same factory, same stream seed) would produce."""
+    tasks = make_tasks(n_streams=2)
+    results = {entry.stream_id: entry.result
+               for entry in FleetExecutor(factory, workers=2).run(tasks)}
+    for task in tasks:
+        direct = factory(task, stream_seed(0, task.stream_id))
+        expected = direct.process(task.frames)
+        assert result_sig(results[task.stream_id]) == result_sig(expected)
+
+
+def test_results_come_back_in_submission_order():
+    tasks = make_tasks(n_streams=4, frames=60)
+    results = FleetExecutor(factory, workers=2).run(tasks)
+    assert [entry.stream_id for entry in results] == \
+        [task.stream_id for task in tasks]
+
+
+def test_empty_task_list():
+    assert FleetExecutor(factory).run([]) == []
+
+
+# ----------------------------------------------------------------------
+# crash recovery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [0, 2])
+def test_crash_recovery_is_bit_exact(workers, tmp_path):
+    """Kill a worker mid-stream; the restored run must merge to exactly
+    the uninterrupted fleet's results."""
+    clean_tasks = make_tasks()
+    expected = sigs(FleetExecutor(factory, workers=workers).run(clean_tasks))
+
+    crashing = [FleetTask(task.stream_id, task.frames,
+                          crash_at_frame=47 if i == 1 else None)
+                for i, task in enumerate(clean_tasks)]
+    executor = FleetExecutor(factory, workers=workers,
+                             checkpoint_dir=str(tmp_path),
+                             checkpoint_every=20, max_restarts=1)
+    results = executor.run(crashing)
+    assert sigs(results) == expected
+    by_id = {entry.stream_id: entry for entry in results}
+    crashed = by_id[crashing[1].stream_id]
+    assert crashed.attempts == 2
+    assert crashed.resumed_at == 40  # last checkpoint before frame 47
+    for entry in results:
+        if entry.stream_id != crashed.stream_id:
+            assert entry.attempts == 1
+
+
+def test_crash_without_checkpoints_restarts_from_scratch(tmp_path):
+    """No checkpoint_dir: the retry reprocesses the whole stream and still
+    lands on the uninterrupted result."""
+    tasks = make_tasks(n_streams=1)
+    expected = sigs(FleetExecutor(factory, workers=0).run(tasks))
+    crashing = [FleetTask(tasks[0].stream_id, tasks[0].frames,
+                          crash_at_frame=30)]
+    results = FleetExecutor(factory, workers=0, max_restarts=1).run(crashing)
+    assert sigs(results) == expected
+    assert results[0].attempts == 2
+    assert results[0].resumed_at is None
+
+
+def test_exhausted_restarts_raise_fleet_error(tmp_path):
+    tasks = [FleetTask("doomed", make_tasks(n_streams=1)[0].frames,
+                       crash_at_frame=10)]
+    executor = FleetExecutor(factory, workers=0, max_restarts=0,
+                             checkpoint_dir=str(tmp_path),
+                             checkpoint_every=5)
+    with pytest.raises(FleetError, match="exhausted"):
+        executor.run(tasks)
+
+
+def test_stale_checkpoints_are_cleared_between_runs(tmp_path):
+    """A fresh run() must not resume from a previous run's checkpoints."""
+    tasks = make_tasks(n_streams=1)
+    executor = FleetExecutor(factory, workers=0,
+                             checkpoint_dir=str(tmp_path),
+                             checkpoint_every=20)
+    first = sigs(executor.run(tasks))
+    second = executor.run(tasks)
+    assert sigs(second) == first
+    assert second[0].resumed_at is None
+
+
+# ----------------------------------------------------------------------
+# failures and validation
+# ----------------------------------------------------------------------
+def _broken_factory(task, seed):
+    raise RuntimeError("bundle store unavailable")
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_real_failures_fail_fast(workers):
+    tasks = make_tasks(n_streams=2, frames=40)
+    executor = FleetExecutor(_broken_factory, workers=workers)
+    if workers == 0:
+        with pytest.raises(RuntimeError):
+            executor.run(tasks)
+    else:
+        with pytest.raises(FleetError, match="failed in a worker"):
+            executor.run(tasks)
+
+
+def test_simulated_crash_is_not_a_library_error():
+    from repro.errors import ReproError
+    assert not issubclass(SimulatedWorkerCrash, ReproError)
+
+
+def test_duplicate_stream_ids_rejected():
+    frames = make_tasks(n_streams=1, frames=20)[0].frames
+    tasks = [FleetTask("cam", frames), FleetTask("cam", frames)]
+    with pytest.raises(ConfigurationError, match="unique"):
+        FleetExecutor(factory).run(tasks)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"workers": -1},
+    {"batch_size": 0},
+    {"checkpoint_every": 0, "checkpoint_dir": "/tmp/x"},
+    {"checkpoint_every": 10},  # checkpoint_every without a dir
+    {"max_restarts": -1},
+])
+def test_executor_configuration_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        FleetExecutor(factory, **kwargs)
