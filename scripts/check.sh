@@ -26,6 +26,27 @@ else
     echo "coverage package not installed; skipping the 85% floor"
 fi
 
+echo "== telemetry schema =="
+# the committed golden snapshot must satisfy the telemetry contract ...
+python - <<'PY'
+from repro.obs import load_telemetry
+summary = load_telemetry("tests/golden/pipeline_telemetry.json")
+events = summary["events"]
+print(f"golden telemetry valid ({events['logical']} logical / "
+      f"{events['timing']} timing events)")
+PY
+# ... and a live instrumented run must still emit a valid summary
+python - <<'PY'
+import numpy as np
+from repro.obs import Recorder, validate_telemetry
+from tests.parallel.conftest import gaussian_stream, make_pipeline
+
+pipeline = make_pipeline(seed=0, recorder=Recorder())
+result = pipeline.process(gaussian_stream(31, [(0.0, 60), (6.0, 60)]))
+validate_telemetry(result.telemetry["summary"])
+print("live telemetry summary OK")
+PY
+
 echo "== bench report =="
 # the committed report must satisfy the schema ...
 python - <<'PY'

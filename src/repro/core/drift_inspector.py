@@ -38,6 +38,8 @@ from repro.core.martingale import (
 from repro.core.nonconformity import KNNDistance, NonconformityMeasure
 from repro.core.pvalues import PValueCalculator
 from repro.errors import ConfigurationError, EmptyReferenceError
+from repro.obs.metrics import DEFAULT_P_BUCKETS
+from repro.obs.recorder import NULL_RECORDER
 from repro.rng import SeedLike, ensure_rng
 from repro.sim.clock import SimulatedClock
 
@@ -112,6 +114,12 @@ class DriftInspector:
     clock:
         Optional :class:`~repro.sim.clock.SimulatedClock`; when given, each
         observation charges the paper-calibrated per-frame costs.
+    recorder:
+        Optional :class:`~repro.obs.recorder.Recorder`.  Observations are
+        traced as ``di.observe`` / ``di.observe_batch`` spans (with nested
+        embedding spans), counted, and their p-values folded into the
+        ``di.p_value`` histogram.  Recording is passive -- it cannot alter
+        a decision -- and defaults to the shared no-op recorder.
     """
 
     def __init__(self, reference: np.ndarray,
@@ -119,7 +127,8 @@ class DriftInspector:
                  embedder: Optional[object] = None,
                  reference_scores: Optional[np.ndarray] = None,
                  measure: Optional[NonconformityMeasure] = None,
-                 clock: Optional[SimulatedClock] = None) -> None:
+                 clock: Optional[SimulatedClock] = None,
+                 recorder: Optional[object] = None) -> None:
         self.config = config or DriftInspectorConfig()
         self.reference = np.asarray(reference, dtype=np.float64)
         if self.reference.ndim != 2 or self.reference.shape[0] < 2:
@@ -138,6 +147,9 @@ class DriftInspector:
             rng.integers(0, 2**63 - 1))
         self.martingale = self._build_martingale()
         self.clock = clock
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self._c_frames = self.obs.counter("di.frames_observed")
+        self._h_pvalue = self.obs.histogram("di.p_value", DEFAULT_P_BUCKETS)
         self._frame_index = 0
         self.decisions: List[DriftDecision] = []
         self._drift_frame: Optional[int] = None
@@ -252,12 +264,19 @@ class DriftInspector:
         ``drift=True`` until :meth:`reset` is called (the pipeline swaps the
         model and resets at that point).
         """
-        latent = self._embed(frame)
+        with self.obs.span("di.observe"):
+            return self._observe_traced(frame)
+
+    def _observe_traced(self, frame: np.ndarray) -> DriftDecision:
+        with self.obs.span("di.embed"):
+            latent = self._embed(frame)
         if self.clock is not None:
             self.clock.charge("knn_nonconformity")
             self.clock.charge("martingale_update")
         a_f = self.measure.score(latent, self._bag)
         p = self._pvalue(a_f)
+        self._c_frames.inc()
+        self._h_pvalue.observe(p)
         # Two-sided transform: under exchangeability p is uniform, so
         # p' = 2 * min(p, 1 - p) is uniform too; it is small both when the
         # frame is too strange (p near 0) and when it is too conformal
@@ -303,14 +322,21 @@ class DriftInspector:
         n = arr.shape[0]
         if n == 0:
             return []
+        with self.obs.span("di.observe_batch"):
+            return self._observe_batch_traced(arr, n, exact_embed)
+
+    def _observe_batch_traced(self, arr: np.ndarray, n: int,
+                              exact_embed: bool) -> List[DriftDecision]:
         if self.embedder is not None:
             if self.clock is not None:
                 self.clock.charge("vae_encode", times=n)
-            if exact_embed:
-                latents = np.stack(
-                    [self._embed_block(arr[i:i + 1])[0] for i in range(n)])
-            else:
-                latents = self._embed_block(arr)
+            with self.obs.span("di.embed_batch"):
+                if exact_embed:
+                    latents = np.stack(
+                        [self._embed_block(arr[i:i + 1])[0]
+                         for i in range(n)])
+                else:
+                    latents = self._embed_block(arr)
         else:
             latents = arr.reshape(n, -1)
         if self.clock is not None:
@@ -318,6 +344,8 @@ class DriftInspector:
             self.clock.charge("martingale_update", times=n)
         scores = self.measure.score_batch(latents, self._bag)
         ps = self._pvalue.batch(scores)
+        self._c_frames.inc(n)
+        self._h_pvalue.observe_many(ps)
         if self.config.two_sided:
             p_eff = 2.0 * np.minimum(ps, 1.0 - ps)
         else:

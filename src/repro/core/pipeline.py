@@ -33,8 +33,12 @@ from repro.faults.guard import (
     RetryPolicy,
 )
 from repro.faults.injectors import _with_pixels
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim.clock import SimulatedClock
 from repro.sim.metrics import FaultStats, InvocationCounter
+
+#: Fixed buckets for the per-detection selection-window-size histogram.
+_SELECTION_FRAMES_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass
@@ -115,6 +119,9 @@ class PipelineResult:
 
     ``faults`` carries the session's degradation accounting: guard verdicts
     (repaired / quarantined frames), retries, and circuit-breaker activity.
+    ``telemetry`` is the attached recorder's snapshot (the schema-validated
+    ``summary`` plus the retained event stream) -- ``None`` when the
+    pipeline ran with the default no-op recorder.
     """
 
     records: List[FrameRecord]
@@ -122,6 +129,7 @@ class PipelineResult:
     invocations: InvocationCounter
     simulated_ms: float
     faults: FaultStats = field(default_factory=FaultStats)
+    telemetry: Optional[dict] = None
 
     @property
     def predictions(self) -> np.ndarray:
@@ -157,6 +165,16 @@ class DriftAwareAnalytics:
         closest provisioned model (and the event is flagged ``novel=True``).
     clock:
         Optional simulated clock shared with the components.
+    recorder:
+        Optional :class:`~repro.obs.recorder.Recorder`.  The pipeline binds
+        its simulated clock to an unbound recorder, traces the DI / MSBI /
+        retrain stages as spans, and emits the logical event stream
+        (``session_start``, ``drift_detected``, ``model_deployed``, guard
+        interventions, retries, breaker transitions).  Recording is passive
+        and rolls back with the optimistic batched path, so attaching a
+        recorder cannot change any output, and a disabled recorder (the
+        default) costs only no-op calls.  Telemetry accumulates across
+        sessions like the simulated clock does.
     """
 
     def __init__(self, registry: ModelRegistry, initial_model: str,
@@ -164,7 +182,8 @@ class DriftAwareAnalytics:
                  annotator: Optional[Callable[[np.ndarray], np.ndarray]] = None,
                  trainer: Optional[ModelTrainer] = None,
                  config: Optional[PipelineConfig] = None,
-                 clock: Optional[SimulatedClock] = None) -> None:
+                 clock: Optional[SimulatedClock] = None,
+                 recorder: Optional[object] = None) -> None:
         self.registry = registry
         self.config = config or PipelineConfig()
         if not isinstance(selector, (MSBI, MSBO)):
@@ -176,8 +195,17 @@ class DriftAwareAnalytics:
         self.annotator = annotator
         self.trainer = trainer
         self.clock = clock or SimulatedClock()
-        self.guard = FrameGuard(policy=self.config.frame_policy)
-        self.breaker = CircuitBreaker(threshold=self.config.breaker_threshold)
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.obs.bind_clock(self.clock)
+        self._c_emitted = self.obs.counter("pipeline.frames_emitted")
+        self._c_detections = self.obs.counter("pipeline.detections")
+        self._h_selection_frames = self.obs.histogram(
+            "pipeline.selection_frames", _SELECTION_FRAMES_BUCKETS)
+        self.guard = FrameGuard(policy=self.config.frame_policy,
+                                observer=self._on_guard)
+        self.breaker = CircuitBreaker(threshold=self.config.breaker_threshold,
+                                      on_trip=self._on_breaker_trip,
+                                      on_close=self._on_breaker_close)
         self._retry_policy = RetryPolicy(
             max_retries=self.config.max_retries,
             backoff_ms=self.config.retry_backoff_ms)
@@ -195,7 +223,22 @@ class DriftAwareAnalytics:
             self._deployed.sigma,
             config=self.config.drift_inspector,
             embedder=self._deployed.vae,
-            clock=self.clock)
+            clock=self.clock,
+            recorder=self.obs)
+
+    # ------------------------------------------------------------------
+    # observability hooks (passive: they only record, never decide)
+    # ------------------------------------------------------------------
+    def _on_guard(self, status: str, index: int,
+                  reason: Optional[str]) -> None:
+        self.obs.event(f"frame_{status}", frame=index, reason=reason)
+
+    def _on_breaker_trip(self, breaker: CircuitBreaker) -> None:
+        self.obs.event("breaker_open", failures=breaker.failures,
+                       trips=breaker.trips)
+
+    def _on_breaker_close(self, breaker: CircuitBreaker) -> None:
+        self.obs.event("breaker_close", trips=breaker.trips)
 
     # ------------------------------------------------------------------
     def _predict(self, pixels: np.ndarray) -> int:
@@ -209,31 +252,35 @@ class DriftAwareAnalytics:
         the annotator); ``window`` their stacked pixel arrays.  Raises
         :class:`NovelDistribution` when no provisioned model fits.
         """
-        if isinstance(self.selector, MSBO):
-            labels = np.asarray(self.annotator(items), dtype=np.int64)
-            return self.selector.select(window, labels)
-        return self.selector.select(window)
+        with self.obs.span("selection.select"):
+            if isinstance(self.selector, MSBO):
+                labels = np.asarray(self.annotator(items), dtype=np.int64)
+                return self.selector.select(window, labels)
+            return self.selector.select(window)
 
     def _train_new(self, items: List[object]) -> str:
         """Build and register a bundle from collected post-drift items."""
-        pixels = np.stack([_pixels_of(item) for item in items])
-        labels = None
-        if self.annotator is not None:
-            labels = np.asarray(self.annotator(items), dtype=np.int64)
-        name = f"novel_{len(self.registry)}"
-        bundle = self.trainer.train_new_model(name, pixels, labels=labels)
-        self.registry.replace(bundle)
-        return name
+        with self.obs.span("selection.train"):
+            pixels = np.stack([_pixels_of(item) for item in items])
+            labels = None
+            if self.annotator is not None:
+                labels = np.asarray(self.annotator(items), dtype=np.int64)
+            name = f"novel_{len(self.registry)}"
+            bundle = self.trainer.train_new_model(name, pixels, labels=labels)
+            self.registry.replace(bundle)
+            return name
 
     def _fallback_model(self, window: np.ndarray) -> str:
-        best_name, best = None, float("inf")
-        for bundle in self.registry:
-            latents = bundle.embed(window)
-            centroid = bundle.sigma.mean(axis=0)
-            dist = float(np.sqrt(((latents - centroid) ** 2).sum(axis=1)).mean())
-            if dist < best:
-                best, best_name = dist, bundle.name
-        return best_name
+        with self.obs.span("selection.fallback"):
+            best_name, best = None, float("inf")
+            for bundle in self.registry:
+                latents = bundle.embed(window)
+                centroid = bundle.sigma.mean(axis=0)
+                dist = float(
+                    np.sqrt(((latents - centroid) ** 2).sum(axis=1)).mean())
+                if dist < best:
+                    best, best_name = dist, bundle.name
+            return best_name
 
     # ------------------------------------------------------------------
     # degraded resolution: retries + circuit breaker around the
@@ -241,6 +288,8 @@ class DriftAwareAnalytics:
     # ------------------------------------------------------------------
     def _count_retry(self, attempt: int, error: BaseException) -> None:
         self._faults.retries += 1
+        self.obs.event("retry", attempt=attempt,
+                       error=type(error).__name__)
 
     def _with_retries(self, fn):
         """Run a selector / trainer call under the retry policy.
@@ -313,6 +362,9 @@ class DriftAwareAnalytics:
         self.guard.reset()
         self.breaker.reset()
         self._start_ms = self.clock.elapsed_ms
+        self.obs.event("session_start", model=self._deployed.name,
+                       registry_size=len(self.registry))
+        self.obs.gauge("pipeline.registry_size").set(len(self.registry))
         self._buffer: List[object] = []
         self._mode = self._MODE_MONITOR
         self._index = 0
@@ -328,6 +380,7 @@ class DriftAwareAnalytics:
         record = FrameRecord(self._index, prediction, self._deployed.name)
         self._records.append(record)
         self._invocations.record([self._deployed.name])
+        self._c_emitted.inc()
         self._index += 1
         return record
 
@@ -346,6 +399,7 @@ class DriftAwareAnalytics:
                          for offset, prediction in enumerate(predictions)]
         self._records.extend(batch_records)
         self._invocations.record_repeat([name], len(batch_records))
+        self._c_emitted.inc(len(batch_records))
         self._index = start + len(batch_records)
         return batch_records
 
@@ -358,13 +412,22 @@ class DriftAwareAnalytics:
         window = np.stack([_pixels_of(entry) for entry in items])
         previous = self._deployed.name
         novel = novel_hint
-        if selected is None:
-            selected, novel = self._decide_model(items, window, novel_hint)
-        self._detections.append(DetectionEvent(
-            frame_index=self._index, previous_model=previous,
-            selected_model=selected, novel=novel,
-            selection_frames=len(items)))
-        self._deploy(selected)
+        with self.obs.span("selection.resolve"):
+            if selected is None:
+                selected, novel = self._decide_model(items, window, novel_hint)
+            self._detections.append(DetectionEvent(
+                frame_index=self._index, previous_model=previous,
+                selected_model=selected, novel=novel,
+                selection_frames=len(items)))
+            self.obs.event("drift_detected", frame=self._index,
+                           previous_model=previous, novel=novel,
+                           selection_frames=len(items))
+            self._c_detections.inc()
+            self._h_selection_frames.observe(float(len(items)))
+            self._deploy(selected)
+            self.obs.event("model_deployed", model=selected,
+                           registry_size=len(self.registry))
+            self.obs.gauge("pipeline.registry_size").set(len(self.registry))
         self._mode = self._MODE_MONITOR
         self._frames_since_swap = 0
         return [self._emit(pixels) for pixels in window]
@@ -512,6 +575,7 @@ class DriftAwareAnalytics:
             inspector_state = self.inspector.state_dict()
             saved_decisions = list(self.inspector.decisions)
             clock_state = self.clock.state_dict()
+            obs_state = self.obs.state_dict()
             decisions = self.inspector.observe_batch(pixels, exact_embed=True)
             if not any(d.drift for d in decisions):
                 self._frames_since_swap += pixels.shape[0]
@@ -520,6 +584,7 @@ class DriftAwareAnalytics:
             self.inspector.load_state_dict(inspector_state)
             self.inspector.decisions = saved_decisions
             self.clock.load_state_dict(clock_state)
+            self.obs.load_state_dict(obs_state)
             if admitted is None:
                 admitted = list(zip(chunk, pixels))
             for entry in admitted:
@@ -551,7 +616,8 @@ class DriftAwareAnalytics:
             records=self._records, detections=self._detections,
             invocations=self._invocations,
             simulated_ms=self.clock.elapsed_ms - self._start_ms,
-            faults=self._faults)
+            faults=self._faults,
+            telemetry=self.obs.snapshot())
 
     # ------------------------------------------------------------------
     def process(self, stream: Iterable[object]) -> PipelineResult:

@@ -52,3 +52,8 @@ class FleetError(ReproError):
 
 class BenchReportError(ReproError):
     """A benchmark report violates the BENCH_pipeline.json schema."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry summary violates the repro.obs report schema, or two
+    shard summaries cannot be merged (e.g. histogram boundary mismatch)."""

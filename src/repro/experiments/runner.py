@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Dict, List, Optional
+
+from repro.obs import Recorder, WallClock, format_summary
 
 from repro.experiments import (
     ablations,
@@ -121,13 +122,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         requested = ALL_EXPERIMENTS
     elif requested == ["everything"]:
         requested = ALL_EXPERIMENTS + EXTENSIONS
-    contexts = build_contexts(config)
-    start = time.time()
-    for exp_id in requested:
-        for result in run_experiment(exp_id, contexts, config):
-            print(result.format_table())
-            print()
-    print(f"[done in {time.time() - start:.0f}s]")
+    recorder = Recorder(clock=WallClock(), keep_events=False)
+    with recorder.span("run"):
+        with recorder.span("setup.contexts"):
+            contexts = build_contexts(config)
+        for exp_id in requested:
+            with recorder.span(f"experiment.{exp_id}"):
+                results = run_experiment(exp_id, contexts, config)
+            recorder.counter("experiments.tables").inc(len(results))
+            for result in results:
+                print(result.format_table())
+                print()
+    print(format_summary(recorder.summary(), title="experiment run"))
     return 0
 
 

@@ -28,6 +28,9 @@ GUARD_POLICIES = ("raise", "skip", "repair")
 OK = "ok"
 REPAIRED = "repaired"
 QUARANTINED = "quarantined"
+#: Observer-only verdict: the frame failed under the ``raise`` policy and
+#: a :class:`~repro.errors.FrameValidationError` is about to propagate.
+REJECTED = "rejected"
 
 
 @dataclass
@@ -51,11 +54,21 @@ class FrameGuard:
     from the last good frame (element-wise), and substitutes the last good
     frame outright for shape / dtype defects; with no good frame seen yet,
     repair degrades to quarantine.
+
+    ``observer`` (when set) is called as ``observer(status, index, reason)``
+    for every frame the guard *intervenes* on -- repaired, quarantined, or
+    rejected under the ``raise`` policy just before the error propagates.
+    Clean admissions stay silent: interventions are the logical events, and
+    firing per clean frame would make the batched fast path (which admits
+    whole clean chunks at once) emit a different stream than the scalar
+    path.  Observers must be passive; the guard ignores their return value.
     """
 
     def __init__(self, policy: str = "raise",
                  expected_shape: Optional[Tuple[int, ...]] = None,
-                 quarantine_capacity: int = 16) -> None:
+                 quarantine_capacity: int = 16,
+                 observer: Optional[Callable[[str, int, Optional[str]],
+                                             None]] = None) -> None:
         if policy not in GUARD_POLICIES:
             raise ConfigurationError(
                 f"policy must be one of {GUARD_POLICIES}, got {policy!r}")
@@ -64,6 +77,7 @@ class FrameGuard:
                 f"quarantine_capacity must be non-negative, "
                 f"got {quarantine_capacity}")
         self.policy = policy
+        self.observer = observer
         self.expected_shape = (tuple(expected_shape)
                                if expected_shape is not None else None)
         self._learned_shape = expected_shape is not None
@@ -107,6 +121,7 @@ class FrameGuard:
             return GuardReport(OK, pixels)
         self.reasons[defect] = self.reasons.get(defect, 0) + 1
         if self.policy == "raise":
+            self._notify(REJECTED, index, defect)
             raise FrameValidationError(
                 f"frame {index} failed validation: {defect}"
                 + (f" (expected shape {self.expected_shape}, "
@@ -117,9 +132,16 @@ class FrameGuard:
                                     self.last_good)
             else:
                 repaired = self.last_good.copy()
+            self._notify(REPAIRED, index, defect)
             return GuardReport(REPAIRED, repaired, defect)
         self.quarantine.append((index, defect))
+        self._notify(QUARANTINED, index, defect)
         return GuardReport(QUARANTINED, None, defect)
+
+    def _notify(self, status: str, index: int,
+                reason: Optional[str]) -> None:
+        if self.observer is not None:
+            self.observer(status, index, reason)
 
     def admit_batch(self, items: object) -> Optional[np.ndarray]:
         """Vectorized admission for a chunk of uniformly clean frames.
@@ -219,12 +241,23 @@ class CircuitBreaker:
     After ``threshold`` consecutive failures the breaker opens: the pipeline
     stops attempting selection and pins the nearest provisioned model until
     a recorded success closes the circuit.  ``trips`` counts open events.
+
+    ``on_trip`` / ``on_close`` (when set) observe the state *transitions*:
+    ``on_trip(breaker)`` fires exactly when the circuit opens and
+    ``on_close(breaker)`` exactly when a success closes an open circuit --
+    not on every failure or success -- so an observer sees the same
+    transition stream however the failures were batched.  Callbacks must be
+    passive; return values are ignored.
     """
 
     threshold: int = 3
     failures: int = 0
     trips: int = 0
     is_open: bool = field(default=False)
+    on_trip: Optional[Callable[["CircuitBreaker"], None]] = field(
+        default=None, repr=False, compare=False)
+    on_close: Optional[Callable[["CircuitBreaker"], None]] = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.threshold <= 0:
@@ -236,10 +269,15 @@ class CircuitBreaker:
         if not self.is_open and self.failures >= self.threshold:
             self.is_open = True
             self.trips += 1
+            if self.on_trip is not None:
+                self.on_trip(self)
 
     def record_success(self) -> None:
+        was_open = self.is_open
         self.failures = 0
         self.is_open = False
+        if was_open and self.on_close is not None:
+            self.on_close(self)
 
     def reset(self) -> None:
         """Zero all counters (new session)."""

@@ -1,0 +1,198 @@
+"""Deterministic metric primitives: counters, gauges, histograms.
+
+All three instruments are pure accumulators -- they never read wall-clock
+time or random state, so recording them cannot perturb a pipeline run and
+their values are a pure function of the observations fed in.  Histograms
+use *fixed* bucket boundaries chosen at creation time (Prometheus-style
+cumulative-free buckets): the same observation stream always lands in the
+same buckets regardless of arrival order or batching.
+
+:class:`MetricsRegistry` is the namespace: instruments are created lazily
+by name, re-requests return the existing instrument, and a name can only
+ever hold one instrument kind.  Snapshots serialize in sorted-name order
+so two registries fed the same observations compare equal as plain dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default histogram boundaries for millisecond-scale durations.
+DEFAULT_MS_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                      250.0, 500.0, 1000.0)
+
+#: Default histogram boundaries for probabilities / p-values.
+DEFAULT_P_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (last write wins)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary histogram: ``len(boundaries) + 1`` buckets.
+
+    An observation ``v`` lands in bucket ``i`` when
+    ``boundaries[i-1] < v <= boundaries[i]`` (the final bucket is the
+    ``> boundaries[-1]`` overflow).  Boundaries are frozen at creation so
+    bucketing is independent of the observation stream.
+    """
+
+    def __init__(self, name: str,
+                 boundaries: Sequence[float] = DEFAULT_MS_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one boundary")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} boundaries must be strictly "
+                f"increasing: {bounds}")
+        self.name = name
+        self.boundaries = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[self._bucket(value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def _bucket(self, value: float) -> int:
+        """Index of the half-open bucket ``(b[i-1], b[i]]`` holding
+        ``value`` (``bisect_left`` over the boundaries)."""
+        lo, hi = 0, len(self.boundaries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.boundaries[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Observe every value; state ends identical to a scalar loop."""
+        for value in values:
+            self.observe(float(value))
+
+
+class MetricsRegistry:
+    """Named instrument namespace with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _claim(self, name: str, kind: str) -> None:
+        owners = {"counter": self._counters, "gauge": self._gauges,
+                  "histogram": self._histograms}
+        for other, table in owners.items():
+            if other != kind and name in table:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {other}")
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._claim(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._claim(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str,
+                  boundaries: Optional[Sequence[float]] = None) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if (boundaries is not None
+                    and tuple(float(b) for b in boundaries)
+                    != existing.boundaries):
+                raise ConfigurationError(
+                    f"histogram {name!r} already registered with boundaries "
+                    f"{existing.boundaries}")
+            return existing
+        self._claim(name, "histogram")
+        self._histograms[name] = Histogram(
+            name, boundaries if boundaries is not None else DEFAULT_MS_BUCKETS)
+        return self._histograms[name]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument, keys sorted."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {"boundaries": list(h.boundaries),
+                       "counts": list(h.counts),
+                       "total": h.total,
+                       "sum": h.sum}
+                for name, h in sorted(self._histograms.items())},
+        }
+
+    def state_dict(self) -> dict:
+        """Restorable snapshot (used by the pipeline's optimistic batched
+        path to roll metrics back alongside the inspector and clock)."""
+        return self.snapshot()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore instrument values captured by :meth:`state_dict`.
+
+        Instruments present in the registry but absent from the snapshot
+        are reset to zero (they did not exist at capture time).
+        """
+        counters = state.get("counters", {})
+        for name, counter in self._counters.items():
+            counter.value = float(counters.get(name, 0.0))
+        gauges = state.get("gauges", {})
+        for name, gauge in self._gauges.items():
+            gauge.value = float(gauges.get(name, 0.0))
+        histograms = state.get("histograms", {})
+        for name, histogram in self._histograms.items():
+            entry = histograms.get(name)
+            if entry is None:
+                histogram.counts = [0] * (len(histogram.boundaries) + 1)
+                histogram.total = 0
+                histogram.sum = 0.0
+            else:
+                histogram.counts = [int(c) for c in entry["counts"]]
+                histogram.total = int(entry["total"])
+                histogram.sum = float(entry["sum"])

@@ -1,0 +1,101 @@
+"""A dependency-free JSON-Schema-subset walker shared by report contracts.
+
+Both machine-readable report formats in the repo -- the
+``BENCH_pipeline.json`` performance report (:mod:`repro.parallel.report`)
+and the telemetry summary (:mod:`repro.obs.report`) -- validate their
+documents with this walker.  It implements the subset of JSON Schema the
+contracts use: ``type``, ``required``, ``properties``,
+``additionalProperties`` (``False`` or a sub-schema for map-like objects),
+``items``, ``enum``, ``minimum``, ``exclusiveMinimum``.
+
+When the ``jsonschema`` package is importable, callers may additionally
+cross-check with :func:`cross_check` to guard the hand-rolled walker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass in Python; a schema integer must reject it
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+    "null": lambda v: v is None,
+}
+
+
+def walk_schema(value: object, schema: dict, path: str,
+                errors: List[str]) -> None:
+    """Append a message to ``errors`` for every way ``value`` violates
+    ``schema``; ``path`` locates the value inside the document."""
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in allowed):
+            errors.append(
+                f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "exclusiveMinimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value <= schema["exclusiveMinimum"]:
+            errors.append(
+                f"{path}: {value} <= exclusiveMinimum "
+                f"{schema['exclusiveMinimum']}")
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties")
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        if additional is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{path}: unexpected key {name!r}")
+        elif isinstance(additional, dict):
+            # map-like object: free keys, uniform value schema
+            for name, entry in value.items():
+                if name not in properties:
+                    walk_schema(entry, additional, f"{path}.{name}", errors)
+        for name, subschema in properties.items():
+            if name in value:
+                walk_schema(value[name], subschema, f"{path}.{name}", errors)
+    elif isinstance(value, list) and "items" in schema:
+        for i, entry in enumerate(value):
+            walk_schema(entry, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_document(document: object, schema: dict, label: str,
+                      error_cls: Type[Exception]) -> None:
+    """Raise ``error_cls`` unless ``document`` satisfies ``schema``."""
+    errors: List[str] = []
+    walk_schema(document, schema, "$", errors)
+    if errors:
+        raise error_cls(
+            f"{label} violates schema:\n  " + "\n  ".join(errors))
+
+
+def cross_check(document: object, schema: dict, label: str,
+                error_cls: Type[Exception]) -> Optional[bool]:
+    """Re-validate with the ``jsonschema`` package when it is installed
+    (guards the hand-rolled walker); returns ``None`` when unavailable."""
+    try:
+        import jsonschema
+    except ImportError:
+        return None
+    try:
+        jsonschema.validate(document, schema)
+    except jsonschema.ValidationError as exc:
+        raise error_cls(
+            f"{label} violates schema (jsonschema): {exc.message}") from exc
+    return True

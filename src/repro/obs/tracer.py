@@ -1,0 +1,111 @@
+"""Span-based stage tracing over an injectable clock.
+
+The tracer measures *where time goes* without owning a notion of time
+itself: any object exposing an ``elapsed_ms`` property is a clock, so
+tests and pipelines trace against :class:`repro.sim.clock.SimulatedClock`
+(bit-reproducible spans) while the experiments runner traces against
+:class:`WallClock` (real durations).  Spans nest: entering a span while
+another is open records the parent name and depth, giving the
+DI -> MSBI -> retrain loop its stage breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+class WallClock:
+    """Real time as an ``elapsed_ms`` clock (``time.perf_counter``)."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (time.perf_counter() - self._start) * 1000.0
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) stage timing."""
+
+    name: str
+    start_ms: float
+    depth: int
+    parent: Optional[str] = None
+    end_ms: Optional[float] = None
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+
+class Tracer:
+    """Nested stage timing against a pluggable ``elapsed_ms`` clock.
+
+    ``on_close`` (when given) receives every completed :class:`Span` --
+    the :class:`~repro.obs.recorder.Recorder` uses it to fold spans into
+    its event stream and per-name aggregates.
+    """
+
+    def __init__(self, clock: Optional[object] = None,
+                 on_close: Optional[Callable[[Span], None]] = None) -> None:
+        self.clock = clock
+        self.on_close = on_close
+        self._stack: List[Span] = []
+
+    def _now(self) -> float:
+        if self.clock is None:
+            return 0.0
+        return float(self.clock.elapsed_ms)
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str) -> "_SpanContext":
+        """Context manager timing a stage; yields the open :class:`Span`."""
+        return _SpanContext(self, name)
+
+    def _open(self, name: str) -> Span:
+        parent = self._stack[-1].name if self._stack else None
+        span = Span(name=name, start_ms=self._now(),
+                    depth=len(self._stack), parent=parent)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            # unwinding out of order (an exception escaped a nested span):
+            # pop until we find it so the stack cannot corrupt
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        span.end_ms = self._now()
+        if self.on_close is not None:
+            self.on_close(span)
+
+
+class _SpanContext:
+    def __init__(self, tracer: Tracer, name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._close(self._span)

@@ -26,6 +26,7 @@ from repro.parallel.fleet import (
     FleetTask,
     FleetTaskResult,
     SimulatedWorkerCrash,
+    fleet_telemetry,
     stream_seed,
 )
 from repro.parallel.report import (
@@ -41,6 +42,7 @@ __all__ = [
     "FleetTask",
     "FleetTaskResult",
     "SimulatedWorkerCrash",
+    "fleet_telemetry",
     "stream_seed",
     "BENCH_SCHEMA",
     "load_bench_report",

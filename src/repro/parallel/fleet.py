@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.checkpoint import apply_session_state, session_state
 from repro.core.pipeline import DriftAwareAnalytics, PipelineResult
 from repro.errors import ConfigurationError, FleetError
+from repro.obs.report import merge_telemetry
 from repro.nn.serialization import load_manifest_archive, save_manifest_archive
 from repro.rng import stable_hash
 
@@ -97,6 +98,29 @@ class _TaskFailure:
 
 
 PipelineFactory = Callable[[FleetTask, int], DriftAwareAnalytics]
+
+
+def fleet_telemetry(
+        results: Sequence[FleetTaskResult]) -> Optional[dict]:
+    """Merge per-stream telemetry summaries into one fleet summary.
+
+    Each worker's pipeline carries its own recorder; its summary travels
+    back inside :attr:`PipelineResult.telemetry`.  Merging in submission
+    order (the order :meth:`FleetExecutor.run` already guarantees) makes
+    the fleet-level summary independent of worker count and scheduling:
+    counters, event counts, histogram buckets and span aggregates add,
+    so ``workers=0`` and ``workers=N`` produce the same document.
+
+    Returns ``None`` when no stream carried telemetry (pipelines built
+    without a recorder).  Raises :class:`~repro.errors.TelemetryError`
+    when shard summaries are incompatible (e.g. histogram boundary
+    mismatch between factory configurations).
+    """
+    summaries = [r.result.telemetry["summary"] for r in results
+                 if r.result.telemetry is not None]
+    if not summaries:
+        return None
+    return merge_telemetry(summaries)
 
 
 def _checkpoint_path(checkpoint_dir: str, task: FleetTask) -> str:

@@ -8,19 +8,18 @@ read/write helpers that refuse to produce or accept a malformed report.
 ``scripts/check.sh`` validates the committed report on every run, so a
 schema drift fails CI rather than silently rotting the benchmark data.
 
-The validator implements the subset of JSON Schema the contract uses
-(``type``, ``required``, ``properties``, ``additionalProperties``,
-``items``, ``enum``, ``minimum``, ``exclusiveMinimum``).  When the
-``jsonschema`` package is importable the document is additionally checked
-against :data:`BENCH_SCHEMA` with it, guarding the hand-rolled walker.
+Validation runs on the shared :mod:`repro.obs.schema` walker (the same
+one behind the telemetry summary contract).  When the ``jsonschema``
+package is importable the document is additionally checked against
+:data:`BENCH_SCHEMA` with it, guarding the hand-rolled walker.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List
 
 from repro.errors import BenchReportError
+from repro.obs.schema import cross_check, validate_document
 
 _MODE_ENTRY = {
     "type": "object",
@@ -99,71 +98,12 @@ BENCH_SCHEMA = {
     },
 }
 
-_TYPE_CHECKS = {
-    "object": lambda v: isinstance(v, dict),
-    "array": lambda v: isinstance(v, list),
-    "string": lambda v: isinstance(v, str),
-    "boolean": lambda v: isinstance(v, bool),
-    # bool is an int subclass in Python; a schema integer must reject it
-    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
-    "number": lambda v: (isinstance(v, (int, float))
-                         and not isinstance(v, bool)),
-}
-
-
-def _validate(value: object, schema: dict, path: str,
-              errors: List[str]) -> None:
-    expected = schema.get("type")
-    if expected is not None and not _TYPE_CHECKS[expected](value):
-        errors.append(
-            f"{path}: expected {expected}, got {type(value).__name__}")
-        return
-    if "enum" in schema and value not in schema["enum"]:
-        errors.append(f"{path}: {value!r} not in {schema['enum']}")
-    if "minimum" in schema and isinstance(value, (int, float)):
-        if value < schema["minimum"]:
-            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
-    if "exclusiveMinimum" in schema and isinstance(value, (int, float)):
-        if value <= schema["exclusiveMinimum"]:
-            errors.append(
-                f"{path}: {value} <= exclusiveMinimum "
-                f"{schema['exclusiveMinimum']}")
-    if expected == "object":
-        properties = schema.get("properties", {})
-        for name in schema.get("required", []):
-            if name not in value:
-                errors.append(f"{path}: missing required key {name!r}")
-        if schema.get("additionalProperties") is False:
-            for name in value:
-                if name not in properties:
-                    errors.append(f"{path}: unexpected key {name!r}")
-        for name, subschema in properties.items():
-            if name in value:
-                _validate(value[name], subschema, f"{path}.{name}", errors)
-    elif expected == "array" and "items" in schema:
-        for i, entry in enumerate(value):
-            _validate(entry, schema["items"], f"{path}[{i}]", errors)
-
-
 def validate_bench_report(report: object) -> None:
     """Raise :class:`BenchReportError` unless ``report`` satisfies
     :data:`BENCH_SCHEMA`; also cross-checks with ``jsonschema`` when that
     package is available."""
-    errors: List[str] = []
-    _validate(report, BENCH_SCHEMA, "$", errors)
-    if errors:
-        raise BenchReportError(
-            "bench report violates schema:\n  " + "\n  ".join(errors))
-    try:
-        import jsonschema
-    except ImportError:
-        return
-    try:
-        jsonschema.validate(report, BENCH_SCHEMA)
-    except jsonschema.ValidationError as exc:
-        raise BenchReportError(
-            f"bench report violates schema (jsonschema): {exc.message}"
-        ) from exc
+    validate_document(report, BENCH_SCHEMA, "bench report", BenchReportError)
+    cross_check(report, BENCH_SCHEMA, "bench report", BenchReportError)
 
 
 def write_bench_report(path: str, report: dict) -> None:

@@ -1,0 +1,1 @@
+"""Tests for the statistical drift-detection baselines."""

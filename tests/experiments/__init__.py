@@ -1,0 +1,1 @@
+"""Tests for the experiment harness and CLI."""

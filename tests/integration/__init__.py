@@ -1,0 +1,1 @@
+"""End-to-end integration tests for the drift-aware pipeline."""

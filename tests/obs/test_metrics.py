@@ -1,0 +1,136 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms, registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_half_open(self):
+        histogram = Histogram("h", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.0):   # both land in bucket 0 (<= 1.0)
+            histogram.observe(value)
+        histogram.observe(1.5)     # (1.0, 2.0]
+        histogram.observe(2.0)     # boundary value stays in its bucket
+        histogram.observe(3.0)     # overflow
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.total == 5
+        assert histogram.sum == pytest.approx(8.0)
+
+    def test_bucket_count_is_boundaries_plus_one(self):
+        histogram = Histogram("h")
+        assert len(histogram.counts) == len(DEFAULT_MS_BUCKETS) + 1
+
+    def test_rejects_empty_boundaries(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            Histogram("h", boundaries=())
+
+    def test_rejects_non_increasing_boundaries(self):
+        with pytest.raises(ConfigurationError, match="strictly"):
+            Histogram("h", boundaries=(1.0, 1.0, 2.0))
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                     allow_nan=False), max_size=80))
+    def test_observe_many_matches_scalar_loop(self, values):
+        scalar = Histogram("a", boundaries=(0.0, 10.0, 100.0))
+        batched = Histogram("b", boundaries=(0.0, 10.0, 100.0))
+        for value in values:
+            scalar.observe(value)
+        batched.observe_many(values)
+        assert batched.counts == scalar.counts
+        assert batched.total == scalar.total
+        assert batched.sum == scalar.sum
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_every_observation_lands_in_exactly_one_bucket(self, value):
+        histogram = Histogram("h", boundaries=(-10.0, 0.0, 10.0))
+        histogram.observe(value)
+        assert sum(histogram.counts) == 1
+        index = histogram.counts.index(1)
+        if index > 0:
+            assert value > histogram.boundaries[index - 1]
+        if index < len(histogram.boundaries):
+            assert value <= histogram.boundaries[index]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_cross_kind_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("metric")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.histogram("metric")
+
+    def test_histogram_boundary_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ConfigurationError, match="boundaries"):
+            registry.histogram("h", boundaries=(1.0, 3.0))
+        # re-request without boundaries returns the existing instrument
+        assert registry.histogram("h").boundaries == (1.0, 2.0)
+
+    def test_snapshot_is_sorted_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(-1.5)
+        registry.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["gauges"] == {"g": -1.5}
+        assert snapshot["histograms"]["h"] == {
+            "boundaries": [1.0], "counts": [1, 0], "total": 1, "sum": 0.5}
+
+    def test_state_dict_round_trip_restores_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h", boundaries=(1.0,)).observe(0.5)
+        state = registry.state_dict()
+        registry.counter("c").inc(10)
+        registry.counter("late").inc(7)   # did not exist at capture time
+        registry.histogram("h").observe(2.0)
+        registry.load_state_dict(state)
+        assert registry.counter("c").value == 3
+        assert registry.counter("late").value == 0
+        assert registry.histogram("h").counts == [1, 0]

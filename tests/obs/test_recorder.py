@@ -1,0 +1,190 @@
+"""Recorder: events, sequence numbers, rollback, sinks, the null object."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LOGICAL,
+    TIMING,
+    JsonlSink,
+    MemorySink,
+    NullRecorder,
+    Recorder,
+    logical_events,
+)
+from repro.obs.recorder import NULL_RECORDER
+from repro.sim.clock import SimulatedClock
+
+
+class TestEvents:
+    def test_event_carries_category_sequence(self):
+        recorder = Recorder()
+        first = recorder.event("drift_detected", frame=10)
+        with recorder.span("stage"):
+            pass
+        second = recorder.event("model_deployed", model="high")
+        assert (first["seq"], first["cat"]) == (0, LOGICAL)
+        assert (second["seq"], second["cat"]) == (1, LOGICAL)
+        # the span event consumed the timing sequence, not the logical one
+        timing = [e for e in recorder.events if e["cat"] == TIMING]
+        assert [e["seq"] for e in timing] == [0]
+
+    def test_timestamps_come_from_bound_clock(self):
+        clock = SimulatedClock()
+        recorder = Recorder()
+        recorder.bind_clock(clock)
+        clock.charge_ms("work", 7.0)
+        assert recorder.event("e")["ts_ms"] == 7.0
+
+    def test_bind_clock_does_not_override_existing(self):
+        clock = SimulatedClock()
+        recorder = Recorder(clock=clock)
+        recorder.bind_clock(SimulatedClock())
+        assert recorder.clock is clock
+        assert recorder.tracer.clock is clock
+
+    def test_unbound_recorder_stamps_zero(self):
+        assert Recorder().event("e")["ts_ms"] == 0.0
+
+    def test_keep_events_false_counts_without_retaining(self):
+        recorder = Recorder(keep_events=False)
+        recorder.event("a")
+        recorder.event("a")
+        assert recorder.events == []
+        summary = recorder.summary()
+        assert summary["events"]["logical"] == 2
+        assert summary["events"]["by_kind"] == {"a": 2}
+        assert recorder.flush(MemorySink()) == 0
+
+    def test_logical_events_strips_timing_fields(self):
+        recorder = Recorder(clock=SimulatedClock())
+        recorder.event("drift_detected", frame=3)
+        with recorder.span("stage"):
+            pass
+        stream = logical_events(recorder.events)
+        assert stream == [{"seq": 0, "cat": LOGICAL,
+                           "kind": "drift_detected", "frame": 3}]
+        # the snapshot form is accepted too
+        assert logical_events(recorder.snapshot()) == stream
+
+
+class TestSpansFoldIntoSummary:
+    def test_span_stats_accumulate(self):
+        clock = SimulatedClock()
+        recorder = Recorder(clock=clock)
+        for cost in (2.0, 5.0):
+            with recorder.span("stage"):
+                clock.charge_ms("work", cost)
+        stats = recorder.summary()["spans"]["stage"]
+        assert stats == {"count": 2, "total_ms": 7.0, "max_ms": 5.0}
+
+
+class TestRollback:
+    def test_load_state_dict_truncates_events_and_aggregates(self):
+        clock = SimulatedClock()
+        recorder = Recorder(clock=clock)
+        recorder.counter("c").inc()
+        recorder.event("kept")
+        state = recorder.state_dict()
+
+        recorder.counter("c").inc(5)
+        recorder.event("rolled_back")
+        with recorder.span("abandoned"):
+            clock.charge_ms("work", 3.0)
+        recorder.load_state_dict(state)
+
+        assert [e["kind"] for e in recorder.events] == ["kept"]
+        summary = recorder.summary()
+        assert summary["counters"] == {"c": 1.0}
+        assert summary["events"]["by_kind"] == {"kept": 1}
+        assert summary["spans"] == {}
+        # sequence numbers resume where the restore point left them
+        assert recorder.event("next")["seq"] == 1
+
+    def test_rollback_then_replay_is_equivalent_to_straight_run(self):
+        def run(rollback: bool) -> dict:
+            clock = SimulatedClock()
+            recorder = Recorder(clock=clock)
+            recorder.event("start")
+            if rollback:
+                state = recorder.state_dict()
+                recorder.event("speculative")
+                recorder.counter("c").inc(9)
+                recorder.load_state_dict(state)
+            recorder.event("end")
+            recorder.counter("c").inc()
+            return recorder.snapshot()
+
+        assert run(rollback=True) == run(rollback=False)
+
+
+class TestSinks:
+    def test_flush_is_incremental_and_rollback_safe(self):
+        sink = MemorySink()
+        recorder = Recorder(sink=sink)
+        recorder.event("a")
+        assert recorder.flush() == 1
+        state = recorder.state_dict()
+        recorder.event("rolled_back")
+        recorder.load_state_dict(state)
+        recorder.event("b")
+        assert recorder.flush() == 1
+        assert [e["kind"] for e in sink.events] == ["a", "b"]
+        assert recorder.flush() == 0  # nothing pending
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        recorder = Recorder(sink=sink)
+        recorder.event("a", frame=1)
+        recorder.event("b", frame=2)
+        recorder.flush()
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [e["kind"] for e in parsed] == ["a", "b"]
+        assert sink.written == 2
+        # appending across flushes keeps one document per line
+        recorder.event("c")
+        recorder.flush()
+        assert len(path.read_text().splitlines()) == 3
+
+
+class TestNullRecorder:
+    def test_every_call_is_a_harmless_no_op(self):
+        null = NullRecorder()
+        assert null.enabled is False
+        null.bind_clock(SimulatedClock())
+        assert null.event("e", frame=1) is None
+        null.counter("c").inc()
+        null.gauge("g").set(3.0)
+        null.gauge("g").dec()
+        null.histogram("h", (1.0,)).observe(0.5)
+        null.histogram("h").observe_many([1.0, 2.0])
+        with null.span("stage"):
+            pass
+        null.load_state_dict(null.state_dict())
+        assert null.state_dict() is None
+        assert null.flush(MemorySink()) == 0
+        assert null.summary() is None
+        assert null.snapshot() is None
+
+    def test_shared_instance_exists(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+
+class TestSummaryShape:
+    def test_summary_totals_are_consistent(self):
+        clock = SimulatedClock()
+        recorder = Recorder(clock=clock)
+        recorder.event("a")
+        recorder.event("a")
+        with recorder.span("stage"):
+            clock.charge_ms("work", 1.0)
+        summary = recorder.summary()
+        events = summary["events"]
+        assert events["total"] == events["logical"] + events["timing"]
+        assert sum(events["by_kind"].values()) == events["total"]
+        assert summary["schema_version"] == 1

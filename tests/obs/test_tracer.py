@@ -1,0 +1,68 @@
+"""Tracer: nested spans over an injectable ``elapsed_ms`` clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Span, Tracer, WallClock
+from repro.sim.clock import SimulatedClock
+
+
+class TestTracer:
+    def test_span_measures_simulated_time(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock)
+        with tracer.span("stage") as span:
+            clock.charge_ms("work", 12.5)
+        assert span.start_ms == 0.0
+        assert span.end_ms == 12.5
+        assert span.duration_ms == 12.5
+
+    def test_nesting_records_parent_and_depth(self):
+        clock = SimulatedClock()
+        closed = []
+        tracer = Tracer(clock, on_close=closed.append)
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+                assert tracer.current is inner
+                clock.charge_ms("work", 1.0)
+        assert tracer.depth == 0
+        assert [span.name for span in closed] == ["inner", "outer"]
+        assert closed[0].parent == "outer"
+        assert closed[0].depth == 1
+        assert closed[1].parent is None
+        assert closed[1].depth == 0
+
+    def test_exception_unwinds_span_stack(self):
+        tracer = Tracer(SimulatedClock())
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.depth == 0
+        # the tracer is reusable after the unwind
+        with tracer.span("again") as span:
+            pass
+        assert span.depth == 0
+
+    def test_unbound_tracer_stamps_zero(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            pass
+        assert span.start_ms == 0.0
+        assert span.duration_ms == 0.0
+
+    def test_open_span_reports_zero_duration(self):
+        span = Span(name="open", start_ms=5.0, depth=0)
+        assert span.duration_ms == 0.0
+
+
+class TestWallClock:
+    def test_elapsed_is_monotone_nondecreasing(self):
+        clock = WallClock()
+        first = clock.elapsed_ms
+        second = clock.elapsed_ms
+        assert first >= 0.0
+        assert second >= first

@@ -45,13 +45,15 @@ def make_registry(seed: int = 777) -> ModelRegistry:
 
 
 def make_pipeline(seed: int = 0,
-                  registry: ModelRegistry = None) -> DriftAwareAnalytics:
+                  registry: ModelRegistry = None,
+                  recorder=None) -> DriftAwareAnalytics:
     registry = registry if registry is not None else make_registry()
     config = PipelineConfig(
         selection_window=8,
         drift_inspector=DriftInspectorConfig(seed=seed))
     selector = MSBI(registry, MSBIConfig(window_size=8, seed=seed))
-    return DriftAwareAnalytics(registry, "low", selector, config=config)
+    return DriftAwareAnalytics(registry, "low", selector, config=config,
+                               recorder=recorder)
 
 
 def gaussian_stream(seed: int, segments) -> np.ndarray:
