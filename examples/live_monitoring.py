@@ -7,7 +7,12 @@ frames flow through, a drift pauses emission while the selection window
 buffers, and the swap releases the buffered frames under the new model.
 
 Run:  python examples/live_monitoring.py
+(``--quick`` or ``REPRO_EXAMPLE_QUICK=1`` shrinks the dataset and the
+training budget for smoke runs, e.g. from ``scripts/check.sh``.)
 """
+
+import os
+import sys
 
 from repro.core.drift_inspector import DriftInspectorConfig
 from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
@@ -17,7 +22,11 @@ from repro.video.datasets import make_bdd
 
 
 def main() -> None:
-    config = fast_config()
+    quick = ("--quick" in sys.argv[1:]
+             or bool(os.environ.get("REPRO_EXAMPLE_QUICK")))
+    config = (fast_config(scale=150.0, train_frames=120, vae_epochs=2,
+                          classifier_epochs=4)
+              if quick else fast_config())
     dataset = make_bdd(scale=config.scale, frame_size=config.frame_size)
     context = ExperimentContext(dataset, config)
     print("training per-condition bundles ...")

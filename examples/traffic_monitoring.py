@@ -7,7 +7,12 @@ simulated processing cost, and contrasts it with ODIN's per-frame
 cluster-driven selection.
 
 Run:  python examples/traffic_monitoring.py
+(``--quick`` or ``REPRO_EXAMPLE_QUICK=1`` shrinks the dataset and the
+training budget for smoke runs, e.g. from ``scripts/check.sh``.)
 """
+
+import os
+import sys
 
 from repro.baselines.odin.detect import OdinConfig
 from repro.baselines.odin.system import OdinAnalytics
@@ -21,7 +26,11 @@ from repro.video.datasets import make_detrac
 
 
 def main() -> None:
-    config = fast_config()
+    quick = ("--quick" in sys.argv[1:]
+             or bool(os.environ.get("REPRO_EXAMPLE_QUICK")))
+    config = (fast_config(scale=150.0, train_frames=120, vae_epochs=2,
+                          classifier_epochs=4, ensemble_epochs=2)
+              if quick else fast_config())
     dataset = make_detrac(scale=config.scale, frame_size=config.frame_size)
     context = ExperimentContext(dataset, config)
     query = CountQuery(dataset.num_count_classes, dataset.count_bucket_width)

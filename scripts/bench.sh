@@ -1,12 +1,35 @@
 #!/usr/bin/env bash
-# Run the pipeline performance harness and refresh BENCH_pipeline.json.
+# Run the benchmark harnesses and refresh the committed reports.
 #
-#   scripts/bench.sh            full run (writes BENCH_pipeline.json)
-#   scripts/bench.sh --quick    short streams, for CI smoke / local sanity
+#   scripts/bench.sh [perf]  [args...]   pipeline harness -> BENCH_pipeline.json
+#   scripts/bench.sh serve   [args...]   serving sweep    -> BENCH_serve.json
+#   scripts/bench.sh all     [args...]   both, same args forwarded to each
 #
-# Extra arguments are forwarded to benchmarks/bench_perf.py (e.g.
-# --output /tmp/report.json --batch-size 128 --workers 2).
+# With no subcommand (or when the first argument is a flag) the pipeline
+# harness runs, so existing `scripts/bench.sh --quick` invocations keep
+# working.  Extra arguments are forwarded to the harness (e.g. --quick,
+# --output /tmp/report.json).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-PYTHONPATH=src python benchmarks/bench_perf.py "$@"
+
+subcommand="perf"
+case "${1:-}" in
+    perf|serve|all)
+        subcommand="$1"
+        shift
+        ;;
+esac
+
+case "$subcommand" in
+    perf)
+        PYTHONPATH=src python benchmarks/bench_perf.py "$@"
+        ;;
+    serve)
+        PYTHONPATH=src python benchmarks/bench_serve.py "$@"
+        ;;
+    all)
+        PYTHONPATH=src python benchmarks/bench_perf.py "$@"
+        PYTHONPATH=src python benchmarks/bench_serve.py "$@"
+        ;;
+esac

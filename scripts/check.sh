@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo health check: byte-compile the library, run the tier-1 suite (with
 # slowest-test timings), the chaos/fault suite, an optional coverage floor,
-# and a benchmark smoke pass.  Run from the repo root:  bash scripts/check.sh
+# an examples smoke pass, and benchmark/schema smoke passes.  Run from the
+# repo root:  bash scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,10 +17,10 @@ python -m pytest -x -q --durations=10
 echo "== chaos suite =="
 python -m pytest -x -q tests/faults
 
-echo "== coverage floor (repro.core + repro.parallel) =="
+echo "== coverage floor (repro.core + repro.parallel + repro.serve) =="
 if python -c "import coverage" >/dev/null 2>&1; then
     python -m coverage run --branch \
-        --include="src/repro/core/*,src/repro/parallel/*" \
+        --include="src/repro/core/*,src/repro/parallel/*,src/repro/serve/*" \
         -m pytest -q tests
     python -m coverage report --fail-under=85
 else
@@ -37,9 +38,8 @@ print(f"golden telemetry valid ({events['logical']} logical / "
 PY
 # ... and a live instrumented run must still emit a valid summary
 python - <<'PY'
-import numpy as np
 from repro.obs import Recorder, validate_telemetry
-from tests.parallel.conftest import gaussian_stream, make_pipeline
+from repro.testing import gaussian_stream, make_pipeline
 
 pipeline = make_pipeline(seed=0, recorder=Recorder())
 result = pipeline.process(gaussian_stream(31, [(0.0, 60), (6.0, 60)]))
@@ -47,8 +47,30 @@ validate_telemetry(result.telemetry["summary"])
 print("live telemetry summary OK")
 PY
 
-echo "== bench report =="
-# the committed report must satisfy the schema ...
+echo "== serve schema =="
+# both committed serving documents must satisfy the SERVE_SCHEMA contract
+python - <<'PY'
+from repro.serve import load_serve_report
+golden = load_serve_report("tests/golden/serve_slo.json")
+report = load_serve_report("BENCH_serve.json")
+overload = report["sweep"][-1]["totals"]
+print(f"serve reports valid (golden + BENCH_serve.json: "
+      f"{overload['throughput_fps']:.1f} fps at "
+      f"{report['sweep'][-1]['offered_load']}x offered load, "
+      f"capacity {report['capacity_fps']:.1f} fps)")
+PY
+
+echo "== examples smoke =="
+# every example must run end to end in quick mode
+for example in examples/*.py; do
+    echo "-- $example"
+    REPRO_EXAMPLE_QUICK=1 python "$example" > /dev/null \
+        || { echo "$example failed"; exit 1; }
+done
+echo "examples smoke pass OK"
+
+echo "== bench reports =="
+# the committed pipeline report must satisfy the schema ...
 python - <<'PY'
 from repro.parallel import load_bench_report
 report = load_bench_report("BENCH_pipeline.json")
@@ -56,7 +78,7 @@ batched = report["modes"]["batched"]
 print(f"BENCH_pipeline.json valid "
       f"(batched {batched['speedup_vs_sequential']}x sequential)")
 PY
-# ... and the harness must still run end to end and emit a valid one
+# ... and both harnesses must still run end to end and emit valid reports
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 bash scripts/bench.sh --quick --output "$smoke_dir/bench_smoke.json" \
@@ -67,7 +89,20 @@ import sys
 from repro.parallel import load_bench_report
 report = load_bench_report(sys.argv[1])
 assert report["quick"], "smoke pass must be flagged quick"
-print("bench smoke pass OK")
+print("pipeline bench smoke pass OK")
+PY
+bash scripts/bench.sh serve --quick --output "$smoke_dir/serve_smoke.json" \
+    > "$smoke_dir/serve_smoke.log" \
+    || { cat "$smoke_dir/serve_smoke.log"; exit 1; }
+python - "$smoke_dir/serve_smoke.json" <<'PY'
+import sys
+from repro.serve import load_serve_report
+report = load_serve_report(sys.argv[1])
+assert report["quick"], "smoke pass must be flagged quick"
+saturated = [entry for entry in report["sweep"]
+             if entry["offered_load"] >= 1.0]
+assert saturated, "sweep must cover saturation"
+print("serve bench smoke pass OK")
 PY
 
 echo "all checks passed"

@@ -217,6 +217,13 @@ class DriftAwareAnalytics:
     def deployed_model(self) -> str:
         return self._deployed.name
 
+    @property
+    def deployed_bundle(self):
+        """The currently deployed :class:`ModelBundle` (read-only handle;
+        the serving layer's degrade path predicts with its model without
+        touching the drift inspector)."""
+        return self._deployed
+
     def _deploy(self, name: str) -> None:
         self._deployed = self.registry.get(name)
         self.inspector = DriftInspector(

@@ -57,3 +57,12 @@ class BenchReportError(ReproError):
 class TelemetryError(ReproError):
     """A telemetry summary violates the repro.obs report schema, or two
     shard summaries cannot be merged (e.g. histogram boundary mismatch)."""
+
+
+class ServeError(ReproError):
+    """The serving layer was misused (duplicate sessions, arrivals for an
+    unknown stream, out-of-order arrival timestamps)."""
+
+
+class ServeReportError(ReproError):
+    """A serving SLO report violates the BENCH_serve.json schema."""

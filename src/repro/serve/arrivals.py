@@ -1,0 +1,181 @@
+"""Deterministic open-loop workload generation.
+
+The paper's serving setting (Fig. 1) is open-loop: cameras emit frames on
+their own schedule regardless of how loaded the inference backend is, so
+overload has to be absorbed by queues and shedding rather than by slowing
+the producer.  :func:`generate_arrivals` stamps a finite frame stack with
+arrival timestamps drawn from a seeded :mod:`repro.rng` stream -- the same
+frames and seed always produce the same trace, so every serving experiment
+is replayable bit for bit.
+
+Three arrival patterns cover the workloads the drift-tool surveys call
+out:
+
+- ``poisson`` -- memoryless arrivals at a constant mean rate;
+- ``burst`` -- on/off modulation (rate ``burst_factor`` x during bursts,
+  proportionally quieter between them, same long-run mean);
+- ``diurnal`` -- sinusoidal day/night modulation of the rate.
+
+Rates are expressed against the backend's *capacity*, derived from the
+same :class:`~repro.sim.costs.CostProfile` the simulated clock charges, so
+"offered load 2.0" means exactly twice what the backend can sustain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, derive, stable_hash
+from repro.sim.costs import CostProfile, PAPER_COSTS
+
+ARRIVAL_PATTERNS = ("poisson", "burst", "diurnal")
+
+#: Simulated cost of one frame on the full monitored path: VAE embed +
+#: KNN nonconformity + martingale update (the Drift Inspector) plus the
+#: deployed classifier.  These are the operations the pipeline's clock
+#: charges per monitored frame, so capacity derived from them matches
+#: what a saturated backend actually sustains.
+MONITOR_FRAME_OPS: Tuple[str, ...] = (
+    "vae_encode", "knn_nonconformity", "martingale_update",
+    "classifier_infer")
+
+#: Simulated cost of the degraded pass: prediction only, no drift
+#: inspection (the cheap ``repro.detectors.fast``-style fallback).
+DEGRADED_FRAME_OPS: Tuple[str, ...] = ("classifier_infer",)
+
+
+def frame_cost_ms(profile: Optional[CostProfile] = None,
+                  operations: Sequence[str] = MONITOR_FRAME_OPS) -> float:
+    """Simulated milliseconds one frame costs under ``profile``."""
+    profile = profile or PAPER_COSTS
+    return sum(profile.cost(op) for op in operations)
+
+
+def capacity_fps(profile: Optional[CostProfile] = None,
+                 operations: Sequence[str] = MONITOR_FRAME_OPS) -> float:
+    """Sustainable full-path throughput of one backend, frames/second."""
+    cost = frame_cost_ms(profile, operations)
+    if cost <= 0:
+        raise ConfigurationError(
+            f"per-frame cost must be positive to derive capacity, "
+            f"got {cost} ms for operations {tuple(operations)}")
+    return 1000.0 / cost
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of one stream's open-loop arrival process.
+
+    ``rate_fps`` is the long-run mean arrival rate; the pattern modulates
+    the instantaneous rate around it without changing the mean.
+    """
+
+    rate_fps: float
+    pattern: str = "poisson"
+    burst_factor: float = 3.0
+    burst_duty: float = 0.25
+    burst_period_s: float = 2.0
+    diurnal_amplitude: float = 0.6
+    diurnal_period_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.rate_fps <= 0:
+            raise ConfigurationError(
+                f"rate_fps must be positive: {self.rate_fps}")
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ConfigurationError(
+                f"pattern must be one of {ARRIVAL_PATTERNS}, "
+                f"got {self.pattern!r}")
+        if self.burst_factor < 1.0:
+            raise ConfigurationError(
+                f"burst_factor must be >= 1: {self.burst_factor}")
+        if not 0.0 < self.burst_duty < 1.0:
+            raise ConfigurationError(
+                f"burst_duty must be in (0, 1): {self.burst_duty}")
+        if self.burst_duty * self.burst_factor >= 1.0:
+            raise ConfigurationError(
+                f"burst_duty * burst_factor must stay below 1 so the "
+                f"off-phase rate remains positive, got "
+                f"{self.burst_duty * self.burst_factor}")
+        if self.burst_period_s <= 0:
+            raise ConfigurationError(
+                f"burst_period_s must be positive: {self.burst_period_s}")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                f"diurnal_amplitude must be in [0, 1): "
+                f"{self.diurnal_amplitude}")
+        if self.diurnal_period_s <= 0:
+            raise ConfigurationError(
+                f"diurnal_period_s must be positive: {self.diurnal_period_s}")
+
+    # ------------------------------------------------------------------
+    def rate_at(self, t_ms: float) -> float:
+        """Instantaneous arrival rate (frames/second) at simulated time
+        ``t_ms``; averages to ``rate_fps`` over a full pattern period."""
+        if self.pattern == "poisson":
+            return self.rate_fps
+        if self.pattern == "burst":
+            period_ms = self.burst_period_s * 1000.0
+            phase = (t_ms % period_ms) / period_ms
+            if phase < self.burst_duty:
+                return self.rate_fps * self.burst_factor
+            off_share = ((1.0 - self.burst_duty * self.burst_factor)
+                         / (1.0 - self.burst_duty))
+            return self.rate_fps * off_share
+        period_ms = self.diurnal_period_s * 1000.0
+        return self.rate_fps * (
+            1.0 + self.diurnal_amplitude
+            * math.sin(2.0 * math.pi * t_ms / period_ms))
+
+
+@dataclass
+class FrameArrival:
+    """One frame stamped with its arrival time and deadline."""
+
+    stream_id: str
+    seq: int
+    frame: np.ndarray
+    arrival_ms: float
+    deadline_ms: float
+
+    @property
+    def budget_ms(self) -> float:
+        return self.deadline_ms - self.arrival_ms
+
+
+def generate_arrivals(frames: np.ndarray, config: WorkloadConfig,
+                      stream_id: str = "stream",
+                      deadline_ms: float = 100.0,
+                      seed: SeedLike = None,
+                      start_ms: float = 0.0) -> List[FrameArrival]:
+    """Stamp ``frames`` with open-loop arrival times and deadlines.
+
+    The inter-arrival gap before each frame is an exponential draw at the
+    pattern's instantaneous rate (a thinning-free approximation of the
+    non-homogeneous process that keeps generation O(n) and exactly
+    reproducible).  The RNG stream is derived from ``(seed, stream_id)``
+    via :func:`repro.rng.derive` + :func:`~repro.rng.stable_hash`, so each
+    stream's trace is independent of every other stream's and of the order
+    streams are generated in.
+    """
+    if deadline_ms <= 0:
+        raise ConfigurationError(
+            f"deadline_ms must be positive: {deadline_ms}")
+    stack = np.asarray(frames, dtype=np.float64)
+    if stack.ndim == 1:
+        stack = stack[None, :]
+    rng = derive(seed, stable_hash(stream_id))
+    arrivals: List[FrameArrival] = []
+    t = float(start_ms)
+    for seq in range(stack.shape[0]):
+        rate = config.rate_at(t)
+        t += float(rng.exponential(1000.0 / rate))
+        arrivals.append(FrameArrival(
+            stream_id=stream_id, seq=seq, frame=stack[seq],
+            arrival_ms=t, deadline_ms=t + deadline_ms))
+    return arrivals

@@ -1,0 +1,138 @@
+"""Bounded per-stream frame queues with explicit backpressure.
+
+Each :class:`~repro.serve.session.StreamSession` owns one
+:class:`BoundedFrameQueue`.  The queue never blocks -- the workload is
+open-loop, so an arrival that cannot be absorbed must be resolved *now*
+by the configured load-shedding policy:
+
+- ``drop-newest`` -- the arriving frame is shed;
+- ``drop-oldest`` -- the stalest queued frame is shed and the arrival is
+  admitted (freshness-preserving, the usual choice for live video);
+- ``degrade`` -- the arriving frame is diverted to the cheap degraded
+  pass (prediction only, no drift inspection) instead of queueing for
+  the full path.
+
+Backpressure is a hysteresis signal over the queue depth: it turns on
+when the depth reaches ``high_watermark`` and off once the depth falls
+back to ``low_watermark``.  The server surfaces every transition as a
+``repro.obs`` event, and admission gating (the per-session circuit
+breaker) keys off the same signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ConfigurationError
+from repro.serve.arrivals import FrameArrival
+
+SHED_POLICIES = ("drop-oldest", "drop-newest", "degrade")
+
+#: Admission verdicts.
+ENQUEUED = "enqueued"
+SHED_NEWEST = "shed-newest"
+SHED_OLDEST = "shed-oldest"
+DEGRADE = "degrade"
+
+
+@dataclass
+class QueueVerdict:
+    """Outcome of offering one arrival to a bounded queue.
+
+    ``admitted`` is the frame now queued for the full path (``None`` when
+    the arrival was shed or degraded); ``shed`` is the frame the policy
+    sacrificed (the arrival itself under ``drop-newest``, the previous
+    head under ``drop-oldest``); ``degraded`` is the frame diverted to
+    the cheap pass.  Exactly one field is set per overflow, all of
+    ``shed`` / ``degraded`` are ``None`` on a plain admit.
+    """
+
+    status: str
+    admitted: Optional[FrameArrival] = None
+    shed: Optional[FrameArrival] = None
+    degraded: Optional[FrameArrival] = None
+
+
+class BoundedFrameQueue:
+    """FIFO of pending :class:`FrameArrival` with a hard capacity.
+
+    ``high_watermark`` / ``low_watermark`` are depths (inclusive) at which
+    the backpressure signal switches on / off; they default to the full
+    capacity and half of it.
+    """
+
+    def __init__(self, capacity: int, policy: str = "drop-oldest",
+                 high_watermark: Optional[int] = None,
+                 low_watermark: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive: {capacity}")
+        if policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self.high_watermark = (high_watermark if high_watermark is not None
+                               else capacity)
+        self.low_watermark = (low_watermark if low_watermark is not None
+                              else capacity // 2)
+        if not 0 < self.high_watermark <= capacity:
+            raise ConfigurationError(
+                f"high_watermark must be in (0, capacity]: "
+                f"{self.high_watermark}")
+        if not 0 <= self.low_watermark < self.high_watermark:
+            raise ConfigurationError(
+                f"low_watermark must be in [0, high_watermark): "
+                f"{self.low_watermark}")
+        self._frames: Deque[FrameArrival] = deque()
+        self._backpressure = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def under_backpressure(self) -> bool:
+        return self._backpressure
+
+    def peek(self) -> Optional[FrameArrival]:
+        return self._frames[0] if self._frames else None
+
+    def pop(self) -> FrameArrival:
+        """Dequeue the head (oldest) frame for processing."""
+        if not self._frames:
+            raise ConfigurationError("pop() on an empty queue")
+        return self._frames.popleft()
+
+    # ------------------------------------------------------------------
+    def offer(self, arrival: FrameArrival) -> QueueVerdict:
+        """Admit ``arrival`` or resolve the overflow per the policy."""
+        if len(self._frames) < self.capacity:
+            self._frames.append(arrival)
+            return QueueVerdict(ENQUEUED, admitted=arrival)
+        if self.policy == "drop-newest":
+            return QueueVerdict(SHED_NEWEST, shed=arrival)
+        if self.policy == "drop-oldest":
+            evicted = self._frames.popleft()
+            self._frames.append(arrival)
+            return QueueVerdict(SHED_OLDEST, admitted=arrival, shed=evicted)
+        return QueueVerdict(DEGRADE, degraded=arrival)
+
+    def update_backpressure(self) -> Optional[bool]:
+        """Advance the hysteresis signal; returns the new state on a
+        transition (``True`` = on, ``False`` = off) and ``None`` when the
+        signal did not change.  Call after any depth change."""
+        depth = len(self._frames)
+        if not self._backpressure and depth >= self.high_watermark:
+            self._backpressure = True
+            return True
+        if self._backpressure and depth <= self.low_watermark:
+            self._backpressure = False
+            return False
+        return None

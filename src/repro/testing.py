@@ -1,0 +1,81 @@
+"""Deterministic builders shared by test suites, benchmarks and scripts.
+
+Everything here is a pure function of its seed arguments: the same
+builders are called on both sides of every equivalence assertion (and
+inside forked fleet workers or serving sessions), so any divergence a
+consumer sees comes from the execution path under test, never from the
+fixture.  Test conftests re-export these names; ``scripts/check.sh`` and
+the benchmark harnesses import them directly so nothing outside the test
+tree has to import a conftest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.core.nonconformity import KNNDistance
+from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
+from repro.core.selection.msbi import MSBI, MSBIConfig
+from repro.core.selection.registry import ModelBundle, ModelRegistry
+
+#: Latent dimensionality of the synthetic gaussian fleet.
+DIM = 6
+
+
+class ConstantModel:
+    """Predicts a fixed class; lets consumers identify which model ran."""
+
+    def __init__(self, label: int):
+        self.label = label
+
+    def predict(self, frames):
+        return np.full(np.asarray(frames).shape[0], self.label,
+                       dtype=np.int64)
+
+
+def make_bundle(name: str, centre: float, label: int, rng) -> ModelBundle:
+    """A provisioned bundle around a gaussian reference at ``centre``."""
+    sigma = rng.normal(centre, 1.0, size=(120, DIM))
+    scores = KNNDistance(5).reference_scores(sigma)
+    return ModelBundle(name=name, sigma=sigma, reference_scores=scores,
+                       model=ConstantModel(label))
+
+
+def make_registry(seed: int = 777) -> ModelRegistry:
+    rng = np.random.default_rng(seed)
+    return ModelRegistry([make_bundle("low", 0.0, 0, rng),
+                          make_bundle("high", 6.0, 1, rng)])
+
+
+def make_pipeline(seed: int = 0,
+                  registry: ModelRegistry = None,
+                  recorder=None) -> DriftAwareAnalytics:
+    """One drift-aware pipeline over the two-bundle gaussian registry."""
+    registry = registry if registry is not None else make_registry()
+    config = PipelineConfig(
+        selection_window=8,
+        drift_inspector=DriftInspectorConfig(seed=seed))
+    selector = MSBI(registry, MSBIConfig(window_size=8, seed=seed))
+    return DriftAwareAnalytics(registry, "low", selector, config=config,
+                               recorder=recorder)
+
+
+def gaussian_stream(seed: int, segments) -> np.ndarray:
+    """Frames from consecutive ``(centre, length)`` gaussian segments."""
+    rng = np.random.default_rng(seed)
+    chunks = [rng.normal(centre, 1.0, size=(length, DIM))
+              for centre, length in segments]
+    return np.vstack(chunks)
+
+
+def result_sig(result):
+    """Everything a PipelineResult observable: bit-for-bit comparable."""
+    return (
+        [(r.frame_index, r.prediction, r.model) for r in result.records],
+        [(d.frame_index, d.previous_model, d.selected_model, d.novel,
+          d.selection_frames) for d in result.detections],
+        result.invocations.state_dict(),
+        result.simulated_ms,
+        result.faults.as_dict(),
+    )

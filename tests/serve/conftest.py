@@ -1,0 +1,25 @@
+"""Builders for the serving suite, on top of :mod:`repro.testing`."""
+
+from __future__ import annotations
+
+from repro.serve import SessionConfig, StreamSession
+from repro.testing import (  # noqa: F401 - re-exported for the suite
+    DIM,
+    gaussian_stream,
+    make_pipeline,
+    result_sig,
+)
+
+
+def make_session(stream_id: str, seed: int, **overrides) -> StreamSession:
+    """One serving session around a fresh deterministic pipeline."""
+    return StreamSession(stream_id, make_pipeline(seed=seed),
+                         SessionConfig(**overrides))
+
+
+def unconstrained(stream_id: str, seed: int, **overrides) -> StreamSession:
+    """A session that can never shed or miss: effectively infinite queue
+    and deadline, so the serve path must reproduce offline processing."""
+    overrides.setdefault("queue_capacity", 1 << 20)
+    overrides.setdefault("deadline_ms", 1e12)
+    return make_session(stream_id, seed, **overrides)

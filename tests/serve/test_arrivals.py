@@ -1,0 +1,154 @@
+"""Workload generation: determinism, pattern shape, validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    DEGRADED_FRAME_OPS,
+    MONITOR_FRAME_OPS,
+    WorkloadConfig,
+    capacity_fps,
+    frame_cost_ms,
+    generate_arrivals,
+)
+from repro.sim.costs import PAPER_COSTS
+from tests.serve.conftest import gaussian_stream
+
+
+class TestCostMaths:
+    def test_monitor_cost_matches_paper_profile(self):
+        expected = sum(PAPER_COSTS.cost(op) for op in
+                       ("vae_encode", "knn_nonconformity",
+                        "martingale_update", "classifier_infer"))
+        assert frame_cost_ms() == pytest.approx(expected)
+
+    def test_capacity_is_inverse_cost(self):
+        assert capacity_fps() == pytest.approx(1000.0 / frame_cost_ms())
+
+    def test_degraded_path_is_cheaper(self):
+        assert (frame_cost_ms(PAPER_COSTS, DEGRADED_FRAME_OPS)
+                < frame_cost_ms(PAPER_COSTS, MONITOR_FRAME_OPS))
+
+    def test_zero_cost_operations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            capacity_fps(PAPER_COSTS, ())
+
+
+class TestWorkloadConfig:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(rate_fps=0.0)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(rate_fps=10.0, pattern="sawtooth")
+
+    def test_burst_duty_times_factor_must_stay_below_one(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(rate_fps=10.0, pattern="burst",
+                           burst_factor=4.0, burst_duty=0.25)
+
+    def test_diurnal_amplitude_bounded(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(rate_fps=10.0, pattern="diurnal",
+                           diurnal_amplitude=1.0)
+
+    def test_poisson_rate_is_constant(self):
+        config = WorkloadConfig(rate_fps=30.0)
+        assert config.rate_at(0.0) == config.rate_at(12345.6) == 30.0
+
+    def test_burst_preserves_long_run_mean(self):
+        config = WorkloadConfig(rate_fps=30.0, pattern="burst",
+                                burst_factor=3.0, burst_duty=0.25)
+        on = config.rate_at(0.0)
+        off = config.rate_at(0.9 * config.burst_period_s * 1000.0)
+        duty = config.burst_duty
+        assert on == pytest.approx(90.0)
+        assert duty * on + (1 - duty) * off == pytest.approx(30.0)
+
+    def test_diurnal_oscillates_around_mean(self):
+        config = WorkloadConfig(rate_fps=30.0, pattern="diurnal",
+                                diurnal_amplitude=0.5,
+                                diurnal_period_s=10.0)
+        peak = config.rate_at(2500.0)     # quarter period: sin = 1
+        trough = config.rate_at(7500.0)   # three quarters: sin = -1
+        assert peak == pytest.approx(45.0)
+        assert trough == pytest.approx(15.0)
+        assert config.rate_at(0.0) == pytest.approx(30.0)
+
+
+class TestGenerateArrivals:
+    def test_deterministic_for_seed(self):
+        frames = gaussian_stream(5, [(0.0, 50)])
+        config = WorkloadConfig(rate_fps=40.0, pattern="burst")
+        first = generate_arrivals(frames, config, seed=9)
+        second = generate_arrivals(frames, config, seed=9)
+        assert [a.arrival_ms for a in first] == [
+            a.arrival_ms for a in second]
+        assert [a.seq for a in first] == list(range(50))
+
+    def test_different_streams_are_independent(self):
+        frames = gaussian_stream(5, [(0.0, 30)])
+        config = WorkloadConfig(rate_fps=40.0)
+        a = generate_arrivals(frames, config, stream_id="a", seed=9)
+        b = generate_arrivals(frames, config, stream_id="b", seed=9)
+        assert [x.arrival_ms for x in a] != [x.arrival_ms for x in b]
+
+    def test_timestamps_strictly_increase(self):
+        frames = gaussian_stream(1, [(0.0, 200)])
+        arrivals = generate_arrivals(
+            frames, WorkloadConfig(rate_fps=100.0, pattern="diurnal"),
+            seed=3)
+        times = [a.arrival_ms for a in arrivals]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_deadline_is_arrival_plus_budget(self):
+        frames = gaussian_stream(1, [(0.0, 10)])
+        arrivals = generate_arrivals(
+            frames, WorkloadConfig(rate_fps=10.0), deadline_ms=42.0,
+            seed=1)
+        for a in arrivals:
+            assert a.deadline_ms == pytest.approx(a.arrival_ms + 42.0)
+            assert a.budget_ms == pytest.approx(42.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        frames = gaussian_stream(1, [(0.0, 4)])
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(frames, WorkloadConfig(rate_fps=10.0),
+                              deadline_ms=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6),
+           rate=st.floats(min_value=30.0, max_value=500.0),
+           pattern=st.sampled_from(["poisson", "burst", "diurnal"]))
+    def test_mean_rate_tracks_config(self, seed, rate, pattern):
+        """The empirical rate lands near the configured long-run mean.
+
+        The pattern's mean is only defined over whole periods, so the
+        period is scaled to the sampled rate (about 50 arrivals per
+        period, 8 periods per trace) and the count is taken up to the
+        last complete period boundary -- the dense regime the O(n)
+        instantaneous-rate approximation promises the mean in.
+        """
+        n = 400
+        period_s = 50.0 / rate
+        frames = np.zeros((n, 4))
+        arrivals = generate_arrivals(
+            frames, WorkloadConfig(rate_fps=rate, pattern=pattern,
+                                   burst_period_s=period_s,
+                                   diurnal_period_s=period_s),
+            seed=seed)
+        period_ms = period_s * 1000.0
+        whole = math.floor(arrivals[-1].arrival_ms / period_ms)
+        assert whole >= 4, "trace too short to cover whole periods"
+        count = sum(1 for a in arrivals
+                    if a.arrival_ms < whole * period_ms)
+        empirical = count / (whole * period_s)
+        assert empirical == pytest.approx(rate, rel=0.35)

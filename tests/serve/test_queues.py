@@ -1,0 +1,100 @@
+"""Bounded queue semantics: shed policies and backpressure hysteresis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import BoundedFrameQueue, FrameArrival
+from repro.serve.queues import DEGRADE, ENQUEUED, SHED_NEWEST, SHED_OLDEST
+
+
+def arrival(seq: int, t: float = 0.0) -> FrameArrival:
+    return FrameArrival(stream_id="s", seq=seq, frame=np.zeros(4),
+                        arrival_ms=t, deadline_ms=t + 100.0)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(0)
+
+    def test_policy_must_be_known(self):
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(4, policy="random-drop")
+
+    def test_watermarks_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(4, high_watermark=2, low_watermark=2)
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(4, high_watermark=8)
+
+    def test_pop_on_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            BoundedFrameQueue(4).pop()
+
+
+class TestPolicies:
+    def test_fifo_below_capacity(self):
+        queue = BoundedFrameQueue(4)
+        for seq in range(3):
+            verdict = queue.offer(arrival(seq))
+            assert verdict.status == ENQUEUED
+            assert verdict.admitted.seq == seq
+            assert verdict.shed is None and verdict.degraded is None
+        assert [queue.pop().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_drop_oldest_evicts_head_and_admits(self):
+        queue = BoundedFrameQueue(2, policy="drop-oldest")
+        queue.offer(arrival(0))
+        queue.offer(arrival(1))
+        verdict = queue.offer(arrival(2))
+        assert verdict.status == SHED_OLDEST
+        assert verdict.shed.seq == 0
+        assert verdict.admitted.seq == 2
+        assert [queue.pop().seq, queue.pop().seq] == [1, 2]
+
+    def test_drop_newest_sheds_the_arrival(self):
+        queue = BoundedFrameQueue(2, policy="drop-newest")
+        queue.offer(arrival(0))
+        queue.offer(arrival(1))
+        verdict = queue.offer(arrival(2))
+        assert verdict.status == SHED_NEWEST
+        assert verdict.shed.seq == 2
+        assert queue.depth == 2
+        assert [queue.pop().seq, queue.pop().seq] == [0, 1]
+
+    def test_degrade_diverts_the_arrival(self):
+        queue = BoundedFrameQueue(2, policy="degrade")
+        queue.offer(arrival(0))
+        queue.offer(arrival(1))
+        verdict = queue.offer(arrival(2))
+        assert verdict.status == DEGRADE
+        assert verdict.degraded.seq == 2
+        assert verdict.admitted is None and verdict.shed is None
+        assert queue.depth == 2
+
+
+class TestBackpressure:
+    def test_hysteresis_transitions_fire_once(self):
+        queue = BoundedFrameQueue(8, high_watermark=4, low_watermark=1)
+        signals = []
+        for seq in range(5):
+            queue.offer(arrival(seq))
+            signals.append(queue.update_backpressure())
+        # on exactly when depth first reaches 4, silent otherwise
+        assert signals == [None, None, None, True, None]
+        assert queue.under_backpressure
+        drains = []
+        for _ in range(4):
+            queue.pop()
+            drains.append(queue.update_backpressure())
+        # off exactly when depth first falls to 1
+        assert drains == [None, None, None, False]
+        assert not queue.under_backpressure
+
+    def test_defaults_are_capacity_and_half(self):
+        queue = BoundedFrameQueue(10)
+        assert queue.high_watermark == 10
+        assert queue.low_watermark == 5

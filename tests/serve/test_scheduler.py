@@ -1,0 +1,120 @@
+"""Deadline scheduler: EDF order, priority weighting, aging, FIFO heads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    DeadlineScheduler,
+    FrameArrival,
+    SchedulerConfig,
+    SessionConfig,
+    SessionRegistry,
+    StreamSession,
+)
+from repro.testing import make_pipeline
+
+
+def arrival(stream_id: str, seq: int, t: float,
+            deadline: float) -> FrameArrival:
+    return FrameArrival(stream_id=stream_id, seq=seq, frame=np.zeros(4),
+                        arrival_ms=t, deadline_ms=deadline)
+
+
+def registry_of(*specs):
+    """Sessions from ``(stream_id, priority, [queued arrivals])`` specs."""
+    registry = SessionRegistry()
+    for stream_id, priority, queued in specs:
+        session = StreamSession(
+            stream_id, make_pipeline(seed=0),
+            SessionConfig(priority=priority, queue_capacity=64))
+        for item in queued:
+            session.queue.offer(item)
+        registry.add(session)
+    return registry
+
+
+class TestConfig:
+    def test_batch_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(batch_size=0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(priority_weight_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(aging_rate=-0.1)
+
+
+class TestSelection:
+    def test_earliest_deadline_first(self):
+        registry = registry_of(
+            ("late", 0, [arrival("late", 0, 0.0, 200.0)]),
+            ("soon", 0, [arrival("soon", 0, 0.0, 50.0)]))
+        scheduler = DeadlineScheduler(SchedulerConfig(batch_size=2))
+        batch = scheduler.next_batch(registry, now_ms=0.0)
+        assert [(s.stream_id, a.seq) for s, a in batch] == [
+            ("soon", 0), ("late", 0)]
+
+    def test_priority_shifts_deadline(self):
+        # same absolute deadline: the premium stream must win
+        registry = registry_of(
+            ("basic", 0, [arrival("basic", 0, 0.0, 100.0)]),
+            ("premium", 1, [arrival("premium", 0, 0.0, 100.0)]))
+        scheduler = DeadlineScheduler(
+            SchedulerConfig(batch_size=1, priority_weight_ms=50.0))
+        batch = scheduler.next_batch(registry, now_ms=0.0)
+        assert batch[0][0].stream_id == "premium"
+
+    def test_aging_prevents_starvation(self):
+        # the low-priority frame has waited long enough that aging
+        # outweighs the other stream's priority edge
+        registry = registry_of(
+            ("old", 0, [arrival("old", 0, 0.0, 100.0)]),
+            ("vip", 2, [arrival("vip", 0, 990.0, 1090.0)]))
+        scheduler = DeadlineScheduler(SchedulerConfig(
+            batch_size=1, priority_weight_ms=50.0, aging_rate=1.0))
+        batch = scheduler.next_batch(registry, now_ms=1000.0)
+        assert batch[0][0].stream_id == "old"
+
+    def test_exact_ties_break_by_registration_order(self):
+        registry = registry_of(
+            ("second", 0, [arrival("second", 0, 0.0, 100.0)]),
+            ("first", 0, [arrival("first", 0, 0.0, 100.0)]))
+        scheduler = DeadlineScheduler(SchedulerConfig(batch_size=2))
+        batch = scheduler.next_batch(registry, now_ms=0.0)
+        # "second" registered first, so it wins the exact tie
+        assert [s.stream_id for s, _ in batch] == ["second", "first"]
+
+    def test_batch_size_caps_selection(self):
+        queued = [arrival("a", seq, 0.0, 100.0 + seq) for seq in range(5)]
+        registry = registry_of(("a", 0, queued))
+        scheduler = DeadlineScheduler(SchedulerConfig(batch_size=3))
+        batch = scheduler.next_batch(registry, now_ms=0.0)
+        assert len(batch) == 3
+        assert registry.get("a").queue.depth == 2
+
+    def test_per_stream_fifo_even_with_inverted_deadlines(self):
+        # seq 1 has the *earlier* deadline, but only heads are eligible:
+        # FIFO order within a stream must survive
+        queued = [arrival("a", 0, 0.0, 500.0), arrival("a", 1, 1.0, 50.0)]
+        registry = registry_of(("a", 0, queued))
+        scheduler = DeadlineScheduler(SchedulerConfig(batch_size=2))
+        batch = scheduler.next_batch(registry, now_ms=10.0)
+        assert [a.seq for _, a in batch] == [0, 1]
+
+    def test_empty_queues_give_empty_batch(self):
+        registry = registry_of(("a", 0, []))
+        scheduler = DeadlineScheduler()
+        assert scheduler.next_batch(registry, now_ms=0.0) == []
+
+    def test_interleaves_streams_by_urgency(self):
+        a_frames = [arrival("a", s, 0.0, 100.0 + 20 * s) for s in range(2)]
+        b_frames = [arrival("b", s, 0.0, 110.0 + 20 * s) for s in range(2)]
+        registry = registry_of(("a", 0, a_frames), ("b", 0, b_frames))
+        scheduler = DeadlineScheduler(SchedulerConfig(batch_size=4))
+        batch = scheduler.next_batch(registry, now_ms=0.0)
+        assert [(s.stream_id, a.seq) for s, a in batch] == [
+            ("a", 0), ("b", 0), ("a", 1), ("b", 1)]
