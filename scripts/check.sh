@@ -11,6 +11,9 @@ export PYTHONPATH=src
 echo "== compileall =="
 python -m compileall -q src
 
+echo "== import layering =="
+python scripts/check_layers.py
+
 echo "== tier-1 tests =="
 python -m pytest -x -q --durations=10
 

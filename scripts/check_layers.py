@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Import-layering lint for the repro package.
+
+Builds the module-level import graph of ``src/repro`` via AST (no code is
+executed) and enforces two rules:
+
+1. **Layering**: the kernel layers ``repro.core`` and ``repro.runtime``
+   must not import -- directly or transitively -- the execution substrates
+   ``repro.parallel``, ``repro.serve`` or ``repro.experiments``.  The
+   substrates drive the kernel, never the other way around.
+2. **Acyclicity**: no module-level import cycles anywhere in the package
+   (a cycle means two modules each need the other at import time; Python
+   tolerates some orderings, but they rot into ImportErrors).
+
+Run from the repo root: ``python scripts/check_layers.py`` (exit code 0 on
+a clean graph, 1 with a violation report otherwise).  Wired into
+``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+PACKAGE = "repro"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: subpackages that must not be reachable from the layers below
+FORBIDDEN_TARGETS = ("repro.parallel", "repro.serve", "repro.experiments")
+CONSTRAINED_LAYERS = ("repro.core", "repro.runtime")
+
+
+def module_name(path: Path) -> str:
+    """``src/repro/core/pipeline.py`` -> ``repro.core.pipeline``."""
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def collect_modules() -> Dict[str, Path]:
+    return {module_name(path): path
+            for path in sorted((SRC / PACKAGE).rglob("*.py"))}
+
+
+def imported_modules(path: Path, current: str,
+                     modules: Set[str]) -> Set[str]:
+    """Resolve ``import`` / ``from ... import`` statements to module names
+    within the package (absolute and relative forms)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    targets: Set[str] = set()
+
+    def resolve(name: str) -> None:
+        # map a dotted target onto the closest known module (a ``from pkg
+        # import symbol`` may name either a module or an attribute)
+        candidate = name
+        while candidate:
+            if candidate in modules:
+                targets.add(candidate)
+                return
+            candidate = candidate.rpartition(".")[0]
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == PACKAGE:
+                    resolve(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: anchor at the current package
+                base = current.split(".")
+                if path.name != "__init__.py":
+                    base = base[:-1]
+                base = base[: len(base) - node.level + 1]
+                prefix = ".".join(base)
+                module = f"{prefix}.{node.module}" if node.module else prefix
+            else:
+                module = node.module or ""
+            if module.split(".")[0] != PACKAGE:
+                continue
+            for alias in node.names:
+                # ``from pkg import submodule`` depends on the submodule,
+                # not the package __init__ (the conventional treatment --
+                # a partially initialized parent is enough at import time)
+                full = f"{module}.{alias.name}"
+                if full in modules:
+                    targets.add(full)
+                else:
+                    resolve(module)
+    targets.discard(current)
+    return targets
+
+
+def build_graph() -> Dict[str, Set[str]]:
+    modules = collect_modules()
+    names = set(modules)
+    return {name: imported_modules(path, name, names)
+            for name, path in modules.items()}
+
+
+def subpackage(name: str) -> str:
+    parts = name.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else name
+
+
+def reachable(graph: Dict[str, Set[str]], start: str) -> Set[str]:
+    seen: Set[str] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for dep in graph.get(node, ()):
+            if dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+    return seen
+
+
+def find_layering_violations(
+        graph: Dict[str, Set[str]]) -> List[Tuple[str, str, List[str]]]:
+    """(module, forbidden target, shortest import chain) per violation."""
+    violations = []
+    for module in sorted(graph):
+        if not any(module == layer or module.startswith(layer + ".")
+                   for layer in CONSTRAINED_LAYERS):
+            continue
+        for target in sorted(reachable(graph, module)):
+            if any(target == bad or target.startswith(bad + ".")
+                   for bad in FORBIDDEN_TARGETS):
+                violations.append(
+                    (module, target, import_chain(graph, module, target)))
+    return violations
+
+
+def import_chain(graph: Dict[str, Set[str]], start: str,
+                 end: str) -> List[str]:
+    """Shortest import path from ``start`` to ``end`` (BFS), for reporting."""
+    parents = {start: None}
+    queue = [start]
+    while queue:
+        node = queue.pop(0)
+        if node == end:
+            chain = []
+            while node is not None:
+                chain.append(node)
+                node = parents[node]
+            return list(reversed(chain))
+        for dep in sorted(graph.get(node, ())):
+            if dep not in parents:
+                parents[dep] = node
+                queue.append(dep)
+    return [start, "...", end]
+
+
+def find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components with more than one module (Tarjan)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(node: str) -> None:
+        # iterative Tarjan: (module, iterator over its dependencies)
+        work = [(node, iter(sorted(graph.get(node, ()))))]
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, deps = work[-1]
+            advanced = False
+            for dep in deps:
+                if dep not in index:
+                    index[dep] = lowlink[dep] = counter[0]
+                    counter[0] += 1
+                    stack.append(dep)
+                    on_stack.add(dep)
+                    work.append((dep, iter(sorted(graph.get(dep, ())))))
+                    advanced = True
+                    break
+                if dep in on_stack:
+                    lowlink[current] = min(lowlink[current], index[dep])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    cycles.append(sorted(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return cycles
+
+
+def main() -> int:
+    graph = build_graph()
+    failed = False
+
+    violations = find_layering_violations(graph)
+    if violations:
+        failed = True
+        print("layering violations (kernel layers must not import "
+              "execution substrates):")
+        for module, target, chain in violations:
+            print(f"  {module} -> {target}")
+            print(f"    via: {' -> '.join(chain)}")
+
+    cycles = find_cycles(graph)
+    if cycles:
+        failed = True
+        print("module-level import cycles:")
+        for cycle in cycles:
+            print(f"  {' <-> '.join(cycle)}")
+
+    if failed:
+        return 1
+    layers = ", ".join(CONSTRAINED_LAYERS)
+    print(f"import layering OK ({len(graph)} modules; {layers} do not "
+          f"reach {', '.join(FORBIDDEN_TARGETS)}; no cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,9 @@ The package provides:
 - :mod:`repro.core` -- the paper's primary contribution: the Drift Inspector
   (DI) conformal-martingale drift detector and the MSBI / MSBO model-selection
   algorithms, plus the end-to-end drift-aware analytics pipeline (Figure 1).
+- :mod:`repro.runtime` -- the Figure-1 loop as a staged kernel (admission ->
+  monitoring -> adaptation -> emission) behind the pipeline façade, with the
+  ``DriftMonitor`` / ``Snapshotable`` protocols every substrate builds on.
 - :mod:`repro.nn` -- a from-scratch numpy deep-learning substrate (dense and
   convolutional layers, VAE, softmax classifiers, deep ensembles).
 - :mod:`repro.video` -- a synthetic video substrate standing in for the
@@ -24,6 +27,7 @@ from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
 from repro.core.selection.msbi import MSBI, MSBIConfig
 from repro.core.selection.msbo import MSBO, MSBOConfig
 from repro.core.selection.registry import ModelBundle, ModelRegistry, NovelDistribution
+from repro.runtime import DriftMonitor, RuntimeKernel, Snapshotable
 
 __version__ = "1.0.0"
 
@@ -32,6 +36,9 @@ __all__ = [
     "DriftInspectorConfig",
     "DriftAwareAnalytics",
     "PipelineConfig",
+    "RuntimeKernel",
+    "DriftMonitor",
+    "Snapshotable",
     "FleetMonitor",
     "FleetConfig",
     "MSBI",

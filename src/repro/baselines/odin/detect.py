@@ -181,3 +181,8 @@ class OdinDetect:
         clusters (ODIN's clusters persist across drifts)."""
         self.temp = None
         self._drift_frame = None
+
+    def reset(self) -> None:
+        """Alias for :meth:`reset_detection` (the
+        :class:`~repro.runtime.protocols.DriftMonitor` contract)."""
+        self.reset_detection()

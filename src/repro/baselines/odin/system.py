@@ -25,11 +25,7 @@ from repro.core.pipeline import DetectionEvent, FrameRecord, PipelineResult
 from repro.errors import ConfigurationError
 from repro.sim.clock import SimulatedClock
 from repro.sim.metrics import InvocationCounter
-
-
-def _pixels_of(item: object) -> np.ndarray:
-    pixels = getattr(item, "pixels", item)
-    return np.asarray(pixels, dtype=np.float64)
+from repro.video.frames import pixels_of as _pixels_of
 
 
 class OdinAnalytics:

@@ -68,6 +68,13 @@ class _ReferenceDetector:
     def observe(self, frame: np.ndarray) -> bool:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Re-arm detection against the current reference (the
+        :class:`~repro.runtime.protocols.DriftMonitor` contract; subclasses
+        extend this to clear their accumulators)."""
+        self._frame_index = 0
+        self._drift_frame = None
+
 
 class KSDetector(_ReferenceDetector):
     """Sliding-window two-sample KS test per dimension (Bonferroni)."""
@@ -84,6 +91,10 @@ class KSDetector(_ReferenceDetector):
         self.window = window
         self.significance = significance
         self._buffer: Deque[np.ndarray] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer.clear()
 
     def observe(self, frame: np.ndarray) -> bool:
         latent = self._embed(frame)
@@ -125,6 +136,10 @@ class CusumDetector(_ReferenceDetector):
         self._sigma = float(max(dists.std(), 1e-9))
         self._cusum = 0.0
 
+    def reset(self) -> None:
+        super().reset()
+        self._cusum = 0.0
+
     def _statistic(self, latent: np.ndarray) -> float:
         dist = float(np.sqrt(((latent - self._centroid) ** 2).sum()))
         return (dist - self._mu) / self._sigma
@@ -158,6 +173,10 @@ class MomentDetector(_ReferenceDetector):
         self._mu = float(dists.mean())
         self._sigma = float(max(dists.std(), 1e-9))
         self._buffer: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer.clear()
 
     def observe(self, frame: np.ndarray) -> bool:
         latent = self._embed(frame)

@@ -10,6 +10,12 @@ freshly constructed pipeline (same registry, selector and configuration)
 resumes the stream *bit-exactly*: the remaining frames produce the same
 records and detections an uninterrupted run would have.
 
+The capture goes through the pipeline's
+:class:`~repro.runtime.protocols.Snapshotable` surface (``state_dict`` /
+``load_state_dict``) -- this module only splits numpy arrays out of the
+state into the npz archive and validates the manifest; it never touches
+pipeline internals.
+
 What a checkpoint deliberately does **not** carry:
 
 - provisioned bundles -- they are configuration; persist them with
@@ -29,19 +35,14 @@ from typing import Dict
 
 import numpy as np
 
-from repro.core.pipeline import (
-    DetectionEvent,
-    DriftAwareAnalytics,
-    FrameRecord,
-)
+from repro.core.pipeline import DriftAwareAnalytics
 from repro.errors import CheckpointError
 from repro.nn.serialization import load_manifest_archive, save_manifest_archive
 
 CHECKPOINT_VERSION = 1
 
-
-def _pixels_of(item: object) -> np.ndarray:
-    return np.asarray(getattr(item, "pixels", item), dtype=np.float64)
+#: State-dict keys holding numpy arrays, split into the npz archive.
+_ARRAY_KEYS = ("buffer", "guard_last_good")
 
 
 def session_state(pipeline: DriftAwareAnalytics):
@@ -49,49 +50,17 @@ def session_state(pipeline: DriftAwareAnalytics):
 
     Raises :class:`CheckpointError` when no session is active.
     """
-    if not hasattr(pipeline, "_mode"):
-        raise CheckpointError(
-            "no active session to checkpoint; call start() or step() first")
-    guard = pipeline.guard
-    manifest: dict = {
-        "version": CHECKPOINT_VERSION,
-        "deployed": pipeline.deployed_model,
-        "mode": pipeline._mode,
-        "index": pipeline._index,
-        "frames_since_swap": pipeline._frames_since_swap,
-        "start_ms": pipeline._start_ms,
-        "records": [{"frame_index": r.frame_index,
-                     "prediction": r.prediction,
-                     "model": r.model} for r in pipeline._records],
-        "detections": [{"frame_index": d.frame_index,
-                        "previous_model": d.previous_model,
-                        "selected_model": d.selected_model,
-                        "novel": d.novel,
-                        "selection_frames": d.selection_frames}
-                       for d in pipeline._detections],
-        "invocations": pipeline._invocations.state_dict(),
-        "faults": pipeline._faults.state_dict(),
-        "inspector": pipeline.inspector.state_dict(),
-        "clock": pipeline.clock.state_dict(),
-        "breaker": {"failures": pipeline.breaker.failures,
-                    "trips": pipeline.breaker.trips,
-                    "is_open": pipeline.breaker.is_open},
-        "guard": {"expected_shape": (list(guard.expected_shape)
-                                     if guard.expected_shape is not None
-                                     else None),
-                  "admitted": guard._admitted,
-                  "reasons": dict(guard.reasons)},
-        "buffer_len": len(pipeline._buffer),
-    }
-    selector_rng = getattr(pipeline.selector, "_rng", None)
-    if isinstance(selector_rng, np.random.Generator):
-        manifest["selector_rng"] = selector_rng.bit_generator.state
+    state = pipeline.state_dict()
+    manifest: dict = {"version": CHECKPOINT_VERSION}
     arrays: Dict[str, np.ndarray] = {}
-    if pipeline._buffer:
-        arrays["buffer"] = np.stack(
-            [_pixels_of(item) for item in pipeline._buffer])
-    if guard.last_good is not None:
-        arrays["guard_last_good"] = guard.last_good
+    for key, value in state.items():
+        if key in _ARRAY_KEYS:
+            if value is not None:
+                arrays[key] = np.asarray(value)
+        else:
+            manifest[key] = value
+    buffer = arrays.get("buffer")
+    manifest["buffer_len"] = 0 if buffer is None else int(buffer.shape[0])
     return manifest, arrays
 
 
@@ -109,55 +78,17 @@ def apply_session_state(pipeline: DriftAwareAnalytics, manifest: dict,
         raise CheckpointError(
             f"checkpoint version {version!r} not supported "
             f"(expected {CHECKPOINT_VERSION})")
-    deployed = manifest["deployed"]
-    if deployed not in pipeline.registry:
-        raise CheckpointError(
-            f"checkpoint deploys {deployed!r} but the registry only has "
-            f"{pipeline.registry.names()}; persist mid-session bundles with "
-            f"repro.core.selection.persistence before checkpointing")
-    pipeline.start()
-    # rebuild the inspector against the deployed bundle, then overlay the
-    # checkpointed dynamic state (martingale, RNG streams, counters)
-    pipeline._deploy(deployed)
-    pipeline.inspector.load_state_dict(manifest["inspector"])
-    pipeline._records = [FrameRecord(**r) for r in manifest["records"]]
-    pipeline._detections = [DetectionEvent(**d)
-                            for d in manifest["detections"]]
-    pipeline._invocations.load_state_dict(manifest["invocations"])
-    pipeline._faults.load_state_dict(manifest["faults"])
-    pipeline._mode = str(manifest["mode"])
-    pipeline._index = int(manifest["index"])
-    pipeline._frames_since_swap = int(manifest["frames_since_swap"])
-    pipeline.clock.load_state_dict(manifest["clock"])
-    pipeline._start_ms = float(manifest["start_ms"])
-    breaker = manifest["breaker"]
-    pipeline.breaker.failures = int(breaker["failures"])
-    pipeline.breaker.trips = int(breaker["trips"])
-    pipeline.breaker.is_open = bool(breaker["is_open"])
-    guard_state = manifest["guard"]
-    shape = guard_state["expected_shape"]
-    pipeline.guard.expected_shape = (tuple(int(n) for n in shape)
-                                     if shape is not None else None)
-    pipeline.guard._admitted = int(guard_state["admitted"])
-    pipeline.guard.reasons = {str(k): int(v)
-                              for k, v in guard_state["reasons"].items()}
-    if "guard_last_good" in arrays:
-        pipeline.guard.last_good = np.asarray(arrays["guard_last_good"],
-                                              dtype=np.float64)
     buffer_len = int(manifest["buffer_len"])
     buffer = arrays.get("buffer")
-    if buffer_len:
-        if buffer is None or buffer.shape[0] != buffer_len:
-            raise CheckpointError(
-                f"checkpoint announces {buffer_len} buffered frames but the "
-                f"archive holds "
-                f"{0 if buffer is None else buffer.shape[0]}")
-        pipeline._buffer = [np.asarray(frame, dtype=np.float64)
-                            for frame in buffer]
-    if "selector_rng" in manifest:
-        selector_rng = getattr(pipeline.selector, "_rng", None)
-        if isinstance(selector_rng, np.random.Generator):
-            selector_rng.bit_generator.state = manifest["selector_rng"]
+    if buffer_len and (buffer is None or buffer.shape[0] != buffer_len):
+        raise CheckpointError(
+            f"checkpoint announces {buffer_len} buffered frames but the "
+            f"archive holds {0 if buffer is None else buffer.shape[0]}")
+    state = {key: value for key, value in manifest.items()
+             if key not in ("version", "buffer_len")}
+    for key in _ARRAY_KEYS:
+        state[key] = arrays.get(key)
+    pipeline.load_state_dict(state)
     return pipeline
 
 

@@ -1,6 +1,7 @@
 """End-to-end drift-aware video analytics (paper Figure 1).
 
-``DriftAwareAnalytics`` wires the pieces together: frames are routed to the
+``DriftAwareAnalytics`` is the public façade over the staged
+:class:`~repro.runtime.kernel.RuntimeKernel`: frames are routed to the
 Drift Inspector and processed by the currently deployed model; once a drift
 is declared, a window of post-drift frames feeds the model selector (MSBI or
 MSBO); the selected -- or freshly trained -- model is deployed, the
@@ -9,144 +10,43 @@ inspector's reference sample is swapped, and processing continues.
 The pipeline is substrate-agnostic: it consumes any iterable of frame pixel
 arrays (or objects with a ``pixels`` attribute) and reports per-frame
 predictions, invocation counts, detection events and simulated time.
+
+The actual staged loop -- admission, monitoring, adaptation, emission --
+lives in :mod:`repro.runtime`; this module re-exports the result
+dataclasses and configuration so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
-from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
-from repro.core.selection.msbi import MSBI
-from repro.core.selection.msbo import MSBO
-from repro.core.selection.registry import ModelRegistry, NovelDistribution
+from repro.core.selection.registry import ModelRegistry
 from repro.core.selection.trainer import ModelTrainer
-from repro.errors import ConfigurationError
-from repro.faults.guard import (
-    GUARD_POLICIES,
-    OK,
-    QUARANTINED,
-    CircuitBreaker,
-    FrameGuard,
-    RetryPolicy,
+from repro.obs.recorder import NULL_RECORDER  # noqa: F401  (compat re-export)
+from repro.runtime.emission import (
+    _SELECTION_FRAMES_BUCKETS,
+    DetectionEvent,
+    FrameRecord,
+    PipelineResult,
 )
-from repro.faults.injectors import _with_pixels
-from repro.obs.recorder import NULL_RECORDER
+from repro.runtime.kernel import PipelineConfig, RuntimeKernel
+from repro.runtime.protocols import DriftMonitor
 from repro.sim.clock import SimulatedClock
-from repro.sim.metrics import FaultStats, InvocationCounter
+from repro.video.frames import pixels_of as _pixels_of  # compat alias
 
-#: Fixed buckets for the per-detection selection-window-size histogram.
-_SELECTION_FRAMES_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
-
-
-@dataclass
-class PipelineConfig:
-    """Pipeline-level knobs.
-
-    ``selection_window`` is the number of post-drift frames buffered for the
-    selector (W_N for MSBI, W_T for MSBO); ``training_budget`` overrides the
-    trainer's frame collection budget when a novel distribution appears.
-
-    Fault tolerance: ``frame_policy`` governs the
-    :class:`~repro.faults.guard.FrameGuard` at the pipeline boundary
-    (``"raise"`` fails fast on invalid frames, ``"skip"`` quarantines them,
-    ``"repair"`` imputes from the last good frame); selector / trainer calls
-    get ``max_retries`` retries with ``retry_backoff_ms`` simulated-clock
-    backoff, and ``breaker_threshold`` consecutive resolution failures trip
-    a circuit breaker that pins the nearest provisioned model instead of
-    crashing.
-    """
-
-    selection_window: int = 10
-    training_budget: Optional[int] = None
-    cooldown_frames: int = 25
-    frame_policy: str = "raise"
-    max_retries: int = 2
-    retry_backoff_ms: float = 50.0
-    breaker_threshold: int = 3
-    drift_inspector: DriftInspectorConfig = field(
-        default_factory=DriftInspectorConfig)
-
-    def __post_init__(self) -> None:
-        if self.selection_window <= 0:
-            raise ConfigurationError(
-                f"selection_window must be positive: {self.selection_window}")
-        if self.cooldown_frames < 0:
-            raise ConfigurationError(
-                f"cooldown_frames must be non-negative: {self.cooldown_frames}")
-        if self.frame_policy not in GUARD_POLICIES:
-            raise ConfigurationError(
-                f"frame_policy must be one of {GUARD_POLICIES}, "
-                f"got {self.frame_policy!r}")
-        if self.max_retries < 0:
-            raise ConfigurationError(
-                f"max_retries must be non-negative: {self.max_retries}")
-        if self.retry_backoff_ms < 0:
-            raise ConfigurationError(
-                f"retry_backoff_ms must be non-negative: "
-                f"{self.retry_backoff_ms}")
-        if self.breaker_threshold <= 0:
-            raise ConfigurationError(
-                f"breaker_threshold must be positive: "
-                f"{self.breaker_threshold}")
-
-
-@dataclass
-class DetectionEvent:
-    """One drift detection + recovery episode."""
-
-    frame_index: int
-    previous_model: str
-    selected_model: str
-    novel: bool
-    selection_frames: int
-
-
-@dataclass
-class FrameRecord:
-    """Per-frame processing outcome."""
-
-    frame_index: int
-    prediction: int
-    model: str
-
-
-@dataclass
-class PipelineResult:
-    """Aggregated output of one :meth:`DriftAwareAnalytics.process` run.
-
-    ``faults`` carries the session's degradation accounting: guard verdicts
-    (repaired / quarantined frames), retries, and circuit-breaker activity.
-    ``telemetry`` is the attached recorder's snapshot (the schema-validated
-    ``summary`` plus the retained event stream) -- ``None`` when the
-    pipeline ran with the default no-op recorder.
-    """
-
-    records: List[FrameRecord]
-    detections: List[DetectionEvent]
-    invocations: InvocationCounter
-    simulated_ms: float
-    faults: FaultStats = field(default_factory=FaultStats)
-    telemetry: Optional[dict] = None
-
-    @property
-    def predictions(self) -> np.ndarray:
-        return np.asarray([r.prediction for r in self.records], dtype=np.int64)
-
-    @property
-    def models_used(self) -> List[str]:
-        return [r.model for r in self.records]
-
-
-def _pixels_of(item: object) -> np.ndarray:
-    pixels = getattr(item, "pixels", item)
-    return np.asarray(pixels, dtype=np.float64)
+__all__ = [
+    "DetectionEvent",
+    "DriftAwareAnalytics",
+    "FrameRecord",
+    "PipelineConfig",
+    "PipelineResult",
+]
 
 
 class DriftAwareAnalytics:
-    """The Figure 1 architecture.
+    """The Figure 1 architecture (façade over :class:`RuntimeKernel`).
 
     Parameters
     ----------
@@ -175,6 +75,11 @@ class DriftAwareAnalytics:
         recorder cannot change any output, and a disabled recorder (the
         default) costs only no-op calls.  Telemetry accumulates across
         sessions like the simulated clock does.
+    monitor_factory:
+        Optional ``bundle -> DriftMonitor`` callable backing the monitoring
+        stage with a custom detector (ODIN, a statistical baseline, ...)
+        instead of the default Drift Inspector.  It is invoked at
+        construction and after every model swap.
     """
 
     def __init__(self, registry: ModelRegistry, initial_model: str,
@@ -183,467 +88,135 @@ class DriftAwareAnalytics:
                  trainer: Optional[ModelTrainer] = None,
                  config: Optional[PipelineConfig] = None,
                  clock: Optional[SimulatedClock] = None,
-                 recorder: Optional[object] = None) -> None:
-        self.registry = registry
-        self.config = config or PipelineConfig()
-        if not isinstance(selector, (MSBI, MSBO)):
-            raise ConfigurationError(
-                f"selector must be MSBI or MSBO, got {type(selector).__name__}")
-        if isinstance(selector, MSBO) and annotator is None:
-            raise ConfigurationError("MSBO selection requires an annotator")
-        self.selector = selector
-        self.annotator = annotator
-        self.trainer = trainer
-        self.clock = clock or SimulatedClock()
-        self.obs = recorder if recorder is not None else NULL_RECORDER
-        self.obs.bind_clock(self.clock)
-        self._c_emitted = self.obs.counter("pipeline.frames_emitted")
-        self._c_detections = self.obs.counter("pipeline.detections")
-        self._h_selection_frames = self.obs.histogram(
-            "pipeline.selection_frames", _SELECTION_FRAMES_BUCKETS)
-        self.guard = FrameGuard(policy=self.config.frame_policy,
-                                observer=self._on_guard)
-        self.breaker = CircuitBreaker(threshold=self.config.breaker_threshold,
-                                      on_trip=self._on_breaker_trip,
-                                      on_close=self._on_breaker_close)
-        self._retry_policy = RetryPolicy(
-            max_retries=self.config.max_retries,
-            backoff_ms=self.config.retry_backoff_ms)
-        self._faults = FaultStats()
-        self._deploy(initial_model)
+                 recorder: Optional[object] = None,
+                 monitor_factory: Optional[
+                     Callable[[object], DriftMonitor]] = None) -> None:
+        self.kernel = RuntimeKernel(
+            registry, initial_model, selector,
+            annotator=annotator, trainer=trainer, config=config,
+            clock=clock, recorder=recorder,
+            monitor_factory=monitor_factory)
 
     # ------------------------------------------------------------------
+    # stage handles (the kernel owns the state; these are views)
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> ModelRegistry:
+        return self.kernel.registry
+
+    @registry.setter
+    def registry(self, registry: ModelRegistry) -> None:
+        self.kernel.registry = registry
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self.kernel.config
+
+    @property
+    def selector(self):
+        return self.kernel.adaptation.selector
+
+    @property
+    def annotator(self):
+        return self.kernel.adaptation.annotator
+
+    @property
+    def trainer(self):
+        return self.kernel.adaptation.trainer
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self.kernel.clock
+
+    @property
+    def obs(self):
+        return self.kernel.obs
+
+    @property
+    def guard(self):
+        return self.kernel.admission.guard
+
+    @property
+    def breaker(self):
+        return self.kernel.admission.breaker
+
+    @property
+    def inspector(self) -> DriftMonitor:
+        """The live monitor behind the monitoring stage (a
+        :class:`~repro.core.drift_inspector.DriftInspector` unless a custom
+        ``monitor_factory`` was supplied)."""
+        return self.kernel.monitor.monitor
+
     @property
     def deployed_model(self) -> str:
-        return self._deployed.name
+        return self.kernel.deployed.name
 
     @property
     def deployed_bundle(self):
         """The currently deployed :class:`ModelBundle` (read-only handle;
         the serving layer's degrade path predicts with its model without
         touching the drift inspector)."""
-        return self._deployed
+        return self.kernel.deployed
+
+    @property
+    def _records(self) -> List[FrameRecord]:
+        return self.kernel.emission.records
 
     def _deploy(self, name: str) -> None:
-        self._deployed = self.registry.get(name)
-        self.inspector = DriftInspector(
-            self._deployed.sigma,
-            config=self.config.drift_inspector,
-            embedder=self._deployed.vae,
-            clock=self.clock,
-            recorder=self.obs)
+        self.kernel.deploy(name)
 
     # ------------------------------------------------------------------
-    # observability hooks (passive: they only record, never decide)
+    # streaming API (delegation)
     # ------------------------------------------------------------------
-    def _on_guard(self, status: str, index: int,
-                  reason: Optional[str]) -> None:
-        self.obs.event(f"frame_{status}", frame=index, reason=reason)
-
-    def _on_breaker_trip(self, breaker: CircuitBreaker) -> None:
-        self.obs.event("breaker_open", failures=breaker.failures,
-                       trips=breaker.trips)
-
-    def _on_breaker_close(self, breaker: CircuitBreaker) -> None:
-        self.obs.event("breaker_close", trips=breaker.trips)
-
-    # ------------------------------------------------------------------
-    def _predict(self, pixels: np.ndarray) -> int:
-        self.clock.charge("classifier_infer")
-        return int(self._deployed.model.predict(pixels[None, ...])[0])
-
-    def _try_select(self, items: List[object], window: np.ndarray) -> str:
-        """Run the selector on the buffered window.
-
-        ``items`` are the original stream items (carrying ground truth for
-        the annotator); ``window`` their stacked pixel arrays.  Raises
-        :class:`NovelDistribution` when no provisioned model fits.
-        """
-        with self.obs.span("selection.select"):
-            if isinstance(self.selector, MSBO):
-                labels = np.asarray(self.annotator(items), dtype=np.int64)
-                return self.selector.select(window, labels)
-            return self.selector.select(window)
-
-    def _train_new(self, items: List[object]) -> str:
-        """Build and register a bundle from collected post-drift items."""
-        with self.obs.span("selection.train"):
-            pixels = np.stack([_pixels_of(item) for item in items])
-            labels = None
-            if self.annotator is not None:
-                labels = np.asarray(self.annotator(items), dtype=np.int64)
-            name = f"novel_{len(self.registry)}"
-            bundle = self.trainer.train_new_model(name, pixels, labels=labels)
-            self.registry.replace(bundle)
-            return name
-
-    def _fallback_model(self, window: np.ndarray) -> str:
-        with self.obs.span("selection.fallback"):
-            best_name, best = None, float("inf")
-            for bundle in self.registry:
-                latents = bundle.embed(window)
-                centroid = bundle.sigma.mean(axis=0)
-                dist = float(
-                    np.sqrt(((latents - centroid) ** 2).sum(axis=1)).mean())
-                if dist < best:
-                    best, best_name = dist, bundle.name
-            return best_name
-
-    # ------------------------------------------------------------------
-    # degraded resolution: retries + circuit breaker around the
-    # selection / training path
-    # ------------------------------------------------------------------
-    def _count_retry(self, attempt: int, error: BaseException) -> None:
-        self._faults.retries += 1
-        self.obs.event("retry", attempt=attempt,
-                       error=type(error).__name__)
-
-    def _with_retries(self, fn):
-        """Run a selector / trainer call under the retry policy.
-
-        ``NovelDistribution`` is a control-flow signal, not a failure, so it
-        propagates without consuming retries.
-        """
-        return self._retry_policy.run(
-            fn, clock=self.clock, retryable=(Exception,),
-            non_retryable=(NovelDistribution,),
-            on_retry=self._count_retry)
-
-    def _train_or_fallback(self, items: List[object],
-                           window: np.ndarray) -> str:
-        """Train a new bundle; degrade to the nearest provisioned model when
-        training is impossible (no trainer, too few frames) or keeps
-        failing."""
-        if self.trainer is None or len(items) < 2:
-            return self._fallback_model(window)
-        try:
-            name = self._with_retries(lambda: self._train_new(items))
-        except Exception:
-            self._faults.training_failures += 1
-            self.breaker.record_failure()
-            return self._fallback_model(window)
-        self.breaker.record_success()
-        return name
-
-    def _decide_model(self, items: List[object], window: np.ndarray,
-                      novel_hint: bool):
-        """Pick the model for a drift episode; returns ``(name, novel)``.
-
-        Never raises (beyond programming errors in the fallback itself):
-        selection and training run under retry, repeated failures trip the
-        breaker, and an open breaker pins the nearest provisioned model
-        without attempting selection at all.
-        """
-        if self.breaker.is_open:
-            self._faults.breaker_fallbacks += 1
-            return self._fallback_model(window), novel_hint
-        if novel_hint:
-            return self._train_or_fallback(items, window), True
-        try:
-            selected = self._with_retries(lambda: self._try_select(
-                items[: self.config.selection_window],
-                window[: self.config.selection_window]))
-        except NovelDistribution:
-            return self._train_or_fallback(items, window), True
-        except Exception:
-            self._faults.selection_failures += 1
-            self.breaker.record_failure()
-            return self._fallback_model(window), False
-        self.breaker.record_success()
-        return selected, False
-
-    # ------------------------------------------------------------------
-    # streaming API
-    # ------------------------------------------------------------------
-    _MODE_MONITOR = "monitor"
-    _MODE_SELECT = "select-buffer"
-    _MODE_TRAIN = "train-buffer"
-
     def start(self) -> None:
         """Begin a streaming session (push-based processing via
         :meth:`step` / :meth:`flush`)."""
-        self._records: List[FrameRecord] = []
-        self._detections: List[DetectionEvent] = []
-        self._invocations = InvocationCounter()
-        self._faults = FaultStats()
-        self.guard.reset()
-        self.breaker.reset()
-        self._start_ms = self.clock.elapsed_ms
-        self.obs.event("session_start", model=self._deployed.name,
-                       registry_size=len(self.registry))
-        self.obs.gauge("pipeline.registry_size").set(len(self.registry))
-        self._buffer: List[object] = []
-        self._mode = self._MODE_MONITOR
-        self._index = 0
-        self._frames_since_swap = self.config.cooldown_frames  # armed
-
-    def _training_budget(self) -> int:
-        if self.config.training_budget is not None:
-            return self.config.training_budget
-        return self.trainer.config.frames_to_collect
-
-    def _emit(self, pixels: np.ndarray) -> FrameRecord:
-        prediction = self._predict(pixels)
-        record = FrameRecord(self._index, prediction, self._deployed.name)
-        self._records.append(record)
-        self._invocations.record([self._deployed.name])
-        self._c_emitted.inc()
-        self._index += 1
-        return record
-
-    def _emit_batch(self, pixels: np.ndarray) -> List[FrameRecord]:
-        """Emit a ``(B, ...)`` stack of admitted monitor frames.
-
-        One batched classifier call replaces ``B`` per-frame predicts; the
-        clock, record list, and invocation ledger advance exactly as ``B``
-        sequential :meth:`_emit` calls would.
-        """
-        self.clock.charge("classifier_infer", times=pixels.shape[0])
-        predictions = self._deployed.model.predict(pixels)
-        name = self._deployed.name
-        start = self._index
-        batch_records = [FrameRecord(start + offset, int(prediction), name)
-                         for offset, prediction in enumerate(predictions)]
-        self._records.extend(batch_records)
-        self._invocations.record_repeat([name], len(batch_records))
-        self._c_emitted.inc(len(batch_records))
-        self._index = start + len(batch_records)
-        return batch_records
-
-    def _resolve_buffer(self, selected: Optional[str] = None,
-                        novel_hint: bool = False) -> List[FrameRecord]:
-        """Deploy ``selected`` (running selection/training if not already
-        decided) and emit the buffered frames under the new model."""
-        items = self._buffer
-        self._buffer = []
-        window = np.stack([_pixels_of(entry) for entry in items])
-        previous = self._deployed.name
-        novel = novel_hint
-        with self.obs.span("selection.resolve"):
-            if selected is None:
-                selected, novel = self._decide_model(items, window, novel_hint)
-            self._detections.append(DetectionEvent(
-                frame_index=self._index, previous_model=previous,
-                selected_model=selected, novel=novel,
-                selection_frames=len(items)))
-            self.obs.event("drift_detected", frame=self._index,
-                           previous_model=previous, novel=novel,
-                           selection_frames=len(items))
-            self._c_detections.inc()
-            self._h_selection_frames.observe(float(len(items)))
-            self._deploy(selected)
-            self.obs.event("model_deployed", model=selected,
-                           registry_size=len(self.registry))
-            self.obs.gauge("pipeline.registry_size").set(len(self.registry))
-        self._mode = self._MODE_MONITOR
-        self._frames_since_swap = 0
-        return [self._emit(pixels) for pixels in window]
+        self.kernel.start()
 
     def step(self, item: object) -> List[FrameRecord]:
         """Push one frame; returns the records it emitted (possibly none
         while post-drift frames are being buffered for selection or
         training, or when the guard quarantined the frame)."""
-        if not hasattr(self, "_mode"):
-            self.start()
-        admitted = self._admit(item)
-        if admitted is None:
-            return []
-        return self._step_admitted(*admitted)
-
-    def _admit(self, item: object):
-        """Run the frame guard on ``item``.
-
-        Returns ``(item, pixels)`` -- with repaired pixels folded back into
-        the item -- or ``None`` when the frame was quarantined.  Guard state
-        and fault accounting advance exactly as :meth:`step` would.
-        """
-        report = self.guard.admit(item)
-        if report.status == QUARANTINED:
-            self._faults.frames_quarantined += 1
-            self._faults.quarantine_reasons[report.reason] = (
-                self._faults.quarantine_reasons.get(report.reason, 0) + 1)
-            return None
-        pixels = report.pixels
-        if report.status == OK:
-            self._faults.frames_ok += 1
-        else:  # repaired: carry the imputed pixels, keep any metadata
-            self._faults.frames_repaired += 1
-            item = _with_pixels(item, pixels)
-        return item, pixels
-
-    def _step_admitted(self, item: object,
-                       pixels: np.ndarray) -> List[FrameRecord]:
-        """The post-guard remainder of :meth:`step` (mode dispatch)."""
-        if self._mode == self._MODE_SELECT:
-            self._buffer.append(item)
-            if len(self._buffer) < self.config.selection_window:
-                return []
-            # window full: try selection; a novel distribution with a
-            # trainer keeps buffering up to the training budget
-            window = np.stack([_pixels_of(e) for e in self._buffer])
-            if self.breaker.is_open:
-                self._faults.breaker_fallbacks += 1
-                return self._resolve_buffer(
-                    selected=self._fallback_model(window))
-            try:
-                selected = self._with_retries(
-                    lambda: self._try_select(self._buffer, window))
-            except NovelDistribution:
-                if self.trainer is not None:
-                    self._mode = self._MODE_TRAIN
-                    return []
-                # no trainer: degrade to the nearest provisioned model
-                return self._resolve_buffer(
-                    selected=self._fallback_model(window), novel_hint=True)
-            except Exception:
-                self._faults.selection_failures += 1
-                self.breaker.record_failure()
-                return self._resolve_buffer(
-                    selected=self._fallback_model(window))
-            self.breaker.record_success()
-            return self._resolve_buffer(selected=selected)
-        if self._mode == self._MODE_TRAIN:
-            self._buffer.append(item)
-            if len(self._buffer) < self._training_budget():
-                return []
-            return self._resolve_buffer(novel_hint=True)
-        # monitoring
-        decision = self.inspector.observe(pixels)
-        if decision.drift and (self._frames_since_swap
-                               < self.config.cooldown_frames):
-            # residual transient right after a model swap: the fresh
-            # reference needs a few frames to settle -- restart the
-            # martingale rather than re-triggering selection
-            self.inspector.reset()
-            decision = None
-        self._frames_since_swap += 1
-        if decision is not None and decision.drift:
-            self._mode = self._MODE_SELECT
-            self._buffer = [item]
-            return []
-        return [self._emit(pixels)]
+        return self.kernel.step(item)
 
     def step_batch(self, items: Iterable[object],
                    batch_size: int = 64) -> List[FrameRecord]:
-        """Push a window of frames through the batched monitor path.
-
-        Equivalent to calling :meth:`step` once per item, for any
-        ``batch_size``: records, detections, invocation counts, fault stats
-        and the simulated clock all end up bit-identical, so batched and
-        sequential processing (and different chunkings of the same stream,
-        e.g. after a checkpoint restore) are interchangeable.
-
-        Monitoring chunks are observed with
-        :meth:`~repro.core.drift_inspector.DriftInspector.observe_batch`
-        (``exact_embed=True``) and emitted with one batched classifier call.
-        The batching is *optimistic*: the inspector and clock are
-        snapshotted before each chunk, and a drift flag anywhere inside it
-        rolls both back and replays the chunk frame by frame so the
-        post-drift buffering, cooldown and selection logic run exactly as
-        the sequential path.  Frames arriving outside monitor mode (buffer
-        filling, cooldown) take the scalar path directly.
-        """
-        if batch_size <= 0:
-            raise ConfigurationError(
-                f"batch_size must be positive: {batch_size}")
-        if not hasattr(self, "_mode"):
-            self.start()
-        items = list(items)
-        records: List[FrameRecord] = []
-        i = 0
-        while i < len(items):
-            if (self._mode != self._MODE_MONITOR
-                    or self._frames_since_swap < self.config.cooldown_frames
-                    or self.inspector.drift_detected):
-                records.extend(self.step(items[i]))
-                i += 1
-                continue
-            chunk = items[i:i + batch_size]
-            i += len(chunk)
-            pixels = self.guard.admit_batch(chunk)
-            if pixels is not None:
-                # uniformly clean chunk: one vectorized guard pass stands in
-                # for len(chunk) scalar admits; items pass through untouched
-                self._faults.frames_ok += pixels.shape[0]
-                admitted = None
-            else:
-                entries = []
-                for item in chunk:
-                    entry = self._admit(item)
-                    if entry is not None:
-                        entries.append(entry)
-                if not entries:
-                    continue
-                admitted = entries
-                pixels = np.stack([p for _, p in entries])
-            # optimistic batched observation: snapshot the inspector and
-            # clock so a drift inside the chunk can roll back and replay
-            # with sequential-exact accounting
-            inspector_state = self.inspector.state_dict()
-            saved_decisions = list(self.inspector.decisions)
-            clock_state = self.clock.state_dict()
-            obs_state = self.obs.state_dict()
-            decisions = self.inspector.observe_batch(pixels, exact_embed=True)
-            if not any(d.drift for d in decisions):
-                self._frames_since_swap += pixels.shape[0]
-                records.extend(self._emit_batch(pixels))
-                continue
-            self.inspector.load_state_dict(inspector_state)
-            self.inspector.decisions = saved_decisions
-            self.clock.load_state_dict(clock_state)
-            self.obs.load_state_dict(obs_state)
-            if admitted is None:
-                admitted = list(zip(chunk, pixels))
-            for entry in admitted:
-                records.extend(self._step_admitted(*entry))
-        return records
+        """Push a window of frames through the batched monitor path
+        (see :meth:`RuntimeKernel.step_batch`): bit-identical to calling
+        :meth:`step` once per item, for any ``batch_size``."""
+        return self.kernel.step_batch(items, batch_size=batch_size)
 
     def flush(self) -> List[FrameRecord]:
-        """End the stream: resolve any frames still buffered.
-
-        A partial selection window is evaluated as-is; a partial training
-        buffer trains on whatever was collected, deterministically falling
-        back to the nearest provisioned model when fewer than two frames
-        are available (training needs at least two).
-        """
-        if not hasattr(self, "_mode"):
-            self.start()
-        if not self._buffer:
-            return []
-        if self._mode == self._MODE_TRAIN:
-            return self._resolve_buffer(novel_hint=True)
-        return self._resolve_buffer()
+        """End the stream: resolve any frames still buffered."""
+        return self.kernel.flush()
 
     def result(self) -> PipelineResult:
         """The session's aggregated outcome so far."""
-        if not hasattr(self, "_mode"):
-            self.start()
-        self._faults.breaker_trips = self.breaker.trips
-        return PipelineResult(
-            records=self._records, detections=self._detections,
-            invocations=self._invocations,
-            simulated_ms=self.clock.elapsed_ms - self._start_ms,
-            faults=self._faults,
-            telemetry=self.obs.snapshot())
+        return self.kernel.result()
 
-    # ------------------------------------------------------------------
     def process(self, stream: Iterable[object]) -> PipelineResult:
         """Run the full loop over ``stream``; returns aggregated results.
 
         Equivalent to :meth:`start` + :meth:`step` per item + :meth:`flush`;
         use those directly for push-based (live) processing.
         """
-        self.start()
-        for item in stream:
-            self.step(item)
-        self.flush()
-        return self.result()
+        return self.kernel.process(stream)
 
     def process_batched(self, stream: Iterable[object],
                         batch_size: int = 64) -> PipelineResult:
-        """Batched counterpart of :meth:`process` (see :meth:`step_batch`);
-        produces bit-identical results for any ``batch_size``."""
-        self.start()
-        self.step_batch(stream, batch_size=batch_size)
-        self.flush()
-        return self.result()
+        """Batched counterpart of :meth:`process`; produces bit-identical
+        results for any ``batch_size``."""
+        return self.kernel.process_batched(stream, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # Snapshotable (whole-session capture; see repro.core.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Capture the live session via the kernel's
+        :class:`~repro.runtime.protocols.Snapshotable` surface."""
+        return self.kernel.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a captured session into this freshly constructed
+        pipeline (same registry, selector and configuration)."""
+        self.kernel.load_state_dict(state)

@@ -24,10 +24,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
+from repro.core.drift_inspector import DriftInspectorConfig
 from repro.core.selection.msbo import MSBO, MSBOConfig
 from repro.core.selection.registry import ModelBundle, ModelRegistry, NovelDistribution
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    make_inspector,
+)
 from repro.nn.ensemble import DeepEnsemble
 from repro.rng import derive
 from repro.video.stream import frames_to_count_labels, frames_to_pixels
@@ -46,8 +50,7 @@ def _episode_stats(context: ExperimentContext,
         start = max(0, drift - warmup)
         pre = stream[drift - 1].segment
         bundle = registry.get(pre)
-        inspector = DriftInspector(bundle.sigma, config=config,
-                                   embedder=bundle.vae)
+        inspector = make_inspector(bundle, config=config)
         detected = None
         for i, frame in enumerate(stream[start: drift + limit]):
             if inspector.observe(frame.pixels).drift:
@@ -139,7 +142,8 @@ def embedding_ablation(context: ExperimentContext) -> ExperimentResult:
                     seed=derive(context.config.seed, 4242))
                 config = DriftInspectorConfig(seed=context.config.seed,
                                               inductive_split=inductive)
-                inspector = DriftInspector(sigma, config=config, embedder=vae)
+                inspector = make_inspector(config=config, sigma=sigma,
+                                           embedder=vae)
                 detected = None
                 for i, frame in enumerate(stream[start: drift + limit]):
                     if inspector.observe(frame.pixels).drift:

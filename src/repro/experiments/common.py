@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
 from repro.core.nonconformity import KNNDistance
 from repro.core.selection.registry import ModelBundle, ModelRegistry
 from repro.detectors.classifier_filters import CountClassifier, SpatialFilter
@@ -302,3 +303,34 @@ class ExperimentContext:
         the detection algorithm, not the feature extractor."""
         pixels = frames_to_pixels(self.training_frames(segment))
         return self.shared_embedder.augmented_embed(pixels)
+
+
+def make_inspector(bundle: Optional[ModelBundle] = None, *,
+                   seed: SeedLike = 0,
+                   config=None,
+                   clock: Optional[SimulatedClock] = None,
+                   sigma: Optional[np.ndarray] = None,
+                   embedder: Optional[object] = None,
+                   **overrides):
+    """Build a :class:`~repro.core.drift_inspector.DriftInspector` over a
+    provisioned bundle's reference sample and VAE.
+
+    This is the one construction every experiment shares (Fig. 3/4,
+    Table 6, the ablations and the statistical baselines used to hand-roll
+    it): reference ``sigma`` and ``embedder`` default to ``bundle.sigma`` /
+    ``bundle.vae``, and the
+    :class:`~repro.core.drift_inspector.DriftInspectorConfig` is built from
+    ``seed`` plus any keyword ``overrides`` (``k=...``, ``window=...``,
+    ``inductive_split=...``) unless a ready-made ``config`` is given.
+    """
+    if config is None:
+        config = DriftInspectorConfig(seed=seed, **overrides)
+    elif overrides:
+        raise ConfigurationError(
+            f"pass either config or overrides, not both: {sorted(overrides)}")
+    if sigma is None:
+        sigma = bundle.sigma
+    if embedder is None:
+        embedder = bundle.vae
+    return DriftInspector(sigma, config=config, embedder=embedder,
+                          clock=clock)

@@ -16,8 +16,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.baselines.odin.detect import OdinConfig, OdinDetect
-from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    make_inspector,
+)
 from repro.sim.metrics import DetectionRecord
 
 
@@ -47,8 +51,8 @@ def run_di(context: ExperimentContext, warmup: int = 30,
         seed=context.config.seed)
     for drift, pre, post, frames, offset in _drift_episodes(context, warmup):
         bundle = registry.get(pre)
-        inspector = DriftInspector(bundle.sigma, config=di_config,
-                                   embedder=bundle.vae, clock=context.clock)
+        inspector = make_inspector(bundle, config=di_config,
+                                   clock=context.clock)
         detected = None
         for i, frame in enumerate(frames[: offset + limit]):
             if inspector.observe(frame.pixels).drift:

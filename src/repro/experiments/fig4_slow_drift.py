@@ -13,11 +13,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.baselines.odin.detect import OdinConfig, OdinDetect
-from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
 from repro.experiments.common import (
     ExperimentContext,
     ExperimentResult,
     HarnessConfig,
+    make_inspector,
 )
 from repro.video.datasets import make_slow_drift
 
@@ -46,11 +46,8 @@ def run(context: Optional[ExperimentContext] = None,
     registry = context.registry(with_ensembles=False)
     day = registry.get("day")
 
-    inspector = DriftInspector(
-        day.sigma,
-        config=DriftInspectorConfig(seed=context.config.seed,
-                                    k=context.config.knn_k),
-        embedder=day.vae)
+    inspector = make_inspector(day, seed=context.config.seed,
+                               k=context.config.knn_k)
     di_delay = None
     for i, frame in enumerate(stream[: drift_start + limit]):
         if inspector.observe(frame.pixels).drift:

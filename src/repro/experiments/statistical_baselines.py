@@ -20,15 +20,17 @@ from typing import Dict, List
 import numpy as np
 
 from repro.baselines.statistical import CusumDetector, KSDetector, MomentDetector
-from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    make_inspector,
+)
+from repro.runtime.monitoring import MonitorStage
 
 
 def _make_detectors(bundle, seed: int) -> Dict[str, object]:
     return {
-        "DriftInspector": DriftInspector(
-            bundle.sigma, DriftInspectorConfig(seed=seed),
-            embedder=bundle.vae),
+        "DriftInspector": make_inspector(bundle, seed=seed),
         "KS": KSDetector(bundle.sigma, window=25, significance=1e-3,
                          embedder=bundle.vae),
         "CUSUM": CusumDetector(bundle.sigma, threshold=8.0,
@@ -39,9 +41,9 @@ def _make_detectors(bundle, seed: int) -> Dict[str, object]:
 
 
 def _observe(detector, frame) -> bool:
-    if isinstance(detector, DriftInspector):
-        return detector.observe(frame.pixels).drift
-    return bool(detector.observe(frame.pixels))
+    # every detector satisfies the DriftMonitor protocol; the stage adapter
+    # normalizes DriftDecision vs bool returns
+    return MonitorStage.drift_of(detector.observe(frame.pixels))
 
 
 def run(context: ExperimentContext, warmup: int = 25,

@@ -11,8 +11,12 @@ least 50% less time than ODIN-Detect).
 from __future__ import annotations
 
 from repro.baselines.odin.detect import OdinConfig, OdinDetect
-from repro.core.drift_inspector import DriftInspector, DriftInspectorConfig
-from repro.experiments.common import ExperimentContext, ExperimentResult
+from repro.core.drift_inspector import DriftInspectorConfig
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentResult,
+    make_inspector,
+)
 from repro.sim.clock import SimulatedClock
 
 PAPER_SECONDS = {
@@ -32,16 +36,14 @@ def di_monitor_stream(context: ExperimentContext,
     bundle = registry.get(current)
     config = DriftInspectorConfig(seed=context.config.seed,
                                   k=context.config.knn_k)
-    inspector = DriftInspector(bundle.sigma, config=config,
-                               embedder=bundle.vae, clock=clock)
+    inspector = make_inspector(bundle, config=config, clock=clock)
     detections = 0
     for frame in stream:
         decision = inspector.observe(frame.pixels)
         if decision.drift:
             detections += 1
             bundle = registry.get(frame.segment)
-            inspector = DriftInspector(bundle.sigma, config=config,
-                                       embedder=bundle.vae, clock=clock)
+            inspector = make_inspector(bundle, config=config, clock=clock)
     return detections
 
 

@@ -13,25 +13,14 @@ object (and its ground truth) whenever it is a dataclass.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Iterable, Iterator, List, Optional
 
 import numpy as np
 
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.sim.clock import SimulatedClock
-
-
-def _pixels_of(item: object) -> np.ndarray:
-    return np.asarray(getattr(item, "pixels", item), dtype=np.float64)
-
-
-def _with_pixels(item: object, pixels: np.ndarray) -> object:
-    """Rebuild ``item`` with ``pixels`` swapped in, keeping metadata when the
-    carrier is a dataclass (``Frame``); otherwise the bare array stands in."""
-    if hasattr(item, "pixels") and dataclasses.is_dataclass(item):
-        return dataclasses.replace(item, pixels=pixels)
-    return pixels
+from repro.video.frames import pixels_of as _pixels_of
+from repro.video.frames import with_pixels as _with_pixels
 
 
 def corrupt_nan(pixels: np.ndarray, rng: np.random.Generator,

@@ -1,0 +1,44 @@
+"""Staged runtime kernel (paper Figure 1 as composable layers).
+
+- :mod:`repro.runtime.protocols` -- :class:`Snapshotable` and
+  :class:`DriftMonitor` structural contracts.
+- :mod:`repro.runtime.admission` -- frame guard, retries, circuit breaker.
+- :mod:`repro.runtime.monitoring` -- harness over any drift monitor.
+- :mod:`repro.runtime.adaptation` -- MSBI / MSBO selection, training,
+  degraded fallback.
+- :mod:`repro.runtime.emission` -- records, detections, invocation and
+  telemetry accounting.
+- :mod:`repro.runtime.kernel` -- :class:`RuntimeKernel`, the one state
+  machine every execution substrate (sequential, batched, fleet, serve,
+  experiments) drives.
+
+Layering rule (enforced by ``scripts/check_layers.py``): this package and
+:mod:`repro.core` must not import :mod:`repro.parallel`, :mod:`repro.serve`
+or :mod:`repro.experiments`.
+"""
+
+from repro.runtime.admission import AdmissionController
+from repro.runtime.adaptation import AdaptationPolicy
+from repro.runtime.emission import (
+    DetectionEvent,
+    EmissionStage,
+    FrameRecord,
+    PipelineResult,
+)
+from repro.runtime.kernel import PipelineConfig, RuntimeKernel
+from repro.runtime.monitoring import MonitorStage
+from repro.runtime.protocols import DriftMonitor, Snapshotable
+
+__all__ = [
+    "AdmissionController",
+    "AdaptationPolicy",
+    "DetectionEvent",
+    "DriftMonitor",
+    "EmissionStage",
+    "FrameRecord",
+    "MonitorStage",
+    "PipelineConfig",
+    "PipelineResult",
+    "RuntimeKernel",
+    "Snapshotable",
+]

@@ -1,0 +1,147 @@
+"""Adaptation stage: model selection, training, and degraded fallback.
+
+:class:`AdaptationPolicy` owns the post-drift decision logic that used to
+live in ``DriftAwareAnalytics._decide_model`` / ``_train_or_fallback``:
+run MSBI / MSBO over the buffered window, train a new bundle when the
+selector declares a novel distribution, and degrade to the nearest
+provisioned model when the trainer is unavailable or the circuit breaker
+is open.  Retries and breaker bookkeeping go through the session's
+:class:`~repro.runtime.admission.AdmissionController`, so selection
+failures and training failures share one fault ledger.
+
+The policy reads the model registry through the owning kernel, so bundles
+registered mid-session (``novel_*``) are immediately visible to the
+fallback search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.selection.msbi import MSBI
+from repro.core.selection.msbo import MSBO
+from repro.core.selection.registry import NovelDistribution
+from repro.core.selection.trainer import ModelTrainer
+from repro.errors import ConfigurationError
+from repro.video.frames import pixels_of
+
+
+class AdaptationPolicy:
+    """Selection / training / fallback policy for one kernel."""
+
+    def __init__(self, kernel, selector: object,
+                 annotator: Optional[Callable[[np.ndarray], np.ndarray]],
+                 trainer: Optional[ModelTrainer]) -> None:
+        if not isinstance(selector, (MSBI, MSBO)):
+            raise ConfigurationError(
+                f"selector must be MSBI or MSBO, got {type(selector).__name__}")
+        if isinstance(selector, MSBO) and annotator is None:
+            raise ConfigurationError("MSBO selection requires an annotator")
+        self.kernel = kernel
+        self.selector = selector
+        self.annotator = annotator
+        self.trainer = trainer
+
+    # ------------------------------------------------------------------
+    @property
+    def _admission(self):
+        return self.kernel.admission
+
+    @property
+    def _registry(self):
+        return self.kernel.registry
+
+    @property
+    def _obs(self):
+        return self.kernel.obs
+
+    # ------------------------------------------------------------------
+    def try_select(self, items: List[object], window: np.ndarray) -> str:
+        """Run the selector on the buffered window.
+
+        ``items`` are the original stream items (carrying ground truth for
+        the annotator); ``window`` their stacked pixel arrays.  Raises
+        :class:`NovelDistribution` when no provisioned model fits.
+        """
+        with self._obs.span("selection.select"):
+            if isinstance(self.selector, MSBO):
+                labels = np.asarray(self.annotator(items), dtype=np.int64)
+                return self.selector.select(window, labels)
+            return self.selector.select(window)
+
+    def train_new(self, items: List[object]) -> str:
+        """Build and register a bundle from collected post-drift items."""
+        with self._obs.span("selection.train"):
+            pixels = np.stack([pixels_of(item) for item in items])
+            labels = None
+            if self.annotator is not None:
+                labels = np.asarray(self.annotator(items), dtype=np.int64)
+            name = f"novel_{len(self._registry)}"
+            bundle = self.trainer.train_new_model(name, pixels, labels=labels)
+            self._registry.replace(bundle)
+            return name
+
+    def fallback_model(self, window: np.ndarray) -> str:
+        with self._obs.span("selection.fallback"):
+            best_name, best = None, float("inf")
+            for bundle in self._registry:
+                latents = bundle.embed(window)
+                centroid = bundle.sigma.mean(axis=0)
+                dist = float(
+                    np.sqrt(((latents - centroid) ** 2).sum(axis=1)).mean())
+                if dist < best:
+                    best, best_name = dist, bundle.name
+            return best_name
+
+    # ------------------------------------------------------------------
+    def train_or_fallback(self, items: List[object],
+                          window: np.ndarray) -> str:
+        """Train a new bundle; degrade to the nearest provisioned model when
+        training is impossible (no trainer, too few frames) or keeps
+        failing."""
+        admission = self._admission
+        if self.trainer is None or len(items) < 2:
+            return self.fallback_model(window)
+        try:
+            name = admission.with_retries(lambda: self.train_new(items))
+        except Exception:
+            admission.faults.training_failures += 1
+            admission.breaker.record_failure()
+            return self.fallback_model(window)
+        admission.breaker.record_success()
+        return name
+
+    def decide(self, items: List[object], window: np.ndarray,
+               novel_hint: bool) -> Tuple[str, bool]:
+        """Pick the model for a drift episode; returns ``(name, novel)``.
+
+        Never raises (beyond programming errors in the fallback itself):
+        selection and training run under retry, repeated failures trip the
+        breaker, and an open breaker pins the nearest provisioned model
+        without attempting selection at all.
+        """
+        admission = self._admission
+        selection_window = self.kernel.config.selection_window
+        if admission.breaker.is_open:
+            admission.faults.breaker_fallbacks += 1
+            return self.fallback_model(window), novel_hint
+        if novel_hint:
+            return self.train_or_fallback(items, window), True
+        try:
+            selected = admission.with_retries(lambda: self.try_select(
+                items[:selection_window], window[:selection_window]))
+        except NovelDistribution:
+            return self.train_or_fallback(items, window), True
+        except Exception:
+            admission.faults.selection_failures += 1
+            admission.breaker.record_failure()
+            return self.fallback_model(window), False
+        admission.breaker.record_success()
+        return selected, False
+
+    def training_budget(self) -> int:
+        if self.kernel.config.training_budget is not None:
+            return self.kernel.config.training_budget
+        return self.trainer.config.frames_to_collect

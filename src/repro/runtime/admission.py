@@ -1,0 +1,155 @@
+"""Admission stage: frame guarding, retries, and the circuit breaker.
+
+The :class:`AdmissionController` owns everything that decides whether work
+is allowed to proceed -- the :class:`~repro.faults.guard.FrameGuard` at the
+stream boundary, the :class:`~repro.faults.guard.RetryPolicy` around
+selector / trainer calls, the :class:`~repro.faults.guard.CircuitBreaker`
+over repeated resolution failures -- plus the session's
+:class:`~repro.sim.metrics.FaultStats` ledger they all write to.
+
+Observability is passive: the stage emits ``frame_*`` / ``retry`` /
+``breaker_*`` events through the attached recorder but never branches on
+it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.selection.registry import NovelDistribution
+from repro.faults.guard import (
+    OK,
+    QUARANTINED,
+    CircuitBreaker,
+    FrameGuard,
+    RetryPolicy,
+)
+from repro.sim.metrics import FaultStats
+from repro.video.frames import with_pixels
+
+
+class AdmissionController:
+    """Gatekeeper in front of the monitoring / adaptation stages."""
+
+    def __init__(self, config, clock, recorder) -> None:
+        self.config = config
+        self.clock = clock
+        self.obs = recorder
+        self.guard = FrameGuard(policy=config.frame_policy,
+                                observer=self._on_guard)
+        self.breaker = CircuitBreaker(threshold=config.breaker_threshold,
+                                      on_trip=self._on_breaker_trip,
+                                      on_close=self._on_breaker_close)
+        self._retry_policy = RetryPolicy(
+            max_retries=config.max_retries,
+            backoff_ms=config.retry_backoff_ms)
+        self.faults = FaultStats()
+
+    # ------------------------------------------------------------------
+    # observability hooks (passive: they only record, never decide)
+    # ------------------------------------------------------------------
+    def _on_guard(self, status: str, index: int,
+                  reason: Optional[str]) -> None:
+        self.obs.event(f"frame_{status}", frame=index, reason=reason)
+
+    def _on_breaker_trip(self, breaker: CircuitBreaker) -> None:
+        self.obs.event("breaker_open", failures=breaker.failures,
+                       trips=breaker.trips)
+
+    def _on_breaker_close(self, breaker: CircuitBreaker) -> None:
+        self.obs.event("breaker_close", trips=breaker.trips)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Start a fresh session: new fault ledger, guard and breaker."""
+        self.faults = FaultStats()
+        self.guard.reset()
+        self.breaker.reset()
+
+    def admit(self, item: object) -> Optional[Tuple[object, np.ndarray]]:
+        """Run the frame guard on ``item``.
+
+        Returns ``(item, pixels)`` -- with repaired pixels folded back into
+        the item -- or ``None`` when the frame was quarantined.  Guard state
+        and fault accounting advance exactly as the scalar step would.
+        """
+        report = self.guard.admit(item)
+        if report.status == QUARANTINED:
+            self.faults.frames_quarantined += 1
+            self.faults.quarantine_reasons[report.reason] = (
+                self.faults.quarantine_reasons.get(report.reason, 0) + 1)
+            return None
+        pixels = report.pixels
+        if report.status == OK:
+            self.faults.frames_ok += 1
+        else:  # repaired: carry the imputed pixels, keep any metadata
+            self.faults.frames_repaired += 1
+            item = with_pixels(item, pixels)
+        return item, pixels
+
+    def admit_batch(self, chunk: List[object]) -> Optional[np.ndarray]:
+        """Vectorized guard pass over a uniformly clean chunk.
+
+        Returns the stacked pixels (accounting ``len(chunk)`` clean frames)
+        or ``None`` when any frame needs the scalar :meth:`admit` path.
+        """
+        pixels = self.guard.admit_batch(chunk)
+        if pixels is not None:
+            self.faults.frames_ok += pixels.shape[0]
+        return pixels
+
+    # ------------------------------------------------------------------
+    # degraded resolution: retries around the selection / training path
+    # ------------------------------------------------------------------
+    def _count_retry(self, attempt: int, error: BaseException) -> None:
+        self.faults.retries += 1
+        self.obs.event("retry", attempt=attempt,
+                       error=type(error).__name__)
+
+    def with_retries(self, fn):
+        """Run a selector / trainer call under the retry policy.
+
+        ``NovelDistribution`` is a control-flow signal, not a failure, so it
+        propagates without consuming retries.
+        """
+        return self._retry_policy.run(
+            fn, clock=self.clock, retryable=(Exception,),
+            non_retryable=(NovelDistribution,),
+            on_retry=self._count_retry)
+
+    # ------------------------------------------------------------------
+    # Snapshotable (breaker + guard + fault ledger)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        guard = self.guard
+        return {
+            "faults": self.faults.state_dict(),
+            "breaker": {"failures": self.breaker.failures,
+                        "trips": self.breaker.trips,
+                        "is_open": self.breaker.is_open},
+            "guard": {"expected_shape": (list(guard.expected_shape)
+                                         if guard.expected_shape is not None
+                                         else None),
+                      "admitted": guard._admitted,
+                      "reasons": dict(guard.reasons)},
+            "guard_last_good": guard.last_good,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.faults.load_state_dict(state["faults"])
+        breaker = state["breaker"]
+        self.breaker.failures = int(breaker["failures"])
+        self.breaker.trips = int(breaker["trips"])
+        self.breaker.is_open = bool(breaker["is_open"])
+        guard_state = state["guard"]
+        shape = guard_state["expected_shape"]
+        self.guard.expected_shape = (tuple(int(n) for n in shape)
+                                     if shape is not None else None)
+        self.guard._admitted = int(guard_state["admitted"])
+        self.guard.reasons = {str(k): int(v)
+                              for k, v in guard_state["reasons"].items()}
+        last_good = state.get("guard_last_good")
+        if last_good is not None:
+            self.guard.last_good = np.asarray(last_good, dtype=np.float64)

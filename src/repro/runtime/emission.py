@@ -1,0 +1,163 @@
+"""Emission stage: records, detections, and invocation accounting.
+
+:class:`EmissionStage` owns everything the session produces -- the
+per-frame :class:`FrameRecord` stream, the :class:`DetectionEvent` log, the
+:class:`~repro.sim.metrics.InvocationCounter` ledger, and the emission-side
+observability (frame / detection counters, selection-window histogram).
+The stage charges the simulated clock for classifier inference, in scalar
+(:meth:`emit`) and vectorized (:meth:`emit_batch`) forms that advance all
+ledgers bit-identically.
+
+The result dataclasses live here (re-exported from
+:mod:`repro.core.pipeline` for compatibility) because they are the
+emission contract every execution substrate shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.metrics import FaultStats, InvocationCounter
+
+#: Fixed buckets for the per-detection selection-window-size histogram.
+_SELECTION_FRAMES_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass
+class DetectionEvent:
+    """One drift detection + recovery episode."""
+
+    frame_index: int
+    previous_model: str
+    selected_model: str
+    novel: bool
+    selection_frames: int
+
+
+@dataclass
+class FrameRecord:
+    """Per-frame processing outcome."""
+
+    frame_index: int
+    prediction: int
+    model: str
+
+
+@dataclass
+class PipelineResult:
+    """Aggregated output of one pipeline run.
+
+    ``faults`` carries the session's degradation accounting: guard verdicts
+    (repaired / quarantined frames), retries, and circuit-breaker activity.
+    ``telemetry`` is the attached recorder's snapshot (the schema-validated
+    ``summary`` plus the retained event stream) -- ``None`` when the
+    pipeline ran with the default no-op recorder.
+    """
+
+    records: List[FrameRecord]
+    detections: List[DetectionEvent]
+    invocations: InvocationCounter
+    simulated_ms: float
+    faults: FaultStats = field(default_factory=FaultStats)
+    telemetry: Optional[dict] = None
+
+    @property
+    def predictions(self) -> np.ndarray:
+        return np.asarray([r.prediction for r in self.records], dtype=np.int64)
+
+    @property
+    def models_used(self) -> List[str]:
+        return [r.model for r in self.records]
+
+
+class EmissionStage:
+    """Sink for admitted frames processed under the deployed model."""
+
+    def __init__(self, clock, recorder) -> None:
+        self.clock = clock
+        self.obs = recorder
+        self._c_emitted = recorder.counter("pipeline.frames_emitted")
+        self._c_detections = recorder.counter("pipeline.detections")
+        self._h_selection_frames = recorder.histogram(
+            "pipeline.selection_frames", _SELECTION_FRAMES_BUCKETS)
+        self.reset()
+
+    def reset(self) -> None:
+        """Start a fresh session's ledgers."""
+        self.records: List[FrameRecord] = []
+        self.detections: List[DetectionEvent] = []
+        self.invocations = InvocationCounter()
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, bundle, pixels: np.ndarray) -> FrameRecord:
+        """Predict one frame under ``bundle`` and record the outcome."""
+        self.clock.charge("classifier_infer")
+        prediction = int(bundle.model.predict(pixels[None, ...])[0])
+        record = FrameRecord(self.index, prediction, bundle.name)
+        self.records.append(record)
+        self.invocations.record([bundle.name])
+        self._c_emitted.inc()
+        self.index += 1
+        return record
+
+    def emit_batch(self, bundle, pixels: np.ndarray) -> List[FrameRecord]:
+        """Emit a ``(B, ...)`` stack of admitted monitor frames.
+
+        One batched classifier call replaces ``B`` per-frame predicts; the
+        clock, record list, and invocation ledger advance exactly as ``B``
+        sequential :meth:`emit` calls would.
+        """
+        self.clock.charge("classifier_infer", times=pixels.shape[0])
+        predictions = bundle.model.predict(pixels)
+        name = bundle.name
+        start = self.index
+        batch_records = [FrameRecord(start + offset, int(prediction), name)
+                         for offset, prediction in enumerate(predictions)]
+        self.records.extend(batch_records)
+        self.invocations.record_repeat([name], len(batch_records))
+        self._c_emitted.inc(len(batch_records))
+        self.index = start + len(batch_records)
+        return batch_records
+
+    def record_detection(self, previous: str, selected: str, novel: bool,
+                         selection_frames: int) -> DetectionEvent:
+        """Log one drift episode (at the current emission index)."""
+        event = DetectionEvent(
+            frame_index=self.index, previous_model=previous,
+            selected_model=selected, novel=novel,
+            selection_frames=selection_frames)
+        self.detections.append(event)
+        self.obs.event("drift_detected", frame=self.index,
+                       previous_model=previous, novel=novel,
+                       selection_frames=selection_frames)
+        self._c_detections.inc()
+        self._h_selection_frames.observe(float(selection_frames))
+        return event
+
+    # ------------------------------------------------------------------
+    # Snapshotable
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "records": [{"frame_index": r.frame_index,
+                         "prediction": r.prediction,
+                         "model": r.model} for r in self.records],
+            "detections": [{"frame_index": d.frame_index,
+                            "previous_model": d.previous_model,
+                            "selected_model": d.selected_model,
+                            "novel": d.novel,
+                            "selection_frames": d.selection_frames}
+                           for d in self.detections],
+            "invocations": self.invocations.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.index = int(state["index"])
+        self.records = [FrameRecord(**r) for r in state["records"]]
+        self.detections = [DetectionEvent(**d) for d in state["detections"]]
+        self.invocations.load_state_dict(state["invocations"])

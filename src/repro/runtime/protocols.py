@@ -1,0 +1,74 @@
+"""Structural contracts the runtime kernel composes against.
+
+Two small protocols describe everything the kernel needs from a pluggable
+component:
+
+- :class:`Snapshotable` -- deterministic state capture/restore via
+  ``state_dict`` / ``load_state_dict``.  The kernel, the Drift Inspector,
+  the simulated clock, the recorder, and the ledgers all implement it; it
+  is the one mechanism behind the optimistic batched rollback, the
+  checkpoint archive, and the fleet's crash recovery (which used to be
+  three divergent hand-rolled paths).
+- :class:`DriftMonitor` -- the monitoring-stage contract.  The paper's
+  :class:`~repro.core.drift_inspector.DriftInspector` implements it, and so
+  do ODIN's :class:`~repro.baselines.odin.detect.OdinDetect` and the
+  classical detectors in :mod:`repro.baselines.statistical`, so every
+  baseline can run behind the *same* admission / adaptation / emission
+  harness as the headline method.
+
+Both are :func:`typing.runtime_checkable`, so ``isinstance`` checks verify
+the structural surface without inheritance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Snapshotable(Protocol):
+    """Deterministic state capture and restore.
+
+    ``load_state_dict(state_dict())`` must be a no-op, and two objects with
+    equal state dicts must behave bit-identically from then on.  State dicts
+    are JSON-friendly apart from numpy arrays (the checkpoint layer splits
+    those into the npz archive).
+    """
+
+    def state_dict(self) -> dict:
+        """Capture the component's dynamic state."""
+        ...
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        ...
+
+
+@runtime_checkable
+class DriftMonitor(Protocol):
+    """What the kernel's monitoring stage requires from a detector.
+
+    ``observe`` consumes one admitted frame's pixels and returns the
+    detector's decision -- either a plain ``bool`` drift flag or a decision
+    object with a boolean ``drift`` attribute (the kernel normalizes both).
+    ``reset`` restarts detection against the current reference (called on
+    cooldown suppression and after a model swap).
+
+    Monitors that additionally implement :class:`Snapshotable` and an
+    ``observe_batch(pixels)`` method get the optimistic vectorized batched
+    path; anything else is transparently driven frame by frame, so batched
+    and sequential execution stay bit-identical either way.
+    """
+
+    drift_detected: bool
+    drift_frame: Optional[int]
+
+    def observe(self, pixels: np.ndarray) -> object:
+        """Consume one frame; return a drift decision (bool-like)."""
+        ...
+
+    def reset(self) -> None:
+        """Restart detection (martingale / window / cluster state)."""
+        ...

@@ -50,15 +50,22 @@ def make_registry(seed: int = 777) -> ModelRegistry:
 
 def make_pipeline(seed: int = 0,
                   registry: ModelRegistry = None,
-                  recorder=None) -> DriftAwareAnalytics:
-    """One drift-aware pipeline over the two-bundle gaussian registry."""
+                  recorder=None,
+                  monitor_factory=None) -> DriftAwareAnalytics:
+    """One drift-aware pipeline over the two-bundle gaussian registry.
+
+    ``monitor_factory`` backs the monitoring stage with a custom
+    :class:`~repro.runtime.protocols.DriftMonitor` (ODIN, a statistical
+    detector, ...) instead of the default Drift Inspector.
+    """
     registry = registry if registry is not None else make_registry()
     config = PipelineConfig(
         selection_window=8,
         drift_inspector=DriftInspectorConfig(seed=seed))
     selector = MSBI(registry, MSBIConfig(window_size=8, seed=seed))
     return DriftAwareAnalytics(registry, "low", selector, config=config,
-                               recorder=recorder)
+                               recorder=recorder,
+                               monitor_factory=monitor_factory)
 
 
 def gaussian_stream(seed: int, segments) -> np.ndarray:

@@ -13,9 +13,12 @@ move between frames) as in real video.
 - :mod:`repro.video.datasets` -- SyntheticBDD / Detrac / Tokyo builders.
 - :mod:`repro.video.annotator` -- oracle annotator (Mask R-CNN substitute).
 - :mod:`repro.video.features` -- downsampling / flattening helpers.
+- :mod:`repro.video.frames` -- frame-carrier coercion helpers
+  (``pixels_of`` / ``with_pixels``), shared by every pipeline layer.
 """
 
 from repro.video.annotator import OracleAnnotator
+from repro.video.frames import pixels_of, with_pixels
 from repro.video.datasets import (
     DriftingDataset,
     make_bdd,
@@ -42,4 +45,6 @@ __all__ = [
     "make_tokyo",
     "make_slow_drift",
     "OracleAnnotator",
+    "pixels_of",
+    "with_pixels",
 ]

@@ -1,0 +1,37 @@
+"""Frame-carrier coercion helpers.
+
+Every layer of the pipeline accepts "frame items" that are either raw pixel
+arrays, ``(pixels-like, ...)`` sequences, or carrier objects with a
+``pixels`` attribute (e.g. :class:`~repro.video.stream.Frame`, which also
+carries ground truth for annotators).  These two helpers are the single
+definition of that coercion contract; they used to be copy-pasted as
+``_pixels_of`` / ``_with_pixels`` in four modules.
+
+``pixels_of`` never copies when the input is already a float64 array, so it
+is safe on hot paths; ``with_pixels`` preserves dataclass carriers (and
+their metadata) when swapping repaired pixels back in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+def pixels_of(item: object) -> np.ndarray:
+    """Coerce a frame item to a float64 pixel array.
+
+    Accepts a raw ``np.ndarray``, anything ``np.asarray`` understands
+    (nested tuples/lists), or a carrier object exposing ``.pixels``.
+    """
+    pixels = getattr(item, "pixels", item)
+    return np.asarray(pixels, dtype=np.float64)
+
+
+def with_pixels(item: object, pixels: np.ndarray) -> object:
+    """Rebuild ``item`` with ``pixels`` swapped in, keeping metadata when the
+    carrier is a dataclass (``Frame``); otherwise the bare array stands in."""
+    if hasattr(item, "pixels") and dataclasses.is_dataclass(item):
+        return dataclasses.replace(item, pixels=pixels)
+    return pixels

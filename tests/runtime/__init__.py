@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.runtime` (the staged kernel and its protocols)."""

@@ -1,0 +1,79 @@
+"""Checkpoint -> restore -> bit-exact resume, at the kernel level.
+
+``tests/faults/test_checkpoint.py`` exercises the npz archive through the
+:class:`~repro.core.pipeline.DriftAwareAnalytics` façade; these tests pin
+the underlying :class:`~repro.runtime.protocols.Snapshotable` mechanism
+itself: a raw ``state_dict`` round trip on the kernel (no archive), a
+restore that resumes under a *different* chunking, the full npz path, and
+the refusal to checkpoint a session whose monitor cannot snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+from repro.errors import CheckpointError
+from repro.testing import gaussian_stream, make_pipeline, result_sig
+from tests.runtime.test_kernel_equivalence import cusum_monitor
+
+FRAMES = gaussian_stream(3, [(0.0, 25), (6.0, 35)])
+
+
+def run_steps(pipeline, frames):
+    pipeline.start()
+    for frame in frames:
+        pipeline.step(frame)
+    return pipeline
+
+
+def finish(pipeline, frames):
+    for frame in frames:
+        pipeline.step(frame)
+    pipeline.flush()
+    return pipeline.result()
+
+
+@pytest.fixture(scope="module")
+def reference_sig():
+    return result_sig(make_pipeline(seed=3).process(FRAMES))
+
+
+class TestKernelRoundTrip:
+    # cuts land before the drift, mid-selection-buffer, and after the swap
+    @pytest.mark.parametrize("cut", [17, 31, 45])
+    def test_state_dict_round_trip_resumes_bit_exactly(self, cut,
+                                                       reference_sig):
+        first = run_steps(make_pipeline(seed=3), FRAMES[:cut])
+        state = first.kernel.state_dict()
+
+        resumed = make_pipeline(seed=3)
+        resumed.kernel.load_state_dict(state)
+        assert result_sig(finish(resumed, FRAMES[cut:])) == reference_sig
+
+    def test_restore_resumes_under_a_different_chunking(self, reference_sig):
+        """The original session ran frame by frame; the restored one resumes
+        through ``step_batch`` -- the equivalence contract must hold across
+        the checkpoint boundary too."""
+        first = run_steps(make_pipeline(seed=3), FRAMES[:21])
+        state = first.kernel.state_dict()
+
+        resumed = make_pipeline(seed=3)
+        resumed.kernel.load_state_dict(state)
+        resumed.step_batch(FRAMES[21:], batch_size=16)
+        resumed.flush()
+        assert result_sig(resumed.result()) == reference_sig
+
+    def test_npz_archive_round_trip(self, tmp_path, reference_sig):
+        first = run_steps(make_pipeline(seed=3), FRAMES[:31])
+        path = str(tmp_path / "session.npz")
+        save_checkpoint(path, first)
+
+        resumed = restore_checkpoint(path, make_pipeline(seed=3))
+        assert result_sig(finish(resumed, FRAMES[31:])) == reference_sig
+
+    def test_non_snapshotable_monitor_refused(self):
+        pipeline = make_pipeline(seed=0, monitor_factory=cusum_monitor)
+        pipeline.process(gaussian_stream(0, [(0.0, 10)]))
+        with pytest.raises(CheckpointError, match="Snapshotable"):
+            pipeline.state_dict()

@@ -1,0 +1,105 @@
+"""Protocol conformance: who satisfies Snapshotable / DriftMonitor.
+
+The contracts are structural (``runtime_checkable`` protocols), so these
+tests pin down which components participate in each mechanism -- the
+kernel's optimistic batched rollback and the checkpoint path both dispatch
+on exactly these ``isinstance`` checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.odin.detect import OdinDetect
+from repro.baselines.statistical import (
+    CusumDetector,
+    KSDetector,
+    MomentDetector,
+)
+from repro.core.drift_inspector import DriftInspector
+from repro.obs.recorder import Recorder
+from repro.runtime import DriftMonitor, MonitorStage, Snapshotable
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import FaultStats, InvocationCounter
+from repro.testing import make_pipeline
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = np.random.default_rng(7)
+    return rng.normal(0.0, 1.0, size=(60, 4))
+
+
+class TestSnapshotable:
+    @pytest.mark.parametrize("factory", [
+        SimulatedClock,
+        Recorder,
+        InvocationCounter,
+        FaultStats,
+    ])
+    def test_infra_components_are_snapshotable(self, factory):
+        assert isinstance(factory(), Snapshotable)
+
+    def test_drift_inspector_is_snapshotable(self, reference):
+        assert isinstance(DriftInspector(reference), Snapshotable)
+
+    def test_pipeline_facade_and_kernel_are_snapshotable(self):
+        pipeline = make_pipeline(seed=0)
+        assert isinstance(pipeline, Snapshotable)
+        assert isinstance(pipeline.kernel, Snapshotable)
+
+    def test_statistical_detectors_are_not_snapshotable(self, reference):
+        # no state_dict -- the kernel must fall back to scalar batching
+        assert not isinstance(KSDetector(reference), Snapshotable)
+
+
+class TestDriftMonitor:
+    def test_drift_inspector_conforms(self, reference):
+        inspector = DriftInspector(reference)
+        assert isinstance(inspector, DriftMonitor)
+        assert MonitorStage(inspector).supports_rollback
+
+    @pytest.mark.parametrize("cls", [KSDetector, CusumDetector,
+                                     MomentDetector])
+    def test_statistical_detectors_conform(self, cls, reference):
+        detector = cls(reference)
+        assert isinstance(detector, DriftMonitor)
+        assert not MonitorStage(detector).supports_rollback
+
+    def test_odin_detect_conforms(self, reference):
+        detect = OdinDetect()
+        detect.seed_cluster("base", reference)
+        assert isinstance(detect, DriftMonitor)
+        assert not MonitorStage(detect).supports_rollback
+
+    def test_drift_of_normalizes_bools_and_decisions(self, reference):
+        assert MonitorStage.drift_of(True) is True
+        assert MonitorStage.drift_of(False) is False
+        inspector = DriftInspector(reference)
+        decision = inspector.observe(np.zeros(4))
+        assert MonitorStage.drift_of(decision) == decision.drift
+
+    @pytest.mark.parametrize("cls", [KSDetector, CusumDetector,
+                                     MomentDetector])
+    def test_statistical_reset_rearms_detection(self, cls, reference):
+        detector = cls(reference)
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            if detector.observe(rng.normal(30.0, 1.0, size=4)):
+                break
+        assert detector.drift_detected
+        detector.reset()
+        assert not detector.drift_detected
+        assert detector.drift_frame is None
+        # after the reset the detector accepts in-distribution frames again
+        for i in range(5):
+            assert not detector.observe(reference[i])
+
+    def test_odin_reset_clears_flag_keeps_clusters(self, reference):
+        detect = OdinDetect()
+        detect.seed_cluster("base", reference)
+        detect._drift_frame = 42
+        detect.reset()
+        assert not detect.drift_detected
+        assert len(detect.clusters) == 1

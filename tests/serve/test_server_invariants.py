@@ -170,6 +170,36 @@ class TestBitIdentity:
         assert slo.processed == 60
         assert slo.shed_total == slo.rejected == slo.degraded == 0
 
+    def test_unconstrained_serve_bit_identical_with_odin_monitor(self):
+        """Bit-identity holds at the monitor-protocol seam, not just for
+        the default Drift Inspector: a session whose kernel is backed by
+        ODIN-Detect (scalar-fallback batching -- no ``observe_batch``, no
+        snapshots) still serves exactly what offline processing emits."""
+        from repro.baselines.odin.detect import OdinConfig, OdinDetect
+
+        def odin_monitor(bundle):
+            detect = OdinDetect(config=OdinConfig())
+            detect.seed_cluster(bundle.name, bundle.sigma,
+                                model_name=bundle.name)
+            return detect
+
+        frames = gaussian_stream(23, [(0.0, 30), (6.0, 40)])
+        reference = make_pipeline(
+            seed=23, monitor_factory=odin_monitor).process_batched(
+                frames, batch_size=16)
+        session = StreamSession(
+            "cam", make_pipeline(seed=23, monitor_factory=odin_monitor),
+            SessionConfig(queue_capacity=1 << 20, deadline_ms=1e12))
+        arrivals = generate_arrivals(
+            frames, WorkloadConfig(rate_fps=CAPACITY),
+            stream_id="cam", deadline_ms=1e12, seed=24)
+        server = DriftServer([session], ServeConfig(
+            scheduler=SchedulerConfig(batch_size=16)))
+        result = server.run(arrivals)
+        assert result_sig(result.pipeline_results["cam"]) == result_sig(
+            reference)
+        assert result.pipeline_results["cam"].detections
+
     def test_scheduler_batch_size_cannot_change_pipeline_results(self):
         """Chunking invariance survives the serving layer: an
         unconstrained stream's drift decisions are identical whatever

@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.video.frames` (the shared coercion helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.video.frames import pixels_of, with_pixels
+from repro.video.stream import Frame
+
+
+def make_frame(pixels) -> Frame:
+    return Frame(index=3, pixels=np.asarray(pixels, dtype=np.float64),
+                 objects=(), segment="day", condition="day", angle="front")
+
+
+class TestPixelsOf:
+    def test_ndarray_passthrough(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        out = pixels_of(arr)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, arr)
+
+    def test_integer_array_is_coerced_to_float64(self):
+        out = pixels_of(np.arange(4, dtype=np.int32))
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [0.0, 1.0, 2.0, 3.0])
+
+    def test_nested_tuple_input(self):
+        out = pixels_of(((1, 2), (3, 4)))
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_frame_carrier_uses_pixels_attribute(self):
+        frame = make_frame([[0.5, 1.5]])
+        out = pixels_of(frame)
+        np.testing.assert_array_equal(out, [[0.5, 1.5]])
+
+    def test_float64_input_is_not_copied(self):
+        arr = np.zeros((2, 2), dtype=np.float64)
+        assert pixels_of(arr) is arr
+
+
+class TestWithPixels:
+    def test_frame_carrier_keeps_metadata(self):
+        frame = make_frame([[1.0, np.nan]])
+        repaired = np.asarray([[1.0, 0.0]])
+        out = with_pixels(frame, repaired)
+        assert isinstance(out, Frame)
+        assert out is not frame
+        assert (out.index, out.segment, out.condition, out.angle) == (
+            3, "day", "day", "front")
+        np.testing.assert_array_equal(out.pixels, repaired)
+        # the original carrier is untouched
+        assert np.isnan(frame.pixels[0, 1])
+
+    @pytest.mark.parametrize("item", [
+        np.zeros((2, 2)),
+        ((1.0, 2.0), (3.0, 4.0)),
+    ])
+    def test_non_dataclass_items_become_bare_arrays(self, item):
+        repaired = np.ones((2, 2))
+        assert with_pixels(item, repaired) is repaired
