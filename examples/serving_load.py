@@ -1,12 +1,14 @@
 """Serving a camera fleet at 2x capacity: degrade, don't fail.
 
 Three tenants share one simulated inference backend through
-``repro.serve``: a premium stream (scheduling priority, drop-oldest), a
-standard stream (drop-oldest) and a best-effort stream that degrades to
-a prediction-only pass instead of shedding.  The fleet offers twice what
-the backend can sustain, and the point of the example is the shape of
-the overload response: throughput holds at capacity, the excess is shed
-or degraded per policy, every queue and breaker decision lands in the
+``repro.serve``: a premium stream (scheduling priority, double fairness
+weight, never degraded -- its infeasible frames are rejected at
+admission), a standard stream and a best-effort stream whose excess
+rides the cheap degraded pass.  The fleet offers twice what the backend
+can sustain, and the point of the example is the shape of the overload
+response: the ``OverloadController`` walks NORMAL -> DEGRADED (->
+SHEDDING under bursts), goodput holds near capacity instead of
+collapsing, every admission and controller decision lands in the
 telemetry stream, and each tenant still gets its drift detections.
 
 Run:  python examples/serving_load.py
@@ -30,10 +32,10 @@ from repro.serve import (
 from repro.testing import gaussian_stream, make_pipeline
 
 TENANTS = (
-    # (stream id, priority, shed policy)
-    ("premium", 1, "drop-oldest"),
-    ("standard", 0, "drop-oldest"),
-    ("best-effort", 0, "degrade"),
+    # (stream id, priority, weight, degraded allowed)
+    ("premium", 1, 2.0, False),
+    ("standard", 0, 1.0, True),
+    ("best-effort", 0, 1.0, True),
 )
 OFFERED_LOAD = 2.0
 DEADLINE_MS = 60.0
@@ -50,12 +52,14 @@ def main() -> None:
           f"({per_stream_rate:.1f} fps each, deadline {DEADLINE_MS:.0f} ms)")
 
     sessions, arrivals = [], []
-    for index, (stream_id, priority, policy) in enumerate(TENANTS):
+    for index, (stream_id, priority, weight, degradable) in enumerate(
+            TENANTS):
         seed = 100 + index
         sessions.append(StreamSession(
             stream_id, make_pipeline(seed=seed),
             SessionConfig(priority=priority, deadline_ms=DEADLINE_MS,
-                          queue_capacity=8, shed_policy=policy)))
+                          queue_capacity=8, weight=weight,
+                          degraded_allowed=degradable)))
         # each stream drifts halfway through, so serving decisions and
         # drift detections have to coexist under overload
         frames = gaussian_stream(seed, [(0.0, frames_per_stream // 2),
@@ -70,26 +74,34 @@ def main() -> None:
         scheduler=SchedulerConfig(batch_size=16)), recorder=recorder)
     result = server.run(arrivals)
 
-    print(f"\n{'tenant':<12} {'policy':<12} {'arrived':>8} {'served':>7} "
-          f"{'degraded':>9} {'shed':>5} {'p99 ms':>7} {'drifts':>7}")
+    print(f"\n{'tenant':<12} {'arrived':>8} {'served':>7} {'degraded':>9} "
+          f"{'rej-inf':>8} {'shed':>5} {'good fps':>9} {'drifts':>7}")
     for stream_id, slo in result.streams.items():
-        entry = slo.as_dict()
-        print(f"{stream_id:<12} {slo.shed_policy:<12} "
-              f"{slo.arrivals:>8} {slo.processed:>7} {slo.degraded:>9} "
-              f"{slo.shed_total:>5} {entry['p99_latency_ms']:>7.1f} "
+        entry = slo.as_dict(result.makespan_ms)
+        print(f"{stream_id:<12} {slo.arrivals:>8} {slo.processed:>7} "
+              f"{slo.degraded:>9} {slo.rejected_infeasible:>8} "
+              f"{slo.shed_total:>5} {entry['goodput_fps']:>9.1f} "
               f"{slo.detections:>7}")
 
-    print(f"\nthroughput {result.throughput_fps:.1f} fps at "
+    print("\noverload controller transitions:")
+    for event in recorder.events:
+        if event["kind"] == "overload_transition":
+            print(f"  t={event['now_ms']:>8.1f} ms  "
+                  f"{event['previous'].upper():>8} -> "
+                  f"{event['state'].upper():<8} "
+                  f"(degrade share {event['degrade_share']:.2f})")
+
+    print(f"\ngoodput {result.goodput_fps:.1f} fps at "
           f"{OFFERED_LOAD:.0f}x overload "
-          f"({result.throughput_fps / capacity * 100:.0f}% of capacity: "
-          f"degraded, not collapsed)")
+          f"({result.goodput_fps / capacity * 100:.0f}% of capacity: "
+          f"degraded and rejected at admission, not collapsed)")
     summary = recorder.snapshot()["summary"]
     by_kind = summary["events"]["by_kind"]
     print(f"telemetry: {int(summary['counters']['serve.batches'])} "
-          f"micro-batches, {by_kind.get('backpressure_on', 0)} "
-          f"backpressure episodes, {by_kind.get('breaker_open', 0)} "
-          f"breaker trips, {by_kind.get('frame_degraded', 0)} degraded "
-          f"frames")
+          f"micro-batches, {by_kind.get('overload_transition', 0)} "
+          f"controller transitions, {by_kind.get('frame_degraded', 0)} "
+          f"degraded frames, {by_kind.get('frame_rejected', 0)} "
+          f"rejected frames")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,9 @@
 #
 #   scripts/bench.sh [perf]  [args...]   pipeline harness -> BENCH_pipeline.json
 #   scripts/bench.sh serve   [args...]   serving sweep    -> BENCH_serve.json
-#   scripts/bench.sh all     [args...]   both, same args forwarded to each
+#   scripts/bench.sh serve-smoke         quick serving sweep to a temp file,
+#                                        asserting goodput holds under overload
+#   scripts/bench.sh all     [args...]   perf + serve, same args to each
 #
 # With no subcommand (or when the first argument is a flag) the pipeline
 # harness runs, so existing `scripts/bench.sh --quick` invocations keep
@@ -15,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 subcommand="perf"
 case "${1:-}" in
-    perf|serve|all)
+    perf|serve|serve-smoke|all)
         subcommand="$1"
         shift
         ;;
@@ -27,6 +29,36 @@ case "$subcommand" in
         ;;
     serve)
         PYTHONPATH=src python benchmarks/bench_serve.py "$@"
+        ;;
+    serve-smoke)
+        # quick sweep to a throwaway file, then hold the overload layer to
+        # the same bar the committed report meets: at 2x offered load,
+        # goodput >= 80% of capacity with both overload outcomes firing
+        smoke_dir="$(mktemp -d)"
+        trap 'rm -rf "$smoke_dir"' EXIT
+        PYTHONPATH=src python benchmarks/bench_serve.py --quick \
+            --output "$smoke_dir/serve_smoke.json" > /dev/null
+        PYTHONPATH=src python - "$smoke_dir/serve_smoke.json" <<'PY'
+import sys
+from repro.serve import load_serve_report
+report = load_serve_report(sys.argv[1])
+assert report["quick"], "smoke pass must be flagged quick"
+capacity = report["capacity_fps"]
+saturated = [e for e in report["sweep"] if e["offered_load"] >= 1.0]
+assert saturated, "sweep must cover saturation"
+peak = max(saturated, key=lambda e: e["offered_load"])
+totals = peak["totals"]
+assert peak["offered_load"] >= 2.0, "sweep must reach 2x offered load"
+assert totals["goodput_fps"] >= 0.8 * capacity, (
+    f"goodput collapsed at {peak['offered_load']}x: "
+    f"{totals['goodput_fps']:.1f} fps vs capacity {capacity:.1f} fps")
+assert totals["degraded"] > 0, "degraded pass never fired"
+assert totals["rejected_infeasible"] > 0, "no infeasible rejections"
+print(f"serve smoke OK: goodput {totals['goodput_fps']:.1f} fps at "
+      f"{peak['offered_load']}x load (capacity {capacity:.1f} fps, "
+      f"{totals['degraded']} degraded, "
+      f"{totals['rejected_infeasible']} rejected infeasible)")
+PY
         ;;
     all)
         PYTHONPATH=src python benchmarks/bench_perf.py "$@"

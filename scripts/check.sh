@@ -94,18 +94,7 @@ report = load_bench_report(sys.argv[1])
 assert report["quick"], "smoke pass must be flagged quick"
 print("pipeline bench smoke pass OK")
 PY
-bash scripts/bench.sh serve --quick --output "$smoke_dir/serve_smoke.json" \
-    > "$smoke_dir/serve_smoke.log" \
-    || { cat "$smoke_dir/serve_smoke.log"; exit 1; }
-python - "$smoke_dir/serve_smoke.json" <<'PY'
-import sys
-from repro.serve import load_serve_report
-report = load_serve_report(sys.argv[1])
-assert report["quick"], "smoke pass must be flagged quick"
-saturated = [entry for entry in report["sweep"]
-             if entry["offered_load"] >= 1.0]
-assert saturated, "sweep must cover saturation"
-print("serve bench smoke pass OK")
-PY
+# the serving smoke also asserts goodput holds near capacity at 2x load
+bash scripts/bench.sh serve-smoke
 
 echo "all checks passed"

@@ -4,10 +4,13 @@
 Builds the module-level import graph of ``src/repro`` via AST (no code is
 executed) and enforces two rules:
 
-1. **Layering**: the kernel layers ``repro.core`` and ``repro.runtime``
-   must not import -- directly or transitively -- the execution substrates
-   ``repro.parallel``, ``repro.serve`` or ``repro.experiments``.  The
-   substrates drive the kernel, never the other way around.
+1. **Layering**: per-layer rules in ``LAYER_RULES``.  The kernel layers
+   ``repro.core`` and ``repro.runtime`` must not import -- directly or
+   transitively -- the execution substrates ``repro.parallel``,
+   ``repro.serve`` or ``repro.experiments`` (the substrates drive the
+   kernel, never the other way around), and ``repro.serve`` must not
+   reach ``repro.experiments`` (the serving layer is driven by
+   experiment harnesses, not built on them).
 2. **Acyclicity**: no module-level import cycles anywhere in the package
    (a cycle means two modules each need the other at import time; Python
    tolerates some orderings, but they rot into ImportErrors).
@@ -27,9 +30,13 @@ from typing import Dict, List, Set, Tuple
 PACKAGE = "repro"
 SRC = Path(__file__).resolve().parent.parent / "src"
 
-#: subpackages that must not be reachable from the layers below
-FORBIDDEN_TARGETS = ("repro.parallel", "repro.serve", "repro.experiments")
-CONSTRAINED_LAYERS = ("repro.core", "repro.runtime")
+#: per-layer rules: (constrained layer, subpackages it must not reach)
+LAYER_RULES = (
+    ("repro.core", ("repro.parallel", "repro.serve", "repro.experiments")),
+    ("repro.runtime", ("repro.parallel", "repro.serve",
+                       "repro.experiments")),
+    ("repro.serve", ("repro.experiments",)),
+)
 
 
 def module_name(path: Path) -> str:
@@ -122,12 +129,14 @@ def find_layering_violations(
     """(module, forbidden target, shortest import chain) per violation."""
     violations = []
     for module in sorted(graph):
-        if not any(module == layer or module.startswith(layer + ".")
-                   for layer in CONSTRAINED_LAYERS):
+        forbidden = [bad for layer, targets in LAYER_RULES
+                     if module == layer or module.startswith(layer + ".")
+                     for bad in targets]
+        if not forbidden:
             continue
         for target in sorted(reachable(graph, module)):
             if any(target == bad or target.startswith(bad + ".")
-                   for bad in FORBIDDEN_TARGETS):
+                   for bad in forbidden):
                 violations.append(
                     (module, target, import_chain(graph, module, target)))
     return violations
@@ -213,8 +222,8 @@ def main() -> int:
     violations = find_layering_violations(graph)
     if violations:
         failed = True
-        print("layering violations (kernel layers must not import "
-              "execution substrates):")
+        print("layering violations (lower layers must not import the "
+              "layers that drive them):")
         for module, target, chain in violations:
             print(f"  {module} -> {target}")
             print(f"    via: {' -> '.join(chain)}")
@@ -228,9 +237,9 @@ def main() -> int:
 
     if failed:
         return 1
-    layers = ", ".join(CONSTRAINED_LAYERS)
-    print(f"import layering OK ({len(graph)} modules; {layers} do not "
-          f"reach {', '.join(FORBIDDEN_TARGETS)}; no cycles)")
+    rules = "; ".join(f"{layer} !-> {', '.join(targets)}"
+                      for layer, targets in LAYER_RULES)
+    print(f"import layering OK ({len(graph)} modules; {rules}; no cycles)")
     return 0
 
 

@@ -158,6 +158,12 @@ class DriftAwareAnalytics:
         touching the drift inspector)."""
         return self.kernel.deployed
 
+    def predict_degraded(self, pixels) -> int:
+        """The serving layer's cheap pass (see
+        :meth:`RuntimeKernel.predict_degraded`): deployed-model
+        prediction only, no drift-inspection state touched."""
+        return self.kernel.predict_degraded(pixels)
+
     @property
     def _records(self) -> List[FrameRecord]:
         return self.kernel.emission.records

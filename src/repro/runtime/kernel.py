@@ -154,6 +154,18 @@ class RuntimeKernel:
         self.deployed = self.registry.get(name)
         self.monitor = MonitorStage(self.monitor_factory(self.deployed))
 
+    def predict_degraded(self, pixels: object) -> int:
+        """Serve one frame on the degraded pass: classify with the
+        deployed model only.  No monitor, RNG, clock or emission state is
+        touched, so interleaving degraded predictions with :meth:`step`
+        cannot perturb the full path's decisions (the serving layer's
+        bit-identity property depends on this isolation)."""
+        batch = np.asarray(pixels, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[None, ...]
+        self.obs.counter("pipeline.degraded_predictions").inc()
+        return int(self.deployed.model.predict(batch)[0])
+
     # ------------------------------------------------------------------
     # streaming API
     # ------------------------------------------------------------------

@@ -10,7 +10,10 @@ over one simulated inference backend, in virtual time:
 - :mod:`repro.serve.session` -- per-tenant state (pipeline, priority,
   deadline budget, guard, circuit breaker) and the session registry;
 - :mod:`repro.serve.scheduler` -- deadline-aware (EDF + priority +
-  aging) cross-stream micro-batch formation;
+  aging) cross-stream micro-batch formation with weighted max-min
+  fairness caps;
+- :mod:`repro.serve.overload` -- the NORMAL -> DEGRADED -> SHEDDING
+  overload controller (hysteresis state machine over serving pressure);
 - :mod:`repro.serve.server` -- the discrete-event serving loop;
 - :mod:`repro.serve.report` -- SLO accounting and the
   ``BENCH_serve.json`` schema contract.
@@ -35,15 +38,25 @@ from repro.serve.queues import (
     BoundedFrameQueue,
     QueueVerdict,
 )
+from repro.serve.overload import (
+    OVERLOAD_STATES,
+    OverloadConfig,
+    OverloadController,
+)
 from repro.serve.report import (
     SERVE_SCHEMA,
     ServeResult,
     StreamSLO,
     load_serve_report,
+    upgrade_serve_report,
     validate_serve_report,
     write_serve_report,
 )
-from repro.serve.scheduler import DeadlineScheduler, SchedulerConfig
+from repro.serve.scheduler import (
+    FAIRNESS_POLICIES,
+    DeadlineScheduler,
+    SchedulerConfig,
+)
 from repro.serve.server import DriftServer, ServeConfig
 from repro.serve.session import (
     SessionConfig,
@@ -55,13 +68,17 @@ from repro.serve.session import (
 __all__ = [
     "ARRIVAL_PATTERNS",
     "DEGRADED_FRAME_OPS",
+    "FAIRNESS_POLICIES",
     "MONITOR_FRAME_OPS",
+    "OVERLOAD_STATES",
     "SHED_POLICIES",
     "SERVE_SCHEMA",
     "BoundedFrameQueue",
     "DeadlineScheduler",
     "DriftServer",
     "FrameArrival",
+    "OverloadConfig",
+    "OverloadController",
     "QueueVerdict",
     "SchedulerConfig",
     "ServeConfig",
@@ -76,6 +93,7 @@ __all__ = [
     "frame_cost_ms",
     "generate_arrivals",
     "load_serve_report",
+    "upgrade_serve_report",
     "validate_serve_report",
     "write_serve_report",
 ]

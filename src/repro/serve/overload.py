@@ -1,0 +1,150 @@
+"""Overload-adaptive control: the NORMAL -> DEGRADED -> SHEDDING machine.
+
+:class:`OverloadController` decides what :class:`~repro.serve.server.DriftServer`
+does with arrivals whose full-path completion cannot meet their deadline.
+It is a small deterministic state machine over two pressure signals the
+server computes in virtual time:
+
+- **load pressure** -- the worst per-stream ratio of either queue
+  occupancy (``depth / capacity``) or projected completion time over the
+  deadline budget (``eta / deadline``).  Pressure ``>= degrade_high``
+  escalates NORMAL -> DEGRADED; pressure ``<= degrade_low`` relaxes
+  DEGRADED -> NORMAL.  The gap between the two thresholds is the
+  hysteresis band that stops the controller flapping on every queue
+  fluctuation.
+- **degrade share** -- an exponentially decayed estimate of how much
+  backend time the cheap degraded pass itself is consuming, normalised
+  by the decay horizon ``degrade_tau_ms``.  When even the cheap pass
+  saturates (share ``>= shed_high``) the controller escalates
+  DEGRADED -> SHEDDING and infeasible frames are dropped outright;
+  share ``<= shed_low`` relaxes back to DEGRADED.
+
+Transitions move one step per :meth:`update` call, so every escalation to
+SHEDDING passes through DEGRADED and is observable as two events.  The
+controller holds no wall-clock, RNG, or hidden state: it is a pure
+function of the update sequence, which makes it seed-deterministic and
+lets it participate in :class:`~repro.runtime.protocols.Snapshotable`
+checkpoints bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Controller states, in escalation order.
+NORMAL = "normal"
+DEGRADED = "degraded"
+SHEDDING = "shedding"
+OVERLOAD_STATES = (NORMAL, DEGRADED, SHEDDING)
+
+
+@dataclass
+class OverloadConfig:
+    """Hysteresis thresholds for the overload state machine.
+
+    ``enabled=False`` turns the whole overload machinery off: no
+    feasibility checks at admission and no controller updates, i.e. the
+    legacy queue-only behaviour.
+    """
+
+    enabled: bool = True
+    degrade_high: float = 0.85
+    degrade_low: float = 0.45
+    shed_high: float = 0.25
+    shed_low: float = 0.10
+    degrade_tau_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        for low, high, names in (
+                (self.degrade_low, self.degrade_high,
+                 ("degrade_low", "degrade_high")),
+                (self.shed_low, self.shed_high,
+                 ("shed_low", "shed_high"))):
+            if not 0 < low < high:
+                raise ConfigurationError(
+                    f"need 0 < {names[0]} < {names[1]}, "
+                    f"got {low} and {high}")
+        if self.degrade_tau_ms <= 0:
+            raise ConfigurationError(
+                f"degrade_tau_ms must be positive: {self.degrade_tau_ms}")
+
+
+class OverloadController:
+    """Deterministic hysteresis state machine over serving pressure.
+
+    The server calls :meth:`update` with the current virtual time and
+    load pressure on every admission and after every batch, and
+    :meth:`note_degraded` whenever a frame takes the cheap pass.  The
+    controller never inspects queues itself, so it can be unit-tested
+    (and snapshot-restored) in isolation.
+    """
+
+    def __init__(self, config: Optional[OverloadConfig] = None) -> None:
+        self.config = config or OverloadConfig()
+        self.state = NORMAL
+        self.transitions = 0
+        self._last_ms = 0.0
+        self._degrade_ema_ms = 0.0
+
+    # ------------------------------------------------------------------
+    def _decay(self, now_ms: float) -> None:
+        dt = now_ms - self._last_ms
+        if dt > 0:
+            self._degrade_ema_ms *= math.exp(-dt / self.config.degrade_tau_ms)
+            self._last_ms = now_ms
+
+    def note_degraded(self, cost_ms: float, now_ms: float) -> None:
+        """Account ``cost_ms`` of degraded-pass backend work at ``now_ms``."""
+        self._decay(now_ms)
+        self._degrade_ema_ms += cost_ms
+
+    def degrade_share(self) -> float:
+        """Fraction of recent backend time spent on the degraded pass."""
+        return self._degrade_ema_ms / self.config.degrade_tau_ms
+
+    # ------------------------------------------------------------------
+    def update(self, now_ms: float,
+               load_pressure: float) -> Optional[Tuple[str, str]]:
+        """Advance at most one state step; returns ``(old, new)`` on a
+        transition, ``None`` otherwise."""
+        self._decay(now_ms)
+        cfg = self.config
+        old = self.state
+        if self.state == NORMAL:
+            if load_pressure >= cfg.degrade_high:
+                self.state = DEGRADED
+        elif self.state == DEGRADED:
+            if self.degrade_share() >= cfg.shed_high:
+                self.state = SHEDDING
+            elif load_pressure <= cfg.degrade_low:
+                self.state = NORMAL
+        else:  # SHEDDING
+            if self.degrade_share() <= cfg.shed_low:
+                self.state = DEGRADED
+        if self.state == old:
+            return None
+        self.transitions += 1
+        return (old, self.state)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "transitions": self.transitions,
+            "last_ms": self._last_ms,
+            "degrade_ema_ms": self._degrade_ema_ms,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["state"] not in OVERLOAD_STATES:
+            raise ConfigurationError(
+                f"unknown overload state {state['state']!r}; "
+                f"expected one of {OVERLOAD_STATES}")
+        self.state = state["state"]
+        self.transitions = state["transitions"]
+        self._last_ms = state["last_ms"]
+        self._degrade_ema_ms = state["degrade_ema_ms"]

@@ -57,6 +57,7 @@ class StreamSLO:
     processed: int
     degraded: int
     rejected: int
+    rejected_infeasible: int
     deadline_misses: int
     shed: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
@@ -77,6 +78,7 @@ class StreamSLO:
             processed=stats.processed,
             degraded=stats.degraded,
             rejected=stats.rejected,
+            rejected_infeasible=stats.rejected_infeasible,
             deadline_misses=stats.deadline_misses,
             shed=dict(stats.shed),
             latencies_ms=list(stats.latencies_ms),
@@ -90,10 +92,22 @@ class StreamSLO:
 
     @property
     def served(self) -> int:
-        """Frames that completed (full path + degraded pass)."""
+        """Frames that completed (full path + degraded pass).
+
+        Every completion is counted exactly once: ``processed`` frames
+        finish in :meth:`DriftServer._serve_batch` and ``degraded``
+        frames in :meth:`DriftServer._serve_degraded`, the only two
+        completion sites -- so ``len(latencies_ms) == served`` holds (a
+        unit test pins it against double-counting).
+        """
         return self.processed + self.degraded
 
-    def as_dict(self) -> dict:
+    def goodput_fps(self, makespan_ms: float) -> float:
+        """This tenant's in-deadline completions per simulated second of
+        the run's makespan."""
+        return _fps(self.served - self.deadline_misses, makespan_ms)
+
+    def as_dict(self, makespan_ms: float = 0.0) -> dict:
         return {
             "priority": self.priority,
             "shed_policy": self.shed_policy,
@@ -103,6 +117,8 @@ class StreamSLO:
             "degraded": self.degraded,
             "shed": dict(sorted(self.shed.items())),
             "rejected": self.rejected,
+            "rejected_infeasible": self.rejected_infeasible,
+            "goodput_fps": round(self.goodput_fps(makespan_ms), 6),
             "deadline_misses": self.deadline_misses,
             "deadline_miss_rate": round(
                 _rate(self.deadline_misses, self.served), 6),
@@ -134,6 +150,7 @@ class ServeResult:
     degraded_cost_ms: float
     batch_overhead_ms: float
     backend_ledger: Dict[str, float] = field(default_factory=dict)
+    overload_transitions: int = 0
 
     # ------------------------------------------------------------------
     def _sum(self, attr: str) -> int:
@@ -162,6 +179,10 @@ class ServeResult:
     @property
     def rejected(self) -> int:
         return self._sum("rejected")
+
+    @property
+    def rejected_infeasible(self) -> int:
+        return self._sum("rejected_infeasible")
 
     @property
     def deadline_misses(self) -> int:
@@ -199,6 +220,8 @@ class ServeResult:
             "degraded": self.degraded,
             "shed": self.shed_total,
             "rejected": self.rejected,
+            "rejected_infeasible": self.rejected_infeasible,
+            "overload_transitions": self.overload_transitions,
             "deadline_misses": self.deadline_misses,
             "throughput_fps": round(self.throughput_fps, 6),
             "served_fps": round(self.served_fps, 6),
@@ -216,7 +239,7 @@ class ServeResult:
             "offered_load": offered_load,
             "arrival_rate_fps": round(arrival_rate_fps, 6),
             "totals": totals,
-            "streams": {stream_id: slo.as_dict()
+            "streams": {stream_id: slo.as_dict(self.makespan_ms)
                         for stream_id, slo in sorted(self.streams.items())},
         }
 
@@ -228,6 +251,7 @@ _STREAM_ENTRY = {
     "type": "object",
     "required": ["priority", "shed_policy", "arrivals", "admitted",
                  "processed", "degraded", "shed", "rejected",
+                 "rejected_infeasible", "goodput_fps",
                  "deadline_misses", "deadline_miss_rate", "shed_rate",
                  "p50_latency_ms", "p99_latency_ms", "max_latency_ms",
                  "detections", "deployed_model"],
@@ -243,6 +267,8 @@ _STREAM_ENTRY = {
         "shed": {"type": "object", "properties": {},
                  "additionalProperties": {"type": "integer", "minimum": 1}},
         "rejected": {"type": "integer", "minimum": 0},
+        "rejected_infeasible": {"type": "integer", "minimum": 0},
+        "goodput_fps": {"type": "number", "minimum": 0},
         "deadline_misses": {"type": "integer", "minimum": 0},
         "deadline_miss_rate": {"type": "number", "minimum": 0},
         "shed_rate": {"type": "number", "minimum": 0},
@@ -257,7 +283,8 @@ _STREAM_ENTRY = {
 _TOTALS_ENTRY = {
     "type": "object",
     "required": ["arrivals", "admitted", "processed", "degraded", "shed",
-                 "rejected", "deadline_misses", "throughput_fps",
+                 "rejected", "rejected_infeasible", "overload_transitions",
+                 "deadline_misses", "throughput_fps",
                  "served_fps", "goodput_fps", "shed_rate",
                  "deadline_miss_rate", "p50_latency_ms", "p99_latency_ms",
                  "max_latency_ms", "makespan_ms"],
@@ -269,6 +296,8 @@ _TOTALS_ENTRY = {
         "degraded": {"type": "integer", "minimum": 0},
         "shed": {"type": "integer", "minimum": 0},
         "rejected": {"type": "integer", "minimum": 0},
+        "rejected_infeasible": {"type": "integer", "minimum": 0},
+        "overload_transitions": {"type": "integer", "minimum": 0},
         "deadline_misses": {"type": "integer", "minimum": 0},
         "throughput_fps": {"type": "number", "minimum": 0},
         "served_fps": {"type": "number", "minimum": 0},
@@ -304,7 +333,7 @@ SERVE_SCHEMA = {
                  "sweep"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1]},
+        "schema_version": {"type": "integer", "enum": [2]},
         "benchmark": {"type": "string"},
         "quick": {"type": "boolean"},
         "config": {
@@ -346,6 +375,48 @@ def validate_serve_report(report: object) -> None:
     cross_check(report, SERVE_SCHEMA, "serve report", ServeReportError)
 
 
+def upgrade_serve_report(report: dict) -> dict:
+    """Upgrade a v1 serve report to the v2 shape (returns a new dict).
+
+    v1 predates the overload controller, so the missing counters are
+    definitionally zero (nothing was ever rejected as infeasible and no
+    transitions happened) and per-stream ``goodput_fps`` is recomputed
+    from the stream's recorded counts over the run's makespan.  A v2
+    document passes through unchanged.
+    """
+    if not isinstance(report, dict):
+        raise ServeReportError(
+            f"serve report must be an object, got {type(report).__name__}")
+    version = report.get("schema_version")
+    if version == 2:
+        return report
+    if version != 1:
+        raise ServeReportError(
+            f"cannot upgrade serve report schema_version {version!r}; "
+            f"expected 1 or 2")
+    upgraded = json.loads(json.dumps(report))
+    upgraded["schema_version"] = 2
+    for entry in upgraded.get("sweep", []):
+        totals = entry.get("totals", {})
+        totals.setdefault("rejected_infeasible", 0)
+        totals.setdefault("overload_transitions", 0)
+        makespan = totals.get("makespan_ms", 0.0)
+        if "goodput_fps" not in totals:
+            in_deadline = (totals.get("processed", 0)
+                           + totals.get("degraded", 0)
+                           - totals.get("deadline_misses", 0))
+            totals["goodput_fps"] = round(_fps(in_deadline, makespan), 6)
+        for stream in entry.get("streams", {}).values():
+            stream.setdefault("rejected_infeasible", 0)
+            if "goodput_fps" not in stream:
+                in_deadline = (stream.get("processed", 0)
+                               + stream.get("degraded", 0)
+                               - stream.get("deadline_misses", 0))
+                stream["goodput_fps"] = round(
+                    _fps(in_deadline, makespan), 6)
+    return upgraded
+
+
 def write_serve_report(path: str, report: dict) -> None:
     """Validate ``report`` and write it to ``path`` as formatted JSON."""
     validate_serve_report(report)
@@ -355,12 +426,19 @@ def write_serve_report(path: str, report: dict) -> None:
 
 
 def load_serve_report(path: str) -> dict:
-    """Read and validate a report written by :func:`write_serve_report`."""
+    """Read and validate a report written by :func:`write_serve_report`.
+
+    Legacy v1 documents are transparently upgraded to v2 (see
+    :func:`upgrade_serve_report`) before validation, so readers only
+    ever see the current shape.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         try:
             report = json.load(handle)
         except json.JSONDecodeError as exc:
             raise ServeReportError(
                 f"serve report {path} is not valid JSON: {exc}") from exc
+    if isinstance(report, dict) and report.get("schema_version") == 1:
+        report = upgrade_serve_report(report)
     validate_serve_report(report)
     return report

@@ -17,7 +17,12 @@ The loop alternates two phases:
    hard sheds, it fast-fails arrivals until the queue drains), then the
    bounded queue's load-shedding policy.  ``degrade`` overflows are
    served immediately on the cheap pass (prediction only, no drift
-   inspection), charging only the degraded cost.
+   inspection), charging only the degraded cost.  Before a frame is
+   queued, the :class:`~repro.serve.overload.OverloadController` checks
+   deadline feasibility: arrivals whose projected full-path completion
+   overruns their deadline are diverted by controller state -- degraded
+   while DEGRADED, shed while SHEDDING, rejected otherwise -- so the
+   queues only ever hold work the backend can finish in time.
 2. **Service** -- the :class:`~repro.serve.scheduler.DeadlineScheduler`
    forms a cross-stream micro-batch from the queue heads; the batch is
    grouped by stream and each group is fed to that stream's pipeline via
@@ -56,6 +61,13 @@ from repro.serve.arrivals import (
     capacity_fps,
     frame_cost_ms,
 )
+from repro.serve.overload import (
+    DEGRADED,
+    NORMAL,
+    SHEDDING,
+    OverloadConfig,
+    OverloadController,
+)
 from repro.serve.queues import DEGRADE, ENQUEUED, SHED_NEWEST, SHED_OLDEST
 from repro.serve.report import ServeResult, StreamSLO
 from repro.serve.scheduler import DeadlineScheduler, SchedulerConfig
@@ -78,6 +90,7 @@ class ServeConfig:
     shed_expired: bool = False
     profile: Optional[CostProfile] = None
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     monitor_ops: Tuple[str, ...] = MONITOR_FRAME_OPS
     degraded_ops: Tuple[str, ...] = DEGRADED_FRAME_OPS
 
@@ -117,6 +130,7 @@ class DriftServer:
         self.profile = self.config.profile or PAPER_COSTS
         self.clock = SimulatedClock(self.profile)
         self.scheduler = DeadlineScheduler(self.config.scheduler)
+        self.controller = OverloadController(self.config.overload)
         self.obs = recorder if recorder is not None else NULL_RECORDER
         self.obs.bind_clock(self.clock)
         self._c_arrivals = self.obs.counter("serve.arrivals")
@@ -125,6 +139,8 @@ class DriftServer:
         self._c_degraded = self.obs.counter("serve.degraded")
         self._c_shed = self.obs.counter("serve.shed")
         self._c_rejected = self.obs.counter("serve.rejected")
+        self._c_infeasible = self.obs.counter("serve.rejected_infeasible")
+        self._c_transitions = self.obs.counter("serve.overload_transitions")
         self._c_batches = self.obs.counter("serve.batches")
         self._c_misses = self.obs.counter("serve.deadline_misses")
         self._h_latency = self.obs.histogram("serve.latency_ms",
@@ -203,6 +219,87 @@ class DriftServer:
         session.breaker.on_close = on_close
 
     # ------------------------------------------------------------------
+    # overload control: pressure signals, feasibility, state transitions
+    # ------------------------------------------------------------------
+    def _active_weight(self) -> float:
+        """Total weight of streams with a backlog (the competition any
+        newly queued frame faces for the backend)."""
+        return sum(session.config.weight for session in self.registry
+                   if session.queue.depth > 0)
+
+    def _eta_ms(self, session: StreamSession,
+                active_weight: Optional[float] = None) -> float:
+        """Projected completion delay for one more frame of ``session``:
+        its queue (plus the new frame) drains at the stream's weighted
+        max-min share of the backend, plus amortised batch overhead."""
+        weight = session.config.weight
+        active = active_weight if active_weight is not None \
+            else self._active_weight()
+        if session.queue.depth == 0:
+            active += weight
+        share = weight / active
+        frames = session.queue.depth + 1
+        batches = -(-frames // max(1, self.config.scheduler.batch_size))
+        return (frames * self.frame_cost_ms / share
+                + batches * self.config.batch_overhead_ms)
+
+    def _load_pressure(self) -> float:
+        """Worst per-stream pressure: queue occupancy or projected
+        completion over the deadline budget, whichever is higher."""
+        pressure = 0.0
+        active = self._active_weight()
+        for session in self.registry:
+            occupancy = session.queue.depth / session.queue.capacity
+            slack = self._eta_ms(session, active) / session.config.deadline_ms
+            pressure = max(pressure, occupancy, slack)
+        return pressure
+
+    def _update_controller(self) -> None:
+        now = self._now()
+        transition = self.controller.update(now, self._load_pressure())
+        if transition is None:
+            return
+        old, new = transition
+        self._c_transitions.inc()
+        self.obs.event("overload_transition", previous=old, state=new,
+                       now_ms=now,
+                       degrade_share=self.controller.degrade_share())
+        self.obs.gauge("serve.overload_state").set(
+            float((NORMAL, DEGRADED, SHEDDING).index(new)))
+
+    def _reject_infeasible(self, session: StreamSession,
+                           arrival: FrameArrival, eta_ms: float) -> None:
+        session.stats.rejected += 1
+        session.stats.rejected_infeasible += 1
+        self._c_rejected.inc()
+        self._c_infeasible.inc()
+        self.obs.event("frame_rejected", stream=session.stream_id,
+                       seq=arrival.seq, reason="infeasible",
+                       eta_ms=eta_ms)
+
+    def _admit_infeasible(self, session: StreamSession,
+                          arrival: FrameArrival, eta_ms: float) -> None:
+        """Route an arrival the full path cannot serve in time.
+
+        The controller state decides: while DEGRADED a degradable frame
+        takes the cheap pass immediately (if even that fits the budget);
+        while SHEDDING degradable frames are dropped outright (the cheap
+        pass itself is saturating the backend); everything else --
+        including every frame of a tenant with ``degraded_allowed=False``
+        -- is rejected at arrival instead of being queued, served late
+        and counted as a miss.
+        """
+        state = self.controller.state
+        budget = arrival.deadline_ms - self._now()
+        if state == DEGRADED and session.config.degraded_allowed \
+                and budget > self.degraded_cost_ms + _EPS:
+            self._serve_degraded(session, arrival, reason="overload")
+        elif state == SHEDDING and session.config.degraded_allowed:
+            self._shed(session, arrival, "overload")
+        else:
+            self._reject_infeasible(session, arrival, eta_ms)
+
+    # ------------------------------------------------------------------
     def _complete(self, session: StreamSession, arrival: FrameArrival,
                   completion_ms: float) -> None:
         """Latency / deadline accounting for one served frame."""
@@ -221,16 +318,25 @@ class DriftServer:
                        seq=arrival.seq, reason=reason)
 
     def _serve_degraded(self, session: StreamSession,
-                        arrival: FrameArrival) -> None:
-        """The cheap fast-lane pass: predict without drift inspection."""
+                        arrival: FrameArrival,
+                        reason: str = "queue-policy") -> None:
+        """The cheap fast-lane pass: predict without drift inspection.
+
+        This is the *only* place degraded frames are counted and
+        completed, whether the queue's ``degrade`` policy or the
+        overload controller diverted them -- so a frame can never be
+        double-counted as both degraded and completed.
+        """
         for op in self.config.degraded_ops:
             self.clock.charge(op)
         prediction = session.degraded_predict(arrival.frame)
         session.stats.degraded += 1
         self._c_degraded.inc()
         self.obs.event("frame_degraded", stream=session.stream_id,
-                       seq=arrival.seq, prediction=prediction)
+                       seq=arrival.seq, prediction=prediction,
+                       reason=reason)
         self._complete(session, arrival, self._now())
+        self.controller.note_degraded(self.degraded_cost_ms, self._now())
 
     def _admit_one(self, arrival: FrameArrival) -> None:
         session = self.registry.get(arrival.stream_id)
@@ -246,6 +352,14 @@ class DriftServer:
         if session.breaker.is_open:
             self._shed(session, arrival, "breaker")
             return
+        if self.config.overload.enabled:
+            self._update_controller()
+            eta = self._eta_ms(session)
+            if not session.deadline_feasible(arrival, self._now(), eta,
+                                             eps=_EPS):
+                self._admit_infeasible(session, arrival, eta)
+                self._queue_gauge(session)
+                return
         verdict = session.queue.offer(arrival)
         if verdict.status == ENQUEUED:
             session.stats.admitted += 1
@@ -279,7 +393,10 @@ class DriftServer:
 
     def _serve_batch(self, now: float) -> int:
         """Form and execute one micro-batch; returns frames served."""
-        batch = self.scheduler.next_batch(self.registry, now)
+        batch = self.scheduler.next_batch(
+            self.registry, now,
+            frame_cost_ms=self.frame_cost_ms,
+            overhead_ms=self.config.batch_overhead_ms)
         if not batch:
             return 0
         with self.obs.span("serve.batch"):
@@ -310,6 +427,8 @@ class DriftServer:
                 session.breaker.record_success()
             self._note_backpressure(session)
             self._queue_gauge(session)
+        if self.config.overload.enabled:
+            self._update_controller()
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -353,8 +472,14 @@ class DriftServer:
         streams: Dict[str, StreamSLO] = {}
         for session in self.registry:
             pipeline_results[session.stream_id] = session.finish()
-            streams[session.stream_id] = StreamSLO.from_session(session)
-        self.obs.event("serve_done", makespan_ms=makespan)
+            slo = StreamSLO.from_session(session)
+            streams[session.stream_id] = slo
+            self.obs.gauge(
+                f"serve.goodput_fps.{session.stream_id}").set(
+                    slo.goodput_fps(makespan))
+        self.obs.event("serve_done", makespan_ms=makespan,
+                       overload_state=self.controller.state,
+                       overload_transitions=self.controller.transitions)
         return ServeResult(
             streams=streams,
             pipeline_results=pipeline_results,
@@ -364,4 +489,5 @@ class DriftServer:
             degraded_cost_ms=self.degraded_cost_ms,
             batch_overhead_ms=self.config.batch_overhead_ms,
             backend_ledger=self.clock.ledger(),
+            overload_transitions=self.controller.transitions,
         )

@@ -36,6 +36,15 @@ class SessionConfig:
     its low watermark); ``guard_policy`` is the admission-time
     :class:`~repro.faults.guard.FrameGuard` policy (``skip`` quarantines
     malformed frames at the serving edge, ``raise`` fails fast).
+
+    ``weight`` is this tenant's share of the backend under the
+    scheduler's weighted max-min fairness and in the server's admission
+    ETA estimate; ``degraded_allowed`` controls what happens to arrivals
+    whose full-path completion cannot meet the deadline -- when true the
+    overload controller may divert them to the cheap degraded pass (or
+    shed them while SHEDDING), when false they are rejected at arrival
+    (``rejected_infeasible``), modelling a tenant that insists on
+    full-quality answers.
     """
 
     priority: int = 0
@@ -44,6 +53,8 @@ class SessionConfig:
     shed_policy: str = "drop-oldest"
     breaker_threshold: int = 16
     guard_policy: str = "skip"
+    weight: float = 1.0
+    degraded_allowed: bool = True
 
     def __post_init__(self) -> None:
         if self.deadline_ms <= 0:
@@ -64,6 +75,9 @@ class SessionConfig:
             raise ConfigurationError(
                 f"guard_policy must be 'raise' or 'skip', "
                 f"got {self.guard_policy!r}")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"weight must be positive: {self.weight}")
 
 
 @dataclass
@@ -76,6 +90,7 @@ class SessionStats:
     processed: int = 0
     degraded: int = 0
     rejected: int = 0
+    rejected_infeasible: int = 0  # subset of ``rejected``
     deadline_misses: int = 0
     shed: Dict[str, int] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
@@ -137,9 +152,15 @@ class StreamSession:
         """The cheap pass: predict with the deployed model, skip the
         drift inspector entirely (no RNG or martingale state is touched,
         so degraded frames cannot perturb the full path's decisions)."""
-        bundle = self.pipeline.deployed_bundle
-        return int(bundle.model.predict(
-            np.asarray(pixels, dtype=np.float64)[None, ...])[0])
+        return self.pipeline.predict_degraded(pixels)
+
+    def deadline_feasible(self, arrival: FrameArrival, now_ms: float,
+                          eta_ms: float, eps: float = 1e-9) -> bool:
+        """Can the full path still meet ``arrival``'s deadline, given the
+        server's projected completion delay ``eta_ms``?  Infeasible
+        arrivals are handled by the overload controller instead of being
+        queued, served late and counted as misses."""
+        return eta_ms <= (arrival.deadline_ms - now_ms) + eps
 
     def snapshot(self) -> dict:
         """Per-tenant state for introspection / migration: the drift
@@ -153,6 +174,7 @@ class StreamSession:
             "breaker_open": self.breaker.is_open,
             "arrivals": self.stats.arrivals,
             "processed": self.stats.processed,
+            "rejected_infeasible": self.stats.rejected_infeasible,
         }
 
 

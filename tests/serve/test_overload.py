@@ -1,0 +1,309 @@
+"""Overload control: state machine, conservation, isolation, snapshots.
+
+The contracts pinned here:
+
+- the :class:`OverloadController` is a deterministic hysteresis machine
+  (one step per update, escalation always passes through DEGRADED) and a
+  bit-exact :class:`~repro.runtime.protocols.Snapshotable` participant;
+- conservation holds in every controller state: each arrival ends in
+  exactly one of processed / degraded / shed / rejected, with
+  ``rejected_infeasible`` a subset of ``rejected`` and every completion
+  counted exactly once (the double-count pin);
+- per-tenant isolation: a premium tenant's in-deadline completions never
+  degrade as a lower-priority tenant's offered load grows;
+- the default configuration actually exercises the degraded path under
+  a 1.5x sweep (the path was dead before the controller existed).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.recorder import Recorder
+from repro.runtime.protocols import Snapshotable
+from repro.serve import (
+    DriftServer,
+    OverloadConfig,
+    OverloadController,
+    ServeConfig,
+    WorkloadConfig,
+    capacity_fps,
+    generate_arrivals,
+)
+from repro.serve.overload import DEGRADED, NORMAL, SHEDDING
+from tests.serve.conftest import gaussian_stream, make_session
+
+CAPACITY = capacity_fps()
+
+
+def fleet_arrivals(seed, load, streams, n_frames=60, deadline_ms=60.0):
+    per_stream_rate = load * CAPACITY / len(streams)
+    arrivals = []
+    for i, stream_id in enumerate(streams):
+        frames = gaussian_stream(seed + i, [(0.0, n_frames)])
+        arrivals.extend(generate_arrivals(
+            frames, WorkloadConfig(rate_fps=per_stream_rate),
+            stream_id=stream_id, deadline_ms=deadline_ms, seed=seed + i))
+    return arrivals
+
+
+class TestControllerConfig:
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(degrade_high=0.4, degrade_low=0.5)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(shed_high=0.05, shed_low=0.10)
+
+    def test_nonpositive_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(degrade_low=0.0)
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(degrade_tau_ms=0.0)
+
+
+class TestControllerMachine:
+    def test_starts_normal(self):
+        assert OverloadController().state == NORMAL
+
+    def test_escalates_on_high_pressure(self):
+        controller = OverloadController()
+        assert controller.update(0.0, 0.9) == (NORMAL, DEGRADED)
+        assert controller.state == DEGRADED
+
+    def test_hysteresis_band_holds_state(self):
+        controller = OverloadController()
+        controller.update(0.0, 0.9)
+        # between degrade_low and degrade_high: no transition either way
+        assert controller.update(1.0, 0.6) is None
+        assert controller.state == DEGRADED
+        assert controller.update(2.0, 0.3) == (DEGRADED, NORMAL)
+
+    def test_sheds_when_degraded_pass_saturates(self):
+        config = OverloadConfig(degrade_tau_ms=100.0)
+        controller = OverloadController(config)
+        controller.update(0.0, 0.9)
+        # enough cheap-pass work to push the decayed share over shed_high
+        for i in range(150):
+            controller.note_degraded(0.45, float(i))
+        assert controller.degrade_share() >= config.shed_high
+        assert controller.update(150.0, 0.9) == (DEGRADED, SHEDDING)
+
+    def test_recovers_from_shedding_as_ema_decays(self):
+        controller = OverloadController(OverloadConfig(degrade_tau_ms=50.0))
+        controller.update(0.0, 0.9)
+        for i in range(60):
+            controller.note_degraded(0.45, float(i))
+        controller.update(60.0, 0.9)
+        assert controller.state == SHEDDING
+        # long quiet stretch: the EMA decays below shed_low
+        assert controller.update(1000.0, 0.9) == (SHEDDING, DEGRADED)
+
+    def test_one_step_per_update(self):
+        """Even under instant saturation, SHEDDING is reached via
+        DEGRADED -- every escalation is observable."""
+        controller = OverloadController(OverloadConfig(degrade_tau_ms=10.0))
+        controller.note_degraded(100.0, 0.0)  # share >> shed_high already
+        assert controller.update(0.0, 5.0) == (NORMAL, DEGRADED)
+        assert controller.update(0.0, 5.0) == (DEGRADED, SHEDDING)
+        assert controller.transitions == 2
+
+
+class TestControllerSnapshot:
+    def drive(self, controller, steps):
+        for now, pressure, degraded in steps:
+            if degraded:
+                controller.note_degraded(degraded, now)
+            controller.update(now, pressure)
+
+    def test_satisfies_snapshotable(self):
+        assert isinstance(OverloadController(), Snapshotable)
+
+    def test_roundtrip_is_bit_exact_mid_run(self):
+        steps = [(float(i), 0.9 if i % 7 else 0.2,
+                  0.45 if i % 3 == 0 else 0.0) for i in range(40)]
+        original = OverloadController(OverloadConfig(degrade_tau_ms=20.0))
+        self.drive(original, steps[:25])
+        restored = OverloadController(OverloadConfig(degrade_tau_ms=20.0))
+        restored.load_state_dict(original.state_dict())
+        assert restored.state_dict() == original.state_dict()
+        self.drive(original, steps[25:])
+        self.drive(restored, steps[25:])
+        assert restored.state_dict() == original.state_dict()
+        assert restored.state == original.state
+        assert restored.transitions == original.transitions
+
+    def test_rejects_unknown_state(self):
+        controller = OverloadController()
+        state = controller.state_dict()
+        state["state"] = "panicking"
+        with pytest.raises(ConfigurationError):
+            controller.load_state_dict(state)
+
+
+class TestOverloadServing:
+    def test_degraded_path_fires_under_default_config_at_1_5x(self):
+        """Regression for the dead degrade path: before the controller,
+        the default bench/server config could never produce degraded > 0."""
+        streams = ("a", "b")
+        arrivals = fleet_arrivals(11, 1.5, streams, n_frames=80)
+        sessions = [make_session(sid, 11 + i, queue_capacity=8,
+                                 deadline_ms=60.0)
+                    for i, sid in enumerate(streams)]
+        result = DriftServer(sessions).run(arrivals)
+        assert result.degraded > 0
+        assert result.goodput_fps >= 0.8 * result.capacity_fps
+
+    def test_non_degradable_tenant_rejects_infeasible(self):
+        streams = ("full", "cheap")
+        arrivals = fleet_arrivals(13, 2.0, streams, n_frames=80)
+        sessions = [
+            make_session("full", 13, queue_capacity=8, deadline_ms=60.0,
+                         degraded_allowed=False),
+            make_session("cheap", 14, queue_capacity=8, deadline_ms=60.0),
+        ]
+        result = DriftServer(sessions).run(arrivals)
+        assert result.streams["full"].rejected_infeasible > 0
+        assert result.streams["full"].degraded == 0
+        assert result.streams["cheap"].degraded > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10**4),
+           load=st.floats(min_value=0.5, max_value=3.0),
+           degradable=st.booleans(),
+           capacity=st.integers(2, 12))
+    def test_conservation_across_controller_states(self, seed, load,
+                                                   degradable, capacity):
+        streams = ("a", "b")
+        arrivals = fleet_arrivals(seed, load, streams, n_frames=40)
+        sessions = [
+            make_session("a", seed, queue_capacity=capacity,
+                         deadline_ms=60.0, degraded_allowed=degradable),
+            make_session("b", seed + 1, queue_capacity=capacity,
+                         deadline_ms=60.0, priority=1, weight=2.0),
+        ]
+        result = DriftServer(sessions).run(arrivals)
+        for slo in result.streams.values():
+            assert slo.arrivals == (slo.processed + slo.degraded
+                                    + slo.shed_total + slo.rejected)
+            assert slo.rejected_infeasible <= slo.rejected
+            # the double-count pin: every completion recorded exactly
+            # once, whether it took the full or the degraded pass
+            assert len(slo.latencies_ms) == slo.processed + slo.degraded
+            # degraded frames bypass the pipeline entirely
+            assert slo.deadline_misses <= slo.processed + slo.degraded
+
+    def test_controller_is_seed_deterministic(self):
+        streams = ("a", "b", "c")
+
+        def run_once():
+            arrivals = fleet_arrivals(29, 2.0, streams, n_frames=60)
+            sessions = [make_session(sid, 29 + i, queue_capacity=8,
+                                 deadline_ms=60.0)
+                        for i, sid in enumerate(streams)]
+            recorder = Recorder()
+            server = DriftServer(sessions, recorder=recorder)
+            result = server.run(arrivals)
+            transitions = [
+                (event["previous"], event["state"])
+                for event in recorder.events
+                if event["kind"] == "overload_transition"]
+            return (transitions, server.controller.state_dict(),
+                    result.slo_entry(2.0, 2.0 * CAPACITY))
+
+        first, second = run_once(), run_once()
+        assert first[0] == second[0]
+        assert first[0], "controller never transitioned at 2x load"
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+
+    def test_premium_goodput_monotone_as_low_priority_load_grows(self):
+        """Per-tenant isolation: the premium tenant's in-deadline
+        completions must not decrease when a best-effort tenant floods
+        the backend."""
+        def premium_completions(hot_load):
+            arrivals = []
+            frames = gaussian_stream(31, [(0.0, 60)])
+            arrivals.extend(generate_arrivals(
+                frames, WorkloadConfig(rate_fps=0.3 * CAPACITY),
+                stream_id="vip", deadline_ms=120.0, seed=31))
+            frames = gaussian_stream(32, [(0.0, 120)])
+            arrivals.extend(generate_arrivals(
+                frames, WorkloadConfig(rate_fps=hot_load * CAPACITY),
+                stream_id="hot", deadline_ms=60.0, seed=32))
+            sessions = [
+                make_session("vip", 31, queue_capacity=16, priority=1,
+                             weight=3.0, deadline_ms=120.0,
+                             degraded_allowed=False),
+                make_session("hot", 32, queue_capacity=8, deadline_ms=60.0),
+            ]
+            result = DriftServer(sessions).run(arrivals)
+            slo = result.streams["vip"]
+            return slo.served - slo.deadline_misses
+
+        completions = [premium_completions(load)
+                       for load in (0.5, 1.0, 2.0, 3.0)]
+        assert completions[0] > 0
+        for before, after in zip(completions, completions[1:]):
+            assert after >= before, (
+                f"premium goodput regressed under background load: "
+                f"{completions}")
+
+    def test_unconstrained_run_never_leaves_normal(self):
+        frames = gaussian_stream(37, [(0.0, 60)])
+        arrivals = generate_arrivals(
+            frames, WorkloadConfig(rate_fps=1.5 * CAPACITY),
+            stream_id="cam", deadline_ms=1e12, seed=37)
+        session = make_session("cam", 37, queue_capacity=1 << 20,
+                               deadline_ms=1e12)
+        server = DriftServer([session])
+        result = server.run(arrivals)
+        assert server.controller.state == NORMAL
+        assert server.controller.transitions == 0
+        assert result.rejected_infeasible == 0
+        assert result.overload_transitions == 0
+
+    def test_telemetry_matches_overload_accounting(self):
+        streams = ("a", "b")
+        arrivals = fleet_arrivals(41, 2.0, streams, n_frames=80)
+        sessions = [
+            make_session("a", 41, queue_capacity=8, deadline_ms=60.0,
+                         degraded_allowed=False),
+            make_session("b", 42, queue_capacity=8, deadline_ms=60.0),
+        ]
+        recorder = Recorder()
+        server = DriftServer(sessions, recorder=recorder)
+        result = server.run(arrivals)
+        assert recorder.counter("serve.rejected_infeasible").value == (
+            result.rejected_infeasible)
+        assert recorder.counter("serve.overload_transitions").value == (
+            result.overload_transitions)
+        assert result.overload_transitions == server.controller.transitions
+        for stream_id, slo in result.streams.items():
+            gauge = recorder.gauge(f"serve.goodput_fps.{stream_id}")
+            assert gauge.value == pytest.approx(
+                slo.goodput_fps(result.makespan_ms))
+
+    def test_disabled_overload_restores_legacy_admission(self):
+        streams = ("a", "b", "c", "d")
+
+        def run(enabled):
+            arrivals = fleet_arrivals(47, 2.0, streams, n_frames=80)
+            sessions = [make_session(sid, 47 + i, queue_capacity=8,
+                                     deadline_ms=60.0)
+                        for i, sid in enumerate(streams)]
+            config = ServeConfig(overload=OverloadConfig(enabled=enabled))
+            return DriftServer(sessions, config).run(arrivals)
+
+        legacy = run(False)
+        assert legacy.rejected_infeasible == 0
+        assert legacy.overload_transitions == 0
+        assert legacy.shed_total > 0  # queue overflow is back
+        # sustained backlog: admitted frames complete late and goodput
+        # collapses, which is exactly what the controller prevents
+        assert legacy.goodput_fps < 0.8 * legacy.capacity_fps
+        adaptive = run(True)
+        assert adaptive.goodput_fps >= 0.8 * adaptive.capacity_fps
+        assert adaptive.goodput_fps > legacy.goodput_fps

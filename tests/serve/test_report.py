@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.errors import ServeReportError
@@ -11,6 +13,7 @@ from repro.serve import (
     capacity_fps,
     generate_arrivals,
     load_serve_report,
+    upgrade_serve_report,
     validate_serve_report,
     write_serve_report,
 )
@@ -31,7 +34,7 @@ def run_small(seed=6, n=24):
 def valid_document():
     result = run_small()
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "benchmark": "serve_unit",
         "quick": True,
         "config": {"streams": 1, "frames_per_stream": 24,
@@ -130,6 +133,60 @@ class TestSchemaValidation:
 
     def test_write_refuses_invalid_document(self, tmp_path):
         document = valid_document()
-        document["schema_version"] = 2
+        document["schema_version"] = 3
         with pytest.raises(ServeReportError):
             write_serve_report(str(tmp_path / "x.json"), document)
+
+
+class TestV1UpgradeShim:
+    def v1_document(self):
+        """A legacy document: v2 minus the overload-era fields."""
+        document = valid_document()
+        document["schema_version"] = 1
+        for entry in document["sweep"]:
+            del entry["totals"]["rejected_infeasible"]
+            del entry["totals"]["overload_transitions"]
+            del entry["totals"]["goodput_fps"]
+            for stream in entry["streams"].values():
+                del stream["rejected_infeasible"]
+                del stream["goodput_fps"]
+        return document
+
+    def test_upgrade_fills_overload_fields(self):
+        upgraded = upgrade_serve_report(self.v1_document())
+        validate_serve_report(upgraded)
+        entry = upgraded["sweep"][0]
+        assert upgraded["schema_version"] == 2
+        assert entry["totals"]["rejected_infeasible"] == 0
+        assert entry["totals"]["overload_transitions"] == 0
+        for stream in entry["streams"].values():
+            assert stream["rejected_infeasible"] == 0
+            assert stream["goodput_fps"] >= 0
+
+    def test_upgrade_recomputes_stream_goodput(self):
+        upgraded = upgrade_serve_report(self.v1_document())
+        entry = upgraded["sweep"][0]
+        makespan = entry["totals"]["makespan_ms"]
+        for scope in [entry["totals"], *entry["streams"].values()]:
+            in_deadline = (scope["processed"] + scope["degraded"]
+                           - scope["deadline_misses"])
+            assert scope["goodput_fps"] == pytest.approx(
+                in_deadline / (makespan / 1000.0), abs=1e-5)
+
+    def test_upgrade_passes_v2_through_unchanged(self):
+        document = valid_document()
+        assert upgrade_serve_report(document) is document
+
+    def test_upgrade_rejects_unknown_versions(self):
+        document = valid_document()
+        document["schema_version"] = 7
+        with pytest.raises(ServeReportError, match="cannot upgrade"):
+            upgrade_serve_report(document)
+
+    def test_loader_accepts_v1_files(self, tmp_path):
+        document = self.v1_document()
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(document))
+        loaded = load_serve_report(str(path))
+        assert loaded["schema_version"] == 2
+        validate_serve_report(loaded)

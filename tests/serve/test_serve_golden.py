@@ -35,16 +35,18 @@ BATCH_SIZE = 16
 def overload_document():
     capacity = capacity_fps()
     per_stream = OFFERED_LOAD * capacity / 3.0
-    specs = [("premium", 1, "drop-oldest"),
-             ("standard", 0, "drop-oldest"),
-             ("basic", 0, "degrade")]
+    specs = [("premium", 1, "drop-oldest", False),
+             ("standard", 0, "drop-oldest", True),
+             ("basic", 0, "degrade", True)]
     sessions, arrivals = [], []
-    for i, (stream_id, priority, policy) in enumerate(specs):
+    for i, (stream_id, priority, policy, degradable) in enumerate(specs):
         sessions.append(StreamSession(
             stream_id, make_pipeline(seed=SEED + i),
             SessionConfig(priority=priority, deadline_ms=DEADLINE_MS,
                           queue_capacity=QUEUE_CAPACITY,
-                          shed_policy=policy)))
+                          shed_policy=policy,
+                          degraded_allowed=degradable,
+                          weight=2.0 if priority else 1.0)))
         frames = gaussian_stream(
             SEED + i, [(0.0, FRAMES_PER_STREAM // 2),
                        (6.0, FRAMES_PER_STREAM - FRAMES_PER_STREAM // 2)])
@@ -55,7 +57,7 @@ def overload_document():
         scheduler=SchedulerConfig(batch_size=BATCH_SIZE)))
     result = server.run(arrivals)
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "benchmark": "serve_slo_golden",
         "quick": True,
         "config": {"streams": 3,
@@ -77,9 +79,10 @@ def test_overload_slo_snapshot(golden):
     document = overload_document()
     validate_serve_report(document)
     totals = document["sweep"][0]["totals"]
-    # sanity before pinning: the run genuinely overloads and degrades
-    # gracefully rather than collapsing
-    assert totals["shed"] > 0
+    # sanity before pinning: the run genuinely overloads, the controller
+    # reacts, and the excess degrades gracefully rather than collapsing
     assert totals["degraded"] > 0
+    assert totals["rejected_infeasible"] > 0
+    assert totals["overload_transitions"] > 0
     assert totals["processed"] > 0
     golden("serve_slo", document)
