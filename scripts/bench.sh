@@ -5,7 +5,10 @@
 #   scripts/bench.sh serve   [args...]   serving sweep    -> BENCH_serve.json
 #   scripts/bench.sh serve-smoke         quick serving sweep to a temp file,
 #                                        asserting goodput holds under overload
-#   scripts/bench.sh all     [args...]   perf + serve, same args to each
+#   scripts/bench.sh detectors [args...] detector accuracy matrix
+#                                        -> BENCH_detectors.json
+#   scripts/bench.sh all     [args...]   perf + serve + detectors, same args
+#                                        to each
 #
 # With no subcommand (or when the first argument is a flag) the pipeline
 # harness runs, so existing `scripts/bench.sh --quick` invocations keep
@@ -17,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 subcommand="perf"
 case "${1:-}" in
-    perf|serve|serve-smoke|all)
+    perf|serve|serve-smoke|detectors|all)
         subcommand="$1"
         shift
         ;;
@@ -60,8 +63,12 @@ print(f"serve smoke OK: goodput {totals['goodput_fps']:.1f} fps at "
       f"{totals['rejected_infeasible']} rejected infeasible)")
 PY
         ;;
+    detectors)
+        PYTHONPATH=src python benchmarks/bench_detectors.py "$@"
+        ;;
     all)
         PYTHONPATH=src python benchmarks/bench_perf.py "$@"
         PYTHONPATH=src python benchmarks/bench_serve.py "$@"
+        PYTHONPATH=src python benchmarks/bench_detectors.py "$@"
         ;;
 esac

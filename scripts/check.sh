@@ -63,7 +63,36 @@ print(f"serve reports valid (golden + BENCH_serve.json: "
       f"capacity {report['capacity_fps']:.1f} fps)")
 PY
 
-echo "== examples smoke =="
+echo "== detectors smoke =="
+# the committed detector accuracy report must satisfy DETECTORS_SCHEMA and
+# actually score the zoo: >= 6 detectors, each carrying the three accuracy
+# metrics for every scenario of the matrix
+python - <<'PY'
+from repro.detectors.report import load_detectors_report
+
+report = load_detectors_report("BENCH_detectors.json")
+detectors = report["detectors"]
+scenarios = set(report["scenarios"])
+assert len(detectors) >= 6, (
+    f"BENCH_detectors.json scores only {len(detectors)} detectors; "
+    f"the contract requires at least 6")
+for name, entry in detectors.items():
+    assert set(entry["scenarios"]) == scenarios, (
+        f"{name} is missing scenarios: "
+        f"{scenarios - set(entry['scenarios'])}")
+    for scenario, cell in entry["scenarios"].items():
+        for metric in ("detection_delay", "false_alarms", "mtbfa"):
+            assert metric in cell, f"{name}/{scenario} lacks {metric}"
+drifting = [s for s, spec in report["scenarios"].items()
+            if spec["onset"] is not None]
+caught = sum(
+    1 for entry in detectors.values()
+    if all(entry["scenarios"][s]["detected_runs"] > 0 for s in drifting))
+assert caught >= 6, (
+    f"only {caught} detectors catch every drifting scenario")
+print(f"BENCH_detectors.json valid ({len(detectors)} detectors x "
+      f"{len(scenarios)} scenarios, {caught} catch every drift)")
+PY
 # every example must run end to end in quick mode
 for example in examples/*.py; do
     echo "-- $example"

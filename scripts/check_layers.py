@@ -8,9 +8,11 @@ executed) and enforces two rules:
    ``repro.core`` and ``repro.runtime`` must not import -- directly or
    transitively -- the execution substrates ``repro.parallel``,
    ``repro.serve`` or ``repro.experiments`` (the substrates drive the
-   kernel, never the other way around), and ``repro.serve`` must not
+   kernel, never the other way around), ``repro.serve`` must not
    reach ``repro.experiments`` (the serving layer is driven by
-   experiment harnesses, not built on them).
+   experiment harnesses, not built on them), and ``repro.detectors``
+   -- the zoo that plugs into the kernel's monitor seam -- must not
+   reach any execution substrate.
 2. **Acyclicity**: no module-level import cycles anywhere in the package
    (a cycle means two modules each need the other at import time; Python
    tolerates some orderings, but they rot into ImportErrors).
@@ -36,6 +38,12 @@ LAYER_RULES = (
     ("repro.runtime", ("repro.parallel", "repro.serve",
                        "repro.experiments")),
     ("repro.serve", ("repro.experiments",)),
+    # the detector zoo and its benchmark feed the kernel's monitor seam;
+    # they must stay upstream of every execution substrate (the
+    # conformance kit reaches repro.serve, which is exactly why it lives
+    # in repro.testing.conformance, not under repro.detectors)
+    ("repro.detectors", ("repro.parallel", "repro.serve",
+                         "repro.experiments")),
 )
 
 

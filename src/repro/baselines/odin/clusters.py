@@ -126,3 +126,33 @@ class OdinCluster:
                 f"embeddings must be non-empty (N, D), got {arr.shape}")
         for row in arr:
             self.add(row)
+
+    # ------------------------------------------------------------------
+    # Snapshotable (the detector serializes its clusters through these)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Capture the cluster exactly (centroid, Welford stats, band
+        distances); numpy arrays stay arrays so the copy is bit-exact."""
+        return {
+            "name": self.name,
+            "delta": self.delta,
+            "model_name": self.model_name,
+            "count": self.count,
+            "mean": None if self._mean is None else self._mean.copy(),
+            "m2": None if self._m2 is None else self._m2.copy(),
+            "distances": [float(d) for d in self._distances],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OdinCluster":
+        """Rebuild a cluster captured by :meth:`state_dict`."""
+        cluster = cls(str(state["name"]), delta=float(state["delta"]),
+                      model_name=str(state["model_name"]))
+        cluster.count = int(state["count"])
+        mean, m2 = state["mean"], state["m2"]
+        cluster._mean = None if mean is None else np.asarray(
+            mean, dtype=np.float64).copy()
+        cluster._m2 = None if m2 is None else np.asarray(
+            m2, dtype=np.float64).copy()
+        cluster._distances = [float(d) for d in state["distances"]]
+        return cluster

@@ -186,3 +186,34 @@ class OdinDetect:
         """Alias for :meth:`reset_detection` (the
         :class:`~repro.runtime.protocols.DriftMonitor` contract)."""
         self.reset_detection()
+
+    # ------------------------------------------------------------------
+    # Snapshotable: cluster set + temp-cluster bookkeeping.  ODIN exposes
+    # no ``observe_batch``, so the kernel still drives it frame by frame;
+    # the snapshot exists for checkpoint/restore and crash recovery.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Capture detection state; per-frame ``decisions`` are
+        diagnostics, not state, and are not included."""
+        return {
+            "frame_index": self._frame_index,
+            "drift_frame": self._drift_frame,
+            "temp_created_at": self._temp_created_at,
+            "temp_counter": self._temp_counter,
+            "clusters": [cluster.state_dict() for cluster in self.clusters],
+            "temp": None if self.temp is None else self.temp.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` into a detector
+        built with the same configuration."""
+        self._frame_index = int(state["frame_index"])
+        drift_frame = state["drift_frame"]
+        self._drift_frame = None if drift_frame is None else int(drift_frame)
+        self._temp_created_at = int(state["temp_created_at"])
+        self._temp_counter = int(state["temp_counter"])
+        self.clusters = [OdinCluster.from_state(entry)
+                         for entry in state["clusters"]]
+        temp = state["temp"]
+        self.temp = None if temp is None else OdinCluster.from_state(temp)
+        self.decisions = []

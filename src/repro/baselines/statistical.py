@@ -68,12 +68,53 @@ class _ReferenceDetector:
     def observe(self, frame: np.ndarray) -> bool:
         raise NotImplementedError
 
+    def observe_batch(self, frames: np.ndarray) -> list:
+        """Observe a ``(B, ...)`` stack frame by frame.
+
+        The loop is the implementation, so batched observation is
+        definitionally bit-identical to sequential observation; combined
+        with :meth:`state_dict` it qualifies these detectors for the
+        kernel's optimistic batched-rollback path.
+        """
+        arr = np.asarray(frames)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        return [self.observe(frame) for frame in arr]
+
     def reset(self) -> None:
         """Re-arm detection against the current reference (the
         :class:`~repro.runtime.protocols.DriftMonitor` contract; subclasses
         extend this to clear their accumulators)."""
         self._frame_index = 0
         self._drift_frame = None
+
+    # ------------------------------------------------------------------
+    # Snapshotable: shared plumbing + per-detector accumulator hooks
+    # ------------------------------------------------------------------
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        pass
+
+    def state_dict(self) -> dict:
+        """Capture dynamic state (frame counter, drift flag, accumulators).
+
+        The reference sample and derived statistics are *configuration* --
+        rebuilt from the deployed bundle on restore -- so they are not
+        included (mirroring :class:`~repro.core.drift_inspector.DriftInspector`).
+        """
+        return {"frame_index": self._frame_index,
+                "drift_frame": self._drift_frame,
+                **self._extra_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` into a detector
+        built with the same configuration and reference."""
+        self._frame_index = int(state["frame_index"])
+        drift_frame = state["drift_frame"]
+        self._drift_frame = None if drift_frame is None else int(drift_frame)
+        self._load_extra_state(state)
 
 
 class KSDetector(_ReferenceDetector):
@@ -95,6 +136,17 @@ class KSDetector(_ReferenceDetector):
     def reset(self) -> None:
         super().reset()
         self._buffer.clear()
+
+    def _extra_state(self) -> dict:
+        buffer = np.stack(self._buffer) if self._buffer else None
+        return {"buffer": buffer}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._buffer.clear()
+        buffer = state["buffer"]
+        if buffer is not None:
+            for row in np.asarray(buffer, dtype=np.float64):
+                self._buffer.append(row.copy())
 
     def observe(self, frame: np.ndarray) -> bool:
         latent = self._embed(frame)
@@ -140,6 +192,12 @@ class CusumDetector(_ReferenceDetector):
         super().reset()
         self._cusum = 0.0
 
+    def _extra_state(self) -> dict:
+        return {"cusum": self._cusum}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._cusum = float(state["cusum"])
+
     def _statistic(self, latent: np.ndarray) -> float:
         dist = float(np.sqrt(((latent - self._centroid) ** 2).sum()))
         return (dist - self._mu) / self._sigma
@@ -177,6 +235,13 @@ class MomentDetector(_ReferenceDetector):
     def reset(self) -> None:
         super().reset()
         self._buffer.clear()
+
+    def _extra_state(self) -> dict:
+        return {"buffer": list(self._buffer)}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._buffer.clear()
+        self._buffer.extend(float(v) for v in state["buffer"])
 
     def observe(self, frame: np.ndarray) -> bool:
         latent = self._embed(frame)

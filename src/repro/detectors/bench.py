@@ -1,0 +1,171 @@
+"""Scenario-matrix accuracy benchmark for the detector zoo.
+
+Every detector registered in :mod:`repro.detectors.zoo` is run through
+the full runtime kernel (``make_pipeline`` + ``process_batched``, the
+same substrate the equivalence tests pin) on a matrix of drift scenarios
+-- abrupt, subtle, gradual, slow and stationary gaussian streams -- and
+scored on the three standard drift-detection accuracy metrics:
+detection delay, false-alarm count and mean time between false alarms.
+
+The scenarios deliberately span the detectors' regimes: the abrupt shift
+is what control charts (CUSUM, DDM, Page-Hinkley) eat for breakfast; the
+subtle shift separates chart sensitivity from window tests; the gradual
+and slow ramps reward detectors that integrate evidence (ADWIN, EDDM);
+the stationary stream scores specificity -- every detection it provokes
+is a false alarm.
+
+Everything is a pure function of the seeds, so the committed
+``BENCH_detectors.json`` is reproducible bit for bit on any machine.
+Run via ``scripts/bench.sh detectors``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.detectors import zoo
+from repro.detectors.report import write_detectors_report  # noqa: F401
+from repro.errors import DetectorZooError
+from repro.testing import gaussian_stream, make_pipeline
+
+#: Seeds each (detector, scenario) cell is averaged over.
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One entry of the drift matrix: a segmented gaussian stream.
+
+    ``onset`` is the frame index where the distribution first leaves the
+    reference; ``None`` marks a stationary control where any detection
+    is a false alarm.
+    """
+
+    name: str
+    segments: Tuple[Tuple[float, int], ...]
+    onset: Optional[int]
+
+    @property
+    def frames(self) -> int:
+        return sum(length for _, length in self.segments)
+
+    def halved(self) -> "Scenario":
+        """The ``--quick`` variant: every segment at half length."""
+        segments = tuple((centre, max(length // 2, 1))
+                         for centre, length in self.segments)
+        onset = None if self.onset is None else sum(
+            length for _, length in segments[:self._onset_segments()])
+        return Scenario(self.name, segments, onset)
+
+    def _onset_segments(self) -> int:
+        """How many leading segments precede the onset."""
+        if self.onset is None:
+            return 0
+        total, count = 0, 0
+        for _, length in self.segments:
+            if total >= self.onset:
+                break
+            total += length
+            count += 1
+        return count
+
+
+def scenario_matrix(quick: bool = False) -> Dict[str, Scenario]:
+    """The benchmark's drift matrix, keyed by scenario name."""
+    full = (
+        Scenario("abrupt", ((0.0, 120), (6.0, 120)), onset=120),
+        Scenario("subtle", ((0.0, 120), (2.5, 120)), onset=120),
+        Scenario("gradual", ((0.0, 120), (1.5, 40), (3.0, 40), (4.5, 40),
+                             (6.0, 80)), onset=120),
+        Scenario("slow", ((0.0, 120), (0.75, 60), (1.5, 60), (2.25, 60),
+                          (3.0, 100)), onset=120),
+        Scenario("stationary", ((0.0, 240),), onset=None),
+    )
+    if quick:
+        full = tuple(scenario.halved() for scenario in full)
+    return {scenario.name: scenario for scenario in full}
+
+
+def score_run(detector: str, scenario: Scenario, seed: int) -> dict:
+    """Drive one detector through the kernel on one scenario seed.
+
+    Returns the raw per-run observations: ``delay`` (``None`` when the
+    drift was never caught), ``false_alarms`` and ``pre_frames`` (how
+    many frames the stream spends in the reference distribution, the
+    false-alarm exposure window).
+    """
+    frames = gaussian_stream(seed, list(scenario.segments))
+    pipeline = make_pipeline(seed, monitor_factory=zoo.factory(detector))
+    result = pipeline.process_batched(frames)
+    indices = sorted(event.frame_index for event in result.detections)
+    onset = scenario.onset
+    if onset is None:
+        false_alarms = len(indices)
+        delay = None
+    else:
+        false_alarms = sum(1 for index in indices if index < onset)
+        post = [index for index in indices if index >= onset]
+        delay = post[0] - onset if post else None
+    pre_frames = scenario.frames if onset is None else onset
+    return {"delay": delay, "false_alarms": false_alarms,
+            "pre_frames": pre_frames}
+
+
+def score_cell(detector: str, scenario: Scenario,
+               seeds: Sequence[int]) -> dict:
+    """One schema-valid metrics entry: ``score_run`` averaged over
+    ``seeds``."""
+    runs = [score_run(detector, scenario, seed) for seed in seeds]
+    delays = [run["delay"] for run in runs if run["delay"] is not None]
+    total_false = sum(run["false_alarms"] for run in runs)
+    total_pre = sum(run["pre_frames"] for run in runs)
+    return {
+        "detection_delay": (round(sum(delays) / len(delays), 6)
+                            if delays else None),
+        "detected_runs": len(delays),
+        "runs": len(runs),
+        "false_alarms": round(total_false / len(runs), 6),
+        "mtbfa": (round(total_pre / total_false, 6)
+                  if total_false else None),
+    }
+
+
+def run_benchmark(detectors: Optional[Iterable[str]] = None,
+                  scenarios: Optional[Dict[str, Scenario]] = None,
+                  seeds: Sequence[int] = DEFAULT_SEEDS,
+                  quick: bool = False) -> dict:
+    """Score ``detectors`` (default: the whole zoo) across the matrix."""
+    names = tuple(detectors) if detectors is not None else zoo.names()
+    if not names:
+        raise DetectorZooError("no detectors selected for the benchmark")
+    matrix = scenarios if scenarios is not None else scenario_matrix(quick)
+    if not seeds:
+        raise DetectorZooError("need at least one seed")
+    table: Dict[str, dict] = {}
+    for name in names:
+        spec = zoo.get_spec(name)
+        table[name] = {
+            "family": spec.family,
+            "rollback": spec.rollback,
+            "scenarios": {scenario.name: score_cell(name, scenario, seeds)
+                          for scenario in matrix.values()},
+        }
+    first = names[0]
+    first_scenario = next(iter(matrix.values()))
+    rerun = score_cell(first, first_scenario, seeds)
+    if rerun != table[first]["scenarios"][first_scenario.name]:
+        raise AssertionError(
+            f"detector benchmark is not deterministic: {first} / "
+            f"{first_scenario.name} changed between runs")
+    return {
+        "schema_version": 1,
+        "benchmark": "drift-detector accuracy: scenario matrix",
+        "quick": quick,
+        "scenarios": {scenario.name: {
+            "frames": scenario.frames,
+            "onset": scenario.onset,
+            "seeds": list(seeds),
+        } for scenario in matrix.values()},
+        "detectors": table,
+    }

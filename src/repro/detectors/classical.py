@@ -1,0 +1,445 @@
+"""Classical concept-drift detectors, implemented deterministically in-repo.
+
+The drift-detection literature (Frouros and the evaluation frameworks in
+PAPERS.md) is built around a handful of canonical detectors that watch a
+*univariate* statistic -- an error rate or a score stream -- rather than a
+latent distribution.  This module adapts five of them to the repo's
+monitoring contract so they can back the runtime kernel's monitoring stage
+and be benchmarked head-to-head against the paper's Drift Inspector:
+
+- :class:`DDMDetector` -- Gama et al.'s Drift Detection Method: a control
+  chart on a binarized outlier rate with warning/drift confidence levels.
+- :class:`EDDMDetector` -- Baena-Garcia et al.'s Early DDM: monitors the
+  distance *between* outliers, sensitive to gradual drift.
+- :class:`ADWINDetector` -- Bifet & Gavalda's ADaptive WINdowing: grows a
+  window and cuts it wherever two sub-windows differ by more than a
+  Hoeffding bound, shrinking onto the post-change distribution.
+- :class:`KSWINDetector` -- Kolmogorov-Smirnov WINdowing: KS two-sample
+  test of the newest slice of a sliding window against the older remainder
+  (the usual random subsample is replaced by the deterministic prefix, so
+  runs are exactly reproducible).
+- :class:`PageHinkleyDetector` -- the Page-Hinkley cumulative test for a
+  sustained increase in the mean.
+
+Every detector consumes frames (or pre-embedded latents) through the same
+``observe`` / ``reset`` / ``state_dict`` surface as the repo's other
+monitors: the drift statistic is the z-scored distance of the frame's
+latent from the reference centroid, exactly as
+:class:`~repro.baselines.statistical.CusumDetector` computes it.  All five
+are :class:`~repro.runtime.protocols.Snapshotable` and expose the
+loop-based ``observe_batch`` of :class:`_ReferenceDetector`, so they ride
+the kernel's optimistic batched-rollback path with trivially bit-identical
+sequential/batched behaviour.  None of them consumes randomness: two
+detectors built from the same reference produce identical decision
+sequences on identical streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.baselines.statistical import _ReferenceDetector
+from repro.errors import ConfigurationError
+
+
+class _ScalarStatDetector(_ReferenceDetector):
+    """Shared z-scored distance-from-centroid statistic.
+
+    The reference sample fixes a centroid and the mean/std of member
+    distances from it; each observed frame is reduced to
+    ``z = (dist - mu) / sigma``.  Under the reference distribution ``z``
+    fluctuates around zero; after a distribution shift it jumps by the
+    shift magnitude in reference-sigma units.
+    """
+
+    def __init__(self, reference: np.ndarray,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        self._centroid = self.reference.mean(axis=0)
+        dists = np.sqrt(((self.reference - self._centroid) ** 2).sum(axis=1))
+        self._mu = float(dists.mean())
+        self._sigma = float(max(dists.std(), 1e-9))
+
+    def _statistic(self, frame: np.ndarray) -> float:
+        latent = self._embed(frame)
+        dist = float(np.sqrt(((latent - self._centroid) ** 2).sum()))
+        return (dist - self._mu) / self._sigma
+
+    def _update(self, z: float) -> bool:
+        """Consume one statistic; return this frame's raw drift verdict."""
+        raise NotImplementedError
+
+    def observe(self, frame: np.ndarray) -> bool:
+        drift = self._update(self._statistic(frame))
+        if drift and self._drift_frame is None:
+            self._drift_frame = self._frame_index
+        self._frame_index += 1
+        return drift or self.drift_detected
+
+
+class DDMDetector(_ScalarStatDetector):
+    """Drift Detection Method (Gama et al. 2004) on the outlier rate.
+
+    Frames whose statistic exceeds ``error_z`` are *errors*; DDM tracks the
+    Laplace-smoothed error rate ``p_t`` and its binomial deviation ``s_t``,
+    records the minimum of ``p + s``, and raises a *warning* when
+    ``p + s >= p_min + warning_level * s_min`` and *drift* at
+    ``drift_level``.  The smoothing (``p = (errors + 1) / (n + 2)``) keeps
+    ``p_min + s_min`` strictly positive on error-free prefixes, which the
+    textbook formulation needs an arbitrary epsilon for.
+    """
+
+    def __init__(self, reference: np.ndarray, error_z: float = 3.5,
+                 min_observations: int = 30, warning_level: float = 2.0,
+                 drift_level: float = 3.0,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if error_z <= 0:
+            raise ConfigurationError(f"error_z must be positive: {error_z}")
+        if min_observations < 2:
+            raise ConfigurationError(
+                f"min_observations must be >= 2: {min_observations}")
+        if not 0.0 < warning_level <= drift_level:
+            raise ConfigurationError(
+                f"need 0 < warning_level <= drift_level, got "
+                f"{warning_level} / {drift_level}")
+        self.error_z = error_z
+        self.min_observations = min_observations
+        self.warning_level = warning_level
+        self.drift_level = drift_level
+        self._n = 0
+        self._errors = 0
+        self._p_min: Optional[float] = None
+        self._s_min = 0.0
+        self._warning = False
+
+    @property
+    def warning_detected(self) -> bool:
+        """Whether the chart sits in (or drifted through) the warning
+        zone; drift implies warning because ``drift_level >=
+        warning_level``."""
+        return self._warning or self.drift_detected
+
+    def reset(self) -> None:
+        super().reset()
+        self._n = 0
+        self._errors = 0
+        self._p_min = None
+        self._s_min = 0.0
+        self._warning = False
+
+    def _extra_state(self) -> dict:
+        return {"n": self._n, "errors": self._errors, "p_min": self._p_min,
+                "s_min": self._s_min, "warning": self._warning}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._n = int(state["n"])
+        self._errors = int(state["errors"])
+        p_min = state["p_min"]
+        self._p_min = None if p_min is None else float(p_min)
+        self._s_min = float(state["s_min"])
+        self._warning = bool(state["warning"])
+
+    def _update(self, z: float) -> bool:
+        self._n += 1
+        if z > self.error_z:
+            self._errors += 1
+        p = (self._errors + 1) / (self._n + 2)
+        s = float(np.sqrt(p * (1.0 - p) / self._n))
+        if self._n < self.min_observations:
+            return False
+        if self._p_min is None or p + s < self._p_min + self._s_min:
+            self._p_min, self._s_min = p, s
+        level = p + s
+        if level >= self._p_min + self.drift_level * self._s_min:
+            self._warning = True
+            return True
+        self._warning = level >= self._p_min + self.warning_level * self._s_min
+        return False
+
+
+class EDDMDetector(_ScalarStatDetector):
+    """Early DDM (Baena-Garcia et al. 2006) on the gap between outliers.
+
+    Tracks the running mean/std of the *distance in frames* between
+    consecutive errors.  Under the reference distribution errors are rare
+    and far apart; after a drift they arrive back to back, so
+    ``m2s = mean + 2 * std`` collapses relative to its historical maximum.
+    Warning fires when ``m2s / max_m2s < warning_ratio`` and drift at
+    ``drift_ratio``, once ``min_errors`` errors have been seen.
+    """
+
+    def __init__(self, reference: np.ndarray, error_z: float = 2.0,
+                 min_errors: int = 15, warning_ratio: float = 0.92,
+                 drift_ratio: float = 0.85,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if error_z <= 0:
+            raise ConfigurationError(f"error_z must be positive: {error_z}")
+        if min_errors < 2:
+            raise ConfigurationError(
+                f"min_errors must be >= 2: {min_errors}")
+        if not 0.0 < drift_ratio <= warning_ratio < 1.0:
+            raise ConfigurationError(
+                f"need 0 < drift_ratio <= warning_ratio < 1, got "
+                f"{drift_ratio} / {warning_ratio}")
+        self.error_z = error_z
+        self.min_errors = min_errors
+        self.warning_ratio = warning_ratio
+        self.drift_ratio = drift_ratio
+        self._num_errors = 0
+        self._last_error: Optional[int] = None
+        self._gap_mean = 0.0
+        self._gap_m2 = 0.0
+        self._max_m2s = 0.0
+        self._warning = False
+
+    @property
+    def warning_detected(self) -> bool:
+        """Warning-zone flag; drift implies warning because
+        ``drift_ratio <= warning_ratio``."""
+        return self._warning or self.drift_detected
+
+    def reset(self) -> None:
+        super().reset()
+        self._num_errors = 0
+        self._last_error = None
+        self._gap_mean = 0.0
+        self._gap_m2 = 0.0
+        self._max_m2s = 0.0
+        self._warning = False
+
+    def _extra_state(self) -> dict:
+        return {"num_errors": self._num_errors,
+                "last_error": self._last_error,
+                "gap_mean": self._gap_mean, "gap_m2": self._gap_m2,
+                "max_m2s": self._max_m2s, "warning": self._warning}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._num_errors = int(state["num_errors"])
+        last = state["last_error"]
+        self._last_error = None if last is None else int(last)
+        self._gap_mean = float(state["gap_mean"])
+        self._gap_m2 = float(state["gap_m2"])
+        self._max_m2s = float(state["max_m2s"])
+        self._warning = bool(state["warning"])
+
+    def _update(self, z: float) -> bool:
+        if z <= self.error_z:
+            return False
+        if self._last_error is None:
+            # the first error anchors the gap sequence but has no gap
+            self._last_error = self._frame_index
+            return False
+        gap = float(self._frame_index - self._last_error)
+        self._last_error = self._frame_index
+        self._num_errors += 1
+        delta = gap - self._gap_mean
+        self._gap_mean += delta / self._num_errors
+        self._gap_m2 += delta * (gap - self._gap_mean)
+        std = float(np.sqrt(self._gap_m2 / self._num_errors))
+        m2s = self._gap_mean + 2.0 * std
+        if m2s > self._max_m2s:
+            self._max_m2s = m2s
+        if self._num_errors < self.min_errors or self._max_m2s <= 0.0:
+            return False
+        ratio = m2s / self._max_m2s
+        if ratio < self.drift_ratio:
+            self._warning = True
+            return True
+        self._warning = ratio < self.warning_ratio
+        return False
+
+
+class ADWINDetector(_ScalarStatDetector):
+    """ADaptive WINdowing (Bifet & Gavalda 2007), exact over a bounded
+    window.
+
+    The statistic is squashed into ``[0, 1]`` (``clip(z / clip_z)``) so the
+    Hoeffding bound applies; every insert re-checks all admissible splits
+    of the retained window and drops elements from the head while any split
+    shows ``|mean_old - mean_new| > eps_cut``.  A cut *is* the drift
+    signal, and the surviving window covers only the post-change
+    distribution -- the window-shrink property the family is named for.
+
+    The canonical implementation compresses the window into exponential
+    buckets; with ``max_window`` bounding retention the exact O(W) scan per
+    frame stays cheap and keeps the cut decision bit-reproducible.
+    """
+
+    def __init__(self, reference: np.ndarray, delta: float = 0.002,
+                 max_window: int = 256, min_cut: int = 5,
+                 clip_z: float = 6.0,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1): {delta}")
+        if max_window < 2 * min_cut:
+            raise ConfigurationError(
+                f"max_window must be >= 2 * min_cut: {max_window}")
+        if min_cut < 1:
+            raise ConfigurationError(f"min_cut must be >= 1: {min_cut}")
+        if clip_z <= 0:
+            raise ConfigurationError(f"clip_z must be positive: {clip_z}")
+        self.delta = delta
+        self.max_window = max_window
+        self.min_cut = min_cut
+        self.clip_z = clip_z
+        self._window: Deque[float] = deque(maxlen=max_window)
+
+    @property
+    def window_size(self) -> int:
+        """Current adaptive-window length (shrinks after a cut)."""
+        return len(self._window)
+
+    def reset(self) -> None:
+        super().reset()
+        self._window.clear()
+
+    def _extra_state(self) -> dict:
+        return {"window": list(self._window)}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._window.clear()
+        self._window.extend(float(v) for v in state["window"])
+
+    def _cut_point(self) -> Optional[int]:
+        """First head length whose split violates the Hoeffding bound."""
+        values = np.asarray(self._window, dtype=np.float64)
+        total = len(values)
+        if total < 2 * self.min_cut:
+            return None
+        prefix = np.cumsum(values)
+        log_term = float(np.log(4.0 * total / self.delta))
+        for n0 in range(self.min_cut, total - self.min_cut + 1):
+            n1 = total - n0
+            mean0 = prefix[n0 - 1] / n0
+            mean1 = (prefix[-1] - prefix[n0 - 1]) / n1
+            m_harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
+            eps = float(np.sqrt(log_term / (2.0 * m_harmonic)))
+            if abs(mean0 - mean1) > eps:
+                return n0
+        return None
+
+    def _update(self, z: float) -> bool:
+        value = float(np.clip(z / self.clip_z, 0.0, 1.0))
+        self._window.append(value)
+        cut = False
+        while True:
+            n0 = self._cut_point()
+            if n0 is None:
+                break
+            cut = True
+            for _ in range(n0):
+                self._window.popleft()
+        return cut
+
+
+class KSWINDetector(_ScalarStatDetector):
+    """Kolmogorov-Smirnov windowing over the statistic stream.
+
+    Keeps a sliding window of the last ``window`` statistics; once full,
+    each frame runs a two-sample KS test of the newest ``stat_size``
+    values against the older remainder and declares drift when the exact
+    p-value drops below ``alpha``.  The usual random subsample of the old
+    region is replaced by the *whole* old region, which removes the one
+    source of randomness in the textbook detector.
+    """
+
+    def __init__(self, reference: np.ndarray, window: int = 30,
+                 stat_size: int = 10, alpha: float = 1e-5,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if stat_size < 2:
+            raise ConfigurationError(f"stat_size must be >= 2: {stat_size}")
+        if window < 2 * stat_size:
+            raise ConfigurationError(
+                f"window must be >= 2 * stat_size: {window}")
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1): {alpha}")
+        self.window = window
+        self.stat_size = stat_size
+        self.alpha = alpha
+        self._buffer: Deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer.clear()
+
+    def _extra_state(self) -> dict:
+        return {"buffer": list(self._buffer)}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._buffer.clear()
+        self._buffer.extend(float(v) for v in state["buffer"])
+
+    def _update(self, z: float) -> bool:
+        self._buffer.append(float(z))
+        if len(self._buffer) < self.window:
+            return False
+        values = list(self._buffer)
+        old = values[:-self.stat_size]
+        recent = values[-self.stat_size:]
+        result = stats.ks_2samp(recent, old, method="exact")
+        return bool(result.pvalue < self.alpha)
+
+
+class PageHinkleyDetector(_ScalarStatDetector):
+    """Page-Hinkley test for a sustained increase in the statistic's mean.
+
+    Accumulates ``m_t = sum(z_i - mean_i - delta)`` against its running
+    minimum; drift fires when the excursion ``m_t - min(m)`` exceeds
+    ``threshold``.  ``delta`` is the magnitude of change tolerated without
+    alarming; the cumulative structure makes the test robust to isolated
+    outliers while reacting within a few frames to a level shift.
+    """
+
+    def __init__(self, reference: np.ndarray, delta: float = 0.25,
+                 threshold: float = 40.0, min_observations: int = 10,
+                 embedder: Optional[object] = None) -> None:
+        super().__init__(reference, embedder)
+        if delta < 0:
+            raise ConfigurationError(f"delta must be non-negative: {delta}")
+        if threshold <= 0:
+            raise ConfigurationError(
+                f"threshold must be positive: {threshold}")
+        if min_observations < 1:
+            raise ConfigurationError(
+                f"min_observations must be >= 1: {min_observations}")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_observations = min_observations
+        self._n = 0
+        self._running_mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def reset(self) -> None:
+        super().reset()
+        self._n = 0
+        self._running_mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def _extra_state(self) -> dict:
+        return {"n": self._n, "running_mean": self._running_mean,
+                "cumulative": self._cumulative, "minimum": self._minimum}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._n = int(state["n"])
+        self._running_mean = float(state["running_mean"])
+        self._cumulative = float(state["cumulative"])
+        self._minimum = float(state["minimum"])
+
+    def _update(self, z: float) -> bool:
+        self._n += 1
+        self._running_mean += (z - self._running_mean) / self._n
+        self._cumulative += z - self._running_mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._n < self.min_observations:
+            return False
+        return self._cumulative - self._minimum > self.threshold

@@ -1,0 +1,123 @@
+"""The ``BENCH_detectors.json`` accuracy contract.
+
+``benchmarks/bench_detectors.py`` scores every detector registered in the
+:mod:`~repro.detectors.zoo` on the scenario matrix and writes one document
+in this shape.  Like the perf, telemetry and serving reports it is
+validated with the shared dependency-free :mod:`repro.obs.schema` walker
+(plus a ``jsonschema`` cross-check when that package is importable) and
+committed to the repo, so `scripts/check.sh` can diff detector accuracy
+regressions the same way it diffs latency regressions.
+
+Per detector x scenario the report carries three standard drift-detection
+accuracy metrics, each averaged over the scenario's seeds:
+
+``detection_delay``
+    Frames between the scenario's drift onset and the first detection at
+    or after it; ``null`` when no run detected the drift (and
+    ``detected_runs`` says how many did).
+
+``false_alarms``
+    Mean number of detections strictly before the onset (every detection
+    counts as false on stationary scenarios).
+
+``mtbfa``
+    Mean time between false alarms: pre-onset frames divided by the false
+    alarm count, ``null`` when no run raised any false alarm.
+
+Every number is computed in the simulated pipeline, so the committed
+report is reproducible bit for bit on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import DetectorReportError
+from repro.obs.schema import cross_check, validate_document
+
+_METRICS_ENTRY = {
+    "type": "object",
+    "required": ["detection_delay", "detected_runs", "runs",
+                 "false_alarms", "mtbfa"],
+    "additionalProperties": False,
+    "properties": {
+        "detection_delay": {"type": ["number", "null"], "minimum": 0},
+        "detected_runs": {"type": "integer", "minimum": 0},
+        "runs": {"type": "integer", "minimum": 1},
+        "false_alarms": {"type": "number", "minimum": 0},
+        "mtbfa": {"type": ["number", "null"], "exclusiveMinimum": 0},
+    },
+}
+
+_DETECTOR_ENTRY = {
+    "type": "object",
+    "required": ["family", "rollback", "scenarios"],
+    "additionalProperties": False,
+    "properties": {
+        "family": {"type": "string"},
+        "rollback": {"type": "boolean"},
+        "scenarios": {"type": "object", "properties": {},
+                      "additionalProperties": _METRICS_ENTRY},
+    },
+}
+
+_SCENARIO_ENTRY = {
+    "type": "object",
+    "required": ["frames", "onset", "seeds"],
+    "additionalProperties": False,
+    "properties": {
+        "frames": {"type": "integer", "minimum": 1},
+        "onset": {"type": ["integer", "null"], "minimum": 0},
+        "seeds": {"type": "array", "items": {"type": "integer",
+                                             "minimum": 0}},
+    },
+}
+
+DETECTORS_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro drift-detector accuracy report (scenario matrix)",
+    "type": "object",
+    "required": ["schema_version", "benchmark", "quick", "scenarios",
+                 "detectors"],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [1]},
+        "benchmark": {"type": "string"},
+        "quick": {"type": "boolean"},
+        "scenarios": {"type": "object", "properties": {},
+                      "additionalProperties": _SCENARIO_ENTRY},
+        "detectors": {"type": "object", "properties": {},
+                      "additionalProperties": _DETECTOR_ENTRY},
+    },
+}
+
+
+def validate_detectors_report(report: object) -> None:
+    """Raise :class:`DetectorReportError` unless ``report`` satisfies
+    :data:`DETECTORS_SCHEMA`; cross-checks with ``jsonschema`` when
+    available."""
+    validate_document(report, DETECTORS_SCHEMA, "detectors report",
+                      DetectorReportError)
+    cross_check(report, DETECTORS_SCHEMA, "detectors report",
+                DetectorReportError)
+
+
+def write_detectors_report(path: str, report: dict) -> None:
+    """Validate ``report`` and write it to ``path`` as formatted JSON."""
+    validate_detectors_report(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_detectors_report(path: str) -> dict:
+    """Read and validate a report written by
+    :func:`write_detectors_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            report = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise DetectorReportError(
+                f"detectors report {path} is not valid JSON: {exc}") from exc
+    validate_detectors_report(report)
+    return report

@@ -66,3 +66,22 @@ class ServeError(ReproError):
 
 class ServeReportError(ReproError):
     """A serving SLO report violates the BENCH_serve.json schema."""
+
+
+class DetectorZooError(ReproError):
+    """The drift-detector zoo registry was misused (duplicate registration,
+    unknown detector name, or a factory that builds a non-conforming
+    monitor)."""
+
+
+class DetectorReportError(ReproError):
+    """A detector-accuracy report violates the BENCH_detectors.json
+    schema."""
+
+
+class ConformanceError(ReproError, AssertionError):
+    """A detector failed the :mod:`repro.testing.conformance` kit.
+
+    Derives from :class:`AssertionError` too, so plain ``pytest`` reporting
+    and ``pytest.raises(AssertionError)`` both treat conformance failures
+    as ordinary assertion failures."""

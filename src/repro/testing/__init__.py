@@ -7,6 +7,13 @@ consumer sees comes from the execution path under test, never from the
 fixture.  Test conftests re-export these names; ``scripts/check.sh`` and
 the benchmark harnesses import them directly so nothing outside the test
 tree has to import a conftest.
+
+The detector conformance kit lives in the
+:mod:`repro.testing.conformance` submodule.  It is deliberately *not*
+imported here: the kit's three-substrate check drives :mod:`repro.serve`,
+and eagerly importing it would put every consumer of these builders --
+including :mod:`repro.detectors.bench`, which the layer lint forbids from
+reaching the serving layer -- downstream of the whole serving stack.
 """
 
 from __future__ import annotations

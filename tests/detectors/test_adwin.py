@@ -1,0 +1,67 @@
+"""ADWIN: the adaptive window grows when stationary, shrinks on change."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.classical import ADWINDetector
+from repro.testing import gaussian_stream, make_registry
+
+_BUNDLE = make_registry().get("low")
+
+
+class TestWindowDynamics:
+    def test_window_grows_on_stationary_stream(self):
+        detector = ADWINDetector(_BUNDLE.sigma)
+        frames = gaussian_stream(0, [(0.0, 200)])
+        for frame in frames:
+            detector.observe(frame)
+        assert not detector.drift_detected
+        assert detector.window_size == 200
+
+    def test_window_is_bounded(self):
+        detector = ADWINDetector(_BUNDLE.sigma, max_window=64)
+        frames = gaussian_stream(1, [(0.0, 300)])
+        for frame in frames:
+            detector.observe(frame)
+            assert detector.window_size <= 64
+        assert detector.window_size == 64
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_window_shrinks_on_distribution_change(self, seed):
+        """The Hoeffding cut drops the pre-change prefix: right after the
+        drift call the window must be strictly smaller than it was at the
+        onset, keeping only post-change (plus briefly ambiguous)
+        samples."""
+        detector = ADWINDetector(_BUNDLE.sigma)
+        frames = gaussian_stream(seed, [(0.0, 120), (6.0, 80)])
+        size_at_onset = None
+        size_after_drift = None
+        for index, frame in enumerate(frames):
+            detector.observe(frame)
+            if index == 119:
+                size_at_onset = detector.window_size
+            if detector.drift_detected and size_after_drift is None:
+                size_after_drift = detector.window_size
+                break
+        assert size_at_onset == 120
+        assert size_after_drift is not None, "missed a 6-sigma shift"
+        assert size_after_drift < size_at_onset
+        # the cut keeps the suffix: far fewer than the pre-drift samples
+        assert size_after_drift <= 60
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_no_cut_without_change(self, seed):
+        """On a stationary stream the window never shrinks: its size is
+        monotone non-decreasing up to the max_window bound."""
+        detector = ADWINDetector(_BUNDLE.sigma, max_window=128)
+        frames = gaussian_stream(seed, [(0.0, 160)])
+        previous = 0
+        for frame in frames:
+            detector.observe(frame)
+            assert detector.window_size >= min(previous, 127)
+            previous = detector.window_size
+        assert not detector.drift_detected

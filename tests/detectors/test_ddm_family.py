@@ -1,0 +1,111 @@
+"""DDM / EDDM: the error-rate family's warning -> drift escalation.
+
+Both detectors expose a two-level verdict (warning zone, then drift).
+The escalation must be monotone: drift implies warning, and on a
+drifting stream the warning zone is entered no later than the drift
+call.  Hypothesis drives the shift magnitude and seed; the invariants
+must hold for every generated stream, drifting or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.classical import DDMDetector, EDDMDetector
+from repro.testing import gaussian_stream, make_registry
+
+FAMILIES = {"ddm": DDMDetector, "eddm": EDDMDetector}
+
+_BUNDLE = make_registry().get("low")
+
+
+def run_levels(detector, frames):
+    """Per-frame (warning, drift) verdicts."""
+    levels = []
+    for frame in frames:
+        detector.observe(frame)
+        levels.append((detector.warning_detected, detector.drift_detected))
+    return levels
+
+
+class TestEscalationMonotone:
+    @settings(max_examples=20, deadline=None)
+    @given(name=st.sampled_from(sorted(FAMILIES)),
+           seed=st.integers(0, 50),
+           shift=st.floats(0.0, 8.0))
+    def test_drift_implies_warning(self, name, seed, shift):
+        detector = FAMILIES[name](_BUNDLE.sigma)
+        frames = gaussian_stream(seed, [(0.0, 120), (shift, 120)])
+        for warning, drift in run_levels(detector, frames):
+            assert not (drift and not warning), \
+                f"{name}: drift without warning"
+
+    @settings(max_examples=20, deadline=None)
+    @given(name=st.sampled_from(sorted(FAMILIES)),
+           seed=st.integers(0, 50))
+    def test_warning_no_later_than_drift(self, name, seed):
+        """Whenever drift fires, the warning zone was entered at or
+        before it (EDDM can legitimately miss on seeds whose reference
+        segment produced too few baseline errors -- the fixed-seed test
+        below pins that it does detect)."""
+        detector = FAMILIES[name](_BUNDLE.sigma)
+        frames = gaussian_stream(seed, [(0.0, 120), (6.0, 120)])
+        levels = run_levels(detector, frames)
+        drift_at = next((i for i, (_, d) in enumerate(levels) if d), None)
+        if drift_at is not None:
+            warn_at = next(i for i, (w, _) in enumerate(levels) if w)
+            assert warn_at <= drift_at
+
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_detects_at_fixed_seeds(self, name, seed):
+        """The property above must not be vacuous: both family members
+        catch the 6-sigma shift (with warning first) at pinned seeds."""
+        detector = FAMILIES[name](_BUNDLE.sigma)
+        frames = gaussian_stream(seed, [(0.0, 120), (6.0, 120)])
+        levels = run_levels(detector, frames)
+        drift_at = next((i for i, (_, d) in enumerate(levels) if d), None)
+        assert drift_at is not None, f"{name} missed the shift (seed {seed})"
+        warn_at = next(i for i, (w, _) in enumerate(levels) if w)
+        assert warn_at <= drift_at
+
+    @settings(max_examples=15, deadline=None)
+    @given(name=st.sampled_from(sorted(FAMILIES)),
+           seed=st.integers(0, 50))
+    def test_drift_verdict_latches(self, name, seed):
+        """Once drift is declared it stays declared until reset()."""
+        detector = FAMILIES[name](_BUNDLE.sigma)
+        frames = gaussian_stream(seed, [(0.0, 120), (6.0, 120)])
+        levels = run_levels(detector, frames)
+        drifts = [d for _, d in levels]
+        if True in drifts:
+            assert all(drifts[drifts.index(True):])
+
+
+class TestFamilyBehaviour:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_reset_rearms_both_levels(self, name):
+        detector = FAMILIES[name](_BUNDLE.sigma)
+        frames = gaussian_stream(0, [(0.0, 120), (6.0, 120)])
+        run_levels(detector, frames)
+        assert detector.drift_detected
+        detector.reset()
+        assert not detector.drift_detected
+        assert not detector.warning_detected
+        assert detector.drift_frame is None
+
+    def test_ddm_detects_before_eddm(self):
+        """DDM reacts to the error *rate*, EDDM to error *gaps*; on an
+        abrupt hard shift the rate chart must fire first (the reason
+        both are in the zoo)."""
+        frames = gaussian_stream(3, [(0.0, 120), (6.0, 120)])
+        ddm = DDMDetector(_BUNDLE.sigma)
+        eddm = EDDMDetector(_BUNDLE.sigma)
+        for frame in frames:
+            ddm.observe(frame)
+            eddm.observe(frame)
+        assert ddm.drift_frame is not None
+        assert eddm.drift_frame is not None
+        assert ddm.drift_frame < eddm.drift_frame

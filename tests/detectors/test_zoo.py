@@ -1,0 +1,95 @@
+"""Registry semantics of the detector zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors import zoo
+from repro.errors import DetectorZooError
+from repro.runtime import MonitorStage
+from repro.testing import make_registry
+
+EXPECTED_BUILTINS = {"inspector", "odin", "cusum", "ks", "moment",
+                     "ddm", "eddm", "adwin", "kswin", "page-hinkley"}
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return make_registry().get("low")
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert EXPECTED_BUILTINS <= set(zoo.names())
+        assert len(zoo.names()) >= 6
+
+    def test_names_are_sorted_and_stable(self):
+        assert list(zoo.names()) == sorted(zoo.names())
+        assert zoo.names() == zoo.names()
+
+    def test_specs_align_with_names(self):
+        assert [spec.name for spec in zoo.specs()] == list(zoo.names())
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(DetectorZooError, match="already registered"):
+            zoo.register("inspector", family="x", description="dup",
+                         factory=lambda bundle: None)
+
+    def test_unknown_name_raises_and_lists_alternatives(self):
+        with pytest.raises(DetectorZooError, match="inspector"):
+            zoo.get_spec("nope")
+        with pytest.raises(DetectorZooError):
+            zoo.factory("nope")
+        with pytest.raises(DetectorZooError):
+            zoo.unregister("nope")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DetectorZooError, match="non-empty"):
+            zoo.register("", family="x", description="bad",
+                         factory=lambda bundle: None)
+
+    def test_register_unregister_round_trip(self, bundle):
+        def factory(b):
+            return zoo.get_spec("cusum").factory(b)
+
+        zoo.register("tmp-detector", family="test", description="temp",
+                     factory=factory)
+        try:
+            assert "tmp-detector" in zoo.names()
+            monitor = zoo.build("tmp-detector", bundle)
+            assert monitor.drift_frame is None
+        finally:
+            zoo.unregister("tmp-detector")
+        assert "tmp-detector" not in zoo.names()
+
+    def test_decorator_form(self):
+        @zoo.register("tmp-decorated", family="test", description="temp")
+        def factory(bundle):
+            return zoo.get_spec("cusum").factory(bundle)
+
+        try:
+            assert zoo.get_spec("tmp-decorated").factory is factory
+        finally:
+            zoo.unregister("tmp-decorated")
+
+    def test_build_rejects_non_monitor(self, bundle):
+        zoo.register("tmp-broken", family="test", description="temp",
+                     factory=lambda b: object())
+        try:
+            with pytest.raises(DetectorZooError, match="DriftMonitor"):
+                zoo.build("tmp-broken", bundle)
+        finally:
+            zoo.unregister("tmp-broken")
+
+
+class TestSpecAdvertisement:
+    def test_rollback_flag_matches_kernel_view(self, bundle):
+        """What the spec advertises is what the kernel dispatches on."""
+        for spec in zoo.specs():
+            monitor = spec.build(bundle)
+            assert MonitorStage(monitor).supports_rollback == spec.rollback, \
+                spec.name
+
+    def test_only_odin_takes_the_scalar_fallback(self, bundle):
+        fallback = {spec.name for spec in zoo.specs() if not spec.rollback}
+        assert fallback == {"odin"}

@@ -12,12 +12,49 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.core.checkpoint import restore_checkpoint, save_checkpoint
 from repro.errors import CheckpointError
 from repro.testing import gaussian_stream, make_pipeline, result_sig
-from tests.runtime.test_kernel_equivalence import cusum_monitor
 
 FRAMES = gaussian_stream(3, [(0.0, 25), (6.0, 35)])
+
+
+class _AmnesiacMonitor:
+    """A deliberately non-Snapshotable DriftMonitor: satisfies the
+    structural protocol (observe/reset/flags) but has no state_dict, so
+    the checkpoint path must refuse it.  Every registered zoo detector
+    is Snapshotable now -- this stand-in keeps the refusal covered."""
+
+    def __init__(self, reference: np.ndarray) -> None:
+        centroid = np.asarray(reference, dtype=np.float64).mean(axis=0)
+        self._centroid = centroid
+        self._frame_index = 0
+        self._drift_frame = None
+
+    @property
+    def drift_detected(self) -> bool:
+        return self._drift_frame is not None
+
+    @property
+    def drift_frame(self):
+        return self._drift_frame
+
+    def observe(self, frame) -> bool:
+        latent = np.asarray(frame, dtype=np.float64).reshape(-1)
+        dist = float(np.sqrt(((latent - self._centroid) ** 2).sum()))
+        if dist > 10.0 and self._drift_frame is None:
+            self._drift_frame = self._frame_index
+        self._frame_index += 1
+        return self.drift_detected
+
+    def reset(self) -> None:
+        self._drift_frame = None
+
+
+def amnesiac_monitor(bundle):
+    return _AmnesiacMonitor(bundle.sigma)
 
 
 def run_steps(pipeline, frames):
@@ -73,7 +110,27 @@ class TestKernelRoundTrip:
         assert result_sig(finish(resumed, FRAMES[31:])) == reference_sig
 
     def test_non_snapshotable_monitor_refused(self):
-        pipeline = make_pipeline(seed=0, monitor_factory=cusum_monitor)
+        pipeline = make_pipeline(seed=0, monitor_factory=amnesiac_monitor)
         pipeline.process(gaussian_stream(0, [(0.0, 10)]))
         with pytest.raises(CheckpointError, match="Snapshotable"):
             pipeline.state_dict()
+
+
+class TestMonitorFactoryRebuild:
+    def test_factory_rebuilds_monitor_per_deploy(self):
+        """Every deploy (initial arm + each post-drift swap) must call
+        ``monitor_factory`` with the newly deployed bundle, so the
+        monitor is always armed against the *current* reference."""
+        built = []
+
+        def tracking_factory(bundle):
+            built.append(bundle.name)
+            return amnesiac_monitor(bundle)
+
+        pipeline = make_pipeline(seed=0, monitor_factory=tracking_factory)
+        result = pipeline.process(gaussian_stream(0, [(0.0, 30), (6.0, 60)]))
+        assert result.detections, "drift never detected"
+        # one build per deployment: the initial arm plus one per swap
+        assert built[0] == "low"
+        assert len(built) == 1 + len(result.detections)
+        assert built[1:] == [d.selected_model for d in result.detections]

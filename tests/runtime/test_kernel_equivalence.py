@@ -1,14 +1,15 @@
-"""One kernel, three substrates, one bit pattern -- per monitor protocol.
+"""One kernel, three substrates, one bit pattern -- for the whole zoo.
 
 The serving suite already proves that an unconstrained stream served
 through the scheduler reproduces ``process_batched`` for the default Drift
 Inspector.  These properties push the same contract down to the
-:class:`~repro.runtime.protocols.DriftMonitor` seam: for *any* monitor
-backing the kernel's monitoring stage -- the Drift Inspector (rollback
-batching), ODIN-Detect and a CUSUM chart (scalar-fallback batching) --
-sequential ``process``, ``process_batched`` at any chunking, and an
-unconstrained serve run must all emit bit-identical
-:class:`~repro.runtime.emission.PipelineResult`\\s.
+:class:`~repro.runtime.protocols.DriftMonitor` seam and out to every
+detector registered in :mod:`repro.detectors.zoo` (plus the kernel's
+default when no factory is given): sequential ``process``,
+``process_batched`` at any chunking, and an unconstrained serve run must
+all emit bit-identical
+:class:`~repro.runtime.emission.PipelineResult`\\s -- whether the entry
+rides the optimistic batched-rollback path or the scalar fallback.
 """
 
 from __future__ import annotations
@@ -17,57 +18,24 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.odin.detect import OdinConfig, OdinDetect
-from repro.baselines.statistical import CusumDetector
-from repro.serve import (
-    DriftServer,
-    SchedulerConfig,
-    ServeConfig,
-    SessionConfig,
-    StreamSession,
-    WorkloadConfig,
-    capacity_fps,
-    generate_arrivals,
-)
+from repro.detectors import zoo
 from repro.testing import gaussian_stream, make_pipeline, result_sig
+from repro.testing.conformance import serve_unconstrained
 
-CAPACITY = capacity_fps()
+#: Every registered detector, plus the kernel's built-in default
+#: (``monitor_factory=None`` -> the paper's Drift Inspector).
+MONITORS = {"default": None}
+MONITORS.update({name: zoo.factory(name) for name in zoo.names()})
 
-
-def odin_monitor(bundle):
-    """ODIN-Detect seeded with the deployed bundle's reference cluster."""
-    detect = OdinDetect(config=OdinConfig())
-    detect.seed_cluster(bundle.name, bundle.sigma, model_name=bundle.name)
-    return detect
-
-
-def cusum_monitor(bundle):
-    """Page's CUSUM chart against the deployed bundle's reference."""
-    return CusumDetector(bundle.sigma)
-
-
-MONITORS = {
-    "inspector": None,  # kernel default: the paper's Drift Inspector
-    "odin": odin_monitor,
-    "cusum": cusum_monitor,
-}
-
-
-def serve_unconstrained(frames, seed, batch_size, factory):
-    """Serve ``frames`` on one stream that can never shed or miss."""
-    session = StreamSession(
-        "cam", make_pipeline(seed=seed, monitor_factory=factory),
-        SessionConfig(queue_capacity=1 << 20, deadline_ms=1e12))
-    arrivals = generate_arrivals(
-        frames, WorkloadConfig(rate_fps=CAPACITY), stream_id="cam",
-        deadline_ms=1e12, seed=seed + 1)
-    server = DriftServer([session], ServeConfig(
-        scheduler=SchedulerConfig(batch_size=batch_size)))
-    return server.run(arrivals).pipeline_results["cam"]
+#: The short three-substrate stream latches drift in most entries; the
+#: slow starters need the longer certification stream (covered by the
+#: conformance battery in ``tests/detectors/test_conformance.py``) and
+#: here are pinned for bit-identity only.
+SLOW_STARTERS = {"eddm", "odin"}
 
 
 class TestThreeSubstrateBitIdentity:
-    @settings(max_examples=6, deadline=None)
+    @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(0, 100),
            batch_size=st.sampled_from([1, 3, 8, 32]),
            monitor=st.sampled_from(sorted(MONITORS)))
@@ -85,11 +53,13 @@ class TestThreeSubstrateBitIdentity:
         assert result_sig(batched) == signature
         assert result_sig(served) == signature
 
-    @pytest.mark.parametrize("monitor", sorted(MONITORS))
+    @pytest.mark.parametrize(
+        "monitor", sorted(set(MONITORS) - SLOW_STARTERS))
     def test_property_is_not_vacuous(self, monitor):
-        """Every monitor actually detects the 0 -> 6 shift and drives a
-        swap, so the bit-identity above covers detection, selection and
-        redeployment -- not just steady-state monitoring."""
+        """Every fast-reacting monitor actually detects the 0 -> 6 shift
+        on the short stream and drives a swap, so the bit-identity above
+        covers detection, selection and redeployment -- not just
+        steady-state monitoring."""
         factory = MONITORS[monitor]
         frames = gaussian_stream(0, [(0.0, 30), (6.0, 60)])
         result = make_pipeline(seed=0, monitor_factory=factory).process(
@@ -97,15 +67,29 @@ class TestThreeSubstrateBitIdentity:
         assert result.detections, f"{monitor} never detected the drift"
         assert result.records[-1].model == "high"
 
+    @pytest.mark.parametrize("monitor", sorted(SLOW_STARTERS))
+    def test_slow_starters_detect_on_long_stream(self, monitor):
+        """EDDM needs an error-gap baseline and ODIN a stabilised
+        temporary cluster; both catch the shift given the certification
+        stream length."""
+        factory = MONITORS[monitor]
+        frames = gaussian_stream(0, [(0.0, 120), (6.0, 120)])
+        result = make_pipeline(seed=0, monitor_factory=factory).process(
+            frames)
+        assert result.detections, f"{monitor} never detected the drift"
+        assert result.detections[0].frame_index >= 120
+        assert result.records[-1].model == "high"
+
     def test_scalar_fallback_chunking_invariance(self):
-        """ODIN exposes neither ``observe_batch`` nor ``state_dict``: every
-        chunk must take the kernel's scalar fallback, and any chunking must
-        still match sequential exactly."""
+        """ODIN exposes no ``observe_batch``: every chunk must take the
+        kernel's scalar fallback, and any chunking must still match
+        sequential exactly."""
+        factory = zoo.factory("odin")
         frames = gaussian_stream(5, [(0.0, 30), (6.0, 30)])
         signature = result_sig(make_pipeline(
-            seed=5, monitor_factory=odin_monitor).process(frames))
+            seed=5, monitor_factory=factory).process(frames))
         for batch_size in (2, 7, 64):
             batched = make_pipeline(
-                seed=5, monitor_factory=odin_monitor).process_batched(
+                seed=5, monitor_factory=factory).process_batched(
                     frames, batch_size=batch_size)
             assert result_sig(batched) == signature

@@ -49,9 +49,25 @@ class TestSnapshotable:
         assert isinstance(pipeline, Snapshotable)
         assert isinstance(pipeline.kernel, Snapshotable)
 
-    def test_statistical_detectors_are_not_snapshotable(self, reference):
-        # no state_dict -- the kernel must fall back to scalar batching
-        assert not isinstance(KSDetector(reference), Snapshotable)
+    @pytest.mark.parametrize("cls", [KSDetector, CusumDetector,
+                                     MomentDetector])
+    def test_statistical_detectors_are_snapshotable(self, cls, reference):
+        # state_dict + observe_batch: they ride the kernel's optimistic
+        # batched-rollback path and can be checkpointed
+        assert isinstance(cls(reference), Snapshotable)
+
+    def test_odin_detect_is_snapshotable(self, reference):
+        detect = OdinDetect()
+        detect.seed_cluster("base", reference)
+        assert isinstance(detect, Snapshotable)
+
+    def test_zoo_monitors_are_snapshotable(self):
+        from repro.detectors import zoo
+        from repro.testing import make_registry
+
+        bundle = make_registry().get("low")
+        for spec in zoo.specs():
+            assert isinstance(spec.build(bundle), Snapshotable), spec.name
 
 
 class TestDriftMonitor:
@@ -65,12 +81,14 @@ class TestDriftMonitor:
     def test_statistical_detectors_conform(self, cls, reference):
         detector = cls(reference)
         assert isinstance(detector, DriftMonitor)
-        assert not MonitorStage(detector).supports_rollback
+        # observe_batch + Snapshotable -> optimistic batched rollback
+        assert MonitorStage(detector).supports_rollback
 
     def test_odin_detect_conforms(self, reference):
         detect = OdinDetect()
         detect.seed_cluster("base", reference)
         assert isinstance(detect, DriftMonitor)
+        # Snapshotable but no observe_batch: scalar fallback batching
         assert not MonitorStage(detect).supports_rollback
 
     def test_drift_of_normalizes_bools_and_decisions(self, reference):
