@@ -15,10 +15,24 @@ and sequential resolve drifts identically by construction; the equivalence
 suite proves it bit for bit, and this harness re-asserts it on the
 records it produces).
 
+On top of the mode measurements, the harness runs the **fleet scaling
+sweep**: 1/2/4/8 workers over populations of 100 and 1000 streams with
+heterogeneous lengths, planned by the deterministic shard planner
+(:func:`repro.parallel.plan_shards`).  Each sweep point reports the
+plan's virtual-time numbers (critical path, balance, steal count) and
+``speedup_vs_sequential`` -- the batched-mode measured speedup composed
+with the plan's parallelism (total frames over the critical path).  The
+plan half of that product is bit-reproducible on any machine; where the
+sweep also executes the fleet it records the wall-clock ``elapsed_s`` /
+``fps`` as optional extra fields (this host serialises workers onto its
+cores, so measured wall-clock is the honest-but-host-specific number
+and the plan-derived speedup is the portable one).
+
 The findings are written as ``BENCH_pipeline.json`` at the repo root,
-validated against :data:`repro.parallel.BENCH_SCHEMA` before writing.
-Run via ``scripts/bench.sh`` (or directly); ``--quick`` shrinks the
-stream length for a CI smoke pass and is flagged in the report.
+validated against :data:`repro.parallel.BENCH_SCHEMA` (v2) before
+writing.  Run via ``scripts/bench.sh`` (or directly); ``--quick``
+shrinks the stream length and the sweep for a CI smoke pass and is
+flagged in the report.
 """
 
 from __future__ import annotations
@@ -44,9 +58,11 @@ from repro.core.selection.msbi import MSBI, MSBIConfig
 from repro.core.selection.registry import ModelBundle, ModelRegistry
 from repro.nn.vae import VAE, VAEConfig
 from repro.parallel import (
+    BENCH_SCHEMA_VERSION,
     BatchedFeatureExtractor,
     FleetExecutor,
     FleetTask,
+    plan_shards,
     stream_seed,
     write_bench_report,
 )
@@ -54,6 +70,13 @@ from repro.parallel import (
 DIM = 8
 REFERENCE_SIZE = 100
 BASE_SEED = 0
+#: Worker counts the scaling sweep plans (and, where cheap, executes).
+SWEEP_WORKERS = (1, 2, 4, 8)
+#: Stream-population sizes for the sweep (quick mode keeps the first).
+SWEEP_STREAMS = (100, 1000)
+#: Sweep points at or below this many streams also execute the fleet
+#: for a wall-clock measurement; larger points are plan-only.
+SWEEP_MEASURE_LIMIT = 100
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUTPUT = os.path.join(_REPO_ROOT, "BENCH_pipeline.json")
 
@@ -253,6 +276,72 @@ def bench_selection(quick: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# fleet scaling sweep
+# ----------------------------------------------------------------------
+def sweep_loads(streams: int) -> list:
+    """Heterogeneous per-stream frame counts (40..160) for a sweep
+    population -- seeded by the population size, so every run of the
+    harness plans exactly the same fleet."""
+    rng = np.random.default_rng(BASE_SEED * 100003 + streams)
+    return [int(n) for n in rng.integers(40, 161, size=streams)]
+
+
+def sweep_tasks(streams: int) -> list:
+    loads = sweep_loads(streams)
+    tasks = []
+    for index, length in enumerate(loads):
+        rng = np.random.default_rng(5000 + index)
+        frames = rng.normal(0.0, 1.0, size=(length, DIM))
+        tasks.append(FleetTask(stream_id=f"sweep-{index:04d}",
+                               frames=frames))
+    return tasks
+
+
+def run_scaling_sweep(batched_speedup: float, batch_size: int,
+                      quick: bool) -> list:
+    """One scaling entry per (workers, streams) point.
+
+    ``speedup_vs_sequential`` composes the measured batched speedup with
+    the shard plan's virtual-time parallelism (``total / critical``):
+    the throughput a fleet of genuinely parallel workers achieves over
+    one sequential process.  The plan factor is a pure function of the
+    seeded loads, so the committed numbers reproduce bit-for-bit on any
+    machine; wall-clock execution (done for the small population in full
+    runs) lands in the optional ``elapsed_s`` / ``fps`` fields.
+    """
+    stream_counts = SWEEP_STREAMS[:1] if quick else SWEEP_STREAMS
+    entries = []
+    for streams in stream_counts:
+        loads = sweep_loads(streams)
+        total = sum(loads)
+        measure = not quick and streams <= SWEEP_MEASURE_LIMIT
+        tasks = sweep_tasks(streams) if measure else None
+        for workers in SWEEP_WORKERS:
+            plan = plan_shards(loads, workers, seed=BASE_SEED)
+            entry = {
+                "workers": workers,
+                "streams": streams,
+                "frames": total,
+                "speedup_vs_sequential": round(
+                    batched_speedup * plan.speedup(), 3),
+                "critical_path_frames": plan.critical_path,
+                "balance": round(plan.balance, 4),
+                "steals": len(plan.steals),
+            }
+            if measure:
+                executor = FleetExecutor(make_pipeline, workers=workers,
+                                         batch_size=batch_size,
+                                         base_seed=BASE_SEED)
+                start = time.perf_counter()
+                executor.run(tasks)
+                elapsed = time.perf_counter() - start
+                entry["elapsed_s"] = round(elapsed, 6)
+                entry["fps"] = round(total / elapsed, 2)
+            entries.append(entry)
+    return entries
+
+
+# ----------------------------------------------------------------------
 def run_benchmark(streams: int = 4, frames_per_stream: int = 4500,
                   batch_size: int = 256, workers: int = 4,
                   quick: bool = False) -> dict:
@@ -278,8 +367,9 @@ def run_benchmark(streams: int = 4, frames_per_stream: int = 4500,
                     f"{task.stream_id}")
 
     baseline = sequential["elapsed_s"]
+    batched_speedup = round(baseline / batched["elapsed_s"], 3)
     return {
-        "schema_version": 1,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "drift-aware pipeline: sequential vs batched vs fleet",
         "quick": quick,
         "config": {
@@ -290,13 +380,16 @@ def run_benchmark(streams: int = 4, frames_per_stream: int = 4500,
             "workers": workers,
             "reference_size": REFERENCE_SIZE,
             "latent_dim": DIM,
+            "transport": "shm",
+            "host_cores": os.cpu_count() or 1,
         },
         "modes": {
             "sequential": _mode_entry(total, baseline),
             "batched": _mode_entry(total, batched["elapsed_s"], baseline,
                                    batch_size=batch_size),
             "fleet": _mode_entry(total, fleet["elapsed_s"], baseline,
-                                 workers=workers, batch_size=batch_size),
+                                 workers=workers, batch_size=batch_size,
+                                 transport="shm"),
         },
         "stages": {
             "encode": bench_encode(quick),
@@ -304,6 +397,7 @@ def run_benchmark(streams: int = 4, frames_per_stream: int = 4500,
             "martingale": bench_martingale(quick),
             "selection": bench_selection(quick),
         },
+        "scaling": run_scaling_sweep(batched_speedup, batch_size, quick),
     }
 
 
@@ -328,6 +422,14 @@ def _print_report(report: dict) -> None:
         print(f"{name:<12} {entry['sequential_us_per_frame']:>13.2f} "
               f"{entry['batched_us_per_frame']:>13.2f} "
               f"{entry['speedup']:>7.2f}x")
+    print()
+    print(f"{'workers':>7} {'streams':>8} {'frames':>8} {'critical':>9} "
+          f"{'balance':>8} {'steals':>7} {'speedup':>8}")
+    for entry in report["scaling"]:
+        print(f"{entry['workers']:>7} {entry['streams']:>8} "
+              f"{entry['frames']:>8} {entry['critical_path_frames']:>9} "
+              f"{entry['balance']:>8.3f} {entry['steals']:>7} "
+              f"{entry['speedup_vs_sequential']:>7.2f}x")
 
 
 def main(argv=None) -> int:

@@ -5,6 +5,9 @@
 #   scripts/bench.sh serve   [args...]   serving sweep    -> BENCH_serve.json
 #   scripts/bench.sh serve-smoke         quick serving sweep to a temp file,
 #                                        asserting goodput holds under overload
+#   scripts/bench.sh fleet-smoke         quick pipeline run to a temp file,
+#                                        asserting the 4-worker fleet scaling
+#                                        point composes to >= 2.5x batched
 #   scripts/bench.sh detectors [args...] detector accuracy matrix
 #                                        -> BENCH_detectors.json
 #   scripts/bench.sh all     [args...]   perf + serve + detectors, same args
@@ -20,7 +23,7 @@ cd "$(dirname "$0")/.."
 
 subcommand="perf"
 case "${1:-}" in
-    perf|serve|serve-smoke|detectors|all)
+    perf|serve|serve-smoke|fleet-smoke|detectors|all)
         subcommand="$1"
         shift
         ;;
@@ -61,6 +64,35 @@ print(f"serve smoke OK: goodput {totals['goodput_fps']:.1f} fps at "
       f"{peak['offered_load']}x load (capacity {capacity:.1f} fps, "
       f"{totals['degraded']} degraded, "
       f"{totals['rejected_infeasible']} rejected infeasible)")
+PY
+        ;;
+    fleet-smoke)
+        # quick pipeline harness to a throwaway file, then hold the fleet
+        # composition to its bar: the 4-worker sweep point must compose
+        # batched kernels with the shard plan's parallelism to >= 2.5x the
+        # single-process batched mode (the plan factor is deterministic,
+        # so this gate never flakes on a loaded or single-core CI host)
+        smoke_dir="$(mktemp -d)"
+        trap 'rm -rf "$smoke_dir"' EXIT
+        PYTHONPATH=src python benchmarks/bench_perf.py --quick \
+            --output "$smoke_dir/fleet_smoke.json" > /dev/null
+        PYTHONPATH=src python - "$smoke_dir/fleet_smoke.json" <<'PY'
+import sys
+from repro.parallel import load_bench_report
+report = load_bench_report(sys.argv[1])
+assert report["quick"], "smoke pass must be flagged quick"
+batched = report["modes"]["batched"]["speedup_vs_sequential"]
+assert batched > 1.0, f"batched kernel lost to sequential: {batched}x"
+points = [e for e in report["scaling"] if e["workers"] == 4]
+assert points, "scaling sweep is missing the 4-worker point"
+point = min(points, key=lambda e: e["streams"])
+speedup = point["speedup_vs_sequential"]
+assert speedup >= 2.5 * batched, (
+    f"fleet(4 workers, batched) composed to {speedup:.2f}x sequential; "
+    f"needs >= 2.5x the batched mode's {batched:.2f}x")
+print(f"fleet smoke OK: 4 workers x {point['streams']} streams -> "
+      f"{speedup:.2f}x sequential ({speedup / batched:.2f}x batched, "
+      f"balance {point['balance']:.3f}, {point['steals']} steals)")
 PY
         ;;
     detectors)

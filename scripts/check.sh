@@ -102,13 +102,17 @@ done
 echo "examples smoke pass OK"
 
 echo "== bench reports =="
-# the committed pipeline report must satisfy the schema ...
+# the committed pipeline report must satisfy the schema (v2, with the
+# fleet scaling sweep) ...
 python - <<'PY'
-from repro.parallel import load_bench_report
+from repro.parallel import BENCH_SCHEMA_VERSION, load_bench_report
 report = load_bench_report("BENCH_pipeline.json")
+assert report["schema_version"] == BENCH_SCHEMA_VERSION
 batched = report["modes"]["batched"]
+assert report["scaling"], "committed report must carry the scaling sweep"
 print(f"BENCH_pipeline.json valid "
-      f"(batched {batched['speedup_vs_sequential']}x sequential)")
+      f"(batched {batched['speedup_vs_sequential']}x sequential, "
+      f"{len(report['scaling'])} scaling points)")
 PY
 # ... and both harnesses must still run end to end and emit valid reports
 smoke_dir="$(mktemp -d)"
@@ -125,5 +129,8 @@ print("pipeline bench smoke pass OK")
 PY
 # the serving smoke also asserts goodput holds near capacity at 2x load
 bash scripts/bench.sh serve-smoke
+# the fleet smoke asserts fleet(4 workers, batched) composes to >= 2.5x
+# the single-process batched mode on the smoke workload
+bash scripts/bench.sh fleet-smoke
 
 echo "all checks passed"

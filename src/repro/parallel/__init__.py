@@ -5,17 +5,27 @@ giving up reproducibility:
 
 - :mod:`repro.parallel.batching` -- :class:`BatchedFeatureExtractor`, a
   chunked batched front-end for VAE-style embedders.
+- :mod:`repro.parallel.transport` -- frame transports between the fleet
+  parent and its workers: :class:`FrameRing` (shared-memory slots,
+  zero-copy worker views, explicit ownership handoff) and
+  :class:`PipeChannel` (the legacy pickled-pipe path, kept as the
+  equivalence reference).
+- :mod:`repro.parallel.sharding` -- :func:`plan_shards`, load-aware
+  stream sharding with deterministic virtual-time work stealing; every
+  plan is a pure function of ``(loads, workers, seed)``.
 - :mod:`repro.parallel.fleet` -- :class:`FleetExecutor`, which runs many
   camera pipelines across ``multiprocessing`` workers with per-stream seed
-  derivation, periodic checkpoints, crash recovery and a deterministic
-  merge.
-- :mod:`repro.parallel.report` -- the ``BENCH_pipeline.json`` schema and
-  its validator, shared by the perf harness and the CI smoke check.
+  derivation, batched kernels inside each worker, periodic checkpoints,
+  crash recovery and a deterministic merge.
+- :mod:`repro.parallel.report` -- the ``BENCH_pipeline.json`` schema
+  (v2, with the fleet scaling sweep), its validator and the v1 upgrade
+  shim, shared by the perf harness and the CI smoke check.
 
 Determinism contract: a fleet run's merged output is a pure function of
 ``(tasks, factory, base_seed)`` -- independent of the worker count, the
-batch size, checkpoint cadence, crash/restart timing and OS scheduling.
-The pipeline layer guarantees the per-stream half of this contract
+transport, the shard plan and its steal order, the batch size,
+checkpoint cadence, crash/restart timing and OS scheduling.  The
+pipeline layer guarantees the per-stream half of this contract
 (``process_batched`` is bit-identical to ``process`` for any batch size);
 the executor adds per-stream seed isolation and a submission-order merge.
 """
@@ -28,12 +38,23 @@ from repro.parallel.fleet import (
     SimulatedWorkerCrash,
     fleet_telemetry,
     stream_seed,
+    task_load,
 )
 from repro.parallel.report import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
     load_bench_report,
+    upgrade_bench_report,
     validate_bench_report,
     write_bench_report,
+)
+from repro.parallel.sharding import ShardPlan, Steal, plan_shards
+from repro.parallel.transport import (
+    TRANSPORTS,
+    BlockMeta,
+    FrameRing,
+    PipeChannel,
+    make_transport,
 )
 
 __all__ = [
@@ -44,8 +65,19 @@ __all__ = [
     "SimulatedWorkerCrash",
     "fleet_telemetry",
     "stream_seed",
+    "task_load",
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_VERSION",
     "load_bench_report",
+    "upgrade_bench_report",
     "validate_bench_report",
     "write_bench_report",
+    "ShardPlan",
+    "Steal",
+    "plan_shards",
+    "TRANSPORTS",
+    "BlockMeta",
+    "FrameRing",
+    "PipeChannel",
+    "make_transport",
 ]

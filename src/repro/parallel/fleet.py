@@ -1,31 +1,51 @@
 """Sharded fleet execution of drift-aware camera pipelines.
 
 :class:`FleetExecutor` runs one :class:`~repro.core.pipeline.\
-DriftAwareAnalytics` session per camera stream, sharded round-robin across
-``multiprocessing`` workers (or in-process with ``workers=0``), and merges
-the per-stream results in submission order.  Reproducibility is the design
-constraint throughout:
+DriftAwareAnalytics` session per camera stream across ``multiprocessing``
+workers (or in-process with ``workers=0``), each worker driving the
+**batched kernel** (:meth:`~repro.core.pipeline.DriftAwareAnalytics\
+.step_batch`) over its shard of streams, and merges the per-stream
+results in submission order.  Reproducibility is the design constraint
+throughout:
 
 - **Seeding** -- every stream gets its own seed derived from
   ``(base_seed, stream_id)`` via :func:`stream_seed` (CRC32 of the id into
   a :class:`numpy.random.SeedSequence`), so a stream's result never depends
   on which worker ran it, what ran before it, or how many workers exist.
+- **Load-aware sharding** -- shards come from
+  :func:`repro.parallel.sharding.plan_shards`: a round-robin deal
+  rebalanced by deterministic virtual-time work stealing (steal
+  decisions are a pure function of the streams' frame counts and the
+  fleet seed -- never wall clock), so the plan is bit-identical on any
+  machine and results are independent of it by construction.
+- **Shared-memory transport** -- frames reach workers through a
+  per-worker :class:`~repro.parallel.transport.FrameRing`
+  (``multiprocessing.shared_memory``): the parent copies each stream's
+  frame block into a ring slot once, the worker maps it as a zero-copy
+  numpy view, and slot ownership is handed back explicitly after the
+  stream completes.  Only small results and descriptors ever travel
+  through pipes.  ``transport="pipe"`` selects the legacy pickled-pipe
+  path, kept as the reference the equivalence suite tests the ring
+  against.
 - **Checkpoint recovery** -- with a ``checkpoint_dir``, each worker
   persists its session every ``checkpoint_every`` frames using the
   :mod:`repro.core.checkpoint` archive format (plus a ``fleet`` manifest
-  entry recording how many stream frames were consumed).  A crashed
-  worker's unfinished tasks are re-dispatched; the retry restores the last
-  checkpoint and resumes mid-stream.  Because the pipeline's batched path
-  is bit-identical for any chunking, a resumed stream produces exactly the
-  records an uninterrupted run would.
+  entry recording how many stream frames were consumed).  Checkpoint
+  state is detached from the shared-memory segment first
+  (:func:`repro.runtime.snapshots.detach_arrays`), so archives never
+  alias ring slots.  A crashed worker's unfinished tasks are
+  re-dispatched; the retry restores the last checkpoint and resumes
+  mid-stream.  Because the pipeline's batched path is bit-identical for
+  any chunking, a resumed stream produces exactly the records an
+  uninterrupted run would.
 - **Fault injection** -- a task may carry ``crash_at_frame``; the worker
   running it dies (``os._exit`` in a subprocess,
   :class:`SimulatedWorkerCrash` in-process) after consuming that many
   frames, *on the first attempt only*.  Tests use this to prove the
   recovery path bit-exact.
 
-Workers are forked (results travel back through pipes), so factories may
-close over unpicklable state; only per-task results must pickle.
+Workers are forked, so factories may close over unpicklable state; only
+per-task results must pickle.
 """
 
 from __future__ import annotations
@@ -42,7 +62,10 @@ from repro.core.pipeline import DriftAwareAnalytics, PipelineResult
 from repro.errors import ConfigurationError, FleetError
 from repro.obs.report import merge_telemetry
 from repro.nn.serialization import load_manifest_archive, save_manifest_archive
+from repro.parallel.sharding import ShardPlan, Steal, plan_shards
+from repro.parallel.transport import TRANSPORTS, make_transport
 from repro.rng import stable_hash
+from repro.runtime.snapshots import detach_arrays
 
 _CRASH_EXIT_CODE = 87
 
@@ -78,6 +101,11 @@ class FleetTask:
     crash_at_frame: Optional[int] = None
 
 
+def task_load(task: FleetTask) -> int:
+    """A task's virtual load for the shard planner: its frame count."""
+    return int(np.asarray(task.frames).shape[0])
+
+
 @dataclass
 class FleetTaskResult:
     """Outcome of one stream: the pipeline result plus recovery telemetry."""
@@ -95,6 +123,17 @@ class _TaskFailure:
 
     stream_id: str
     error: str
+
+
+@dataclass
+class _ShardEntry:
+    """What a worker needs to know about one task: everything except the
+    frames, which arrive through the frame transport."""
+
+    index: int
+    stream_id: str
+    attempt: int
+    crash_at_frame: Optional[int]
 
 
 PipelineFactory = Callable[[FleetTask, int], DriftAwareAnalytics]
@@ -130,6 +169,9 @@ def _checkpoint_path(checkpoint_dir: str, task: FleetTask) -> str:
 def _save_fleet_checkpoint(path: str, pipeline: DriftAwareAnalytics,
                            task: FleetTask, consumed: int) -> None:
     manifest, arrays = session_state(pipeline)
+    # never let a checkpoint alias the shared-memory ring: a slot can be
+    # recycled (or the segment unlinked) before the archive is reloaded
+    arrays = detach_arrays(arrays)
     manifest["fleet"] = {"stream_id": task.stream_id,
                          "frames_consumed": int(consumed)}
     save_manifest_archive(path, manifest, arrays)
@@ -189,24 +231,45 @@ def _run_task(task: FleetTask, factory: PipelineFactory, base_seed: int,
                            resumed_at=resumed_at)
 
 
-def _worker_main(conn, entries: List[Tuple[int, FleetTask, int]],
+def _worker_main(conn, channel, entries: List[_ShardEntry],
                  factory: PipelineFactory, base_seed: int, batch_size: int,
                  checkpoint_dir: Optional[str],
                  checkpoint_every: Optional[int]) -> None:
-    """Subprocess body: run a shard of tasks, stream results back."""
+    """Subprocess body: run a shard of tasks, stream results back.
+
+    Frames arrive through ``channel`` (one block per task, in shard
+    order) as zero-copy views; each slot is handed back as soon as its
+    stream's result has been pickled onto the result pipe.
+    """
     try:
-        for index, task, attempt in entries:
+        for entry in entries:
+            item = channel.pop()
+            if item is None:
+                raise FleetError(
+                    f"frame transport closed before stream "
+                    f"{entry.stream_id!r} arrived")
+            meta, frames = item
+            if meta.key != entry.stream_id:
+                raise FleetError(
+                    f"frame transport out of order: expected "
+                    f"{entry.stream_id!r}, got {meta.key!r}")
+            task = FleetTask(stream_id=entry.stream_id, frames=frames,
+                             crash_at_frame=entry.crash_at_frame)
             try:
                 result = _run_task(task, factory, base_seed, batch_size,
                                    checkpoint_dir, checkpoint_every,
-                                   attempt, in_process=False)
+                                   entry.attempt, in_process=False)
             except Exception as exc:  # noqa: BLE001 - reported to parent
-                conn.send((index, _TaskFailure(task.stream_id, repr(exc))))
+                conn.send((entry.index,
+                           _TaskFailure(entry.stream_id, repr(exc))))
+                channel.release(meta)
                 continue
-            conn.send((index, result))
+            conn.send((entry.index, result))
+            channel.release(meta)
         conn.send(None)  # shard complete
     finally:
         conn.close()
+        channel.close()
 
 
 class FleetExecutor:
@@ -221,8 +284,8 @@ class FleetExecutor:
         every stochastic knob of the pipeline so streams stay independent.
     workers:
         ``0`` runs every task in-process (the deterministic reference
-        path); ``N >= 1`` forks ``N`` worker processes and shards tasks
-        round-robin.
+        path); ``N >= 1`` forks ``N`` worker processes over the planned
+        shards.
     batch_size:
         Chunk size for the pipeline's batched monitor path.
     checkpoint_dir / checkpoint_every:
@@ -232,13 +295,27 @@ class FleetExecutor:
         How many times a crashed task may be re-dispatched before the run
         fails with :class:`FleetError`.
     base_seed:
-        Fleet-level seed from which every per-stream seed is derived.
+        Fleet-level seed from which every per-stream seed is derived (it
+        also seeds the shard planner's tie-break permutation).
+    transport:
+        ``"shm"`` (default) moves frames through per-worker shared-memory
+        rings; ``"pipe"`` is the legacy pickled-pipe path kept for
+        equivalence testing.
+    steal:
+        ``False`` disables the virtual-time work-stealing rebalance and
+        dispatches the plain round-robin shards.
+    steal_order:
+        Explicit victim tie-break permutation forwarded to
+        :func:`~repro.parallel.sharding.plan_shards`; the determinism
+        suite forces adversarial orders through it.
     """
 
     def __init__(self, factory: PipelineFactory, workers: int = 0,
                  batch_size: int = 64, checkpoint_dir: Optional[str] = None,
                  checkpoint_every: Optional[int] = None,
-                 max_restarts: int = 1, base_seed: int = 0) -> None:
+                 max_restarts: int = 1, base_seed: int = 0,
+                 transport: str = "shm", steal: bool = True,
+                 steal_order: Optional[Sequence[int]] = None) -> None:
         if workers < 0:
             raise ConfigurationError(
                 f"workers must be non-negative: {workers}")
@@ -254,6 +331,9 @@ class FleetExecutor:
         if max_restarts < 0:
             raise ConfigurationError(
                 f"max_restarts must be non-negative: {max_restarts}")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}")
         self.factory = factory
         self.workers = workers
         self.batch_size = batch_size
@@ -261,8 +341,27 @@ class FleetExecutor:
         self.checkpoint_every = checkpoint_every
         self.max_restarts = max_restarts
         self.base_seed = base_seed
+        self.transport = transport
+        self.steal = steal
+        self.steal_order = (list(steal_order)
+                            if steal_order is not None else None)
+        #: Shard plans of the most recent :meth:`run`, one per dispatch
+        #: round, with task indices in submission-order terms.  Purely
+        #: observational -- the benchmark harness and the determinism
+        #: suite read them.
+        self.last_plans: List[ShardPlan] = []
 
     # ------------------------------------------------------------------
+    def plan_for(self, tasks: Sequence[FleetTask],
+                 workers: Optional[int] = None) -> ShardPlan:
+        """The shard plan :meth:`run` would execute for ``tasks`` (first
+        dispatch round, before any crash re-dispatch)."""
+        count = self.workers if workers is None else workers
+        count = max(1, min(count, len(tasks))) if tasks else 1
+        return plan_shards([task_load(task) for task in tasks], count,
+                           seed=self.base_seed, steal=self.steal,
+                           steal_order=self.steal_order)
+
     def _clear_checkpoints(self, tasks: Sequence[FleetTask]) -> None:
         if self.checkpoint_dir is None:
             return
@@ -294,32 +393,77 @@ class FleetExecutor:
                             f"{self.max_restarts} restart(s)") from exc
         return results
 
+    # ------------------------------------------------------------------
+    def _remap_plan(self, plan: ShardPlan,
+                    pending: List[Tuple[int, int]]) -> ShardPlan:
+        """Translate a plan over ``pending`` positions into submission
+        task indices for external consumers."""
+        lookup = [index for index, _ in pending]
+        return ShardPlan(
+            workers=plan.workers,
+            loads=list(plan.loads),
+            assignments=[[lookup[i] for i in shard]
+                         for shard in plan.assignments],
+            initial=[[lookup[i] for i in shard] for shard in plan.initial],
+            steals=[Steal(virtual_time=s.virtual_time, thief=s.thief,
+                          victim=s.victim, task_index=lookup[s.task_index])
+                    for s in plan.steals])
+
+    def _dispatch_worker(self, context, tasks: Sequence[FleetTask],
+                         shard: List[Tuple[int, int]]):
+        """Fork one worker for ``shard`` (``(task_index, attempt)`` in
+        execution order) and stream its frames through the transport."""
+        frames = [np.asarray(tasks[index].frames, dtype=np.float64)
+                  for index, _ in shard]
+        slot_bytes = max((f.nbytes for f in frames), default=0)
+        channel = make_transport(self.transport, context,
+                                 slots=max(1, len(shard)),
+                                 slot_bytes=slot_bytes)
+        entries = [_ShardEntry(index=index,
+                               stream_id=tasks[index].stream_id,
+                               attempt=attempt,
+                               crash_at_frame=tasks[index].crash_at_frame)
+                   for index, attempt in shard]
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        proc = context.Process(
+            target=_worker_main,
+            args=(child_conn, channel, entries, self.factory,
+                  self.base_seed, self.batch_size, self.checkpoint_dir,
+                  self.checkpoint_every))
+        proc.start()
+        child_conn.close()
+        try:
+            for entry, block in zip(entries, frames):
+                channel.push(entry.stream_id, block)
+            channel.close_send()
+        except BrokenPipeError:
+            # the worker died before draining its transport; recovery is
+            # driven off the result pipe, so stop feeding and move on
+            pass
+        return proc, parent_conn, channel, shard
+
     def _run_sharded(self,
                      tasks: Sequence[FleetTask]) -> List[FleetTaskResult]:
         context = multiprocessing.get_context("fork")
         done: Dict[int, FleetTaskResult] = {}
         pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(tasks))]
+        self.last_plans = []
         while pending:
             worker_count = min(self.workers, len(pending))
-            shards: List[List[Tuple[int, FleetTask, int]]] = [
-                [] for _ in range(worker_count)]
-            for position, (index, attempt) in enumerate(pending):
-                shards[position % worker_count].append(
-                    (index, tasks[index], attempt))
-            procs = []
-            for shard in shards:
-                parent_conn, child_conn = context.Pipe(duplex=False)
-                proc = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, shard, self.factory, self.base_seed,
-                          self.batch_size, self.checkpoint_dir,
-                          self.checkpoint_every))
-                proc.start()
-                child_conn.close()
-                procs.append((proc, parent_conn, shard))
+            plan = plan_shards(
+                [task_load(tasks[index]) for index, _ in pending],
+                worker_count, seed=self.base_seed, steal=self.steal,
+                steal_order=(self.steal_order
+                             if worker_count == self.workers else None))
+            self.last_plans.append(self._remap_plan(plan, pending))
+            shards: List[List[Tuple[int, int]]] = [
+                [tuple(pending[position]) for position in assignment]
+                for assignment in plan.assignments]
+            procs = [self._dispatch_worker(context, tasks, shard)
+                     for shard in shards if shard]
             crashed: List[Tuple[int, int]] = []
             failure: Optional[_TaskFailure] = None
-            for proc, conn, shard in procs:
+            for proc, conn, channel, shard in procs:
                 finished = set()
                 while True:
                     try:
@@ -337,8 +481,9 @@ class FleetExecutor:
                     finished.add(index)
                 conn.close()
                 proc.join()
+                channel.unlink()
                 unfinished = [(index, attempt)
-                              for index, task, attempt in shard
+                              for index, attempt in shard
                               if index not in finished and index not in done]
                 # only the first unfinished task was actually running when
                 # the worker died; later ones never started, so their
@@ -358,6 +503,7 @@ class FleetExecutor:
                 raise FleetError(
                     f"stream(s) {names} exhausted "
                     f"{self.max_restarts} restart(s)")
+            crashed.sort()
             pending = crashed
         return [done[i] for i in range(len(tasks))]
 
@@ -366,8 +512,8 @@ class FleetExecutor:
         """Process every task; returns results in submission order.
 
         The merge is deterministic by construction: stream results are
-        keyed by task index, so worker scheduling and completion order
-        never reorder (or alter) the output.
+        keyed by task index, so worker scheduling, shard layout and
+        completion order never reorder (or alter) the output.
         """
         tasks = list(tasks)
         if not tasks:
@@ -378,5 +524,6 @@ class FleetExecutor:
                 f"stream ids must be unique, got {ids}")
         self._clear_checkpoints(tasks)
         if self.workers == 0:
+            self.last_plans = []
             return self._run_in_process(tasks)
         return self._run_sharded(tasks)

@@ -1,12 +1,25 @@
-"""The ``BENCH_pipeline.json`` performance-report schema.
+"""The ``BENCH_pipeline.json`` performance-report schema (v2).
 
 ``benchmarks/bench_perf.py`` measures the sequential, batched and fleet
-execution modes and writes its findings as one JSON document at the repo
-root.  This module owns the document's contract: a JSON-Schema definition
-(:data:`BENCH_SCHEMA`), a dependency-free validator that enforces it, and
+execution modes, runs the fleet scaling sweep (workers x streams over
+the deterministic shard planner), and writes its findings as one JSON
+document at the repo root.  This module owns the document's contract: a
+JSON-Schema definition (:data:`BENCH_SCHEMA`), a dependency-free
+validator that enforces it, a v1 upgrade shim
+(:func:`upgrade_bench_report`, mirroring the serve report's), and
 read/write helpers that refuse to produce or accept a malformed report.
 ``scripts/check.sh`` validates the committed report on every run, so a
 schema drift fails CI rather than silently rotting the benchmark data.
+
+Schema v2 adds the ``scaling`` section: one entry per (workers,
+streams) sweep point, carrying the shard plan's deterministic numbers
+(``critical_path_frames``, ``balance``, ``steals``) alongside
+``speedup_vs_sequential`` -- the fleet x batched speedup the plan
+achieves, i.e. the measured batched throughput scaled by the plan's
+virtual-time parallelism (total frames over the critical path).  The
+plan numbers are bit-reproducible on any machine; the committed
+``elapsed_s`` / ``fps`` fields are the build host's wall-clock
+measurement of the same point and are optional by contract.
 
 Validation runs on the shared :mod:`repro.obs.schema` walker (the same
 one behind the telemetry summary contract).  When the ``jsonschema``
@@ -21,6 +34,9 @@ import json
 from repro.errors import BenchReportError
 from repro.obs.schema import cross_check, validate_document
 
+#: Current report schema version (see :func:`upgrade_bench_report`).
+BENCH_SCHEMA_VERSION = 2
+
 _MODE_ENTRY = {
     "type": "object",
     "required": ["frames", "elapsed_s", "fps"],
@@ -32,6 +48,7 @@ _MODE_ENTRY = {
         "speedup_vs_sequential": {"type": "number", "exclusiveMinimum": 0},
         "workers": {"type": "integer", "minimum": 1},
         "batch_size": {"type": "integer", "minimum": 1},
+        "transport": {"type": "string", "enum": ["shm", "pipe"]},
     },
 }
 
@@ -46,15 +63,33 @@ _STAGE_ENTRY = {
     },
 }
 
+_SCALING_ENTRY = {
+    "type": "object",
+    "required": ["workers", "streams", "frames", "speedup_vs_sequential"],
+    "additionalProperties": False,
+    "properties": {
+        "workers": {"type": "integer", "minimum": 1},
+        "streams": {"type": "integer", "minimum": 1},
+        "frames": {"type": "integer", "minimum": 1},
+        "speedup_vs_sequential": {"type": "number", "exclusiveMinimum": 0},
+        "critical_path_frames": {"type": "integer", "minimum": 1},
+        "balance": {"type": "number", "exclusiveMinimum": 0},
+        "steals": {"type": "integer", "minimum": 0},
+        "elapsed_s": {"type": "number", "exclusiveMinimum": 0},
+        "fps": {"type": "number", "exclusiveMinimum": 0},
+    },
+}
+
 BENCH_SCHEMA = {
     "$schema": "http://json-schema.org/draft-07/schema#",
     "title": "repro pipeline performance report",
     "type": "object",
     "required": ["schema_version", "benchmark", "quick", "config",
-                 "modes", "stages"],
+                 "modes", "stages", "scaling"],
     "additionalProperties": False,
     "properties": {
-        "schema_version": {"type": "integer", "enum": [1]},
+        "schema_version": {"type": "integer",
+                           "enum": [BENCH_SCHEMA_VERSION]},
         "benchmark": {"type": "string"},
         "quick": {"type": "boolean"},
         "config": {
@@ -72,6 +107,8 @@ BENCH_SCHEMA = {
                 "workers": {"type": "integer", "minimum": 0},
                 "reference_size": {"type": "integer", "minimum": 2},
                 "latent_dim": {"type": "integer", "minimum": 1},
+                "transport": {"type": "string", "enum": ["shm", "pipe"]},
+                "host_cores": {"type": "integer", "minimum": 1},
             },
         },
         "modes": {
@@ -95,8 +132,10 @@ BENCH_SCHEMA = {
                 "selection": _STAGE_ENTRY,
             },
         },
+        "scaling": {"type": "array", "items": _SCALING_ENTRY},
     },
 }
+
 
 def validate_bench_report(report: object) -> None:
     """Raise :class:`BenchReportError` unless ``report`` satisfies
@@ -104,6 +143,44 @@ def validate_bench_report(report: object) -> None:
     package is available."""
     validate_document(report, BENCH_SCHEMA, "bench report", BenchReportError)
     cross_check(report, BENCH_SCHEMA, "bench report", BenchReportError)
+
+
+def upgrade_bench_report(report: dict) -> dict:
+    """Upgrade a v1 pipeline report to the v2 shape (returns a new dict).
+
+    v1 predates the scaling sweep, so its one fleet measurement *is* the
+    sweep: the shim synthesises a single ``scaling`` entry from
+    ``modes.fleet`` (worker count, stream count, frames and the measured
+    speedup), leaving the plan-derived fields absent -- they are optional
+    by contract precisely so upgraded documents stay honest about what
+    was never measured.  A v2 document passes through unchanged.
+    """
+    if not isinstance(report, dict):
+        raise BenchReportError(
+            f"bench report must be an object, got {type(report).__name__}")
+    version = report.get("schema_version")
+    if version == BENCH_SCHEMA_VERSION:
+        return report
+    if version != 1:
+        raise BenchReportError(
+            f"cannot upgrade bench report schema_version {version!r}; "
+            f"expected 1 or {BENCH_SCHEMA_VERSION}")
+    upgraded = json.loads(json.dumps(report))
+    upgraded["schema_version"] = BENCH_SCHEMA_VERSION
+    fleet = upgraded.get("modes", {}).get("fleet", {})
+    config = upgraded.get("config", {})
+    entry = {
+        "workers": fleet.get("workers", config.get("workers", 1)) or 1,
+        "streams": config.get("streams", 1),
+        "frames": fleet.get("frames", 1),
+        "speedup_vs_sequential": fleet.get("speedup_vs_sequential", 1.0),
+    }
+    if "elapsed_s" in fleet:
+        entry["elapsed_s"] = fleet["elapsed_s"]
+    if "fps" in fleet:
+        entry["fps"] = fleet["fps"]
+    upgraded.setdefault("scaling", [entry])
+    return upgraded
 
 
 def write_bench_report(path: str, report: dict) -> None:
@@ -115,12 +192,19 @@ def write_bench_report(path: str, report: dict) -> None:
 
 
 def load_bench_report(path: str) -> dict:
-    """Read and validate a report written by :func:`write_bench_report`."""
+    """Read and validate a report written by :func:`write_bench_report`.
+
+    Legacy v1 documents are transparently upgraded to v2 (see
+    :func:`upgrade_bench_report`) before validation, so readers only
+    ever see the current shape.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         try:
             report = json.load(handle)
         except json.JSONDecodeError as exc:
             raise BenchReportError(
                 f"bench report {path} is not valid JSON: {exc}") from exc
+    if isinstance(report, dict) and report.get("schema_version") == 1:
+        report = upgrade_bench_report(report)
     validate_bench_report(report)
     return report

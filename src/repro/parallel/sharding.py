@@ -1,0 +1,181 @@
+"""Load-aware stream sharding with deterministic work stealing.
+
+The fleet used to deal streams round-robin, which balances *counts* but
+not *load*: one long stream pins its worker while the others idle, and
+BENCH_pipeline.json showed the multiprocess fleet losing to a single
+batched process partly for that reason.  :func:`plan_shards` fixes the
+balance ahead of dispatch, in **virtual time**:
+
+1. Streams are dealt round-robin into initial shards (the legacy
+   layout, so a one-worker plan is exactly the old execution order).
+2. A discrete-event simulation then runs the shards forward on virtual
+   load counters -- each stream costs its frame count, nothing reads a
+   wall clock.  Whenever a worker's queue runs dry it *steals* the
+   largest pending stream from the most-loaded victim's tail (the
+   classic work-stealing deque end), and the steal is logged with its
+   virtual timestamp.
+
+Because every steal decision is a pure function of ``(loads, workers,
+seed)`` -- ties broken by a seed-derived worker permutation, never by
+scheduling or wall clock -- the plan is bit-identical on every machine
+and at every worker count, and so is anything downstream of it.  The
+executed results never depend on the plan anyway (streams are seeded
+individually and merged by submission index; the fleet suite pins
+that), so stealing only ever moves *where* work runs, not *what* it
+produces.
+
+:class:`ShardPlan` also carries the numbers the scaling sweep reports:
+``critical_path`` (the most-loaded worker after stealing -- the virtual
+makespan) and ``balance`` (perfect-split load over critical path, the
+parallel efficiency the plan achieves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Steal:
+    """One work-steal event in the virtual-time plan simulation."""
+
+    virtual_time: int   # load units consumed by the thief when it stole
+    thief: int          # worker that ran dry
+    victim: int         # worker whose queue tail was raided
+    task_index: int     # submission index of the stolen stream
+
+
+@dataclass
+class ShardPlan:
+    """The deterministic execution layout for one dispatch round.
+
+    ``assignments[w]`` lists task indices in the order worker ``w``
+    will run them (steals already applied); ``initial[w]`` is the
+    pre-steal round-robin deal, kept for diagnostics and the regression
+    tests that pin the planner.
+    """
+
+    workers: int
+    loads: List[int]
+    assignments: List[List[int]]
+    initial: List[List[int]]
+    steals: List[Steal] = field(default_factory=list)
+
+    @property
+    def total_load(self) -> int:
+        return sum(self.loads)
+
+    @property
+    def worker_loads(self) -> List[int]:
+        return [sum(self.loads[i] for i in shard)
+                for shard in self.assignments]
+
+    @property
+    def critical_path(self) -> int:
+        """Virtual makespan: the most-loaded worker's total."""
+        return max(self.worker_loads, default=0)
+
+    @property
+    def balance(self) -> float:
+        """Parallel efficiency of the plan in ``(0, 1]``: the perfect
+        ``total/workers`` split over the achieved critical path."""
+        critical = self.critical_path
+        if critical == 0:
+            return 1.0
+        return self.total_load / (self.workers * critical)
+
+    def speedup(self) -> float:
+        """Virtual-time speedup over one worker (``total / critical``)."""
+        critical = self.critical_path
+        return self.total_load / critical if critical else 1.0
+
+
+def _steal_order(workers: int, seed: int) -> List[int]:
+    """Seed-derived worker permutation used to break victim ties --
+    the only entropy in the planner, and it is explicit."""
+    return [int(w) for w in
+            np.random.default_rng(seed).permutation(workers)]
+
+
+def plan_shards(loads: Sequence[int], workers: int, seed: int = 0,
+                steal: bool = True,
+                steal_order: Sequence[int] = None) -> ShardPlan:
+    """Plan shard assignments for ``loads`` over ``workers``.
+
+    Parameters
+    ----------
+    loads:
+        Virtual cost of each task (the fleet uses frame counts), in
+        submission order.
+    workers:
+        Worker count; at 1 the plan is the submission order unchanged.
+    seed:
+        Seeds the victim tie-break permutation.
+    steal:
+        ``False`` returns the plain round-robin deal (the legacy
+        layout) with no steal simulation.
+    steal_order:
+        Explicit tie-break permutation overriding the seeded one -- the
+        determinism suite forces adversarial orders through here and
+        asserts results never change.
+    """
+    if workers <= 0:
+        raise ConfigurationError(f"workers must be positive: {workers}")
+    loads = [int(load) for load in loads]
+    if any(load < 0 for load in loads):
+        raise ConfigurationError(f"loads must be non-negative: {loads}")
+    initial: List[List[int]] = [[] for _ in range(workers)]
+    for index in range(len(loads)):
+        initial[index % workers].append(index)
+    if not steal or workers == 1 or not loads:
+        return ShardPlan(workers=workers, loads=loads,
+                         assignments=[list(shard) for shard in initial],
+                         initial=initial, steals=[])
+
+    if steal_order is None:
+        order = _steal_order(workers, seed)
+    else:
+        order = [int(w) for w in steal_order]
+        if sorted(order) != list(range(workers)):
+            raise ConfigurationError(
+                f"steal_order must permute range({workers}): {order}")
+    rank = {worker: position for position, worker in enumerate(order)}
+
+    queues = [list(shard) for shard in initial]   # pending, FIFO
+    executed: List[List[int]] = [[] for _ in range(workers)]
+    clocks = [0] * workers                        # virtual load consumed
+    steals: List[Steal] = []
+
+    def run_next(worker: int) -> bool:
+        if not queues[worker]:
+            return False
+        task = queues[worker].pop(0)
+        executed[worker].append(task)
+        clocks[worker] += loads[task]
+        return True
+
+    # Simulate in rounds: the globally least-loaded worker acts next
+    # (ties by worker index), running its queue head or stealing.  All
+    # state is integer load counters, so the trace is exact.
+    while any(queues[w] for w in range(workers)):
+        worker = min(range(workers), key=lambda w: (clocks[w], w))
+        if run_next(worker):
+            continue
+        # worker is idle: steal the tail of the heaviest backlog
+        victims = [w for w in range(workers) if queues[w]]
+        victim = max(
+            victims,
+            key=lambda w: (sum(loads[i] for i in queues[w]), -rank[w]))
+        task = queues[victim].pop()               # deque tail
+        steals.append(Steal(virtual_time=clocks[worker], thief=worker,
+                            victim=victim, task_index=task))
+        executed[worker].append(task)
+        clocks[worker] += loads[task]
+
+    return ShardPlan(workers=workers, loads=loads, assignments=executed,
+                     initial=initial, steals=steals)

@@ -1,0 +1,277 @@
+"""Frame transports between the fleet parent and its workers.
+
+Two implementations of one contract move frame batches from the
+dispatching parent into worker processes:
+
+- :class:`FrameRing` -- the shared-memory path.  One
+  :mod:`multiprocessing.shared_memory` segment per worker is divided
+  into fixed-capacity slots; the parent copies a frame block into a free
+  slot exactly once, and the worker maps it as a **zero-copy read-only
+  numpy view**.  Ownership is handed off explicitly: a slot belongs to
+  the parent until :meth:`FrameRing.push` publishes its descriptor, then
+  to the worker until :meth:`FrameRing.release` returns it to the free
+  pool.  A counting semaphore tracks free slots (the parent blocks when
+  the ring is full) and a descriptor pipe carries the tiny
+  :class:`BlockMeta` records in FIFO order, so the byte payload never
+  travels through a pipe.
+- :class:`PipeChannel` -- the legacy path (frames pickled through a
+  ``multiprocessing`` pipe, one copy on each side).  It survives as the
+  reference implementation the property suite equivalence-tests the
+  ring against; :class:`~repro.parallel.fleet.FleetExecutor` accepts
+  ``transport="pipe"`` to run on it.
+
+Both transports preserve ``dtype`` and ``shape`` bit-exactly.
+Non-contiguous inputs are compacted to C order on ``push`` (same bits,
+canonical strides); ``object`` dtypes are rejected -- a frame block must
+be plain bytes to cross a process boundary without pickling.
+
+The ring is safe under the fleet's ``fork`` start method: workers
+inherit the parent's mapping, so the segment is attached exactly once
+and the parent alone unlinks it (a worker killed mid-shard cannot leak
+the segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FleetError
+
+#: Transport kinds understood by the fleet executor.
+TRANSPORTS: Tuple[str, ...] = ("shm", "pipe")
+
+#: How long (seconds) a push may wait for a free slot before the
+#: transport declares the consumer wedged.  Generous: the fleet sizes
+#: rings to their shard, so in practice a push never blocks.
+_PUSH_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class BlockMeta:
+    """Descriptor of one published frame block (travels over the pipe).
+
+    ``slot`` is ``-1`` for pipe-transported blocks (no shared slot to
+    hand back); shared-memory blocks carry the slot index the worker
+    must eventually :meth:`~FrameRing.release`.
+    """
+
+    key: str
+    shape: Tuple[int, ...]
+    dtype: str
+    slot: int = -1
+
+
+def _as_block(array: np.ndarray) -> np.ndarray:
+    """Canonicalise an array for transport: C-contiguous, same bits."""
+    arr = np.asarray(array)
+    if arr.dtype == object:
+        raise ConfigurationError(
+            "object-dtype frames cannot cross the frame transport")
+    return np.ascontiguousarray(arr)
+
+
+class FrameRing:
+    """A shared-memory ring of frame-block slots with explicit handoff.
+
+    Parameters
+    ----------
+    context:
+        The ``multiprocessing`` context that will fork the consumer (the
+        semaphore and descriptor pipe must come from it).
+    slots:
+        Number of concurrently outstanding blocks.  The fleet sizes this
+        to the worker's shard so the parent never blocks; a smaller ring
+        exercises backpressure (the property suite does).
+    slot_bytes:
+        Capacity of each slot; a push larger than this raises
+        :class:`FleetError` rather than silently truncating.
+    """
+
+    def __init__(self, context, slots: int, slot_bytes: int) -> None:
+        if slots <= 0:
+            raise ConfigurationError(f"slots must be positive: {slots}")
+        if slot_bytes < 0:
+            raise ConfigurationError(
+                f"slot_bytes must be non-negative: {slot_bytes}")
+        self.slots = slots
+        # a zero-byte slot still needs an addressable segment
+        self.slot_bytes = max(1, slot_bytes)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.slots * self.slot_bytes)
+        self._free = context.Semaphore(slots)
+        self._recv, self._send = context.Pipe(duplex=False)
+        self._next_slot = 0
+        self._next_release = 0
+        self._closed = False
+        self._unlinked = False
+
+    # -- producer side -------------------------------------------------
+    def push(self, key: str, array: np.ndarray) -> BlockMeta:
+        """Copy ``array`` into the next free slot and publish it.
+
+        Blocks while the ring is full (every slot owned by the worker);
+        raises :class:`FleetError` if no slot frees up within the
+        transport timeout -- a wedged or dead consumer.
+        """
+        if self._closed:
+            raise FleetError("push on a closed FrameRing")
+        block = _as_block(array)
+        if block.nbytes > self.slot_bytes:
+            raise FleetError(
+                f"frame block {key!r} is {block.nbytes} bytes; ring slots "
+                f"hold {self.slot_bytes}")
+        if not self._free.acquire(timeout=_PUSH_TIMEOUT_S):
+            raise FleetError(
+                f"frame ring full for {_PUSH_TIMEOUT_S:.0f}s pushing "
+                f"{key!r}: consumer is not releasing slots")
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.slots
+        offset = slot * self.slot_bytes
+        if block.nbytes:
+            self._shm.buf[offset:offset + block.nbytes] = block.tobytes()
+        meta = BlockMeta(key=key, shape=tuple(block.shape),
+                         dtype=block.dtype.str, slot=slot)
+        self._send.send(meta)
+        return meta
+
+    def close_send(self) -> None:
+        """Publish end-of-stream: the consumer's next pop returns None."""
+        if not self._closed:
+            self._send.send(None)
+            self._closed = True
+
+    # -- consumer side -------------------------------------------------
+    def pop(self) -> Optional[Tuple[BlockMeta, np.ndarray]]:
+        """Receive the next block as a zero-copy read-only view.
+
+        Returns ``None`` at end-of-stream.  The view stays valid until
+        :meth:`release` hands its slot back; consumers that outlive the
+        handoff must copy first.
+        """
+        try:
+            meta = self._recv.recv()
+        except EOFError:
+            raise FleetError(
+                "frame ring descriptor pipe closed mid-stream") from None
+        if meta is None:
+            return None
+        offset = meta.slot * self.slot_bytes
+        view = np.ndarray(meta.shape, dtype=np.dtype(meta.dtype),
+                          buffer=self._shm.buf, offset=offset)
+        view.flags.writeable = False
+        return meta, view
+
+    def release(self, meta: BlockMeta) -> None:
+        """Return ``meta``'s slot to the free pool (ownership handoff
+        back to the producer).  Views into the slot are invalid after
+        this call.
+
+        Slots must come back in pop (FIFO) order: the producer reuses
+        them round-robin, so an out-of-order release would let it
+        overwrite a block the consumer still holds.  That misuse is a
+        loud :class:`FleetError`, never silent corruption.
+        """
+        if meta.slot != self._next_release:
+            raise FleetError(
+                f"ring slots must be released in FIFO order: got slot "
+                f"{meta.slot}, expected {self._next_release}")
+        self._next_release = (self._next_release + 1) % self.slots
+        self._free.release()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (worker side of the handshake)."""
+        try:
+            self._shm.close()
+        except BufferError:
+            # numpy views still alive; the mapping dies with the process
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent only, exactly once)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class PipeChannel:
+    """The legacy transport: frame blocks pickled through a pipe.
+
+    Same push/pop/release surface as :class:`FrameRing` so the fleet
+    worker body is transport-agnostic; ``release`` is a no-op (there is
+    no shared slot to hand back) and ``pop`` returns an owned array.
+    """
+
+    def __init__(self, context, slots: int = 0, slot_bytes: int = 0) -> None:
+        self._recv, self._send = context.Pipe(duplex=False)
+        self._closed = False
+
+    # -- producer side -------------------------------------------------
+    def push(self, key: str, array: np.ndarray) -> BlockMeta:
+        if self._closed:
+            raise FleetError("push on a closed PipeChannel")
+        block = _as_block(array)
+        meta = BlockMeta(key=key, shape=tuple(block.shape),
+                         dtype=block.dtype.str, slot=-1)
+        self._send.send((meta, block))
+        return meta
+
+    def close_send(self) -> None:
+        if not self._closed:
+            self._send.send(None)
+            self._closed = True
+
+    # -- consumer side -------------------------------------------------
+    def pop(self) -> Optional[Tuple[BlockMeta, np.ndarray]]:
+        try:
+            message = self._recv.recv()
+        except EOFError:
+            raise FleetError(
+                "pipe channel closed mid-stream") from None
+        if message is None:
+            return None
+        meta, block = message
+        return meta, block
+
+    def release(self, meta: BlockMeta) -> None:
+        """No shared slot to hand back; kept for interface parity."""
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+def make_transport(kind: str, context, slots: int, slot_bytes: int):
+    """Build the ``kind`` transport (``"shm"`` or ``"pipe"``)."""
+    if kind == "shm":
+        return FrameRing(context, slots=slots, slot_bytes=slot_bytes)
+    if kind == "pipe":
+        return PipeChannel(context, slots=slots, slot_bytes=slot_bytes)
+    raise ConfigurationError(
+        f"transport must be one of {TRANSPORTS}, got {kind!r}")
+
+
+def drain_all(channel) -> List[Tuple[str, np.ndarray]]:
+    """Pop every block until end-of-stream, copying each payload out
+    before releasing its slot.  Test/diagnostic helper: the fleet worker
+    consumes blocks lazily instead."""
+    out: List[Tuple[str, np.ndarray]] = []
+    while True:
+        item = channel.pop()
+        if item is None:
+            return out
+        meta, view = item
+        out.append((meta.key, np.array(view, copy=True)))
+        channel.release(meta)

@@ -11,6 +11,9 @@
 - :mod:`repro.runtime.kernel` -- :class:`RuntimeKernel`, the one state
   machine every execution substrate (sequential, batched, fleet, serve,
   experiments) drives.
+- :mod:`repro.runtime.snapshots` -- shard-safe snapshot detachment
+  (:func:`detach_arrays`), so state captured over shared-memory frame
+  views never aliases a transport slot.
 
 Layering rule (enforced by ``scripts/check_layers.py``): this package and
 :mod:`repro.core` must not import :mod:`repro.parallel`, :mod:`repro.serve`
@@ -28,6 +31,7 @@ from repro.runtime.emission import (
 from repro.runtime.kernel import PipelineConfig, RuntimeKernel
 from repro.runtime.monitoring import MonitorStage
 from repro.runtime.protocols import DriftMonitor, Snapshotable
+from repro.runtime.snapshots import detach_arrays, owns_memory
 
 __all__ = [
     "AdmissionController",
@@ -41,4 +45,6 @@ __all__ = [
     "PipelineResult",
     "RuntimeKernel",
     "Snapshotable",
+    "detach_arrays",
+    "owns_memory",
 ]

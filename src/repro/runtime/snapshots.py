@@ -1,0 +1,50 @@
+"""Shard-safe snapshot helpers for :class:`~repro.runtime.protocols\
+.Snapshotable` state.
+
+A kernel ``state_dict()`` captures numpy arrays by reference.  That is
+exactly right in-process (cheap, and the caller restores immediately),
+but it is a trap the moment a snapshot outlives the buffer it was taken
+over: a fleet worker checkpointing mid-stream holds frame windows that
+are **views into a shared-memory ring slot**, and the slot is recycled
+-- or the whole segment unlinked -- long before the archive is read
+back.  :func:`detach_arrays` walks a state tree and materialises every
+non-owning array into a fresh C-contiguous copy, so the returned tree
+is self-contained: safe to pickle across processes, write to a
+checkpoint archive, or hold past the life of the transport that
+produced it.
+
+Arrays that already own their memory pass through untouched (no copy
+tax on the common case); everything non-array is returned as-is, since
+state dicts are JSON-friendly scalars and containers by contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def owns_memory(array: np.ndarray) -> bool:
+    """True when ``array`` owns its buffer outright -- no base object,
+    no view into someone else's (possibly shared) memory."""
+    return array.base is None and array.flags.owndata
+
+
+def detach_arrays(state):
+    """Return ``state`` with every non-owning numpy array replaced by an
+    owned C-contiguous copy (recursing through dicts, lists and tuples).
+
+    Owning arrays and non-array leaves are returned by reference: the
+    function only pays for what actually needs detaching, and calling it
+    twice is a no-op the second time.
+    """
+    if isinstance(state, np.ndarray):
+        if owns_memory(state):
+            return state
+        return np.array(state, order="C", copy=True)
+    if isinstance(state, dict):
+        return {key: detach_arrays(value) for key, value in state.items()}
+    if isinstance(state, tuple):
+        return tuple(detach_arrays(value) for value in state)
+    if isinstance(state, list):
+        return [detach_arrays(value) for value in state]
+    return state

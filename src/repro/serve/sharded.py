@@ -1,0 +1,102 @@
+"""Sharded session registry: one server, thousands of sessions.
+
+:class:`ShardedRegistry` is a :class:`~repro.serve.session.SessionRegistry`
+facade that partitions its sessions across a fixed number of internal
+shards.  To everything that already speaks the registry protocol --
+:class:`~repro.serve.server.DriftServer`, the scheduler, the SLO report
+-- it *is* a registry: global iteration order, ``ids()`` and
+``index_of`` are registration order exactly as before, so swapping it in
+changes no observable behaviour (the serve suite pins this).  What the
+facade adds is structure for scale:
+
+- **Deterministic placement** -- a session's shard is
+  ``stable_hash(stream_id) % shards`` (CRC32, the same machine-stable
+  hash behind per-stream fleet seeds), never insertion order or
+  ``hash()``.  The same population lands in the same shards in every
+  process and on every run, so shard-level work (snapshots, migration,
+  future per-shard dispatch) is reproducible.
+- **O(1) membership and index lookups** -- the facade keeps the global
+  order map while each shard holds only its own sessions; with
+  thousands of sessions, per-frame lookups stay flat.
+- **Shard-local views** -- :meth:`shard` exposes each partition as a
+  plain :class:`SessionRegistry` (ordered by global registration), so a
+  caller can checkpoint, migrate or report one shard without touching
+  the rest.
+
+The shard count bounds nothing semantically: ``shards=1`` is bit-for-bit
+the flat registry, and any other count only changes how
+:meth:`shard_items` groups the same sessions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ServeError
+from repro.rng import stable_hash
+from repro.serve.session import SessionRegistry, StreamSession
+
+
+class ShardedRegistry(SessionRegistry):
+    """A :class:`SessionRegistry` partitioned into deterministic shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of partitions (>= 1).  Placement is
+        ``stable_hash(stream_id) % shards``; the count is fixed for the
+        registry's lifetime so placement never migrates under a caller.
+    sessions:
+        Optional initial sessions, registered in order.
+    """
+
+    def __init__(self, shards: int = 16,
+                 sessions: Optional[List[StreamSession]] = None) -> None:
+        if shards <= 0:
+            raise ConfigurationError(
+                f"shards must be positive: {shards}")
+        self.shards = shards
+        self._shard_registries = [SessionRegistry() for _ in range(shards)]
+        # parent __init__ registers ``sessions`` through our add()
+        super().__init__(sessions)
+
+    # ------------------------------------------------------------------
+    def shard_index(self, stream_id: str) -> int:
+        """The shard ``stream_id`` lives in (pure function of the id)."""
+        if not stream_id:
+            raise ServeError("stream_id must be non-empty")
+        return stable_hash(stream_id) % self.shards
+
+    def add(self, session: StreamSession) -> StreamSession:
+        super().add(session)
+        self._shard_registries[self.shard_index(session.stream_id)].add(
+            session)
+        return session
+
+    def shard(self, index: int) -> SessionRegistry:
+        """The shard at ``index`` as a plain registry (shard-local
+        registration order == global registration order filtered)."""
+        if not 0 <= index < self.shards:
+            raise ServeError(
+                f"shard index {index} out of range [0, {self.shards})")
+        return self._shard_registries[index]
+
+    def shard_of(self, stream_id: str) -> SessionRegistry:
+        """The shard holding ``stream_id`` (raises for unknown ids)."""
+        self.get(stream_id)  # membership check with the standard error
+        return self._shard_registries[self.shard_index(stream_id)]
+
+    def shard_items(self) -> List[Tuple[int, SessionRegistry]]:
+        """Non-empty shards as ``(index, registry)`` pairs, in shard
+        order -- the unit of shard-level snapshotting and migration."""
+        return [(index, registry)
+                for index, registry in enumerate(self._shard_registries)
+                if len(registry)]
+
+    def shard_sizes(self) -> List[int]:
+        """Session count per shard (all shards, including empty ones)."""
+        return [len(registry) for registry in self._shard_registries]
+
+    def snapshot_shard(self, index: int) -> List[dict]:
+        """Per-session snapshots for one shard, in registration order."""
+        return [session.snapshot() for session in self.shard(index)]

@@ -5,9 +5,10 @@ honour several contracts at once: the structural
 :class:`~repro.runtime.protocols.DriftMonitor` protocol, ``reset()``
 re-arming, deterministic construction, a ``state_dict`` round-trip that
 is an exact no-op mid-stream, and -- the strongest -- bit-identical
-pipeline results across all three execution substrates (sequential
-``process``, chunked ``process_batched``, and an unconstrained serve
-run through the real scheduler).  Each ``check_*`` function pins one of
+pipeline results across the execution substrates: sequential
+``process``, chunked ``process_batched``, an unconstrained serve run
+through the real scheduler, and a forked fleet run over the
+shared-memory frame transport.  Each ``check_*`` function pins one of
 those contracts for a single :class:`~repro.detectors.zoo.DetectorSpec`;
 :func:`run_conformance` runs the whole battery.
 
@@ -35,6 +36,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConformanceError
+from repro.parallel import FleetExecutor, FleetTask, stream_seed
 from repro.runtime import MonitorStage, DriftMonitor, Snapshotable
 from repro.serve import (
     DriftServer,
@@ -226,6 +228,36 @@ def check_three_substrates(spec, frames=None, seed: int = DETECT_SEED,
               "unconstrained serve run diverged from sequential process")
 
 
+def check_fleet(spec, frames=None, seed: int = DETECT_SEED) -> None:
+    """A forked fleet run (two workers, shared-memory frame transport,
+    batched kernel inside each worker) is bit-identical to sequential
+    ``process`` with the same derived per-stream seeds.  This is the
+    fourth substrate: it proves the detector's state survives being
+    driven from zero-copy shared-memory frame views in a subprocess."""
+    frames = frames if frames is not None else gaussian_stream(
+        seed, list(DETECT_SEGMENTS))
+    tasks = [FleetTask(stream_id="cam-a", frames=frames),
+             FleetTask(stream_id="cam-b", frames=frames[::-1])]
+
+    def factory(task, task_seed):
+        return make_pipeline(seed=task_seed, monitor_factory=spec.factory)
+
+    expected = [
+        result_sig(make_pipeline(
+            seed=stream_seed(seed, task.stream_id),
+            monitor_factory=spec.factory).process(task.frames))
+        for task in tasks]
+    executor = FleetExecutor(factory, workers=2, base_seed=seed,
+                             batch_size=_BATCH_SIZES[-1], transport="shm")
+    got = [result_sig(entry.result) for entry in executor.run(tasks)]
+    if got != expected:
+        diverged = [task.stream_id for task, want, have
+                    in zip(tasks, expected, got) if want != have]
+        _fail(spec, "fleet",
+              f"forked fleet run over the shm transport diverged from "
+              f"sequential process on stream(s) {diverged}")
+
+
 def check_detects(spec, frames=None, onset: Optional[int] = None,
                   seed: int = DETECT_SEED) -> None:
     """The certification is not vacuous: through the full pipeline the
@@ -259,4 +291,5 @@ def run_conformance(spec, bundle=None) -> None:
     check_seed_determinism(spec, bundle, frames)
     check_state_roundtrip(spec, bundle, frames)
     check_three_substrates(spec, frames)
+    check_fleet(spec, frames)
     check_detects(spec, frames)

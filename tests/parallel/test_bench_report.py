@@ -1,4 +1,4 @@
-"""The BENCH_pipeline.json contract: schema, validator, read/write."""
+"""The BENCH_pipeline.json contract: schema, validator, upgrade, I/O."""
 
 from __future__ import annotations
 
@@ -11,7 +11,9 @@ import pytest
 from repro.errors import BenchReportError
 from repro.parallel import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_VERSION,
     load_bench_report,
+    upgrade_bench_report,
     validate_bench_report,
     write_bench_report,
 )
@@ -25,19 +27,38 @@ def minimal_report() -> dict:
     stage = {"sequential_us_per_frame": 10.0, "batched_us_per_frame": 2.0,
              "speedup": 5.0}
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "benchmark": "unit-test",
         "quick": True,
         "config": {"streams": 1, "frames_per_stream": 100,
                    "frame_shape": [8], "batch_size": 64, "workers": 0,
-                   "reference_size": 50, "latent_dim": 8},
+                   "reference_size": 50, "latent_dim": 8,
+                   "transport": "shm", "host_cores": 1},
         "modes": {"sequential": dict(mode),
                   "batched": {**mode, "speedup_vs_sequential": 5.0,
                               "batch_size": 64},
-                  "fleet": {**mode, "workers": 2, "batch_size": 64}},
+                  "fleet": {**mode, "workers": 2, "batch_size": 64,
+                            "transport": "shm"}},
         "stages": {"encode": dict(stage), "pvalue": dict(stage),
                    "martingale": dict(stage), "selection": dict(stage)},
+        "scaling": [{"workers": 4, "streams": 100, "frames": 10000,
+                     "speedup_vs_sequential": 18.5,
+                     "critical_path_frames": 2700, "balance": 0.97,
+                     "steals": 4},
+                    {"workers": 1, "streams": 100, "frames": 10000,
+                     "speedup_vs_sequential": 5.0}],
     }
+
+
+def legacy_v1_report() -> dict:
+    report = minimal_report()
+    report["schema_version"] = 1
+    del report["scaling"]
+    del report["config"]["transport"]
+    del report["config"]["host_cores"]
+    del report["modes"]["fleet"]["transport"]
+    report["modes"]["fleet"]["speedup_vs_sequential"] = 3.6
+    return report
 
 
 def test_minimal_report_validates():
@@ -46,7 +67,8 @@ def test_minimal_report_validates():
 
 @pytest.mark.parametrize("mutate,match", [
     (lambda r: r.pop("modes"), "missing required key"),
-    (lambda r: r.update(schema_version=2), "not in"),
+    (lambda r: r.pop("scaling"), "missing required key"),
+    (lambda r: r.update(schema_version=3), "not in"),
     (lambda r: r.update(extra="x"), "unexpected key"),
     (lambda r: r["modes"]["batched"].update(fps="fast"), "expected number"),
     (lambda r: r["config"].update(streams=0), "minimum"),
@@ -54,7 +76,13 @@ def test_minimal_report_validates():
      "exclusiveMinimum"),
     (lambda r: r["config"].update(streams=True), "expected integer"),
     (lambda r: r["config"].update(frame_shape=[8, "x"]), "expected integer"),
+    (lambda r: r["config"].update(transport="carrier-pigeon"), "not in"),
     (lambda r: r["stages"]["encode"].pop("speedup"), "missing required key"),
+    (lambda r: r["scaling"][0].pop("workers"), "missing required key"),
+    (lambda r: r["scaling"][0].update(steals=-1), "minimum"),
+    (lambda r: r["scaling"][0].update(surprise=1), "unexpected key"),
+    (lambda r: r["scaling"][1].update(speedup_vs_sequential=0.0),
+     "exclusiveMinimum"),
 ])
 def test_schema_violations_are_rejected(mutate, match):
     report = copy.deepcopy(minimal_report())
@@ -90,10 +118,61 @@ def test_schema_is_itself_json_serializable():
     json.dumps(BENCH_SCHEMA)
 
 
+# ----------------------------------------------------------------------
+# the v1 -> v2 upgrade shim
+# ----------------------------------------------------------------------
+class TestUpgradeShim:
+    def test_v1_upgrades_to_valid_v2(self):
+        upgraded = upgrade_bench_report(legacy_v1_report())
+        validate_bench_report(upgraded)
+        assert upgraded["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_v1_scaling_synthesised_from_fleet_mode(self):
+        legacy = legacy_v1_report()
+        upgraded = upgrade_bench_report(legacy)
+        (entry,) = upgraded["scaling"]
+        fleet = legacy["modes"]["fleet"]
+        assert entry == {
+            "workers": fleet["workers"],
+            "streams": legacy["config"]["streams"],
+            "frames": fleet["frames"],
+            "speedup_vs_sequential": fleet["speedup_vs_sequential"],
+            "elapsed_s": fleet["elapsed_s"],
+            "fps": fleet["fps"],
+        }
+
+    def test_upgrade_does_not_mutate_input(self):
+        legacy = legacy_v1_report()
+        snapshot = copy.deepcopy(legacy)
+        upgrade_bench_report(legacy)
+        assert legacy == snapshot
+
+    def test_v2_passes_through_unchanged(self):
+        report = minimal_report()
+        assert upgrade_bench_report(report) is report
+
+    def test_unknown_version_is_rejected(self):
+        with pytest.raises(BenchReportError, match="cannot upgrade"):
+            upgrade_bench_report({"schema_version": 99})
+        with pytest.raises(BenchReportError, match="must be an object"):
+            upgrade_bench_report([1, 2])
+
+    def test_load_upgrades_v1_documents(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy_v1_report()))
+        report = load_bench_report(str(path))
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert report["scaling"]
+
+
 def test_committed_report_is_valid():
-    """The report at the repo root must always satisfy the schema."""
+    """The report at the repo root must always satisfy the schema and
+    carry the fleet scaling sweep."""
     path = os.path.join(_REPO_ROOT, "BENCH_pipeline.json")
     assert os.path.exists(path), "BENCH_pipeline.json must be committed"
     report = load_bench_report(path)
-    assert report["schema_version"] == 1
+    assert report["schema_version"] == BENCH_SCHEMA_VERSION
     assert report["modes"]["batched"]["fps"] > 0
+    workers = {entry["workers"] for entry in report["scaling"]}
+    assert {1, 2, 4, 8} <= workers, (
+        "committed sweep must cover 1/2/4/8 workers")

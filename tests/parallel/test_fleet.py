@@ -13,6 +13,7 @@ import pytest
 
 from repro.errors import ConfigurationError, FleetError
 from repro.parallel import (
+    TRANSPORTS,
     FleetExecutor,
     FleetTask,
     SimulatedWorkerCrash,
@@ -53,12 +54,15 @@ def test_stream_seed_is_deterministic_and_distinct():
     assert stream_seed(0, "cam-1") != stream_seed(1, "cam-1")
 
 
-def test_worker_count_never_changes_results():
+def test_worker_count_and_transport_never_change_results():
     tasks = make_tasks()
     reference = sigs(FleetExecutor(factory, workers=0).run(tasks))
     for workers in (1, 2, 4):
-        got = sigs(FleetExecutor(factory, workers=workers).run(tasks))
-        assert got == reference, f"workers={workers} diverged"
+        for transport in TRANSPORTS:
+            got = sigs(FleetExecutor(factory, workers=workers,
+                                     transport=transport).run(tasks))
+            assert got == reference, \
+                f"workers={workers} transport={transport} diverged"
 
 
 def test_fleet_stream_matches_direct_process():
@@ -87,17 +91,20 @@ def test_empty_task_list():
 # ----------------------------------------------------------------------
 # crash recovery
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("workers", [0, 2])
-def test_crash_recovery_is_bit_exact(workers, tmp_path):
-    """Kill a worker mid-stream; the restored run must merge to exactly
-    the uninterrupted fleet's results."""
+@pytest.mark.parametrize("workers,transport",
+                         [(0, "shm"), (2, "shm"), (2, "pipe")])
+def test_crash_recovery_is_bit_exact(workers, transport, tmp_path):
+    """Kill a worker mid-shard; the restored run must merge to exactly
+    the uninterrupted fleet's results.  Under the shm transport this
+    also proves checkpoints never alias the (unlinked) frame ring: the
+    resumed attempt reloads state written from shared-memory views."""
     clean_tasks = make_tasks()
     expected = sigs(FleetExecutor(factory, workers=workers).run(clean_tasks))
 
     crashing = [FleetTask(task.stream_id, task.frames,
                           crash_at_frame=47 if i == 1 else None)
                 for i, task in enumerate(clean_tasks)]
-    executor = FleetExecutor(factory, workers=workers,
+    executor = FleetExecutor(factory, workers=workers, transport=transport,
                              checkpoint_dir=str(tmp_path),
                              checkpoint_every=20, max_restarts=1)
     results = executor.run(crashing)
@@ -183,6 +190,7 @@ def test_duplicate_stream_ids_rejected():
     {"checkpoint_every": 0, "checkpoint_dir": "/tmp/x"},
     {"checkpoint_every": 10},  # checkpoint_every without a dir
     {"max_restarts": -1},
+    {"transport": "carrier-pigeon"},
 ])
 def test_executor_configuration_validation(kwargs):
     with pytest.raises(ConfigurationError):

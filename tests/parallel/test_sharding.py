@@ -1,0 +1,180 @@
+"""The shard planner: deterministic plans, load balance, steal safety.
+
+``plan_shards`` is the fleet's scheduler, and its entire value is that
+it is boring: a pure function of ``(loads, workers, seed)`` whose
+output never depends on wall clock, host, or interleaving.  The suite
+pins that purity (including a golden plan for a fixed seed), checks the
+plan is a real partition, that stealing only improves the critical
+path, and that executed fleet results are invariant under worker count
+and adversarial steal orders.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.parallel import FleetExecutor, FleetTask, plan_shards
+
+from tests.parallel.conftest import (
+    gaussian_stream,
+    make_pipeline,
+    result_sig,
+)
+
+_LOADS = st.lists(st.integers(0, 500), min_size=0, max_size=24)
+_WORKERS = st.integers(1, 8)
+
+
+def factory(task, seed):
+    return make_pipeline(seed=seed)
+
+
+# ----------------------------------------------------------------------
+# plan structure and determinism
+# ----------------------------------------------------------------------
+class TestPlanning:
+    @settings(max_examples=80, deadline=None)
+    @given(loads=_LOADS, workers=_WORKERS, seed=st.integers(0, 1000))
+    def test_plan_is_a_partition(self, loads, workers, seed):
+        plan = plan_shards(loads, workers, seed=seed)
+        flat = sorted(itertools.chain.from_iterable(plan.assignments))
+        assert flat == list(range(len(loads)))
+        assert len(plan.assignments) == workers
+        assert plan.total_load == sum(loads)
+        assert plan.critical_path == max(plan.worker_loads, default=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(loads=_LOADS, workers=_WORKERS, seed=st.integers(0, 1000))
+    def test_plan_is_deterministic(self, loads, workers, seed):
+        first = plan_shards(loads, workers, seed=seed)
+        second = plan_shards(loads, workers, seed=seed)
+        assert first.assignments == second.assignments
+        assert first.steals == second.steals
+
+    @settings(max_examples=40, deadline=None)
+    @given(loads=_LOADS, workers=_WORKERS, seed=st.integers(0, 1000))
+    def test_stealing_never_hurts_the_critical_path(self, loads, workers,
+                                                    seed):
+        stolen = plan_shards(loads, workers, seed=seed, steal=True)
+        plain = plan_shards(loads, workers, seed=seed, steal=False)
+        assert stolen.critical_path <= plain.critical_path
+
+    @settings(max_examples=40, deadline=None)
+    @given(loads=_LOADS, workers=_WORKERS, seed=st.integers(0, 1000))
+    def test_critical_path_bounds(self, loads, workers, seed):
+        plan = plan_shards(loads, workers, seed=seed)
+        if sum(loads):
+            # no plan beats the pigeonhole bounds ...
+            assert plan.critical_path >= max(loads)
+            assert plan.critical_path >= -(-sum(loads) // workers)
+            # ... and efficiency / speedup stay in their ranges
+            assert 0.0 < plan.balance <= 1.0
+            assert 1.0 <= plan.speedup() <= workers
+
+    def test_one_worker_is_submission_order(self):
+        plan = plan_shards([30, 10, 50, 20], 1, seed=7)
+        assert plan.assignments == [[0, 1, 2, 3]]
+        assert plan.steals == []
+
+    def test_steal_disabled_is_round_robin(self):
+        plan = plan_shards([5, 6, 7, 8, 9], 2, steal=False)
+        assert plan.assignments == [[0, 2, 4], [1, 3]]
+        assert plan.initial == [[0, 2, 4], [1, 3]]
+        assert plan.steals == []
+
+    def test_imbalanced_deal_triggers_steals(self):
+        """One giant stream round-robins next to many small ones; the
+        idle workers must raid the overloaded queue."""
+        loads = [1000, 1, 1, 1, 1, 1, 1, 1]
+        plan = plan_shards(loads, 2, seed=0)
+        assert plan.steals, "no steals on a pathologically imbalanced deal"
+        assert plan.critical_path == 1000  # the giant stream lower-bounds it
+        assert plan.balance > 0.5
+
+    def test_golden_plan_for_fixed_seed(self):
+        """Regression pin: the exact plan for a fixed workload and seed.
+        If this changes, every committed scaling number changes with it
+        -- bump deliberately, never silently."""
+        loads = [120, 45, 200, 10, 80, 160, 30, 95]
+        plan = plan_shards(loads, 4, seed=0)
+        assert plan.initial == [[0, 4], [1, 5], [2, 6], [3, 7]]
+        assert plan.assignments == [[0, 6], [1, 5], [2], [3, 7, 4]]
+        assert [(s.virtual_time, s.thief, s.victim, s.task_index)
+                for s in plan.steals] == [(105, 3, 0, 4), (120, 0, 2, 6)]
+        assert plan.worker_loads == [150, 205, 200, 185]
+        assert plan.critical_path == 205
+        assert plan.speedup() == pytest.approx(740 / 205)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            plan_shards([1, 2], 0)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            plan_shards([1, -2], 2)
+        with pytest.raises(ConfigurationError, match="permute"):
+            plan_shards([1, 2, 3], 2, steal_order=[0, 0])
+        with pytest.raises(ConfigurationError, match="permute"):
+            plan_shards([1, 2, 3], 2, steal_order=[1, 2])
+
+
+# ----------------------------------------------------------------------
+# executed results are invariant under the plan
+# ----------------------------------------------------------------------
+def heterogeneous_tasks(n=8):
+    """Stream lengths spread 3x so the planner has real imbalance."""
+    tasks = []
+    for index in range(n):
+        length = 40 + 23 * index
+        frames = gaussian_stream(700 + index,
+                                 [(0.0, length // 2),
+                                  (6.0, length - length // 2)])
+        tasks.append(FleetTask(stream_id=f"cam-{index}", frames=frames))
+    return tasks
+
+
+def sigs(results):
+    return [(entry.stream_id, result_sig(entry.result))
+            for entry in results]
+
+
+class TestExecutionInvariance:
+    def test_results_identical_across_worker_counts(self):
+        tasks = heterogeneous_tasks()
+        reference = sigs(FleetExecutor(factory, workers=0).run(tasks))
+        for workers in (1, 2, 4, 8):
+            executor = FleetExecutor(factory, workers=workers)
+            assert sigs(executor.run(tasks)) == reference, \
+                f"workers={workers} diverged"
+            # and the executed plan matches the advertised one
+            assert executor.last_plans[0].assignments == \
+                executor.plan_for(tasks, workers=workers).assignments
+
+    def test_forced_steal_orders_never_change_results(self):
+        tasks = heterogeneous_tasks(n=6)
+        reference = sigs(FleetExecutor(factory, workers=0).run(tasks))
+        for order in itertools.permutations(range(3)):
+            executor = FleetExecutor(factory, workers=3,
+                                     steal_order=list(order))
+            assert sigs(executor.run(tasks)) == reference, \
+                f"steal_order={order} changed results"
+
+    def test_steal_disabled_never_changes_results(self):
+        tasks = heterogeneous_tasks(n=5)
+        reference = sigs(FleetExecutor(factory, workers=0).run(tasks))
+        executor = FleetExecutor(factory, workers=2, steal=False)
+        assert sigs(executor.run(tasks)) == reference
+        assert executor.last_plans[0].steals == []
+
+    def test_last_plans_use_submission_indices(self):
+        tasks = heterogeneous_tasks(n=6)
+        executor = FleetExecutor(factory, workers=3)
+        executor.run(tasks)
+        (plan,) = executor.last_plans
+        flat = sorted(itertools.chain.from_iterable(plan.assignments))
+        assert flat == list(range(len(tasks)))
+        assert plan.loads == [len(task.frames) for task in tasks]

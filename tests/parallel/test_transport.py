@@ -1,0 +1,247 @@
+"""Frame-transport contract: bit-exact round-trips, handoff discipline.
+
+The shared-memory ring is the fleet's data plane; if it ever corrupts a
+byte, every determinism guarantee downstream is fiction.  The property
+suite round-trips arbitrary frame batches -- dtypes, shapes, strides --
+through the ring and requires bit-exact payloads, then equivalence-tests
+the ring against the legacy pipe transport on identical inputs.  The
+ownership-handoff rules (FIFO release, slot capacity, closed-channel
+pushes) must fail loudly, never corrupt silently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError, FleetError
+from repro.parallel import (
+    TRANSPORTS,
+    FrameRing,
+    PipeChannel,
+    make_transport,
+)
+from repro.parallel.transport import drain_all
+
+CTX = multiprocessing.get_context("fork")
+
+
+def close(channel):
+    channel.close_send()
+    channel.unlink()
+
+
+# a frame batch: any plain numeric dtype, any small shape
+_DTYPES = st.one_of(
+    hnp.integer_dtypes(endianness="="),
+    hnp.unsigned_integer_dtypes(endianness="="),
+    hnp.floating_dtypes(endianness="=", sizes=(32, 64)),
+    st.just(np.dtype(bool)),
+)
+_BATCHES = _DTYPES.flatmap(
+    lambda dtype: hnp.arrays(
+        dtype=dtype,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=0,
+                               max_side=6)))
+
+
+@st.composite
+def batch_lists(draw):
+    return draw(st.lists(_BATCHES, min_size=1, max_size=5))
+
+
+# ----------------------------------------------------------------------
+# property: bit-exact round-trips, shm == pipe
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(batches=batch_lists())
+    def test_shm_round_trip_is_bit_exact(self, batches):
+        slot_bytes = max(b.nbytes for b in batches)
+        ring = FrameRing(CTX, slots=len(batches), slot_bytes=slot_bytes)
+        try:
+            for i, batch in enumerate(batches):
+                ring.push(f"b{i}", batch)
+            ring.close_send()
+            out = drain_all(ring)
+        finally:
+            ring.unlink()
+        assert [key for key, _ in out] == [f"b{i}"
+                                           for i in range(len(batches))]
+        for batch, (_, got) in zip(batches, out):
+            assert got.dtype == batch.dtype
+            assert got.shape == batch.shape
+            # bit-exact, not just value-equal (NaN payloads included)
+            assert got.tobytes() == np.ascontiguousarray(batch).tobytes()
+
+    @settings(max_examples=30, deadline=None)
+    @given(batches=batch_lists())
+    def test_shm_equivalent_to_pipe(self, batches):
+        payloads = {}
+        for kind in TRANSPORTS:
+            channel = make_transport(
+                kind, CTX, slots=len(batches),
+                slot_bytes=max(b.nbytes for b in batches))
+            try:
+                for i, batch in enumerate(batches):
+                    channel.push(f"b{i}", batch)
+                channel.close_send()
+                payloads[kind] = drain_all(channel)
+            finally:
+                channel.unlink()
+        assert len(payloads["shm"]) == len(payloads["pipe"])
+        for (k_shm, a), (k_pipe, b) in zip(payloads["shm"],
+                                           payloads["pipe"]):
+            assert k_shm == k_pipe
+            assert a.dtype == b.dtype and a.shape == b.shape
+            assert a.tobytes() == b.tobytes()
+
+    def test_non_contiguous_input_is_compacted_not_corrupted(self):
+        base = np.arange(48, dtype=np.float64).reshape(6, 8)
+        for view in (base[::2], base[:, ::2], base[::-1], base.T):
+            ring = FrameRing(CTX, slots=1, slot_bytes=view.nbytes)
+            ring.push("v", view)
+            meta, got = ring.pop()
+            assert np.array_equal(got, view)
+            assert got.flags.c_contiguous
+            ring.release(meta)
+            close(ring)
+
+    def test_pop_returns_read_only_zero_copy_view(self):
+        ring = FrameRing(CTX, slots=1, slot_bytes=64)
+        ring.push("x", np.arange(8, dtype=np.float64))
+        meta, view = ring.pop()
+        assert not view.flags.writeable
+        assert not view.flags.owndata  # a view into the segment, no copy
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+        ring.release(meta)
+        close(ring)
+
+    def test_slot_reuse_after_release(self):
+        """More blocks than slots: releases recycle slots in order and
+        payloads stay intact."""
+        ring = FrameRing(CTX, slots=2, slot_bytes=32)
+        out = []
+        for i in range(6):
+            ring.push(f"k{i}", np.full(4, i, dtype=np.float64))
+            meta, view = ring.pop()
+            out.append((meta.key, np.array(view, copy=True)))
+            ring.release(meta)
+        assert [k for k, _ in out] == [f"k{i}" for i in range(6)]
+        for i, (_, payload) in enumerate(out):
+            assert np.array_equal(payload, np.full(4, float(i)))
+        close(ring)
+
+
+# ----------------------------------------------------------------------
+# handoff discipline: loud failures, never silent corruption
+# ----------------------------------------------------------------------
+class TestHandoff:
+    def test_out_of_order_release_is_rejected(self):
+        ring = FrameRing(CTX, slots=3, slot_bytes=32)
+        ring.push("a", np.zeros(2))
+        ring.push("b", np.ones(2))
+        meta_a, _ = ring.pop()
+        meta_b, _ = ring.pop()
+        with pytest.raises(FleetError, match="FIFO order"):
+            ring.release(meta_b)
+        ring.release(meta_a)  # correct order still works
+        ring.release(meta_b)
+        close(ring)
+
+    def test_oversized_block_is_rejected(self):
+        ring = FrameRing(CTX, slots=1, slot_bytes=8)
+        with pytest.raises(FleetError, match="bytes"):
+            ring.push("big", np.zeros(100, dtype=np.float64))
+        close(ring)
+
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    def test_object_dtype_is_rejected(self, kind):
+        channel = make_transport(kind, CTX, slots=1, slot_bytes=64)
+        with pytest.raises(ConfigurationError, match="object-dtype"):
+            channel.push("bad", np.array([object()], dtype=object))
+        close(channel)
+
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    def test_push_after_close_is_rejected(self, kind):
+        channel = make_transport(kind, CTX, slots=1, slot_bytes=64)
+        channel.close_send()
+        with pytest.raises(FleetError, match="closed"):
+            channel.push("late", np.zeros(2))
+        channel.unlink()
+
+    def test_end_of_stream_is_none(self):
+        for kind in TRANSPORTS:
+            channel = make_transport(kind, CTX, slots=1, slot_bytes=64)
+            channel.close_send()
+            assert channel.pop() is None
+            channel.unlink()
+
+    def test_zero_byte_blocks_round_trip(self):
+        ring = FrameRing(CTX, slots=2, slot_bytes=0)
+        ring.push("empty", np.zeros((0, 4), dtype=np.float64))
+        meta, view = ring.pop()
+        assert view.shape == (0, 4)
+        ring.release(meta)
+        close(ring)
+
+    def test_unlink_is_idempotent(self):
+        ring = FrameRing(CTX, slots=1, slot_bytes=8)
+        ring.unlink()
+        ring.unlink()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"slots": 0, "slot_bytes": 8},
+        {"slots": -1, "slot_bytes": 8},
+        {"slots": 1, "slot_bytes": -1},
+    ])
+    def test_ring_configuration_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FrameRing(CTX, **kwargs)
+
+    def test_unknown_transport_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            make_transport("carrier-pigeon", CTX, slots=1, slot_bytes=8)
+
+
+# ----------------------------------------------------------------------
+# cross-process: the contract holds across a real fork
+# ----------------------------------------------------------------------
+def _child_drain(channel, conn):
+    out = [(key, payload.tobytes(), payload.dtype.str, payload.shape)
+           for key, payload in drain_all(channel)]
+    conn.send(out)
+    conn.close()
+    channel.close()
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    def test_blocks_survive_a_fork(self, kind):
+        batches = [np.arange(12, dtype=np.float64).reshape(3, 4),
+                   np.arange(6, dtype=np.int32),
+                   np.ones((2, 2, 2), dtype=np.float32)]
+        channel = make_transport(
+            kind, CTX, slots=len(batches),
+            slot_bytes=max(b.nbytes for b in batches))
+        parent, child = CTX.Pipe(duplex=False)
+        proc = CTX.Process(target=_child_drain, args=(channel, child))
+        proc.start()
+        child.close()
+        for i, batch in enumerate(batches):
+            channel.push(f"b{i}", batch)
+        channel.close_send()
+        received = parent.recv()
+        proc.join()
+        channel.unlink()
+        assert len(received) == len(batches)
+        for batch, (key, raw, dtype, shape) in zip(batches, received):
+            assert raw == batch.tobytes()
+            assert np.dtype(dtype) == batch.dtype
+            assert tuple(shape) == batch.shape

@@ -1,0 +1,81 @@
+"""detach_arrays: snapshots must never alias transport-owned memory."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+
+from repro.runtime import detach_arrays, owns_memory
+from repro.parallel import FrameRing
+
+
+class TestOwnsMemory:
+    def test_fresh_array_owns(self):
+        assert owns_memory(np.zeros(4))
+
+    def test_view_does_not_own(self):
+        base = np.zeros((4, 4))
+        assert not owns_memory(base[1:])
+        assert not owns_memory(base.reshape(16))
+
+    def test_buffer_backed_array_does_not_own(self):
+        raw = bytearray(32)
+        assert not owns_memory(np.frombuffer(raw, dtype=np.float64))
+
+
+class TestDetachArrays:
+    def test_owned_arrays_pass_through_by_reference(self):
+        state = {"w": np.arange(6.0), "n": 3, "name": "x"}
+        detached = detach_arrays(state)
+        assert detached["w"] is state["w"]
+        assert detached["n"] == 3 and detached["name"] == "x"
+
+    def test_views_are_copied_and_decoupled(self):
+        base = np.arange(12.0)
+        state = {"view": base[2:8]}
+        detached = detach_arrays(state)
+        assert owns_memory(detached["view"])
+        assert np.array_equal(detached["view"], base[2:8])
+        base[:] = -1.0  # mutating the base must not reach the snapshot
+        assert np.array_equal(detached["view"], np.arange(2.0, 8.0))
+
+    def test_recurses_through_containers(self):
+        base = np.ones((3, 3))
+        state = {"a": [base[0], (base[1], {"b": base[2]})],
+                 "scalar": 1.5, "none": None}
+        detached = detach_arrays(state)
+        assert owns_memory(detached["a"][0])
+        assert owns_memory(detached["a"][1][0])
+        assert owns_memory(detached["a"][1][1]["b"])
+        assert isinstance(detached["a"][1], tuple)
+        assert detached["scalar"] == 1.5 and detached["none"] is None
+
+    def test_detach_preserves_dtype_shape_and_bits(self):
+        base = np.arange(24, dtype=np.int32).reshape(4, 6)
+        view = base[::2, ::3]  # non-contiguous
+        detached = detach_arrays(view)
+        assert detached.dtype == view.dtype
+        assert detached.shape == view.shape
+        assert detached.flags.c_contiguous
+        assert np.array_equal(detached, view)
+
+    def test_idempotent(self):
+        state = {"v": np.arange(9.0)[3:]}
+        once = detach_arrays(state)
+        twice = detach_arrays(once)
+        assert twice["v"] is once["v"]
+
+    def test_detaches_shared_memory_ring_views(self):
+        """The fleet case: state holding a zero-copy ring view must
+        survive the ring being released and unlinked."""
+        ring = FrameRing(multiprocessing.get_context("fork"),
+                         slots=1, slot_bytes=64)
+        ring.push("k", np.arange(8.0))
+        meta, view = ring.pop()
+        detached = detach_arrays({"window": view})
+        ring.release(meta)
+        ring.close_send()
+        ring.unlink()
+        assert owns_memory(detached["window"])
+        assert np.array_equal(detached["window"], np.arange(8.0))

@@ -1,0 +1,155 @@
+"""ShardedRegistry: a registry facade that must change nothing.
+
+The whole point of the facade is that the serving stack cannot tell it
+from the flat registry -- same iteration order, same indices, same
+served results -- while shard placement stays a pure function of the
+stream id.  The suite pins both halves: transparent equivalence through
+a real DriftServer run, and deterministic CRC32 placement with usable
+shard-local views.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ServeError
+from repro.rng import stable_hash
+from repro.serve import (
+    DriftServer,
+    ServeConfig,
+    SessionRegistry,
+    ShardedRegistry,
+    WorkloadConfig,
+    capacity_fps,
+    generate_arrivals,
+)
+
+from tests.serve.conftest import gaussian_stream, make_session, result_sig
+
+N_STREAMS = 9
+
+
+def build_sessions():
+    return [make_session(f"cam-{i:02d}", seed=10 + i)
+            for i in range(N_STREAMS)]
+
+
+def overload_arrivals():
+    arrivals = []
+    for i in range(N_STREAMS):
+        frames = gaussian_stream(10 + i, [(0.0, 30)])
+        arrivals.extend(generate_arrivals(
+            frames,
+            WorkloadConfig(rate_fps=2.0 * capacity_fps() / N_STREAMS,
+                           pattern="poisson"),
+            stream_id=f"cam-{i:02d}", deadline_ms=60.0, seed=20 + i))
+    return arrivals
+
+
+# ----------------------------------------------------------------------
+# the facade is indistinguishable from the flat registry
+# ----------------------------------------------------------------------
+class TestTransparency:
+    def test_is_a_session_registry(self):
+        registry = ShardedRegistry(shards=4)
+        assert isinstance(registry, SessionRegistry)
+
+    @pytest.mark.parametrize("shards", [1, 4, 64])
+    def test_order_ids_and_indices_match_flat(self, shards):
+        flat = SessionRegistry(build_sessions())
+        sharded = ShardedRegistry(shards=shards, sessions=build_sessions())
+        assert sharded.ids() == flat.ids()
+        assert len(sharded) == len(flat)
+        assert [s.stream_id for s in sharded] == \
+            [s.stream_id for s in flat]
+        for stream_id in flat.ids():
+            assert sharded.index_of(stream_id) == flat.index_of(stream_id)
+            assert stream_id in sharded
+            assert sharded.get(stream_id).stream_id == stream_id
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_served_results_identical_to_flat(self, shards):
+        def run(registry):
+            result = DriftServer(registry, ServeConfig()).run(
+                overload_arrivals())
+            outcomes = {
+                sid: (slo.arrivals, slo.processed, slo.degraded,
+                      slo.shed_total, slo.rejected)
+                for sid, slo in result.streams.items()}
+            pipelines = {sid: result_sig(r)
+                         for sid, r in result.pipeline_results.items()}
+            return outcomes, pipelines, result.makespan_ms
+
+        flat = run(SessionRegistry(build_sessions()))
+        sharded = run(ShardedRegistry(shards=shards,
+                                      sessions=build_sessions()))
+        assert sharded == flat
+
+    def test_duplicate_rejected_atomically(self):
+        registry = ShardedRegistry(shards=4, sessions=build_sessions())
+        with pytest.raises(ServeError, match="duplicate"):
+            registry.add(make_session("cam-00", seed=99))
+        # the failed add must not have leaked into any shard
+        assert sum(registry.shard_sizes()) == N_STREAMS
+        assert len(registry) == N_STREAMS
+
+
+# ----------------------------------------------------------------------
+# placement and shard-local views
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_placement_is_crc32_of_stream_id(self):
+        registry = ShardedRegistry(shards=7, sessions=build_sessions())
+        for stream_id in registry.ids():
+            expected = stable_hash(stream_id) % 7
+            assert registry.shard_index(stream_id) == expected
+            assert stream_id in registry.shard(expected)
+
+    def test_shards_partition_the_sessions(self):
+        registry = ShardedRegistry(shards=5, sessions=build_sessions())
+        seen = [sid for _, shard in registry.shard_items()
+                for sid in shard.ids()]
+        assert sorted(seen) == sorted(registry.ids())
+        assert sum(registry.shard_sizes()) == len(registry)
+
+    def test_shard_local_order_is_global_order_filtered(self):
+        registry = ShardedRegistry(shards=3, sessions=build_sessions())
+        for _, shard in registry.shard_items():
+            indices = [registry.index_of(sid) for sid in shard.ids()]
+            assert indices == sorted(indices)
+
+    def test_shard_of_and_snapshot(self):
+        registry = ShardedRegistry(shards=4, sessions=build_sessions())
+        shard = registry.shard_of("cam-03")
+        assert "cam-03" in shard
+        for session in registry:
+            session.begin()
+        snaps = registry.snapshot_shard(registry.shard_index("cam-03"))
+        assert any(s["stream_id"] == "cam-03" for s in snaps)
+        assert len(snaps) == len(shard)
+
+    def test_single_shard_holds_everything(self):
+        registry = ShardedRegistry(shards=1, sessions=build_sessions())
+        assert registry.shard_sizes() == [N_STREAMS]
+        assert registry.shard(0).ids() == registry.ids()
+
+    def test_errors(self):
+        registry = ShardedRegistry(shards=2, sessions=build_sessions())
+        with pytest.raises(ConfigurationError, match="shards"):
+            ShardedRegistry(shards=0)
+        with pytest.raises(ServeError, match="out of range"):
+            registry.shard(2)
+        with pytest.raises(ServeError, match="unknown"):
+            registry.shard_of("ghost")
+        with pytest.raises(ServeError, match="non-empty"):
+            registry.shard_index("")
+
+
+def test_flat_registry_index_of_is_constant_time():
+    """The O(1) index map agrees with enumeration order at scale."""
+    sessions = [make_session(f"s-{i:04d}", seed=i) for i in range(300)]
+    registry = SessionRegistry(sessions)
+    for expected, stream_id in enumerate(registry.ids()):
+        assert registry.index_of(stream_id) == expected
+    with pytest.raises(ServeError, match="unknown"):
+        registry.index_of("missing")
