@@ -24,9 +24,12 @@ throughout:
   frame block into a ring slot once, the worker maps it as a zero-copy
   numpy view, and slot ownership is handed back explicitly after the
   stream completes.  Only small results and descriptors ever travel
-  through pipes.  ``transport="pipe"`` selects the legacy pickled-pipe
-  path, kept as the reference the equivalence suite tests the ring
-  against.
+  through pipes.  Frames are fed from a per-worker dispatcher thread
+  while the parent drains every result pipe concurrently, so a backlog
+  on either side (large pickled results, hundreds of queued
+  descriptors) can never deadlock a run.  ``transport="pipe"`` selects
+  the legacy pickled-pipe path, kept as the reference the equivalence
+  suite tests the ring against.
 - **Checkpoint recovery** -- with a ``checkpoint_dir``, each worker
   persists its session every ``checkpoint_every`` frames using the
   :mod:`repro.core.checkpoint` archive format (plus a ``fleet`` manifest
@@ -52,8 +55,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -68,6 +73,11 @@ from repro.rng import stable_hash
 from repro.runtime.snapshots import detach_arrays
 
 _CRASH_EXIT_CODE = 87
+
+#: How long (seconds) the dispatcher waits for a feeder thread after
+#: aborting its transport.  An aborted/broken push returns almost
+#: immediately; the margin only covers a pathologically slow scheduler.
+_FEEDER_JOIN_S = 10.0
 
 
 class SimulatedWorkerCrash(Exception):
@@ -134,6 +144,22 @@ class _ShardEntry:
     stream_id: str
     attempt: int
     crash_at_frame: Optional[int]
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one forked worker: its process, the
+    result pipe, the frame transport, the shard it owns, and the feeder
+    thread streaming frames into it."""
+
+    proc: object
+    conn: object
+    channel: object
+    shard: List[Tuple[int, int]]
+    entries: List[_ShardEntry]
+    frames: List[np.ndarray]
+    feeder: Optional[threading.Thread] = None
+    finished: Set[int] = field(default_factory=set)
 
 
 PipelineFactory = Callable[[FleetTask, int], DriftAwareAnalytics]
@@ -242,6 +268,9 @@ def _worker_main(conn, channel, entries: List[_ShardEntry],
     stream's result has been pickled onto the result pipe.
     """
     try:
+        # drop the inherited producer-side descriptor end so a dead
+        # parent breaks pop() instead of orphaning this worker
+        channel.close_producer()
         for entry in entries:
             item = channel.pop()
             if item is None:
@@ -358,9 +387,13 @@ class FleetExecutor:
         dispatch round, before any crash re-dispatch)."""
         count = self.workers if workers is None else workers
         count = max(1, min(count, len(tasks))) if tasks else 1
+        # mirror _run_sharded: an explicit steal_order only applies when
+        # the effective worker count equals the configured one; a round
+        # clamped to fewer workers falls back to the seeded permutation
         return plan_shards([task_load(task) for task in tasks], count,
                            seed=self.base_seed, steal=self.steal,
-                           steal_order=self.steal_order)
+                           steal_order=(self.steal_order
+                                        if count == self.workers else None))
 
     def _clear_checkpoints(self, tasks: Sequence[FleetTask]) -> None:
         if self.checkpoint_dir is None:
@@ -409,10 +442,29 @@ class FleetExecutor:
                           victim=s.victim, task_index=lookup[s.task_index])
                     for s in plan.steals])
 
+    @staticmethod
+    def _feed_frames(channel, entries: List[_ShardEntry],
+                     frames: List[np.ndarray]) -> None:
+        """Feeder-thread body: stream a shard's frame blocks into its
+        transport.  Runs beside the dispatcher's result drain so neither
+        side ever waits on the other.  A dead worker surfaces here as
+        :class:`BrokenPipeError` (its transport ends died with it) or
+        :class:`FleetError` (ring aborted / push timeout); recovery is
+        driven off the result pipe, so the feeder just stops feeding and
+        lets the drain loop observe the death."""
+        try:
+            for entry, block in zip(entries, frames):
+                channel.push(entry.stream_id, block)
+            channel.close_send()
+        except (OSError, FleetError):
+            pass
+
     def _dispatch_worker(self, context, tasks: Sequence[FleetTask],
-                         shard: List[Tuple[int, int]]):
+                         shard: List[Tuple[int, int]]) -> "_WorkerHandle":
         """Fork one worker for ``shard`` (``(task_index, attempt)`` in
-        execution order) and stream its frames through the transport."""
+        execution order).  Frames are *not* pushed here: the caller
+        starts a feeder thread per handle once every worker has forked,
+        so no transport is mid-push while later workers fork."""
         frames = [np.asarray(tasks[index].frames, dtype=np.float64)
                   for index, _ in shard]
         slot_bytes = max((f.nbytes for f in frames), default=0)
@@ -432,15 +484,12 @@ class FleetExecutor:
                   self.checkpoint_every))
         proc.start()
         child_conn.close()
-        try:
-            for entry, block in zip(entries, frames):
-                channel.push(entry.stream_id, block)
-            channel.close_send()
-        except BrokenPipeError:
-            # the worker died before draining its transport; recovery is
-            # driven off the result pipe, so stop feeding and move on
-            pass
-        return proc, parent_conn, channel, shard
+        # leave the worker's inherited copy as the only consumer end so
+        # a worker death breaks the frame transport under a blocked push
+        channel.close_consumer()
+        return _WorkerHandle(proc=proc, conn=parent_conn, channel=channel,
+                             shard=[tuple(item) for item in shard],
+                             entries=entries, frames=frames)
 
     def _run_sharded(self,
                      tasks: Sequence[FleetTask]) -> List[FleetTaskResult]:
@@ -459,32 +508,52 @@ class FleetExecutor:
             shards: List[List[Tuple[int, int]]] = [
                 [tuple(pending[position]) for position in assignment]
                 for assignment in plan.assignments]
-            procs = [self._dispatch_worker(context, tasks, shard)
-                     for shard in shards if shard]
-            crashed: List[Tuple[int, int]] = []
+            handles = [self._dispatch_worker(context, tasks, shard)
+                       for shard in shards if shard]
+            # feed frames from background threads, started only after
+            # every worker has forked: the dispatcher must be free to
+            # drain result pipes the whole time -- a worker blocked
+            # sending a large result into an undrained pipe would
+            # otherwise deadlock against a parent blocked pushing frames
+            # (or descriptors) into a full transport
+            for handle in handles:
+                handle.feeder = threading.Thread(
+                    target=self._feed_frames,
+                    args=(handle.channel, handle.entries, handle.frames),
+                    daemon=True)
+                handle.feeder.start()
             failure: Optional[_TaskFailure] = None
-            for proc, conn, channel, shard in procs:
-                finished = set()
-                while True:
+            active = {handle.conn: handle for handle in handles}
+            while active:
+                for conn in mp_connection.wait(list(active)):
+                    handle = active[conn]
                     try:
                         message = conn.recv()
                     except EOFError:
-                        break  # worker died mid-shard
+                        del active[conn]  # worker died mid-shard
+                        continue
                     if message is None:
-                        break
+                        del active[conn]  # shard complete
+                        continue
                     index, payload = message
+                    handle.finished.add(index)
                     if isinstance(payload, _TaskFailure):
                         failure = failure or payload
-                        finished.add(index)
-                        continue
-                    done[index] = payload
-                    finished.add(index)
-                conn.close()
-                proc.join()
-                channel.unlink()
+                    else:
+                        done[index] = payload
+            crashed: List[Tuple[int, int]] = []
+            for handle in handles:
+                handle.conn.close()
+                # unwedge a feeder still blocked on slots a dead worker
+                # will never release, then reap both
+                handle.channel.abort()
+                handle.feeder.join(timeout=_FEEDER_JOIN_S)
+                handle.proc.join()
+                handle.channel.unlink()
                 unfinished = [(index, attempt)
-                              for index, attempt in shard
-                              if index not in finished and index not in done]
+                              for index, attempt in handle.shard
+                              if index not in handle.finished
+                              and index not in done]
                 # only the first unfinished task was actually running when
                 # the worker died; later ones never started, so their
                 # attempt counter (and crash injection) must not advance

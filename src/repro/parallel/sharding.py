@@ -10,10 +10,11 @@ balance ahead of dispatch, in **virtual time**:
    layout, so a one-worker plan is exactly the old execution order).
 2. A discrete-event simulation then runs the shards forward on virtual
    load counters -- each stream costs its frame count, nothing reads a
-   wall clock.  Whenever a worker's queue runs dry it *steals* the
-   largest pending stream from the most-loaded victim's tail (the
-   classic work-stealing deque end), and the steal is logged with its
-   virtual timestamp.
+   wall clock.  Whenever a worker's queue runs dry it *steals* the tail
+   task of the most-loaded victim's queue (the classic work-stealing
+   deque end -- the victim is chosen by backlog, the task is whatever
+   sits at its tail), and the steal is logged with its virtual
+   timestamp.
 
 Because every steal decision is a pure function of ``(loads, workers,
 seed)`` -- ties broken by a seed-derived worker permutation, never by

@@ -28,7 +28,13 @@ be plain bytes to cross a process boundary without pickling.
 The ring is safe under the fleet's ``fork`` start method: workers
 inherit the parent's mapping, so the segment is attached exactly once
 and the parent alone unlinks it (a worker killed mid-shard cannot leak
-the segment).
+the segment).  Process death is loud, not a wedge: after the fork each
+side drops its copy of the *other* side's descriptor end
+(:meth:`FrameRing.close_consumer` in the parent,
+:meth:`FrameRing.close_producer` in the worker), so a dead worker
+breaks the descriptor pipe under a blocked ``push`` and a dead parent
+surfaces as ``EOFError`` in ``pop``; :meth:`FrameRing.abort` cancels a
+push still waiting on slots a corpse will never release.
 """
 
 from __future__ import annotations
@@ -48,6 +54,11 @@ TRANSPORTS: Tuple[str, ...] = ("shm", "pipe")
 #: transport declares the consumer wedged.  Generous: the fleet sizes
 #: rings to their shard, so in practice a push never blocks.
 _PUSH_TIMEOUT_S = 60.0
+
+#: Poll interval for a push blocked on the slot semaphore, so an
+#: :meth:`FrameRing.abort` from another thread is noticed promptly
+#: instead of after the full push timeout.
+_ABORT_POLL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -108,6 +119,7 @@ class FrameRing:
         self._next_release = 0
         self._closed = False
         self._unlinked = False
+        self._aborted = False
 
     # -- producer side -------------------------------------------------
     def push(self, key: str, array: np.ndarray) -> BlockMeta:
@@ -115,19 +127,35 @@ class FrameRing:
 
         Blocks while the ring is full (every slot owned by the worker);
         raises :class:`FleetError` if no slot frees up within the
-        transport timeout -- a wedged or dead consumer.
+        transport timeout -- a wedged consumer -- or as soon as
+        :meth:`abort` is called, and :class:`BrokenPipeError` when the
+        consumer's descriptor end is gone (a dead worker, once the
+        parent has dropped its own copy via :meth:`close_consumer`).
         """
         if self._closed:
             raise FleetError("push on a closed FrameRing")
+        if self._aborted:
+            raise FleetError("push on an aborted FrameRing")
         block = _as_block(array)
         if block.nbytes > self.slot_bytes:
             raise FleetError(
                 f"frame block {key!r} is {block.nbytes} bytes; ring slots "
                 f"hold {self.slot_bytes}")
-        if not self._free.acquire(timeout=_PUSH_TIMEOUT_S):
-            raise FleetError(
-                f"frame ring full for {_PUSH_TIMEOUT_S:.0f}s pushing "
-                f"{key!r}: consumer is not releasing slots")
+        waited = 0.0
+        while not self._free.acquire(timeout=_ABORT_POLL_S):
+            if self._aborted:
+                raise FleetError(
+                    f"frame ring aborted while pushing {key!r}")
+            waited += _ABORT_POLL_S
+            if waited >= _PUSH_TIMEOUT_S:
+                raise FleetError(
+                    f"frame ring full for {_PUSH_TIMEOUT_S:.0f}s pushing "
+                    f"{key!r}: consumer is not releasing slots")
+        if self._aborted:
+            # the segment may be unlinked under us any moment; give the
+            # slot back and bail before touching the buffer
+            self._free.release()
+            raise FleetError(f"frame ring aborted while pushing {key!r}")
         slot = self._next_slot
         self._next_slot = (self._next_slot + 1) % self.slots
         offset = slot * self.slot_bytes
@@ -141,10 +169,37 @@ class FrameRing:
     def close_send(self) -> None:
         """Publish end-of-stream: the consumer's next pop returns None."""
         if not self._closed:
-            self._send.send(None)
             self._closed = True
+            self._send.send(None)
+
+    def abort(self) -> None:
+        """Make any blocked (or future) push give up with
+        :class:`FleetError` instead of waiting out the full transport
+        timeout.  The dispatcher calls this once the consumer is known
+        dead: a corpse never releases the slots it holds, so the slot
+        semaphore alone would wedge the feeding thread."""
+        self._aborted = True
+
+    def close_consumer(self) -> None:
+        """Drop this process's copy of the consumer-side descriptor end.
+
+        The dispatching parent calls this right after forking the
+        worker, leaving the worker's inherited copy as the only receive
+        end: a dead worker then breaks the descriptor pipe, so a
+        blocked ``push``/``close_send`` raises :class:`BrokenPipeError`
+        instead of wedging.  :meth:`pop` is invalid in this process
+        afterwards.
+        """
+        self._recv.close()
 
     # -- consumer side -------------------------------------------------
+    def close_producer(self) -> None:
+        """Drop this process's copy of the producer-side descriptor end
+        (worker-side mirror of :meth:`close_consumer`): with it gone, a
+        dead parent surfaces as ``EOFError`` in :meth:`pop` rather than
+        an orphaned worker blocking forever."""
+        self._send.close()
+
     def pop(self) -> Optional[Tuple[BlockMeta, np.ndarray]]:
         """Receive the next block as a zero-copy read-only view.
 
@@ -227,10 +282,26 @@ class PipeChannel:
 
     def close_send(self) -> None:
         if not self._closed:
-            self._send.send(None)
             self._closed = True
+            self._send.send(None)
+
+    def abort(self) -> None:
+        """Nothing to poke: a pipe push blocked on a full buffer
+        unblocks with :class:`BrokenPipeError` the moment the worker's
+        receive end dies with it (see :meth:`close_consumer`)."""
+
+    def close_consumer(self) -> None:
+        """Parent-side: drop the local receive end after forking the
+        worker so a dead worker breaks the pipe under a blocked push
+        instead of wedging it forever."""
+        self._recv.close()
 
     # -- consumer side -------------------------------------------------
+    def close_producer(self) -> None:
+        """Worker-side mirror of :meth:`close_consumer`: a dead parent
+        surfaces as ``EOFError`` in :meth:`pop`."""
+        self._send.close()
+
     def pop(self) -> Optional[Tuple[BlockMeta, np.ndarray]]:
         try:
             message = self._recv.recv()

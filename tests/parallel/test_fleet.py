@@ -8,6 +8,8 @@ invocation ledger, simulated clock, fault stats) bit for bit.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -151,6 +153,108 @@ def test_stale_checkpoints_are_cleared_between_runs(tmp_path):
     second = executor.run(tasks)
     assert sigs(second) == first
     assert second[0].resumed_at is None
+
+
+# ----------------------------------------------------------------------
+# liveness: feeding and draining must overlap, never deadlock
+# ----------------------------------------------------------------------
+class _EchoPipeline:
+    """Duck-typed pipeline stand-in for transport-level regressions:
+    near-free per frame, but its result pickles to ``payload_floats``
+    doubles -- sized by each test so worker->parent result pipes fill
+    while the parent is still feeding frames."""
+
+    def __init__(self, payload_floats):
+        self.chunks = []
+        self.payload_floats = payload_floats
+
+    def start(self):
+        pass
+
+    def step_batch(self, frames, batch_size=None):
+        self.chunks.append(np.array(frames, copy=True))
+
+    def flush(self):
+        pass
+
+    def result(self):
+        frames = (np.concatenate(self.chunks) if self.chunks
+                  else np.zeros(0))
+        return SimpleNamespace(telemetry=None,
+                               n_frames=int(frames.shape[0]),
+                               checksum=float(frames.sum()),
+                               padding=np.zeros(self.payload_floats))
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_large_results_drain_while_frames_still_feed(transport):
+    """Regression: each result pickles far larger than an OS pipe buffer
+    and each shard's frame bytes outsize it too, so a dispatcher that
+    fed every frame before its first recv deadlocked here (worker
+    blocked sending a result, parent blocked pushing frames)."""
+    n, frames_per = 8, 3000
+    tasks = [FleetTask(f"cam-{i}", np.full(frames_per, float(i)))
+             for i in range(n)]
+    results = FleetExecutor(
+        lambda task, seed: _EchoPipeline(payload_floats=40_000),
+        workers=2, transport=transport, batch_size=512).run(tasks)
+    assert [r.stream_id for r in results] == [t.stream_id for t in tasks]
+    for i, entry in enumerate(results):
+        assert entry.result.n_frames == frames_per
+        assert entry.result.checksum == float(i) * frames_per
+
+
+def test_descriptor_backlog_does_not_wedge_the_dispatcher():
+    """Regression: with hundreds of streams per shard the BlockMeta
+    descriptors alone outgrow the shm ring's descriptor pipe while the
+    worker is blocked sending results; the feeder thread must be able
+    to block there without stalling the parent's result drain."""
+    n = 1500  # 750 descriptors per shard >> ~560 that fit in 64 KiB
+    tasks = [FleetTask(f"cam-{i:04d}", np.full(4, float(i)))
+             for i in range(n)]
+    results = FleetExecutor(
+        lambda task, seed: _EchoPipeline(payload_floats=64),
+        workers=2, transport="shm").run(tasks)
+    assert len(results) == n
+    for i, entry in enumerate(results):
+        assert entry.result.checksum == float(i) * 4
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_worker_death_with_frames_still_pending_recovers(transport):
+    """Regression: a worker that dies while the parent still has frame
+    blocks queued for it (more bytes than the OS pipe buffer) must
+    break the transport under the feeder -- not wedge the dispatch --
+    and its shard must be re-dispatched to completion."""
+    n, frames_per = 6, 3000
+    tasks = [FleetTask(f"cam-{i}", np.full(frames_per, float(i)),
+                       crash_at_frame=frames_per // 2 if i == 0 else None)
+             for i in range(n)]
+    results = FleetExecutor(
+        lambda task, seed: _EchoPipeline(payload_floats=16),
+        workers=2, transport=transport, max_restarts=1,
+        batch_size=512).run(tasks)
+    by_id = {r.stream_id: r for r in results}
+    assert by_id["cam-0"].attempts == 2
+    for i in range(n):
+        assert by_id[f"cam-{i}"].result.checksum == float(i) * frames_per
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def test_plan_for_matches_run_when_tasks_are_fewer_than_workers():
+    """Regression: with a forced steal_order and fewer tasks than
+    workers, plan_for used to raise (the order no longer permuted the
+    clamped worker count) while run() executed fine on the seeded
+    fallback; both must agree."""
+    tasks = make_tasks(n_streams=2, frames=30)
+    executor = FleetExecutor(factory, workers=4, steal_order=[3, 1, 2, 0])
+    plan = executor.plan_for(tasks)
+    executor.run(tasks)
+    executed = executor.last_plans[0]
+    assert plan.workers == executed.workers == 2
+    assert plan.assignments == executed.assignments
 
 
 # ----------------------------------------------------------------------

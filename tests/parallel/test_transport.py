@@ -12,6 +12,9 @@ pushes) must fail loudly, never corrupt silently.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -208,6 +211,61 @@ class TestHandoff:
     def test_unknown_transport_kind_rejected(self):
         with pytest.raises(ConfigurationError, match="transport"):
             make_transport("carrier-pigeon", CTX, slots=1, slot_bytes=8)
+
+
+# ----------------------------------------------------------------------
+# liveness: a dead or wedged consumer can never hang the producer
+# ----------------------------------------------------------------------
+class TestLiveness:
+    def test_abort_unblocks_a_push_waiting_for_slots(self):
+        """A consumer that dies holding every slot leaves the semaphore
+        permanently exhausted; abort() must bail the blocked push out
+        with a loud FleetError, well before the full push timeout."""
+        ring = FrameRing(CTX, slots=1, slot_bytes=64)
+        ring.push("a", np.zeros(4))  # ring now full
+        errors = []
+
+        def blocked_push():
+            try:
+                ring.push("b", np.zeros(4))
+            except FleetError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked_push, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        assert thread.is_alive()  # genuinely blocked on the semaphore
+        ring.abort()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert errors and "aborted" in str(errors[0])
+        ring.unlink()
+
+    def test_push_after_abort_is_rejected(self):
+        ring = FrameRing(CTX, slots=2, slot_bytes=64)
+        ring.abort()
+        with pytest.raises(FleetError, match="aborted"):
+            ring.push("late", np.zeros(2))
+        ring.unlink()
+
+    @pytest.mark.parametrize("kind", TRANSPORTS)
+    def test_push_breaks_loudly_when_the_consumer_dies(self, kind):
+        """Once the parent has dropped its consumer-side end
+        (close_consumer), a worker death breaks the pipe: push raises
+        BrokenPipeError instead of blocking into the dead transport."""
+        channel = make_transport(kind, CTX, slots=4, slot_bytes=64)
+        proc = CTX.Process(target=_child_die_immediately, args=(channel,))
+        proc.start()
+        channel.close_consumer()
+        proc.join()
+        with pytest.raises(BrokenPipeError):
+            channel.push("x", np.zeros(4))
+        channel.unlink()
+
+
+def _child_die_immediately(channel):
+    channel.close_producer()
+    os._exit(0)
 
 
 # ----------------------------------------------------------------------
