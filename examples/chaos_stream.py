@@ -9,6 +9,8 @@ records identical to the uninterrupted one.
 Run:  python examples/chaos_stream.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core.checkpoint import restore_checkpoint, save_checkpoint
@@ -18,6 +20,11 @@ from repro.core.selection.msbi import MSBI, MSBIConfig
 from repro.experiments.common import ExperimentContext, fast_config
 from repro.faults import FaultInjector, FaultSchedule
 from repro.video.datasets import make_bdd
+
+#: Example artifacts go under ``results/`` at the repo root (gitignored),
+#: never next to the sources.
+RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
 
 
 def build_pipeline(registry, annotator):
@@ -72,11 +79,13 @@ def main() -> None:
     first.start()
     for item in faulty[:cut]:
         first.step(item)
-    save_checkpoint("chaos_session.npz", first)
-    print(f"\ncheckpointed after {cut} frames -> chaos_session.npz")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    checkpoint_path = os.path.join(RESULTS_DIR, "chaos_session.npz")
+    save_checkpoint(checkpoint_path, first)
+    print(f"\ncheckpointed after {cut} frames -> {checkpoint_path}")
 
     resumed = build_pipeline(registry, context.annotator)
-    restore_checkpoint("chaos_session.npz", resumed)
+    restore_checkpoint(checkpoint_path, resumed)
     for item in faulty[cut:]:
         resumed.step(item)
     resumed.flush()

@@ -10,8 +10,14 @@
 #                                        point composes to >= 2.5x batched
 #   scripts/bench.sh detectors [args...] detector accuracy matrix
 #                                        -> BENCH_detectors.json
-#   scripts/bench.sh all     [args...]   perf + serve + detectors, same args
-#                                        to each
+#   scripts/bench.sh cascade [args...]   tiered-cascade frontier
+#                                        -> BENCH_cascade.json
+#   scripts/bench.sh cascade-smoke       quick cascade frontier to a temp
+#                                        file, asserting the cascade is
+#                                        >= 3x cheaper than always-on DI
+#                                        within 2x its abrupt delay
+#   scripts/bench.sh all     [args...]   perf + serve + detectors + cascade,
+#                                        same args to each
 #
 # With no subcommand (or when the first argument is a flag) the pipeline
 # harness runs, so existing `scripts/bench.sh --quick` invocations keep
@@ -23,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 subcommand="perf"
 case "${1:-}" in
-    perf|serve|serve-smoke|fleet-smoke|detectors|all)
+    perf|serve|serve-smoke|fleet-smoke|detectors|cascade|cascade-smoke|all)
         subcommand="$1"
         shift
         ;;
@@ -98,9 +104,51 @@ PY
     detectors)
         PYTHONPATH=src python benchmarks/bench_detectors.py "$@"
         ;;
+    cascade)
+        PYTHONPATH=src python benchmarks/bench_cascade.py "$@"
+        ;;
+    cascade-smoke)
+        # quick frontier to a throwaway file, then hold the headline
+        # cascade mode to the ISSUE bars: stationary escalation <= 20% at
+        # >= 3x lower simulated cost than always-on DI, and abrupt
+        # detection delay within 2x of the always-on ceiling
+        smoke_dir="$(mktemp -d)"
+        trap 'rm -rf "$smoke_dir"' EXIT
+        PYTHONPATH=src python benchmarks/bench_cascade.py --quick \
+            --output "$smoke_dir/cascade_smoke.json" > /dev/null
+        PYTHONPATH=src python - "$smoke_dir/cascade_smoke.json" <<'PY'
+import sys
+from repro.cascade import frontier_summary, load_cascade_report
+report = load_cascade_report(sys.argv[1])
+assert report["quick"], "smoke pass must be flagged quick"
+summary = frontier_summary(report)
+cascade = summary[report["default_mode"]]
+always = summary["always-on-di"]
+assert cascade["stationary_escalated_pct"] <= 20.0, (
+    f"stationary escalation {cascade['stationary_escalated_pct']:.1f}% "
+    f"blew the 20% budget")
+assert cascade["stationary_us_per_frame"] <= \
+    always["stationary_us_per_frame"] / 3.0, (
+    f"cascade costs {cascade['stationary_us_per_frame']:.0f} us/frame; "
+    f"needs >= 3x under always-on DI's "
+    f"{always['stationary_us_per_frame']:.0f}")
+assert cascade["abrupt_detected_runs"] == always["abrupt_detected_runs"], (
+    "cascade missed an abrupt drift the always-on DI caught")
+assert cascade["abrupt_delay"] <= 2.0 * always["abrupt_delay"], (
+    f"abrupt delay {cascade['abrupt_delay']:.1f} frames; needs <= 2x "
+    f"always-on DI's {always['abrupt_delay']:.1f}")
+print(f"cascade smoke OK: {report['default_mode']} at "
+      f"{cascade['stationary_us_per_frame']:.0f} us/frame "
+      f"({cascade['stationary_escalated_pct']:.1f}% escalated, "
+      f"abrupt delay {cascade['abrupt_delay']:.1f} vs always-on "
+      f"{always['abrupt_delay']:.1f} frames at "
+      f"{always['stationary_us_per_frame']:.0f} us/frame)")
+PY
+        ;;
     all)
         PYTHONPATH=src python benchmarks/bench_perf.py "$@"
         PYTHONPATH=src python benchmarks/bench_serve.py "$@"
         PYTHONPATH=src python benchmarks/bench_detectors.py "$@"
+        PYTHONPATH=src python benchmarks/bench_cascade.py "$@"
         ;;
 esac

@@ -93,6 +93,32 @@ assert caught >= 6, (
 print(f"BENCH_detectors.json valid ({len(detectors)} detectors x "
       f"{len(scenarios)} scenarios, {caught} catch every drift)")
 PY
+echo "== cascade smoke =="
+# the committed cascade frontier must satisfy CASCADE_SCHEMA and its
+# headline mode must hold the ISSUE bars against the always-on ceiling
+python - <<'PY'
+from repro.cascade import frontier_summary, load_cascade_report
+
+report = load_cascade_report("BENCH_cascade.json")
+assert not report["quick"], "the committed frontier must be the full run"
+summary = frontier_summary(report)
+cascade = summary[report["default_mode"]]
+always = summary["always-on-di"]
+assert cascade["stationary_escalated_pct"] <= 20.0, (
+    f"stationary escalation {cascade['stationary_escalated_pct']:.1f}% "
+    f"blew the 20% budget")
+assert cascade["stationary_us_per_frame"] <= \
+    always["stationary_us_per_frame"] / 3.0, (
+    f"cascade costs {cascade['stationary_us_per_frame']:.0f} us/frame; "
+    f"needs >= 3x under always-on DI")
+assert cascade["abrupt_detected_runs"] == always["abrupt_detected_runs"]
+assert cascade["abrupt_delay"] <= 2.0 * always["abrupt_delay"]
+print(f"BENCH_cascade.json valid ({len(summary)} modes; "
+      f"{report['default_mode']}: "
+      f"{cascade['stationary_us_per_frame']:.0f} us/frame vs always-on "
+      f"{always['stationary_us_per_frame']:.0f}, "
+      f"{cascade['stationary_escalated_pct']:.1f}% escalated)")
+PY
 # every example must run end to end in quick mode
 for example in examples/*.py; do
     echo "-- $example"
@@ -132,5 +158,7 @@ bash scripts/bench.sh serve-smoke
 # the fleet smoke asserts fleet(4 workers, batched) composes to >= 2.5x
 # the single-process batched mode on the smoke workload
 bash scripts/bench.sh fleet-smoke
+# the cascade smoke re-earns the frontier bars on a fresh quick run
+bash scripts/bench.sh cascade-smoke
 
 echo "all checks passed"

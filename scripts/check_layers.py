@@ -44,6 +44,13 @@ LAYER_RULES = (
     # in repro.testing.conformance, not under repro.detectors)
     ("repro.detectors", ("repro.parallel", "repro.serve",
                          "repro.experiments")),
+    # the cascade composes monitors for the same seam: it must stay
+    # substrate-free too (its bench drives the kernel via repro.testing,
+    # never the serving or fleet layers), and the tier-0 screen is
+    # numpy-only by construction -- no neural stack
+    ("repro.cascade", ("repro.parallel", "repro.serve",
+                       "repro.experiments")),
+    ("repro.detectors.tier0", ("repro.nn",)),
 )
 
 

@@ -164,6 +164,12 @@ class DriftAwareAnalytics:
         prediction only, no drift-inspection state touched."""
         return self.kernel.predict_degraded(pixels)
 
+    def screen_degraded(self, pixels):
+        """Stateless tier-0 suspicion for a degraded-pass frame (see
+        :meth:`RuntimeKernel.screen_degraded`); ``None`` when the
+        session's monitor offers no screen."""
+        return self.kernel.screen_degraded(pixels)
+
     @property
     def _records(self) -> List[FrameRecord]:
         return self.kernel.emission.records

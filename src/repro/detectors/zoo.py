@@ -21,6 +21,8 @@ Registered out of the box:
 ``adwin``       adaptive windowing with Hoeffding cuts
 ``kswin``       KS test of the newest window slice vs the remainder
 ``page-hinkley`` Page-Hinkley cumulative mean-shift test
+``pixelstat``   tier-0 pixel-statistic screen (SSIM / edge IoU / moments)
+``cascade-di``  tiered cascade: pixelstat screen -> Drift Inspector
 ==============  ==========================================================
 
 Every entry builds a :class:`~repro.runtime.protocols.Snapshotable`
@@ -183,6 +185,25 @@ def _build_inspector(bundle) -> DriftInspector:
         reference_scores=bundle.reference_scores,
         embedder=getattr(bundle, "vae", None),
         config=DriftInspectorConfig(seed=ZOO_SEED))
+
+
+@register("pixelstat", family="tier0",
+          description="tier-0 pixel-statistic screen: SSIM / edge-IoU / "
+                      "moment z-scores against the reference sample")
+def _build_pixelstat(bundle):
+    from repro.detectors.tier0 import PixelStatMonitor
+    return PixelStatMonitor(bundle.sigma)
+
+
+@register("cascade-di", family="cascade",
+          description="tiered cascade: pixel-stat screen escalating "
+                      "suspicious windows to the Drift Inspector")
+def _build_cascade_di(bundle):
+    from repro.cascade.monitor import CascadeMonitor, EscalationPolicy
+    from repro.detectors.tier0 import PixelStatMonitor
+    return CascadeMonitor(PixelStatMonitor(bundle.sigma),
+                          _build_inspector(bundle),
+                          policy=EscalationPolicy())
 
 
 @register("odin", family="clustering", rollback=False,

@@ -79,6 +79,16 @@ class DetectorReportError(ReproError):
     schema."""
 
 
+class CascadeError(ReproError):
+    """The tiered monitoring cascade was misused (a tier that does not
+    satisfy the DriftMonitor protocol, or invalid escalation-policy
+    parameters)."""
+
+
+class CascadeReportError(ReproError):
+    """A cascade frontier report violates the BENCH_cascade.json schema."""
+
+
 class ConformanceError(ReproError, AssertionError):
     """A detector failed the :mod:`repro.testing.conformance` kit.
 

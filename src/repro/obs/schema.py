@@ -6,7 +6,7 @@ and the telemetry summary (:mod:`repro.obs.report`) -- validate their
 documents with this walker.  It implements the subset of JSON Schema the
 contracts use: ``type``, ``required``, ``properties``,
 ``additionalProperties`` (``False`` or a sub-schema for map-like objects),
-``items``, ``enum``, ``minimum``, ``exclusiveMinimum``.
+``items``, ``enum``, ``minimum``, ``maximum``, ``exclusiveMinimum``.
 
 When the ``jsonschema`` package is importable, callers may additionally
 cross-check with :func:`cross_check` to guard the hand-rolled walker.
@@ -46,6 +46,10 @@ def walk_schema(value: object, schema: dict, path: str,
             and not isinstance(value, bool):
         if value < schema["minimum"]:
             errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if "maximum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
     if "exclusiveMinimum" in schema and isinstance(value, (int, float)) \
             and not isinstance(value, bool):
         if value <= schema["exclusiveMinimum"]:

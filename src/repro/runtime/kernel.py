@@ -166,6 +166,26 @@ class RuntimeKernel:
         self.obs.counter("pipeline.degraded_predictions").inc()
         return int(self.deployed.model.predict(batch)[0])
 
+    def screen_degraded(self, pixels: object) -> Optional[float]:
+        """Tier-0 suspicion for a frame served on the degraded pass.
+
+        When the session's monitor offers a stateless ``peek_suspicion``
+        (the tier-0 screen, or a :class:`~repro.cascade.CascadeMonitor`
+        delegating to its tier 0), degraded frames can still be screened
+        for drift without running the monitor: the peek touches no
+        monitor, RNG or clock state, preserving the same isolation
+        contract as :meth:`predict_degraded`.  Returns ``None`` when the
+        deployed monitor offers no peek.
+        """
+        peek = getattr(self.monitor.monitor, "peek_suspicion", None)
+        if peek is None:
+            return None
+        suspicion = peek(np.asarray(pixels, dtype=np.float64))
+        if suspicion is None:
+            return None
+        self.obs.counter("pipeline.degraded_screened").inc()
+        return float(suspicion)
+
     # ------------------------------------------------------------------
     # streaming API
     # ------------------------------------------------------------------

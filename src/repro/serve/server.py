@@ -78,6 +78,10 @@ from repro.sim.costs import CostProfile, PAPER_COSTS
 #: Fixed buckets for the micro-batch-size histogram.
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+#: Tier-0 suspicion boundaries (reference-sigma units) for the
+#: degraded-pass screen histogram.
+_SUSPICION_BUCKETS = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+
 #: Tolerance when comparing virtual timestamps (pure float accumulation).
 _EPS = 1e-9
 
@@ -137,6 +141,9 @@ class DriftServer:
         self._c_admitted = self.obs.counter("serve.admitted")
         self._c_processed = self.obs.counter("serve.processed")
         self._c_degraded = self.obs.counter("serve.degraded")
+        self._c_screened = self.obs.counter("serve.degraded_screened")
+        self._h_suspicion = self.obs.histogram("serve.screen_suspicion",
+                                               _SUSPICION_BUCKETS)
         self._c_shed = self.obs.counter("serve.shed")
         self._c_rejected = self.obs.counter("serve.rejected")
         self._c_infeasible = self.obs.counter("serve.rejected_infeasible")
@@ -330,6 +337,14 @@ class DriftServer:
         for op in self.config.degraded_ops:
             self.clock.charge(op)
         prediction = session.degraded_predict(arrival.frame)
+        # tier-0 screening: sessions backed by a cascade (or the bare
+        # pixel-stat screen) still watch degraded frames for drift via a
+        # stateless suspicion peek -- observability only, no clock charge
+        # and no monitor state touched, so the full path stays bit-exact
+        suspicion = session.screen_degraded(arrival.frame)
+        if suspicion is not None:
+            self._c_screened.inc()
+            self._h_suspicion.observe(suspicion)
         session.stats.degraded += 1
         self._c_degraded.inc()
         self.obs.event("frame_degraded", stream=session.stream_id,

@@ -154,6 +154,12 @@ class StreamSession:
         so degraded frames cannot perturb the full path's decisions)."""
         return self.pipeline.predict_degraded(pixels)
 
+    def screen_degraded(self, pixels: np.ndarray):
+        """Stateless tier-0 suspicion for a degraded frame (``None``
+        when the session's monitor offers no screen); same isolation
+        contract as :meth:`degraded_predict`."""
+        return self.pipeline.screen_degraded(pixels)
+
     def deadline_feasible(self, arrival: FrameArrival, now_ms: float,
                           eta_ms: float, eps: float = 1e-9) -> bool:
         """Can the full path still meet ``arrival``'s deadline, given the

@@ -58,6 +58,9 @@ PAPER_COSTS = CostProfile({
     "vae_encode": 1.0,
     "knn_nonconformity": 1.2,
     "martingale_update": 0.8,
+    # Tier-0 pixel-statistic screen (repro.detectors.tier0): numpy-only
+    # SSIM / edge-IoU / moment z-scores, ~60x cheaper than the VAE+DI path
+    "pixelstat_screen": 0.05,
     # ODIN-Detect (Section 6.1.2: ~6 ms/frame)
     "odin_embed": 1.0,
     "odin_band_update": 4.0,

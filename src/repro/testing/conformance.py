@@ -157,7 +157,17 @@ def check_reset(spec, bundle, frames=None) -> None:
 
 def check_seed_determinism(spec, bundle, frames=None) -> None:
     """Two monitors built from the same bundle produce identical
-    decision sequences on the same stream (no hidden entropy)."""
+    decision sequences -- and end in bit-identical state -- on the same
+    stream (no hidden entropy).
+
+    The final ``state_dict`` comparison is the sharp edge: a composite
+    monitor whose *internal routing* consumes hidden RNG (e.g. a cascade
+    escalating at random) can emit coincidentally equal drift flags while
+    its inner detectors saw different frame subsequences; their
+    accumulated state (a martingale, a window buffer) is a continuous
+    function of exactly which frames were observed, so it diverges with
+    certainty.
+    """
     frames = frames if frames is not None else gaussian_stream(
         DETECT_SEED, list(DETECT_SEGMENTS))
     first, second = spec.build(bundle), spec.build(bundle)
@@ -169,6 +179,12 @@ def check_seed_determinism(spec, bundle, frames=None) -> None:
         _fail(spec, "determinism",
               f"drift_frame diverged: {first.drift_frame} vs "
               f"{second.drift_frame}")
+    if isinstance(first, Snapshotable) and isinstance(second, Snapshotable):
+        if not _state_equal(first.state_dict(), second.state_dict()):
+            _fail(spec, "determinism",
+                  "two monitors from the same bundle agree on every drift "
+                  "flag but end in different state: something inside "
+                  "consumes hidden entropy")
 
 
 def check_state_roundtrip(spec, bundle, frames=None,

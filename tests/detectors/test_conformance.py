@@ -128,6 +128,31 @@ class TestKitCatchesViolations:
             check_seed_determinism(_spec("entropic", Entropic), bundle,
                                    frames)
 
+    def test_hidden_rng_in_escalation_routing_caught(self, bundle, frames):
+        """A cascade whose *routing* gambles: the drift flags of two
+        same-bundle builds can coincide by luck, but the tier-1 detector
+        accumulates state over the escalated subsequence, so the kit's
+        final-state comparison catches the hidden entropy regardless."""
+        from repro.cascade import CascadeMonitor, EscalationPolicy
+        from repro.detectors.tier0 import PixelStatMonitor
+
+        class EntropicPolicy(EscalationPolicy):
+            def decide(self, suspicion):
+                # a fresh OS-seeded generator per decision: escalation
+                # consumes entropy no harness can replay
+                jitter = float(np.random.default_rng().uniform(-4.0, 4.0))
+                return super().decide(suspicion + jitter)
+
+        def factory(b):
+            return CascadeMonitor(PixelStatMonitor(b.sigma),
+                                  zoo.build("inspector", b),
+                                  policy=EntropicPolicy())
+
+        spec = DetectorSpec(name="rng-cascade", family="broken",
+                            description="broken", factory=factory)
+        with pytest.raises(ConformanceError, match="determinism"):
+            check_seed_determinism(spec, bundle, frames)
+
     def test_lossy_state_dict_caught(self, bundle, frames):
         class LossyState(_BrokenBase):
             def state_dict(self):

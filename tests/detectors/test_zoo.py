@@ -10,7 +10,8 @@ from repro.runtime import MonitorStage
 from repro.testing import make_registry
 
 EXPECTED_BUILTINS = {"inspector", "odin", "cusum", "ks", "moment",
-                     "ddm", "eddm", "adwin", "kswin", "page-hinkley"}
+                     "ddm", "eddm", "adwin", "kswin", "page-hinkley",
+                     "pixelstat", "cascade-di"}
 
 
 @pytest.fixture(scope="module")
