@@ -1,11 +1,14 @@
 """Accuracy shoot-out for the drift-detector zoo.
 
 Runs every detector registered in :mod:`repro.detectors.zoo` through the
-runtime kernel on the scenario matrix defined in
-:mod:`repro.detectors.bench` -- abrupt, subtle, gradual and slow
-distribution shifts plus a stationary specificity control -- and scores
-detection delay, false alarms and mean time between false alarms per
-cell, averaged over seeds.
+runtime kernel on the extended scenario matrix defined in
+:mod:`repro.detectors.bench` -- the core matrix (abrupt, subtle, gradual
+and slow distribution shifts plus a stationary specificity control) and
+the operational drift scripts (single-factor lighting/geometry drifts,
+recurring drift, an adversarially slow ramp, camera displacement with
+recalibration, a transient occluder) -- and scores detection delay,
+false alarms and mean time between false alarms per cell, averaged over
+seeds.  Script-backed cells carry per-factor attribution scores.
 
 The committed ``BENCH_detectors.json`` is the accuracy contract:
 ``scripts/check.sh detectors-smoke`` re-validates it against
@@ -28,6 +31,7 @@ sys.path.insert(
 
 from repro.detectors.bench import (
     DEFAULT_SEEDS,
+    extended_scenario_matrix,
     run_benchmark,
     write_detectors_report,
 )
@@ -82,8 +86,9 @@ def main(argv=None) -> int:
     else:
         seeds = (DEFAULT_SEEDS[:1] if args.quick else DEFAULT_SEEDS)
 
-    report = run_benchmark(detectors=detectors, seeds=seeds,
-                           quick=args.quick)
+    report = run_benchmark(detectors=detectors,
+                           scenarios=extended_scenario_matrix(args.quick),
+                           seeds=seeds, quick=args.quick)
     _print_report(report)
     write_detectors_report(args.output, report)
     print(f"\nwrote {args.output}")

@@ -51,6 +51,11 @@ LAYER_RULES = (
     ("repro.cascade", ("repro.parallel", "repro.serve",
                        "repro.experiments")),
     ("repro.detectors.tier0", ("repro.nn",)),
+    # drift scripts are pure scenario descriptions compiled down to
+    # streams and traces; the substrates consume them (the workload
+    # backend hands repro.serve a plain callable), never vice versa
+    ("repro.scenarios", ("repro.parallel", "repro.serve",
+                         "repro.experiments")),
 )
 
 

@@ -40,7 +40,11 @@ from repro.detectors.bench import DEFAULT_SEEDS, Scenario, scenario_matrix
 from repro.errors import CascadeError
 from repro.obs import Recorder
 from repro.sim.costs import PAPER_COSTS
-from repro.testing import gaussian_stream, make_pipeline
+from repro.testing import (
+    assert_rerun_identical,
+    gaussian_stream,
+    make_pipeline,
+)
 
 #: Escalation thresholds the frontier is swept over (reference-sigma
 #: units of tier-0 suspicion).
@@ -185,11 +189,10 @@ def run_benchmark(thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
     }
     first = next(iter(modes.values()))
     first_scenario = next(iter(matrix.values()))
-    rerun = score_cell(first, first_scenario, seeds)
-    if rerun != table[first.name]["scenarios"][first_scenario.name]:
-        raise AssertionError(
-            f"cascade benchmark is not deterministic: {first.name} / "
-            f"{first_scenario.name} changed between runs")
+    assert_rerun_identical(
+        "cascade", f"{first.name} / {first_scenario.name}",
+        table[first.name]["scenarios"][first_scenario.name],
+        score_cell(first, first_scenario, seeds))
     return {
         "schema_version": 1,
         "benchmark": "tiered-cascade accuracy/cost frontier",

@@ -24,6 +24,14 @@ accuracy metrics, each averaged over the scenario's seeds:
     Mean time between false alarms: pre-onset frames divided by the false
     alarm count, ``null`` when no run raised any false alarm.
 
+Script-backed scenarios (compiled from :mod:`repro.scenarios` drift
+scripts) additionally label each scenario with its ground-truth
+``factors`` and drift ``kind``, and each detected cell with an
+``attribution`` map -- per-factor sigma scores diagnosing which
+generative factor moved at the first post-onset detection, averaged over
+detecting seeds.  All three keys are optional, so hand-rolled segment
+scenarios and pre-existing reports stay schema-valid.
+
 Every number is computed in the simulated pipeline, so the committed
 report is reproducible bit for bit on any machine.
 """
@@ -46,6 +54,9 @@ _METRICS_ENTRY = {
         "runs": {"type": "integer", "minimum": 1},
         "false_alarms": {"type": "number", "minimum": 0},
         "mtbfa": {"type": ["number", "null"], "exclusiveMinimum": 0},
+        "attribution": {"type": "object", "properties": {},
+                        "additionalProperties": {"type": "number",
+                                                 "minimum": 0}},
     },
 }
 
@@ -70,6 +81,8 @@ _SCENARIO_ENTRY = {
         "onset": {"type": ["integer", "null"], "minimum": 0},
         "seeds": {"type": "array", "items": {"type": "integer",
                                              "minimum": 0}},
+        "factors": {"type": "array", "items": {"type": "string"}},
+        "kind": {"type": ["string", "null"]},
     },
 }
 

@@ -79,6 +79,11 @@ class DetectorReportError(ReproError):
     schema."""
 
 
+class ScenarioError(ReproError):
+    """A drift script is malformed (unknown factor or kind, inconsistent
+    temporal parameters) or could not be compiled to a backend."""
+
+
 class CascadeError(ReproError):
     """The tiered monitoring cascade was misused (a tier that does not
     satisfy the DriftMonitor protocol, or invalid escalation-policy

@@ -6,7 +6,8 @@ and the telemetry summary (:mod:`repro.obs.report`) -- validate their
 documents with this walker.  It implements the subset of JSON Schema the
 contracts use: ``type``, ``required``, ``properties``,
 ``additionalProperties`` (``False`` or a sub-schema for map-like objects),
-``items``, ``enum``, ``minimum``, ``maximum``, ``exclusiveMinimum``.
+``items``, ``minItems``, ``enum``, ``minimum``, ``maximum``,
+``exclusiveMinimum``.
 
 When the ``jsonschema`` package is importable, callers may additionally
 cross-check with :func:`cross_check` to guard the hand-rolled walker.
@@ -74,9 +75,14 @@ def walk_schema(value: object, schema: dict, path: str,
         for name, subschema in properties.items():
             if name in value:
                 walk_schema(value[name], subschema, f"{path}.{name}", errors)
-    elif isinstance(value, list) and "items" in schema:
-        for i, entry in enumerate(value):
-            walk_schema(entry, schema["items"], f"{path}[{i}]", errors)
+    elif isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items < minItems "
+                f"{schema['minItems']}")
+        if "items" in schema:
+            for i, entry in enumerate(value):
+                walk_schema(entry, schema["items"], f"{path}[{i}]", errors)
 
 
 def validate_document(document: object, schema: dict, label: str,

@@ -1,0 +1,118 @@
+"""Built-in drift scripts: the benchmark matrix plus operational scenarios.
+
+Two families:
+
+- :func:`core_scripts` re-expresses the original detector-benchmark
+  matrix (abrupt, subtle, gradual, slow, stationary) as factor scripts.
+  Each is a *compound* drift (all four independent factors move
+  together), compiled by :func:`~repro.scenarios.compile.feature_plan`
+  to exactly the ``(centre, length)`` segment lists the benchmark has
+  always used -- the golden-slice tests pin this bit for bit, including
+  the ``--quick`` halving (``DriftScript.scaled(0.5)``).
+- :func:`operational_scripts` adds the regimes real deployments hit
+  (the cups-counter failure modes; see "Open-Source Drift Detection
+  Tools in Action" in PAPERS.md): single-factor drifts for attribution
+  (lighting-only, geometry-only), recurring drift, an adversarially slow
+  quadratic ramp, camera displacement followed by recalibration, and a
+  transient occluder entangling appearance with object density.
+
+:func:`builtin_scripts` merges the two, and is what the extended
+benchmark matrix, the ``scenarios-smoke`` CI gate and the docs table
+iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ScenarioError
+from repro.scenarios.script import DriftScript, FactorTrack, compound
+
+#: Temporal layout shared by the matrix: every drifting script leaves the
+#: reference distribution at frame 120 (the false-alarm exposure window).
+ONSET = 120
+
+
+def core_scripts() -> Dict[str, DriftScript]:
+    """The legacy benchmark matrix as factor scripts (order preserved)."""
+    scripts = (
+        compound("abrupt", 240, "abrupt", ONSET, 6.0),
+        compound("subtle", 240, "abrupt", ONSET, 2.5),
+        compound("gradual", 320, "gradual", ONSET, 6.0,
+                 duration=160, steps=4),
+        compound("slow", 400, "gradual", ONSET, 3.0,
+                 duration=240, steps=4),
+        DriftScript("stationary", 240),
+    )
+    return {script.name: script for script in scripts}
+
+
+def operational_scripts() -> Dict[str, DriftScript]:
+    """The operational regimes, keyed by scenario name."""
+    scripts = (
+        # single-factor drifts: ground truth for per-factor attribution
+        DriftScript("lighting_only", 240, (
+            FactorTrack("lighting", "abrupt", ONSET, 6.0),)),
+        DriftScript("geometry_only", 240, (
+            FactorTrack("geometry", "abrupt", ONSET, 6.0),)),
+        # recurring: three compound episodes, 40 frames on / 40 off
+        compound("recurring", 400, "recurring", ONSET, 6.0,
+                 duration=40, period=80, recurrences=3),
+        # adversarially slow: a quantized quadratic ramp whose early
+        # risers stay far below any detection threshold
+        compound("adversarial_slow", 400, "adversarial_slow", ONSET, 3.0,
+                 duration=240, steps=8),
+        # a knocked camera holds its displaced geometry for 120 frames,
+        # then recalibration restores the baseline
+        DriftScript("camera_displacement", 320, (
+            FactorTrack("geometry", "camera_displacement", ONSET, 6.0,
+                        recovery=120),)),
+        # a matte occluder: entangles appearance (lighting dims) with
+        # object density for 80 frames, then is removed
+        DriftScript("occlusion", 280, (
+            FactorTrack("occlusion", "occlusion", ONSET, 6.0,
+                        duration=80),)),
+    )
+    return {script.name: script for script in scripts}
+
+
+def builtin_scripts() -> Dict[str, DriftScript]:
+    """Every built-in script: the core matrix then the operational set."""
+    scripts = core_scripts()
+    scripts.update(operational_scripts())
+    return scripts
+
+
+def get_script(name: str) -> DriftScript:
+    """Look up one built-in script by name."""
+    scripts = builtin_scripts()
+    if name not in scripts:
+        raise ScenarioError(
+            f"unknown script {name!r}; built-ins: {sorted(scripts)}")
+    return scripts[name]
+
+
+def slow_drift_script(frames: int, transition: int,
+                      feature_scale: float = 6.0) -> DriftScript:
+    """The paper's Section 6.1.3 slow-drift stream as a script.
+
+    A single smooth (``steps == 0``) gradual lighting ramp starting at
+    ``frames // 2``: the pixel backend lowers it onto stream-native
+    condition blending, reproducing ``make_slow_drift`` bit for bit
+    (day for the first half, then ``transition`` frames blending into
+    night).  ``magnitude == feature_scale`` drives lighting all the way
+    to the lit endpoint.
+    """
+    if frames < 4 or frames % 2:
+        raise ScenarioError(
+            f"slow-drift scripts need an even frame count >= 4, "
+            f"got {frames}")
+    onset = frames // 2
+    if not 0 < transition <= onset:
+        raise ScenarioError(
+            f"transition must be in (0, {onset}], got {transition}")
+    return DriftScript(
+        name="slow_drift", frames=frames,
+        tracks=(FactorTrack("lighting", "gradual", onset, feature_scale,
+                            duration=transition),),
+        feature_scale=feature_scale)

@@ -1,0 +1,352 @@
+"""Declarative drift scripts: typed factor tracks with structured ground
+truth.
+
+The paper's problem statement is a stream switching between distributions
+``F_k`` -- but a useful benchmark needs to know *what* changed, not just
+*when*.  A :class:`DriftScript` makes the change explicit: it is a set of
+:class:`FactorTrack` entries, each driving one generative factor
+(``lighting``, camera ``geometry``, object ``density``, sensor ``noise``,
+``occlusion``) through one temporal drift shape (``abrupt``, ``gradual``,
+``recurring``, ``adversarial_slow``, ``camera_displacement`` with
+recalibration, ``occlusion``).  Tracks sharing an onset form a
+correlated/compound drift.
+
+Every script yields structured ground truth: :meth:`DriftScript.events`
+returns one :class:`DriftEvent` per distribution change -- which factors
+moved, at which frame, by how much, and with what kind -- and
+:meth:`DriftScript.factor_values` gives the per-frame factor state.
+Magnitudes are expressed in reference-sigma units of the feature-space
+backend; the video backend normalizes by :attr:`DriftScript.feature_scale`
+to drive rendering parameters.
+
+One script compiles to three backends (see :mod:`repro.scenarios.compile`,
+:mod:`repro.scenarios.video` and :mod:`repro.scenarios.workload`): gaussian
+feature streams, pixel video streams, and drift-coupled serving workload
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import ScenarioError
+
+#: The addressable generative factors (disentangled axes of the frame
+#: distribution).  ``occlusion`` is a factor of its own: an occluder
+#: changes appearance *and* hides objects, so its feature-space dims
+#: overlap lighting and density (see ``repro.scenarios.compile``).
+FACTORS: Tuple[str, ...] = (
+    "lighting", "geometry", "density", "noise", "occlusion")
+
+#: Temporal drift shapes a track can follow.
+KINDS: Tuple[str, ...] = (
+    "abrupt", "gradual", "recurring", "adversarial_slow",
+    "camera_displacement", "occlusion")
+
+#: Event kinds: every track kind, plus the ``recalibration`` event a
+#: ``camera_displacement`` track emits when the camera is re-registered.
+EVENT_KINDS: Tuple[str, ...] = KINDS + ("recalibration",)
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One ground-truth distribution change.
+
+    ``frame`` is the first frame drawn from the changed distribution;
+    ``factors`` the (sorted) generative factors that moved; ``magnitude``
+    the largest factor displacement in reference-sigma units (``0.0`` for
+    a ``recalibration`` event, which returns the factor to baseline).
+    """
+
+    frame: int
+    factors: Tuple[str, ...]
+    kind: str
+    magnitude: float
+
+
+@dataclass(frozen=True)
+class FactorTrack:
+    """One factor driven through one drift shape.
+
+    ``magnitude`` is the peak displacement in reference-sigma units
+    (signed; an occluder *lowers* object density).  Temporal parameters by
+    kind:
+
+    - ``abrupt``: steps to ``magnitude`` at ``onset`` and holds.
+    - ``gradual`` / ``adversarial_slow``: ramps over ``duration`` frames
+      after ``onset`` then holds.  With ``steps > 0`` the ramp is a
+      staircase of ``steps`` equal risers (``duration`` must divide
+      evenly); with ``steps == 0`` it is per-frame smooth.
+      ``adversarial_slow`` eases quadratically, so early increments stay
+      far below detection thresholds.
+    - ``recurring``: a square wave -- active for ``duration`` frames at
+      ``onset + i * period`` for each of ``recurrences`` episodes.
+    - ``camera_displacement``: active from ``onset`` until recalibration
+      restores the baseline after ``recovery`` frames.
+    - ``occlusion``: active for ``duration`` frames from ``onset``, then
+      the occluder is removed.
+    """
+
+    factor: str
+    kind: str
+    onset: int
+    magnitude: float
+    duration: int = 0
+    period: int = 0
+    recurrences: int = 0
+    recovery: int = 0
+    steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.factor not in FACTORS:
+            raise ScenarioError(
+                f"factor must be one of {FACTORS}, got {self.factor!r}")
+        if self.kind not in KINDS:
+            raise ScenarioError(
+                f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.onset < 0:
+            raise ScenarioError(
+                f"onset must be non-negative, got {self.onset}")
+        if self.magnitude == 0.0:
+            raise ScenarioError(
+                "magnitude must be non-zero (a zero-magnitude track is "
+                "not a drift)")
+        if self.kind in ("gradual", "adversarial_slow", "occlusion"):
+            if self.duration <= 0:
+                raise ScenarioError(
+                    f"{self.kind} tracks need a positive duration, "
+                    f"got {self.duration}")
+        if self.kind == "adversarial_slow" and self.steps <= 0:
+            raise ScenarioError(
+                "adversarial_slow tracks must quantize their ramp "
+                "(steps > 0), so every increment is an addressable "
+                "sub-threshold rise")
+        if self.steps < 0:
+            raise ScenarioError(f"steps must be >= 0, got {self.steps}")
+        if self.steps > 0 and self.duration % self.steps != 0:
+            raise ScenarioError(
+                f"duration {self.duration} must divide evenly into "
+                f"{self.steps} steps")
+        if self.kind == "recurring":
+            if self.recurrences < 1:
+                raise ScenarioError(
+                    f"recurring tracks need recurrences >= 1, "
+                    f"got {self.recurrences}")
+            if self.duration <= 0 or self.period <= self.duration:
+                raise ScenarioError(
+                    f"recurring tracks need 0 < duration < period, got "
+                    f"duration={self.duration} period={self.period}")
+        if self.kind == "camera_displacement" and self.recovery <= 0:
+            raise ScenarioError(
+                f"camera_displacement tracks need recovery > 0 (frames "
+                f"until recalibration), got {self.recovery}")
+
+    # ------------------------------------------------------------------
+    def value_at(self, frame: int) -> float:
+        """The track's displacement (sigma units) at global ``frame``."""
+        p = frame - self.onset
+        if p < 0:
+            return 0.0
+        if self.kind == "abrupt":
+            return self.magnitude
+        if self.kind in ("gradual", "adversarial_slow"):
+            if p >= self.duration:
+                return self.magnitude
+            if self.steps > 0:
+                progress = (p // (self.duration // self.steps) + 1) / self.steps
+            else:
+                progress = (p + 1) / self.duration
+            if self.kind == "adversarial_slow":
+                progress = progress * progress
+            return self.magnitude * progress
+        if self.kind == "recurring":
+            if p >= self.period * self.recurrences:
+                return 0.0
+            return self.magnitude if (p % self.period) < self.duration else 0.0
+        if self.kind == "camera_displacement":
+            return self.magnitude if p < self.recovery else 0.0
+        # occlusion
+        return self.magnitude if p < self.duration else 0.0
+
+    def change_points(self) -> List[int]:
+        """Frames where :meth:`value_at` may change (for piecewise
+        compilation); always includes the onset."""
+        if self.kind == "abrupt":
+            return [self.onset]
+        if self.kind in ("gradual", "adversarial_slow"):
+            if self.steps > 0:
+                riser = self.duration // self.steps
+                points = [self.onset + i * riser for i in range(self.steps)]
+            else:
+                points = list(range(self.onset, self.onset + self.duration))
+            return points + [self.onset + self.duration]
+        if self.kind == "recurring":
+            points = []
+            for i in range(self.recurrences):
+                start = self.onset + i * self.period
+                points.extend([start, start + self.duration])
+            return points
+        if self.kind == "camera_displacement":
+            return [self.onset, self.onset + self.recovery]
+        return [self.onset, self.onset + self.duration]
+
+    def events(self, frames: int) -> List[DriftEvent]:
+        """Ground-truth events inside a ``frames``-long script."""
+        out: List[DriftEvent] = []
+        if self.kind == "recurring":
+            for i in range(self.recurrences):
+                start = self.onset + i * self.period
+                if start < frames:
+                    out.append(DriftEvent(start, (self.factor,),
+                                          "recurring", self.magnitude))
+            return out
+        if self.onset < frames:
+            out.append(DriftEvent(self.onset, (self.factor,), self.kind,
+                                  self.magnitude))
+        if self.kind == "camera_displacement" \
+                and self.onset + self.recovery < frames:
+            out.append(DriftEvent(self.onset + self.recovery,
+                                  (self.factor,), "recalibration", 0.0))
+        return out
+
+    def scaled(self, scale: float) -> "FactorTrack":
+        """Shrink/stretch the track's temporal parameters by ``scale``.
+
+        Staircase ramps keep their step count, so riser values (and hence
+        the compiled segment means) are preserved exactly; only lengths
+        change -- matching the benchmark's ``--quick`` halving.
+        """
+        if scale <= 0:
+            raise ScenarioError(f"scale must be positive, got {scale}")
+
+        def stretch(value: int, minimum: int = 0) -> int:
+            return max(int(value * scale), minimum) if value else value
+
+        duration = stretch(self.duration, minimum=max(self.steps, 1))
+        if self.steps > 0 and duration % self.steps != 0:
+            duration = (duration // self.steps) * self.steps or self.steps
+        return replace(
+            self, onset=max(int(self.onset * scale), 0), duration=duration,
+            period=stretch(self.period, minimum=duration + 1),
+            recovery=stretch(self.recovery, minimum=1 if self.recovery else 0))
+
+
+@dataclass(frozen=True)
+class DriftScript:
+    """A named drift scenario: factor tracks over a fixed frame horizon.
+
+    ``feature_scale`` is the sigma displacement that corresponds to a
+    fully-driven factor in the pixel backend (magnitude ``feature_scale``
+    maps lighting all the way from the base to the target condition).
+    """
+
+    name: str
+    frames: int
+    tracks: Tuple[FactorTrack, ...] = ()
+    feature_scale: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scripts need a non-empty name")
+        if self.frames <= 0:
+            raise ScenarioError(
+                f"frames must be positive, got {self.frames}")
+        if self.feature_scale <= 0:
+            raise ScenarioError(
+                f"feature_scale must be positive, got {self.feature_scale}")
+        object.__setattr__(self, "tracks", tuple(self.tracks))
+        for track in self.tracks:
+            if not isinstance(track, FactorTrack):
+                raise ScenarioError(
+                    f"tracks must be FactorTrack instances, got "
+                    f"{type(track).__name__}")
+            if track.onset >= self.frames:
+                raise ScenarioError(
+                    f"track on {track.factor!r} has onset {track.onset} "
+                    f"outside the {self.frames}-frame script")
+
+    # ------------------------------------------------------------------
+    @property
+    def stationary(self) -> bool:
+        return not self.tracks
+
+    def factor_values(self, frame: int) -> Dict[str, float]:
+        """Per-factor displacement (sigma units) at ``frame``; factors
+        without a track report ``0.0``.  Multiple tracks on one factor
+        add."""
+        if frame < 0 or frame >= self.frames:
+            raise ScenarioError(
+                f"frame {frame} outside the {self.frames}-frame script")
+        values = {factor: 0.0 for factor in FACTORS}
+        for track in self.tracks:
+            values[track.factor] += track.value_at(frame)
+        return values
+
+    def events(self) -> Tuple[DriftEvent, ...]:
+        """Ground-truth change log, ordered by frame.
+
+        Tracks whose events share a frame and kind merge into one
+        compound event (``factors`` holds every mover, ``magnitude`` the
+        largest absolute displacement among them).
+        """
+        merged: Dict[Tuple[int, str], List[DriftEvent]] = {}
+        for track in self.tracks:
+            for event in track.events(self.frames):
+                merged.setdefault((event.frame, event.kind), []).append(event)
+        out: List[DriftEvent] = []
+        for (frame, kind), group in sorted(merged.items()):
+            factors = tuple(sorted({f for e in group for f in e.factors}))
+            magnitude = max((e.magnitude for e in group), key=abs)
+            out.append(DriftEvent(frame, factors, kind, magnitude))
+        return tuple(out)
+
+    def onsets(self) -> Tuple[int, ...]:
+        """Frames where the distribution changes (sorted, unique)."""
+        return tuple(sorted({event.frame for event in self.events()}))
+
+    @property
+    def onset(self) -> "int | None":
+        """The first distribution change, ``None`` for a stationary
+        script (the benchmark's false-alarm control)."""
+        onsets = self.onsets()
+        return onsets[0] if onsets else None
+
+    def change_points(self) -> List[int]:
+        """Sorted frames where any factor value may change, bounded to
+        the script (frame 0 always included)."""
+        points = {0}
+        for track in self.tracks:
+            points.update(p for p in track.change_points()
+                          if 0 < p < self.frames)
+        return sorted(points)
+
+    def scaled(self, scale: float) -> "DriftScript":
+        """The script with every temporal parameter scaled (``0.5`` is
+        the benchmark's ``--quick`` variant); magnitudes are untouched."""
+        if scale <= 0:
+            raise ScenarioError(f"scale must be positive, got {scale}")
+        return DriftScript(
+            name=self.name,
+            frames=max(int(self.frames * scale), 1),
+            tracks=tuple(track.scaled(scale) for track in self.tracks),
+            feature_scale=self.feature_scale)
+
+    def drifted_factors(self) -> Tuple[str, ...]:
+        """Sorted factors that ever leave baseline."""
+        return tuple(sorted({track.factor for track in self.tracks}))
+
+
+def compound(name: str, frames: int, kind: str, onset: int,
+             magnitude: float,
+             factors: Tuple[str, ...] = ("lighting", "geometry",
+                                         "density", "noise"),
+             feature_scale: float = 6.0, **track_kwargs) -> DriftScript:
+    """A correlated drift: every factor in ``factors`` follows the same
+    track, so all feature dims move together -- the classic 'the whole
+    distribution shifted' scenario of the original benchmark matrix."""
+    tracks = tuple(FactorTrack(factor=factor, kind=kind, onset=onset,
+                               magnitude=magnitude, **track_kwargs)
+                   for factor in factors)
+    return DriftScript(name=name, frames=frames, tracks=tracks,
+                       feature_scale=feature_scale)

@@ -1,0 +1,195 @@
+"""Pixel backend: compile a :class:`DriftScript` to a drifting
+:class:`~repro.video.stream.VideoStream`.
+
+The script's sigma-unit factor values are normalized by
+``script.feature_scale`` and mapped onto the addressable
+:class:`~repro.video.scenes.FactorAxes`: lighting blends the base
+condition toward the lit one, geometry interpolates the camera toward its
+displaced placement, density shifts the objects-per-frame mean, noise
+adds sensor noise, occlusion draws a matte occluder.
+
+Two lowering strategies:
+
+- **Piecewise** (the general case): one :class:`SegmentSpec` per
+  constant piece of the factor trajectory.  Requires every track to be
+  quantized (``steps > 0`` for ramps) -- a per-frame smooth ramp would
+  otherwise explode into thousands of one-frame segments, each resetting
+  the object population.
+- **Transition** (single smooth gradual lighting track): lowered to the
+  stream's native condition blending -- a base segment followed by a
+  target segment whose leading ``transition`` frames interpolate, frame
+  by frame, exactly as the track's smooth ramp prescribes.  This is the
+  lowering that re-expresses the paper's slow-drift dataset
+  (``make_slow_drift``) as a script, bit-identically.
+
+Imports only :mod:`repro.video` submodules (scenes / stream / renderer),
+never ``repro.video.datasets`` -- the datasets module builds *on* this
+compiler, so the dependency must point one way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ScenarioError
+from repro.scenarios.compile import observed_events
+from repro.scenarios.script import DriftEvent, DriftScript, FACTORS
+from repro.video.renderer import Renderer
+from repro.video.scenes import FactorAxes, SegmentSpec
+from repro.video.stream import VideoStream
+
+
+@dataclass(frozen=True)
+class VideoProfile:
+    """Rendering parameters orthogonal to the drift factors."""
+
+    objects_mean: float = 19.2
+    objects_std: float = 4.7
+    bus_fraction: float = 0.2
+    frame_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.objects_mean <= 0:
+            raise ScenarioError(
+                f"objects_mean must be positive, got {self.objects_mean}")
+        if self.frame_size < 8:
+            raise ScenarioError(
+                f"frame_size must be >= 8, got {self.frame_size}")
+
+
+@dataclass(frozen=True)
+class CompiledVideoStream:
+    """The pixel-space compilation of one script.
+
+    ``events`` is derived by *scanning* the factor trajectory
+    (:func:`~repro.scenarios.compile.observed_events`), independently of
+    the declarative :meth:`DriftScript.events` the feature backend
+    carries -- the property suite cross-checks the two.
+    """
+
+    name: str
+    stream: VideoStream
+    segments: Tuple[SegmentSpec, ...]
+    events: Tuple[DriftEvent, ...]
+
+    def onsets(self) -> Tuple[int, ...]:
+        return tuple(sorted({event.frame for event in self.events}))
+
+
+def _axis_values(script: DriftScript, axes: FactorAxes,
+                 values: Dict[str, float]) -> Dict[str, float]:
+    """Normalize sigma-unit factor values onto the [0, 1] factor axes."""
+    scale = script.feature_scale
+    out = {}
+    for factor in FACTORS:
+        normalized = values[factor] / scale
+        bound = (-1.0, 1.0) if factor == "density" else (0.0, 1.0)
+        if not bound[0] <= normalized <= bound[1]:
+            raise ScenarioError(
+                f"factor {factor!r} value {values[factor]} maps outside "
+                f"the {bound} axis range at feature_scale {scale}; lower "
+                f"the magnitude or raise feature_scale")
+        out[factor] = normalized
+    return out
+
+
+def _segment(script: DriftScript, axes: FactorAxes, profile: VideoProfile,
+             name: str, length: int, values: Dict[str, float],
+             transition: int = 0) -> SegmentSpec:
+    axis = _axis_values(script, axes, values)
+    condition = axes.condition_at(lighting=axis["lighting"],
+                                  noise=axis["noise"],
+                                  occlusion=axis["occlusion"])
+    return SegmentSpec(
+        name=name,
+        condition=condition,
+        angle=axes.angle_at(axis["geometry"]),
+        length=length,
+        objects_mean=max(profile.objects_mean
+                         + axes.density_shift(axis["density"]), 0.5),
+        objects_std=profile.objects_std,
+        bus_fraction=profile.bus_fraction,
+        transition=transition)
+
+
+def _piece_name(axes: FactorAxes, values: Dict[str, float],
+                used: Dict[str, int]) -> str:
+    active = [factor for factor in FACTORS if values[factor] != 0.0]
+    base = "+".join(active) if active else axes.base_condition.name
+    count = used.get(base, 0)
+    used[base] = count + 1
+    return base if count == 0 else f"{base}.{count}"
+
+
+def _smooth_tracks(script: DriftScript):
+    return [track for track in script.tracks
+            if track.kind == "gradual" and track.steps == 0]
+
+
+def _compile_transition(script: DriftScript, axes: FactorAxes,
+                        profile: VideoProfile) -> List[SegmentSpec]:
+    """Lower a single smooth lighting ramp onto stream-native blending."""
+    track = script.tracks[0]
+    if track.onset == 0:
+        raise ScenarioError(
+            "a smooth lighting ramp needs a leading baseline segment "
+            "(onset > 0) to blend from")
+    if track.onset + track.duration > script.frames:
+        raise ScenarioError(
+            f"smooth ramp (onset {track.onset} + duration "
+            f"{track.duration}) overruns the {script.frames}-frame script")
+    baseline = {factor: 0.0 for factor in FACTORS}
+    lit = dict(baseline, lighting=track.magnitude)
+    pre = _segment(script, axes, profile, axes.base_condition.name,
+                   track.onset, baseline)
+    post = _segment(script, axes, profile, None, script.frames - track.onset,
+                    lit, transition=track.duration)
+    # name the target segment after its condition endpoint ("night"), the
+    # vocabulary the model registry and fig4 experiment key on
+    post = SegmentSpec(
+        name=post.condition.name, condition=post.condition,
+        angle=post.angle, length=post.length,
+        objects_mean=post.objects_mean, objects_std=post.objects_std,
+        bus_fraction=post.bus_fraction, transition=post.transition)
+    return [pre, post]
+
+
+def _compile_piecewise(script: DriftScript, axes: FactorAxes,
+                       profile: VideoProfile) -> List[SegmentSpec]:
+    boundaries = script.change_points() + [script.frames]
+    segments: List[SegmentSpec] = []
+    used: Dict[str, int] = {}
+    for start, end in zip(boundaries, boundaries[1:]):
+        if end <= start:
+            continue
+        values = script.factor_values(start)
+        name = _piece_name(axes, values, used)
+        segments.append(
+            _segment(script, axes, profile, name, end - start, values))
+    return segments
+
+
+def compile_video(script: DriftScript, seed=None,
+                  profile: VideoProfile = VideoProfile(),
+                  axes: FactorAxes = FactorAxes()) -> CompiledVideoStream:
+    """Compile ``script`` to a seeded pixel stream with ground truth."""
+    smooth = _smooth_tracks(script)
+    if smooth:
+        if len(script.tracks) != 1 or smooth[0].factor != "lighting":
+            raise ScenarioError(
+                "smooth (steps == 0) ramps lower onto stream-native "
+                "condition blending, which supports exactly one gradual "
+                "lighting track; quantize other ramps with steps > 0")
+        segments = _compile_transition(script, axes, profile)
+    elif script.tracks:
+        segments = _compile_piecewise(script, axes, profile)
+    else:
+        segments = [_segment(script, axes, profile,
+                             axes.base_condition.name, script.frames,
+                             {factor: 0.0 for factor in FACTORS})]
+    renderer = Renderer(profile.frame_size, profile.frame_size)
+    stream = VideoStream(segments, renderer=renderer, seed=seed)
+    return CompiledVideoStream(
+        name=script.name, stream=stream, segments=tuple(segments),
+        events=observed_events(script))

@@ -1,0 +1,109 @@
+"""Workload backend: compile a :class:`DriftScript` into a drift-coupled
+arrival-rate profile for the serving layer.
+
+Drift and overload are correlated in practice: the scene change that
+shifts the frame distribution (rush hour, a storm, a knocked camera
+being investigated) also changes how much traffic the cameras emit, so a
+serving benchmark that draws arrivals independently of drift never
+exercises the interaction.  :func:`compile_workload` lowers a script's
+factor trajectory into a piecewise-constant rate *multiplier* over
+simulated time: ``1.0`` at baseline, rising linearly with the script's
+normalized drive (the largest factor displacement over
+``feature_scale``) up to ``surge`` when a factor is fully driven.
+
+The profile is a pure function of ``(script, coupling)`` -- no RNG, no
+serving imports (the serving layer consumes profiles via the
+``modulation`` hook of :func:`repro.serve.arrivals.generate_arrivals`;
+``repro.scenarios`` never imports ``repro.serve``, the layer lint pins
+the direction).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ScenarioError
+from repro.scenarios.script import DriftEvent, DriftScript
+
+
+@dataclass(frozen=True)
+class WorkloadCoupling:
+    """How strongly (and at what frame rate) drift drives arrivals.
+
+    ``fps`` maps script frames onto simulated milliseconds (frame ``f``
+    covers ``[f, f + 1) * 1000 / fps``); ``surge`` is the rate
+    multiplier while a factor is fully driven; ``baseline`` the
+    multiplier while the script sits at its reference distribution.
+    """
+
+    fps: float = 30.0
+    surge: float = 2.5
+    baseline: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ScenarioError(f"fps must be positive, got {self.fps}")
+        if self.baseline <= 0:
+            raise ScenarioError(
+                f"baseline must be positive, got {self.baseline}")
+        if self.surge < self.baseline:
+            raise ScenarioError(
+                f"surge must be >= baseline, got surge={self.surge} "
+                f"baseline={self.baseline}")
+
+
+@dataclass(frozen=True)
+class CompiledWorkload:
+    """The workload compilation of one script: a piecewise rate profile.
+
+    ``pieces`` is ``(start_ms, multiplier)`` per constant piece, sorted
+    by start; the final piece's multiplier holds beyond the script's
+    horizon (a displaced camera stays displaced until someone fixes it).
+    """
+
+    name: str
+    coupling: WorkloadCoupling
+    pieces: Tuple[Tuple[float, float], ...]
+    events: Tuple[DriftEvent, ...]
+
+    def multiplier_at(self, t_ms: float) -> float:
+        """The arrival-rate multiplier at simulated time ``t_ms``."""
+        if t_ms < 0:
+            return self.coupling.baseline
+        starts = [start for start, _ in self.pieces]
+        return self.pieces[bisect_right(starts, t_ms) - 1][1]
+
+    def __call__(self, t_ms: float) -> float:
+        """Profiles are directly usable as an arrivals ``modulation``."""
+        return self.multiplier_at(t_ms)
+
+    @property
+    def peak(self) -> float:
+        return max(multiplier for _, multiplier in self.pieces)
+
+
+def drive_at(script: DriftScript, frame: int) -> float:
+    """The script's normalized drive at ``frame``: the largest factor
+    displacement as a fraction of ``feature_scale``, clamped to 1."""
+    values = script.factor_values(frame)
+    return min(max(abs(value) for value in values.values())
+               / script.feature_scale, 1.0)
+
+
+def compile_workload(
+        script: DriftScript,
+        coupling: WorkloadCoupling = WorkloadCoupling()) -> CompiledWorkload:
+    """Compile ``script`` to a drift-coupled arrival-rate profile."""
+    frame_ms = 1000.0 / coupling.fps
+    span = coupling.surge - coupling.baseline
+    pieces = []
+    for start in script.change_points():
+        multiplier = coupling.baseline + span * drive_at(script, start)
+        if pieces and pieces[-1][1] == multiplier:
+            continue
+        pieces.append((start * frame_ms, multiplier))
+    return CompiledWorkload(
+        name=script.name, coupling=coupling, pieces=tuple(pieces),
+        events=script.events())

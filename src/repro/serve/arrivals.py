@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,7 +152,9 @@ def generate_arrivals(frames: np.ndarray, config: WorkloadConfig,
                       stream_id: str = "stream",
                       deadline_ms: float = 100.0,
                       seed: SeedLike = None,
-                      start_ms: float = 0.0) -> List[FrameArrival]:
+                      start_ms: float = 0.0,
+                      modulation: Optional[Callable[[float], float]] = None,
+                      ) -> List[FrameArrival]:
     """Stamp ``frames`` with open-loop arrival times and deadlines.
 
     The inter-arrival gap before each frame is an exponential draw at the
@@ -162,6 +164,15 @@ def generate_arrivals(frames: np.ndarray, config: WorkloadConfig,
     via :func:`repro.rng.derive` + :func:`~repro.rng.stable_hash`, so each
     stream's trace is independent of every other stream's and of the order
     streams are generated in.
+
+    ``modulation``, when given, multiplies the instantaneous rate: a
+    callable from simulated milliseconds to a positive factor.  This is
+    the seam drift-coupled workloads plug into -- a compiled
+    ``repro.scenarios`` workload profile is such a callable, making
+    arrivals surge exactly while the scene drifts (the serving layer
+    never imports the scenario compiler; the coupling flows the other
+    way, as a plain function).  ``None`` leaves the trace bit-identical
+    to what this function has always produced.
     """
     if deadline_ms <= 0:
         raise ConfigurationError(
@@ -174,6 +185,13 @@ def generate_arrivals(frames: np.ndarray, config: WorkloadConfig,
     t = float(start_ms)
     for seq in range(stack.shape[0]):
         rate = config.rate_at(t)
+        if modulation is not None:
+            factor = float(modulation(t))
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"modulation must stay positive, got {factor} at "
+                    f"t={t} ms")
+            rate *= factor
         t += float(rng.exponential(1000.0 / rate))
         arrivals.append(FrameArrival(
             stream_id=stream_id, seq=seq, frame=stack[seq],

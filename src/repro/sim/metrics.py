@@ -55,19 +55,24 @@ def mean_delay(records: List[DetectionRecord]) -> float:
 
 
 class InvocationCounter:
-    """Counts model invocations per processed frame (Figure 6's metric)."""
+    """Counts model invocations per processed frame (Figure 6's metric).
+
+    State is O(models), not O(frames): every exported metric is a ratio
+    of running counts, so the counter keeps sufficient statistics
+    (frames seen, invocations made, multi-model frames) instead of a
+    per-frame log.  That keeps long-lived sessions' checkpoints bounded
+    no matter how many frames they process.
+    """
 
     def __init__(self) -> None:
-        self._per_frame: List[int] = []
+        self._frames = 0
+        self._invocations = 0
+        self._multi_frames = 0
         self._per_model: Dict[str, int] = {}
 
     def record(self, models: List[str]) -> None:
         """Record that ``models`` were all invoked for one frame."""
-        if not models:
-            raise ConfigurationError("a frame must invoke at least one model")
-        self._per_frame.append(len(models))
-        for name in models:
-            self._per_model[name] = self._per_model.get(name, 0) + 1
+        self.record_repeat(models, 1)
 
     def record_repeat(self, models: List[str], times: int) -> None:
         """Record ``times`` consecutive frames that each invoked ``models``
@@ -76,43 +81,57 @@ class InvocationCounter:
             raise ConfigurationError("a frame must invoke at least one model")
         if times < 0:
             raise ConfigurationError(f"times must be non-negative: {times}")
-        self._per_frame.extend([len(models)] * times)
+        self._frames += times
+        self._invocations += len(models) * times
+        if len(models) > 1:
+            self._multi_frames += times
         for name in models:
             self._per_model[name] = self._per_model.get(name, 0) + times
 
     @property
     def frames(self) -> int:
-        return len(self._per_frame)
+        return self._frames
 
     @property
     def total_invocations(self) -> int:
-        return sum(self._per_frame)
+        return self._invocations
 
     @property
     def invocations_per_frame(self) -> float:
         """The paper's headline metric; 1.0 means single-model processing."""
-        if not self._per_frame:
+        if not self._frames:
             return 0.0
-        return self.total_invocations / self.frames
+        return self._invocations / self._frames
 
     @property
     def ensemble_fraction(self) -> float:
         """Fraction of frames processed by more than one model."""
-        if not self._per_frame:
+        if not self._frames:
             return 0.0
-        return sum(1 for n in self._per_frame if n > 1) / self.frames
+        return self._multi_frames / self._frames
 
     def per_model(self) -> Dict[str, int]:
         return dict(self._per_model)
 
     def state_dict(self) -> dict:
         """JSON-serializable snapshot for checkpoint / restore."""
-        return {"per_frame": list(self._per_frame),
+        return {"frames": self._frames,
+                "invocations": self._invocations,
+                "multi_frames": self._multi_frames,
                 "per_model": dict(self._per_model)}
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore a snapshot taken by :meth:`state_dict`."""
-        self._per_frame = [int(n) for n in state["per_frame"]]
+        """Restore a snapshot taken by :meth:`state_dict` (or by the
+        pre-bounded format that logged one entry per frame)."""
+        if "per_frame" in state:  # legacy checkpoint format
+            per_frame = [int(n) for n in state["per_frame"]]
+            self._frames = len(per_frame)
+            self._invocations = sum(per_frame)
+            self._multi_frames = sum(1 for n in per_frame if n > 1)
+        else:
+            self._frames = int(state["frames"])
+            self._invocations = int(state["invocations"])
+            self._multi_frames = int(state["multi_frames"])
         self._per_model = {str(k): int(v)
                            for k, v in state["per_model"].items()}
 

@@ -25,9 +25,11 @@ from repro.core.nonconformity import KNNDistance
 from repro.core.pipeline import DriftAwareAnalytics, PipelineConfig
 from repro.core.selection.msbi import MSBI, MSBIConfig
 from repro.core.selection.registry import ModelBundle, ModelRegistry
+from repro.scenarios.compile import FEATURE_DIM, generate_plan
 
-#: Latent dimensionality of the synthetic gaussian fleet.
-DIM = 6
+#: Latent dimensionality of the synthetic gaussian fleet (the scenario
+#: compiler's latent space -- one source of truth).
+DIM = FEATURE_DIM
 
 
 class ConstantModel:
@@ -76,11 +78,24 @@ def make_pipeline(seed: int = 0,
 
 
 def gaussian_stream(seed: int, segments) -> np.ndarray:
-    """Frames from consecutive ``(centre, length)`` gaussian segments."""
-    rng = np.random.default_rng(seed)
-    chunks = [rng.normal(centre, 1.0, size=(length, DIM))
-              for centre, length in segments]
-    return np.vstack(chunks)
+    """Frames from consecutive ``(centre, length)`` gaussian segments.
+
+    Back-compat shim over the scenario compiler: a segment list *is* a
+    feature plan (``centre`` may also be a per-dimension tuple), and
+    :func:`~repro.scenarios.compile.generate_plan` makes the exact RNG
+    calls this function historically made, so every caller stays
+    bit-identical.
+    """
+    return generate_plan(seed, list(segments), dim=DIM)
+
+
+def assert_rerun_identical(benchmark: str, cell: str, first, rerun) -> None:
+    """The accuracy benchmarks' shared determinism guard: re-score one
+    cell after the full table and fail loudly if it moved."""
+    if first != rerun:
+        raise AssertionError(
+            f"{benchmark} benchmark is not deterministic: {cell} "
+            f"changed between runs")
 
 
 def result_sig(result):

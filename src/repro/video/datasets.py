@@ -162,25 +162,40 @@ def make_slow_drift(scale: float = 100.0, seed: SeedLike = 3,
                     transition_fraction: float = 0.5) -> DriftingDataset:
     """The slow-drift setting (Section 6.1.3): a day segment followed by a
     night segment whose leading frames blend gradually from day, like a live
-    camera at dusk."""
+    camera at dusk.
+
+    Since PR 10 the stream is authored as a declarative drift script --
+    a single smooth gradual lighting track
+    (:func:`repro.scenarios.slow_drift_script`) lowered through the
+    scenario compiler's transition strategy -- and compiles bit-identically
+    to the hand-rolled day/night segment pair it replaces (pinned by
+    ``tests/video/test_datasets.py``).  The script's ground-truth events
+    ride along in ``metadata``.
+    """
+    # function-level import: repro.video.__init__ loads this module, and
+    # repro.scenarios.video imports repro.video submodules, so a module-
+    # level import here would be circular
+    from repro.scenarios import (
+        VideoProfile,
+        compile_video,
+        slow_drift_script,
+    )
     if not 0.0 < transition_fraction <= 1.0:
         raise ConfigurationError(
             f"transition_fraction must be in (0, 1], got {transition_fraction}")
     length = _scaled(10_000, scale)
     transition = max(2, int(length * transition_fraction))
-    renderer = Renderer(frame_size, frame_size)
-    segments = [
-        SegmentSpec(name="day", condition=DAY, length=length,
-                    objects_mean=19.2, objects_std=4.7),
-        SegmentSpec(name="night", condition=NIGHT, length=length,
-                    objects_mean=19.2, objects_std=4.7,
-                    transition=transition),
-    ]
-    stream = VideoStream(segments, renderer=renderer, seed=seed)
-    return DriftingDataset(name="TokyoLive", stream=stream,
+    script = slow_drift_script(frames=2 * length, transition=transition)
+    compiled = compile_video(
+        script, seed=seed,
+        profile=VideoProfile(objects_mean=19.2, objects_std=4.7,
+                             frame_size=frame_size))
+    return DriftingDataset(name="TokyoLive", stream=compiled.stream,
                            num_count_classes=8, count_bucket_width=5,
                            paper_stream_size=20_000, paper_sequences=2,
-                           metadata={"transition_frames": transition})
+                           metadata={"transition_frames": transition,
+                                     "script": script.name,
+                                     "events": compiled.events})
 
 
 def all_datasets(scale: float = 100.0,

@@ -3,8 +3,9 @@
 Frames are grayscale float arrays in ``[0, 1]`` with shape ``(H, W)``.
 The renderer composes, in order: a background gradient (oriented by the
 camera angle, lit by the condition), a road band, the objects (rectangles,
-with headlight dots at night), then condition noise (sensor noise, rain
-streaks, snow speckle).  Everything is vectorised numpy; no image libraries.
+with headlight dots at night), an optional matte occluder hiding part of
+the view, then condition noise (sensor noise, rain streaks, snow
+speckle).  Everything is vectorised numpy; no image libraries.
 """
 
 from __future__ import annotations
@@ -107,6 +108,22 @@ class Renderer:
             if hy + 1 < self.height:
                 canvas[hy + 1, hx] = 0.9
 
+    def _occluder(self, canvas: np.ndarray,
+                  condition: SceneCondition) -> None:
+        """A matte object (fallen sign, grown foliage, smudged lens)
+        covering the leading ``occlusion`` fraction of the view.
+
+        Drawn after the objects so it genuinely *hides* them (the cups-
+        counter failure mode: the scene looks stable while the objects the
+        query counts are gone), and before weather so sensor noise still
+        covers the whole frame.
+        """
+        if condition.occlusion <= 0:
+            return
+        cols = min(int(round(condition.occlusion * self.width)), self.width)
+        if cols > 0:
+            canvas[:, :cols] = 0.05
+
     def _weather(self, canvas: np.ndarray, condition: SceneCondition,
                  rng: np.random.Generator) -> np.ndarray:
         if condition.rain_streaks > 0:
@@ -133,5 +150,6 @@ class Renderer:
         canvas = self._background(condition, angle)
         for obj in objects:
             self._draw_object(canvas, obj, condition, angle)
+        self._occluder(canvas, condition)
         canvas = self._weather(canvas, condition, noise_rng)
         return np.clip(canvas, 0.0, 1.0)

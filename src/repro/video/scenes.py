@@ -11,7 +11,7 @@ statement.  Conditions support linear interpolation so streams can drift
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -29,6 +29,7 @@ class SceneCondition:
     snow_speckle: float = 0.0         # density of bright speckles
     headlights: bool = False          # draw bright dots on objects (night)
     contrast: float = 1.0             # background gradient contrast
+    occlusion: float = 0.0            # fraction of the view an occluder hides
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.background <= 1.0:
@@ -37,6 +38,9 @@ class SceneCondition:
         if self.noise_std < 0:
             raise ConfigurationError(
                 f"noise_std must be non-negative, got {self.noise_std}")
+        if not 0.0 <= self.occlusion <= 1.0:
+            raise ConfigurationError(
+                f"occlusion must be in [0, 1], got {self.occlusion}")
 
     def blend(self, other: "SceneCondition", t: float) -> "SceneCondition":
         """Linear interpolation toward ``other`` (``t`` in [0, 1]).
@@ -59,6 +63,7 @@ class SceneCondition:
             snow_speckle=lerp(self.snow_speckle, other.snow_speckle),
             headlights=other.headlights if t > 0.5 else self.headlights,
             contrast=lerp(self.contrast, other.contrast),
+            occlusion=lerp(self.occlusion, other.occlusion),
         )
 
 
@@ -99,6 +104,11 @@ SNOW = SceneCondition(name="snow", background=0.78, object_gain=0.85,
 CONDITIONS = {c.name: c for c in (DAY, NIGHT, RAIN, SNOW)}
 
 FRONT = CameraAngle(name="front")
+
+#: The default endpoint of the camera-geometry factor axis: where the
+#: camera ends up after a knock / displacement, before recalibration.
+DISPLACED = CameraAngle(name="displaced", shear=0.24, offset_x=0.18,
+                        offset_y=-0.12, zoom=1.2, gradient_phase=1.8)
 
 
 def make_angle(index: int, overlap_with: Optional[int] = None) -> CameraAngle:
@@ -154,3 +164,98 @@ class SegmentSpec:
         if self.transition < 0 or self.transition > self.length:
             raise ConfigurationError(
                 f"transition must be in [0, length], got {self.transition}")
+
+
+@dataclass(frozen=True)
+class FactorAxes:
+    """Addressable generative-factor axes over the scene parameters.
+
+    Turns the opaque condition / angle blobs into four independently
+    drivable axes, each normalized so ``0.0`` is the baseline scene and
+    ``1.0`` the fully-driven endpoint:
+
+    - **lighting**: blends ``base_condition`` toward ``lit_condition``
+      (endpoints return the canonical conditions, so segment vocabulary
+      like ``day`` / ``night`` is preserved).
+    - **geometry**: interpolates ``base_angle`` toward
+      ``displaced_angle`` (shear, offsets, zoom, gradient phase).
+    - **noise**: adds up to ``noise_span`` of sensor noise on top of
+      whatever the lighting endpoint prescribes.
+    - **occlusion**: covers up to ``occlusion_span`` of the view with a
+      matte occluder.
+    - **density** is a *signed* axis on object statistics:
+      :meth:`density_shift` returns the objects-per-frame delta (an
+      occluder compound drives it negative -- fewer visible objects).
+
+    :mod:`repro.scenarios.video` maps a :class:`~repro.scenarios.script
+    .DriftScript`'s sigma-unit factor values onto these axes.
+    """
+
+    base_condition: SceneCondition = field(default=DAY)
+    lit_condition: SceneCondition = field(default=NIGHT)
+    base_angle: CameraAngle = field(default=FRONT)
+    displaced_angle: CameraAngle = field(default=DISPLACED)
+    noise_span: float = 0.08
+    density_span: float = 12.0
+    occlusion_span: float = 0.6
+
+    def __post_init__(self) -> None:
+        for span in ("noise_span", "density_span", "occlusion_span"):
+            if getattr(self, span) <= 0:
+                raise ConfigurationError(
+                    f"{span} must be positive, got {getattr(self, span)}")
+
+    @staticmethod
+    def _check_unit(name: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(
+                f"{name} axis value must be in [0, 1], got {value}")
+
+    def condition_at(self, lighting: float = 0.0, noise: float = 0.0,
+                     occlusion: float = 0.0) -> SceneCondition:
+        """The scene condition at the given normalized axis values."""
+        for name, value in (("lighting", lighting), ("noise", noise),
+                            ("occlusion", occlusion)):
+            self._check_unit(name, value)
+        if lighting == 0.0:
+            condition = self.base_condition
+        elif lighting == 1.0:
+            condition = self.lit_condition
+        else:
+            condition = self.base_condition.blend(self.lit_condition,
+                                                  lighting)
+        if noise > 0.0 or occlusion > 0.0:
+            condition = replace(
+                condition,
+                noise_std=condition.noise_std + noise * self.noise_span,
+                occlusion=min(condition.occlusion
+                              + occlusion * self.occlusion_span, 1.0))
+        return condition
+
+    def angle_at(self, geometry: float = 0.0) -> CameraAngle:
+        """The camera angle at the given normalized geometry value."""
+        self._check_unit("geometry", geometry)
+        if geometry == 0.0:
+            return self.base_angle
+        if geometry == 1.0:
+            return self.displaced_angle
+        base, moved = self.base_angle, self.displaced_angle
+
+        def lerp(a: float, b: float) -> float:
+            return a + (b - a) * geometry
+
+        return CameraAngle(
+            name=f"{base.name}->{moved.name}@{geometry:.2f}",
+            shear=lerp(base.shear, moved.shear),
+            offset_x=lerp(base.offset_x, moved.offset_x),
+            offset_y=lerp(base.offset_y, moved.offset_y),
+            zoom=lerp(base.zoom, moved.zoom),
+            gradient_phase=lerp(base.gradient_phase, moved.gradient_phase))
+
+    def density_shift(self, density: float = 0.0) -> float:
+        """Objects-per-frame delta for a signed density value in
+        ``[-1, 1]``."""
+        if not -1.0 <= density <= 1.0:
+            raise ConfigurationError(
+                f"density axis value must be in [-1, 1], got {density}")
+        return density * self.density_span

@@ -1,0 +1,133 @@
+"""Feature-space backend: legacy bit-identity, plans, attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    FACTOR_DIMS,
+    FACTORS,
+    FEATURE_DIM,
+    attribute_factors,
+    compile_features,
+    core_scripts,
+    feature_plan,
+    generate_plan,
+    get_script,
+    observed_events,
+)
+from repro.testing import DIM, gaussian_stream
+
+#: The hand-rolled segment lists the detector benchmark used before the
+#: scenario compiler existed -- the bit-identity contract.
+LEGACY_SEGMENTS = {
+    "abrupt": ((0.0, 120), (6.0, 120)),
+    "subtle": ((0.0, 120), (2.5, 120)),
+    "gradual": ((0.0, 120), (1.5, 40), (3.0, 40), (4.5, 40), (6.0, 80)),
+    "slow": ((0.0, 120), (0.75, 60), (1.5, 60), (2.25, 60), (3.0, 100)),
+    "stationary": ((0.0, 240),),
+}
+
+
+class TestLegacyBitIdentity:
+    def test_feature_dim_matches_testing_dim(self):
+        assert FEATURE_DIM == DIM
+
+    @pytest.mark.parametrize("name", sorted(LEGACY_SEGMENTS))
+    def test_core_plan_equals_legacy_segments(self, name):
+        assert feature_plan(core_scripts()[name]) == LEGACY_SEGMENTS[name]
+
+    @pytest.mark.parametrize("name", sorted(LEGACY_SEGMENTS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_compiled_stream_equals_gaussian_stream(self, name, seed):
+        compiled = compile_features(core_scripts()[name], seed)
+        legacy = gaussian_stream(seed, list(LEGACY_SEGMENTS[name]))
+        assert np.array_equal(compiled.frames, legacy)
+
+    def test_quick_scaling_matches_legacy_halving(self):
+        for name, segments in LEGACY_SEGMENTS.items():
+            halved = tuple((centre, max(length // 2, 1))
+                           for centre, length in segments)
+            script = core_scripts()[name].scaled(0.5)
+            assert feature_plan(script) == halved, name
+
+    def test_gaussian_stream_is_a_generate_plan_shim(self):
+        segments = [(0.0, 50), (4.0, 30)]
+        assert np.array_equal(gaussian_stream(9, segments),
+                              generate_plan(9, segments, dim=DIM))
+
+
+class TestPlans:
+    def test_factor_dims_cover_latent_space(self):
+        covered = {d for dims in FACTOR_DIMS.values() for d in dims}
+        assert covered == set(range(FEATURE_DIM))
+        assert set(FACTOR_DIMS) == set(FACTORS)
+
+    def test_occlusion_dims_overlap_lighting_and_density(self):
+        occ = set(FACTOR_DIMS["occlusion"])
+        assert occ & set(FACTOR_DIMS["lighting"])
+        assert occ & set(FACTOR_DIMS["density"])
+
+    def test_single_factor_plan_is_anisotropic(self):
+        plan = feature_plan(get_script("lighting_only"))
+        assert plan[0] == (0.0, 120)
+        loc, length = plan[1]
+        assert length == 120
+        assert loc == (6.0, 6.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_uniform_locs_collapse_to_scalars(self):
+        plan = feature_plan(get_script("abrupt"))
+        assert all(isinstance(loc, float) for loc, _ in plan)
+
+    def test_plan_lengths_cover_horizon(self):
+        for name, script in core_scripts().items():
+            plan = feature_plan(script)
+            assert sum(length for _, length in plan) == script.frames, name
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ScenarioError):
+            generate_plan(0, [])
+
+
+class TestAttribution:
+    def test_single_factor_drift_attributed_to_its_dims(self):
+        compiled = compile_features(get_script("lighting_only"), seed=0)
+        scores = attribute_factors(compiled.frames, 120)
+        assert scores["lighting"] > 5.0
+        for factor in ("geometry", "density", "noise"):
+            assert scores[factor] < 1.0
+        # entanglement is reported, not hidden: the occluder shares a
+        # lighting dim, so it scores halfway
+        assert 2.0 < scores["occlusion"] < 4.0
+
+    def test_occlusion_entangles_lighting_and_density(self):
+        compiled = compile_features(get_script("occlusion"), seed=0)
+        scores = attribute_factors(compiled.frames, 120)
+        assert scores["occlusion"] > 5.0
+        assert scores["density"] > 5.0
+        assert scores["geometry"] < 1.0
+
+    def test_out_of_stream_frame_rejected(self):
+        frames = np.zeros((10, FEATURE_DIM))
+        with pytest.raises(ScenarioError):
+            attribute_factors(frames, 0)
+        with pytest.raises(ScenarioError):
+            attribute_factors(frames, 10)
+
+    def test_non_2d_stream_rejected(self):
+        with pytest.raises(ScenarioError):
+            attribute_factors(np.zeros(10), 5)
+
+
+class TestObservedEvents:
+    @pytest.mark.parametrize("name", [
+        "abrupt", "gradual", "recurring", "camera_displacement",
+        "occlusion", "stationary"])
+    def test_scanned_onsets_match_declared_events(self, name):
+        script = get_script(name)
+        declared = {(e.frame, e.kind, e.factors) for e in script.events()}
+        observed = {(e.frame, e.kind, e.factors)
+                    for e in observed_events(script)}
+        assert declared == observed

@@ -1,0 +1,150 @@
+"""DriftScript / FactorTrack: validation, trajectories, ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    FACTORS,
+    DriftScript,
+    FactorTrack,
+    compound,
+    get_script,
+)
+
+
+class TestFactorTrackValidation:
+    def test_unknown_factor_rejected(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("weather", "abrupt", 10, 6.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("lighting", "sideways", 10, 6.0)
+
+    def test_zero_magnitude_rejected(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("lighting", "abrupt", 10, 0.0)
+
+    def test_gradual_needs_duration(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("lighting", "gradual", 10, 6.0)
+
+    def test_adversarial_slow_must_be_quantized(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("lighting", "adversarial_slow", 10, 3.0,
+                        duration=100, steps=0)
+
+    def test_steps_must_divide_duration(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("lighting", "gradual", 10, 6.0,
+                        duration=100, steps=3)
+
+    def test_recurring_needs_duration_below_period(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("lighting", "recurring", 10, 6.0,
+                        duration=50, period=50, recurrences=2)
+
+    def test_camera_displacement_needs_recovery(self):
+        with pytest.raises(ScenarioError):
+            FactorTrack("geometry", "camera_displacement", 10, 6.0)
+
+
+class TestTrajectories:
+    def test_abrupt_steps_and_holds(self):
+        track = FactorTrack("lighting", "abrupt", 100, 6.0)
+        assert track.value_at(99) == 0.0
+        assert track.value_at(100) == 6.0
+        assert track.value_at(500) == 6.0
+
+    def test_quantized_gradual_staircase(self):
+        track = FactorTrack("lighting", "gradual", 100, 6.0,
+                            duration=160, steps=4)
+        values = {track.value_at(f) for f in range(100, 260)}
+        assert values == {1.5, 3.0, 4.5, 6.0}
+        assert track.value_at(99) == 0.0
+        assert track.value_at(260) == 6.0
+
+    def test_adversarial_slow_eases_quadratically(self):
+        track = FactorTrack("lighting", "adversarial_slow", 0, 8.0,
+                            duration=240, steps=8)
+        # first riser: (1/8)^2 of the magnitude -- far below any
+        # detection threshold, by design
+        assert track.value_at(0) == 8.0 / 64
+        assert track.value_at(239) == 8.0
+        diffs = [track.value_at(f + 30) - track.value_at(f)
+                 for f in range(0, 210, 30)]
+        assert all(b > a for a, b in zip(diffs, diffs[1:]))
+
+    def test_recurring_square_wave(self):
+        track = FactorTrack("density", "recurring", 100, 6.0,
+                            duration=40, period=80, recurrences=3)
+        assert track.value_at(99) == 0.0
+        for episode in range(3):
+            start = 100 + episode * 80
+            assert track.value_at(start) == 6.0
+            assert track.value_at(start + 39) == 6.0
+            assert track.value_at(start + 40) == 0.0
+        assert track.value_at(100 + 3 * 80) == 0.0
+
+    def test_camera_displacement_recovers(self):
+        track = FactorTrack("geometry", "camera_displacement", 100, 6.0,
+                            recovery=120)
+        assert track.value_at(100) == 6.0
+        assert track.value_at(219) == 6.0
+        assert track.value_at(220) == 0.0
+
+
+class TestDriftScript:
+    def test_track_onset_must_fit_horizon(self):
+        with pytest.raises(ScenarioError):
+            DriftScript("x", 100, (FactorTrack("lighting", "abrupt",
+                                               100, 6.0),))
+
+    def test_factor_values_covers_every_factor(self):
+        script = get_script("lighting_only")
+        values = script.factor_values(200)
+        assert set(values) == set(FACTORS)
+        assert values["lighting"] == 6.0
+        assert all(values[f] == 0.0 for f in FACTORS if f != "lighting")
+
+    def test_compound_merges_into_one_event(self):
+        script = compound("x", 240, "abrupt", 120, 6.0)
+        events = script.events()
+        assert len(events) == 1
+        assert events[0].frame == 120
+        assert events[0].factors == ("density", "geometry", "lighting",
+                                     "noise")
+
+    def test_recurring_one_event_per_recurrence(self):
+        script = get_script("recurring")
+        events = script.events()
+        assert [e.frame for e in events] == [120, 200, 280]
+        assert {e.kind for e in events} == {"recurring"}
+
+    def test_camera_displacement_emits_recalibration(self):
+        script = get_script("camera_displacement")
+        kinds = [(e.frame, e.kind) for e in script.events()]
+        assert kinds == [(120, "camera_displacement"),
+                         (240, "recalibration")]
+        assert script.events()[1].magnitude == 0.0
+
+    def test_stationary_has_no_onset(self):
+        script = get_script("stationary")
+        assert script.stationary
+        assert script.onset is None
+        assert script.events() == ()
+
+    def test_scaled_halves_temporal_parameters_only(self):
+        script = get_script("gradual").scaled(0.5)
+        assert script.frames == 160
+        assert script.onset == 60
+        values = {script.factor_values(f)["lighting"]
+                  for f in range(60, 160)}
+        # staircase riser values are preserved exactly under scaling
+        assert values == {1.5, 3.0, 4.5, 6.0}
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(ScenarioError):
+            get_script("nope")

@@ -1,0 +1,121 @@
+"""Pixel backend: lowering strategies, factor axes, dataset identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    DriftScript,
+    FactorTrack,
+    VideoProfile,
+    compile_video,
+    get_script,
+    slow_drift_script,
+)
+from repro.video.scenes import DAY, DISPLACED, FRONT, NIGHT, FactorAxes
+
+
+class TestFactorAxes:
+    def test_lighting_endpoints_are_canonical_conditions(self):
+        axes = FactorAxes()
+        assert axes.condition_at(lighting=0.0) is DAY
+        assert axes.condition_at(lighting=1.0) is NIGHT
+
+    def test_geometry_endpoints_are_canonical_angles(self):
+        axes = FactorAxes()
+        assert axes.angle_at(0.0) is FRONT
+        assert axes.angle_at(1.0) is DISPLACED
+
+    def test_intermediate_lighting_blends(self):
+        condition = FactorAxes().condition_at(lighting=0.5)
+        assert DAY.background > condition.background > NIGHT.background
+
+    def test_occlusion_axis_raises_condition_occlusion(self):
+        axes = FactorAxes()
+        assert axes.condition_at(occlusion=1.0).occlusion == \
+            pytest.approx(axes.occlusion_span)
+
+    def test_density_axis_is_signed(self):
+        axes = FactorAxes()
+        assert axes.density_shift(-1.0) == -axes.density_span
+        assert axes.density_shift(0.5) == 0.5 * axes.density_span
+
+
+class TestLowering:
+    def test_piecewise_segments_partition_horizon(self):
+        for name in ("abrupt", "recurring", "camera_displacement",
+                     "occlusion"):
+            compiled = compile_video(get_script(name), seed=0)
+            total = sum(s.length for s in compiled.segments)
+            assert total == get_script(name).frames, name
+
+    def test_recurring_script_alternates_segments(self):
+        compiled = compile_video(get_script("recurring"), seed=0)
+        # baseline, then 3 x (drifted, baseline)
+        assert len(compiled.segments) == 7
+        assert compiled.onsets() == (120, 200, 280)
+
+    def test_out_of_range_magnitude_rejected(self):
+        script = DriftScript("hot", 100, (
+            FactorTrack("lighting", "abrupt", 50, 9.0),), feature_scale=6.0)
+        with pytest.raises(ScenarioError):
+            compile_video(script, seed=0)
+
+    def test_smooth_non_lighting_ramp_rejected(self):
+        script = DriftScript("pan", 100, (
+            FactorTrack("geometry", "gradual", 50, 6.0, duration=30),))
+        with pytest.raises(ScenarioError):
+            compile_video(script, seed=0)
+
+    def test_smooth_ramp_at_frame_zero_rejected(self):
+        with pytest.raises(ScenarioError):
+            compile_video(DriftScript("x", 100, (
+                FactorTrack("lighting", "gradual", 0, 6.0, duration=30),)),
+                seed=0)
+
+    def test_transition_lowering_uses_native_blending(self):
+        script = slow_drift_script(frames=120, transition=30)
+        compiled = compile_video(script, seed=3)
+        assert [s.name for s in compiled.segments] == ["day", "night"]
+        assert compiled.segments[1].transition == 30
+        assert compiled.segments[1].condition is NIGHT
+
+    def test_profile_controls_object_statistics(self):
+        profile = VideoProfile(objects_mean=5.0, objects_std=1.0,
+                               bus_fraction=0.4)
+        compiled = compile_video(get_script("stationary"), seed=0,
+                                 profile=profile)
+        segment = compiled.segments[0]
+        assert segment.objects_mean == 5.0
+        assert segment.bus_fraction == 0.4
+
+
+class TestCompiledStream:
+    def test_same_seed_same_pixels(self):
+        a = compile_video(get_script("occlusion"), seed=7)
+        b = compile_video(get_script("occlusion"), seed=7)
+        fa = np.stack([f.pixels for f in a.stream.materialize()])
+        fb = np.stack([f.pixels for f in b.stream.materialize()])
+        assert np.array_equal(fa, fb)
+
+    def test_occluder_darkens_frames(self):
+        compiled = compile_video(get_script("occlusion"), seed=7)
+        frames = compiled.stream.materialize()
+        pre = np.mean([f.pixels.mean() for f in frames[80:120]])
+        during = np.mean([f.pixels.mean() for f in frames[120:200]])
+        assert during < pre
+
+    def test_displacement_moves_pixels_then_recalibrates(self):
+        compiled = compile_video(get_script("camera_displacement"), seed=7)
+        frames = compiled.stream.materialize()
+
+        def mean_frame(lo, hi):
+            return np.mean([f.pixels for f in frames[lo:hi]], axis=0)
+
+        baseline, displaced = mean_frame(60, 120), mean_frame(120, 240)
+        recovered = mean_frame(240, 320)
+        moved = np.abs(baseline - displaced).mean()
+        returned = np.abs(baseline - recovered).mean()
+        assert moved > 3 * returned

@@ -1,0 +1,83 @@
+"""Workload backend: piecewise profiles, coupling validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    WorkloadCoupling,
+    compile_workload,
+    drive_at,
+    get_script,
+)
+
+
+class TestCouplingValidation:
+    def test_nonpositive_fps_rejected(self):
+        with pytest.raises(ScenarioError):
+            WorkloadCoupling(fps=0.0)
+
+    def test_surge_below_baseline_rejected(self):
+        with pytest.raises(ScenarioError):
+            WorkloadCoupling(surge=0.5, baseline=1.0)
+
+    def test_nonpositive_baseline_rejected(self):
+        with pytest.raises(ScenarioError):
+            WorkloadCoupling(baseline=0.0)
+
+
+class TestProfiles:
+    def test_abrupt_profile_is_two_pieces(self):
+        coupling = WorkloadCoupling(fps=30.0, surge=2.5)
+        profile = compile_workload(get_script("abrupt"), coupling)
+        onset_ms = 120 * (1000.0 / 30.0)
+        assert profile.pieces == ((0.0, 1.0), (onset_ms, 2.5))
+        assert profile.multiplier_at(onset_ms - 1.0) == 1.0
+        assert profile.multiplier_at(onset_ms) == 2.5
+        assert profile.peak == 2.5
+
+    def test_profile_holds_beyond_horizon(self):
+        profile = compile_workload(get_script("abrupt"))
+        assert profile.multiplier_at(1e9) == profile.peak
+
+    def test_negative_time_is_baseline(self):
+        profile = compile_workload(get_script("abrupt"))
+        assert profile.multiplier_at(-5.0) == 1.0
+
+    def test_profile_is_callable_modulation(self):
+        profile = compile_workload(get_script("abrupt"))
+        assert profile(0.0) == profile.multiplier_at(0.0)
+
+    def test_recurring_profile_pulses(self):
+        coupling = WorkloadCoupling(fps=1000.0, surge=3.0)
+        profile = compile_workload(get_script("recurring"), coupling)
+        # frame == ms at 1000 fps; episodes at 120/200/280, 40 on
+        assert profile.multiplier_at(119.0) == 1.0
+        assert profile.multiplier_at(121.0) == 3.0
+        assert profile.multiplier_at(161.0) == 1.0
+        assert profile.multiplier_at(281.0) == 3.0
+        assert profile.multiplier_at(400.0) == 1.0
+
+    def test_partial_drive_interpolates(self):
+        # subtle drift: 2.5 sigma of a 6-sigma scale -> 2.5/6 of the span
+        coupling = WorkloadCoupling(fps=30.0, surge=3.4, baseline=1.0)
+        profile = compile_workload(get_script("subtle"), coupling)
+        assert profile.peak == pytest.approx(1.0 + 2.4 * 2.5 / 6.0)
+
+    def test_stationary_profile_is_flat(self):
+        profile = compile_workload(get_script("stationary"))
+        assert profile.pieces == ((0.0, 1.0),)
+        assert profile.events == ()
+
+    def test_drive_is_normalized_and_clamped(self):
+        script = get_script("abrupt")
+        assert drive_at(script, 0) == 0.0
+        assert drive_at(script, 200) == 1.0
+
+    def test_equal_multiplier_pieces_merge(self):
+        # gradual staircase reaches full drive at the last riser; pieces
+        # must be strictly increasing in multiplier up to the plateau
+        profile = compile_workload(get_script("gradual"))
+        multipliers = [m for _, m in profile.pieces]
+        assert multipliers == sorted(set(multipliers))

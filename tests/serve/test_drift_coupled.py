@@ -1,0 +1,111 @@
+"""Drift-coupled workloads: scenario scripts driving the arrival process.
+
+The contract pinned here is the ISSUE-10 seam between the scenario
+compiler and the serving layer: a compiled
+:class:`~repro.scenarios.CompiledWorkload` plugs into
+``generate_arrivals(..., modulation=...)`` as a plain callable, so the
+same script that drifts the frame distribution also surges the offered
+load -- and the surge is what pushes the overload controller out of
+NORMAL.  Passing no modulation must stay bit-identical to the
+pre-existing generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import WorkloadCoupling, compile_workload, get_script
+from repro.serve import (
+    DriftServer,
+    WorkloadConfig,
+    capacity_fps,
+    generate_arrivals,
+)
+from repro.serve.overload import NORMAL
+from tests.serve.conftest import gaussian_stream, make_session
+
+CAPACITY = capacity_fps()
+
+
+class TestModulationHook:
+    def test_no_modulation_is_bit_identical(self):
+        frames = gaussian_stream(5, [(0.0, 80)])
+        config = WorkloadConfig(rate_fps=20.0, pattern="burst")
+        legacy = generate_arrivals(frames, config, stream_id="cam", seed=5)
+        hooked = generate_arrivals(frames, config, stream_id="cam", seed=5,
+                                   modulation=None)
+        assert [a.arrival_ms for a in legacy] == \
+            [a.arrival_ms for a in hooked]
+
+    def test_identity_modulation_is_bit_identical(self):
+        frames = gaussian_stream(6, [(0.0, 80)])
+        config = WorkloadConfig(rate_fps=20.0)
+        legacy = generate_arrivals(frames, config, stream_id="cam", seed=6)
+        hooked = generate_arrivals(frames, config, stream_id="cam", seed=6,
+                                   modulation=lambda t_ms: 1.0)
+        assert [a.arrival_ms for a in legacy] == \
+            [a.arrival_ms for a in hooked]
+
+    def test_nonpositive_modulation_rejected(self):
+        frames = gaussian_stream(7, [(0.0, 10)])
+        with pytest.raises(ConfigurationError):
+            generate_arrivals(frames, WorkloadConfig(rate_fps=20.0),
+                              modulation=lambda t_ms: 0.0)
+
+    def test_surge_compresses_post_onset_arrivals(self):
+        """A surging profile makes post-onset inter-arrival gaps shrink
+        by the surge factor (in expectation; pinned via the mean)."""
+        script = get_script("abrupt")
+        coupling = WorkloadCoupling(fps=30.0, surge=3.0)
+        profile = compile_workload(script, coupling)
+        onset_ms = script.onset * 1000.0 / coupling.fps
+        frames = gaussian_stream(8, [(0.0, 400)])
+        config = WorkloadConfig(rate_fps=30.0)
+        flat = generate_arrivals(frames, config, stream_id="cam", seed=8)
+        coupled = generate_arrivals(frames, config, stream_id="cam", seed=8,
+                                    modulation=profile)
+        def post_count(arrivals):
+            return sum(1 for a in arrivals
+                       if onset_ms <= a.arrival_ms < onset_ms + 2000.0)
+        assert post_count(coupled) > 1.8 * post_count(flat)
+
+
+class TestDriftCoupledOverload:
+    def run_server(self, modulation):
+        """One single-stream serving run at half capacity baseline; the
+        coupled variant surges to 1.5x capacity at the script's onset."""
+        rate = 0.5 * CAPACITY
+        script = get_script("abrupt")
+        frames = gaussian_stream(21, [(0.0, 240)])
+        arrivals = generate_arrivals(
+            frames, WorkloadConfig(rate_fps=rate), stream_id="cam",
+            deadline_ms=60.0, seed=21, modulation=modulation)
+        session = make_session("cam", 21, queue_capacity=8,
+                               deadline_ms=60.0)
+        server = DriftServer([session])
+        result = server.run(arrivals)
+        return server, result
+
+    def coupled_profile(self):
+        # frame f of the script maps to the time the stream reaches f at
+        # its baseline rate, so the workload surge lands exactly when
+        # the pixel/feature backends would be emitting drifted frames
+        script = get_script("abrupt")
+        return compile_workload(
+            script, WorkloadCoupling(fps=0.5 * CAPACITY, surge=3.0))
+
+    def test_flat_baseline_stays_normal(self):
+        server, result = self.run_server(None)
+        assert server.controller.state == NORMAL
+        assert result.overload_transitions == 0
+
+    def test_drift_surge_flips_overload_controller(self):
+        """The acceptance demo: identical stream, identical seeds -- the
+        only difference is drift-coupled arrivals, and the overload
+        controller transitions because of it."""
+        _, flat = self.run_server(None)
+        _, coupled = self.run_server(self.coupled_profile())
+        assert flat.overload_transitions == 0
+        assert coupled.overload_transitions > 0
+        assert coupled.degraded > 0 or coupled.shed_total > 0
